@@ -1,0 +1,74 @@
+// Command lbmbench regenerates the paper's tables and figures.
+//
+// By default an experiment is produced at paper scale via the perfsim
+// discrete-event simulator over the Blue Gene machine models; with -real
+// the corresponding real-kernel experiment runs on the local machine
+// instead (fig8, fig9, fig10, fig11 only).
+//
+// Examples:
+//
+//	lbmbench -exp table2
+//	lbmbench -exp fig8 -machine bgq
+//	lbmbench -exp fig8 -real -model d3q39
+//	lbmbench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lbmbench: ")
+
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1, table2, fig8, fig9, fig10, table3, table4, fig11, or all")
+		machine = flag.String("machine", "bgp", "machine for fig8/fig9/fig11: bgp or bgq")
+		real    = flag.Bool("real", false, "run the real kernels locally instead of the paper-scale simulator")
+		model   = flag.String("model", "D3Q19", "model for -real experiments")
+		ranks   = flag.Int("ranks", 4, "ranks for -real experiments")
+		steps   = flag.Int("steps", 30, "steps for -real experiments")
+	)
+	flag.Parse()
+
+	if *real {
+		tb, err := realExperiment(*exp, *model, *ranks, *steps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tb.Render())
+		return
+	}
+
+	var tables []*experiments.Table
+	var err error
+	if *exp == "all" {
+		tables, err = experiments.GenerateAll()
+	} else {
+		tables, err = experiments.Generate(*exp, *machine)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range tables {
+		fmt.Println(t.Render())
+	}
+}
+
+func realExperiment(exp, model string, ranks, steps int) (*experiments.Table, error) {
+	switch exp {
+	case "fig8":
+		return experiments.RealFig8(model, ranks, steps)
+	case "fig9":
+		return experiments.RealFig9(model, ranks, steps)
+	case "fig10":
+		return experiments.RealFig10(model, ranks, steps)
+	case "fig11":
+		return experiments.RealFig11(model, steps)
+	}
+	return nil, fmt.Errorf("-real supports fig8, fig9, fig10, fig11 (got %q)", exp)
+}

@@ -1,0 +1,130 @@
+// Command lbmvalidate runs the physics validation suite: lattice sanity
+// (weights, isotropy order), viscosity from shear-wave and Taylor-Green
+// decay, sound speeds, and conservation — for both velocity models.
+// It exits non-zero if any check fails its tolerance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/lattice"
+	"repro/internal/physics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lbmvalidate: ")
+	quick := flag.Bool("quick", false, "smaller domains and fewer steps")
+	flag.Parse()
+
+	failures := 0
+	check := func(name string, err error, relErr, tol float64) {
+		status := "ok"
+		if err != nil {
+			status = "ERROR: " + err.Error()
+			failures++
+		} else if relErr > tol {
+			status = fmt.Sprintf("FAIL (err %.2f%% > %.2f%%)", 100*relErr, 100*tol)
+			failures++
+		} else {
+			status = fmt.Sprintf("ok   (err %.2f%%)", 100*relErr)
+		}
+		fmt.Printf("%-52s %s\n", name, status)
+	}
+
+	steps := 80
+	shearN := grid.Dims{NX: 32, NY: 6, NZ: 6}
+	tgN := grid.Dims{NX: 24, NY: 24, NZ: 6}
+	soundN := grid.Dims{NX: 48, NY: 6, NZ: 6}
+	if *quick {
+		steps = 40
+		shearN = grid.Dims{NX: 16, NY: 6, NZ: 6}
+		tgN = grid.Dims{NX: 16, NY: 16, NZ: 6}
+		soundN = grid.Dims{NX: 32, NY: 6, NZ: 6}
+	}
+
+	for _, m := range []*lattice.Model{lattice.D3Q19(), lattice.D3Q39()} {
+		fmt.Printf("=== %s ===\n", m.Name)
+		if err := m.Validate(); err != nil {
+			check("lattice consistency", err, 0, 1)
+		} else {
+			check("lattice consistency (weights, moments, symmetry)", nil, 0, 1)
+		}
+		wantOrder := 5
+		if m.Order >= 3 {
+			wantOrder = 7
+		}
+		orderErr := 0.0
+		if got := m.IsotropyOrder(wantOrder, 1e-12); got < wantOrder {
+			orderErr = 1
+		}
+		check(fmt.Sprintf("isotropy through rank %d", wantOrder), nil, orderErr, 0.5)
+
+		for _, tau := range []float64{0.7, 1.0} {
+			res, err := physics.ShearWaveViscosity(m, shearN, tau, steps, nil)
+			relErr := 0.0
+			if err == nil {
+				relErr = res.RelError
+			}
+			check(fmt.Sprintf("shear-wave viscosity (tau=%.1f)", tau), err, relErr, 0.05)
+		}
+		tg, err := physics.TaylorGreenViscosity(m, tgN, 0.8, steps)
+		relErr := 0.0
+		if err == nil {
+			relErr = tg.RelError
+		}
+		check("Taylor-Green viscosity (tau=0.8)", err, relErr, 0.07)
+
+		ss, err := physics.MeasureSoundSpeed(m, soundN, 0.8)
+		relErr = 0.0
+		if err == nil {
+			relErr = ss.RelError
+		}
+		check("sound speed", err, relErr, 0.06)
+
+		consErr, err := conservation(m)
+		check("mass/momentum conservation (20 steps, 2 ranks)", err, consErr, 1e-9)
+	}
+
+	fmt.Printf("\nKnudsen regimes: Kn=0.01 -> %s (%s), Kn=0.5 -> %s (%s)\n",
+		physics.ClassifyKnudsen(0.01), physics.ModelForKnudsen(0.01).Name,
+		physics.ClassifyKnudsen(0.5), physics.ModelForKnudsen(0.5).Name)
+
+	if failures > 0 {
+		fmt.Printf("\n%d validation(s) FAILED\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("\nall validations passed")
+}
+
+// conservation measures the relative drift of total mass over a short run.
+func conservation(m *lattice.Model) (float64, error) {
+	n := grid.Dims{NX: 12, NY: 6, NZ: 6}
+	init := func(ix, iy, iz int) (rho, ux, uy, uz float64) {
+		x := 2 * math.Pi * float64(ix) / float64(n.NX)
+		return 1 + 0.03*math.Sin(x), 0.01 * math.Cos(x), 0, 0
+	}
+	var mass0 float64
+	for ix := 0; ix < n.NX; ix++ {
+		for iy := 0; iy < n.NY; iy++ {
+			for iz := 0; iz < n.NZ; iz++ {
+				rho, _, _, _ := init(ix, iy, iz)
+				mass0 += rho
+			}
+		}
+	}
+	res, err := core.Run(core.Config{
+		Model: m, N: n, Tau: 0.8, Steps: 20,
+		Opt: core.OptSIMD, Ranks: 2, Threads: 1, GhostDepth: 1, Init: init,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return math.Abs(res.Mass-mass0) / mass0, nil
+}

@@ -1,0 +1,86 @@
+// Channel: a body-force-driven channel flow with solid walls and a plate
+// obstacle — the irregular-geometry use case (microfluidic devices,
+// arterial flow) that motivates the paper's application. Demonstrates the
+// obstacle mask with halfway bounce-back, velocity-shift forcing, and the
+// MFlup/s metric counting only fluid cells (the paper's N_fl).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	model := repro.D3Q19()
+	n := repro.Dims{NX: 48, NY: 24, NZ: 11}
+	tau := 1.0
+	accel := 2e-6
+
+	// Channel walls at z extremes plus a plate partly blocking the duct.
+	solid := func(ix, iy, iz int) bool {
+		if iz == 0 || iz == n.NZ-1 {
+			return true
+		}
+		return ix == n.NX/3 && iy < n.NY/2
+	}
+
+	res, err := repro.Run(repro.Config{
+		Model: model, N: n, Tau: tau, Steps: 3000,
+		Opt: repro.OptSIMD, Ranks: 2, Threads: 2, GhostDepth: 1,
+		Solid: solid, Accel: [3]float64{accel, 0, 0},
+		KeepField: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Channel with plate: %s on %s, tau=%.1f, a=%.1e\n", model.Name, n, tau, accel)
+	fmt.Printf("  %.2f MFlup/s over %d fluid cells (solids excluded from N_fl)\n\n",
+		res.MFlups, res.InteriorUpdates/3000)
+
+	// Velocity magnitude map at mid-height, rendered as ASCII.
+	fc := make([]float64, model.Q)
+	var umax float64
+	u := make([][]float64, n.NX)
+	for ix := 0; ix < n.NX; ix++ {
+		u[ix] = make([]float64, n.NY)
+		for iy := 0; iy < n.NY; iy++ {
+			if solid(ix, iy, n.NZ/2) {
+				u[ix][iy] = -1
+				continue
+			}
+			res.Field.Cell(ix, iy, n.NZ/2, fc)
+			rho, jx, jy, jz := model.Moments(fc)
+			ux, uy, uz := jx/rho+accel/2, jy/rho, jz/rho
+			u[ix][iy] = math.Sqrt(ux*ux + uy*uy + uz*uz)
+			if u[ix][iy] > umax {
+				umax = u[ix][iy]
+			}
+		}
+	}
+	shades := " .:-=+*#%@"
+	fmt.Println("  |u| at mid-height (X solid, flow left to right, periodic):")
+	for iy := n.NY - 1; iy >= 0; iy-- {
+		var b strings.Builder
+		b.WriteString("  ")
+		for ix := 0; ix < n.NX; ix++ {
+			if u[ix][iy] < 0 {
+				b.WriteByte('X')
+				continue
+			}
+			lvl := int(u[ix][iy] / umax * float64(len(shades)-1))
+			b.WriteByte(shades[lvl])
+		}
+		fmt.Println(b.String())
+	}
+	fmt.Printf("\n  peak |u| = %.5f (lattice units); mass/cell = %.9f\n",
+		umax, res.Mass/float64(res.InteriorUpdates/3000))
+	fmt.Println("  The flow accelerates through the open half of the duct and")
+	fmt.Println("  recovers downstream — the clogging-device scenario of §I.")
+}

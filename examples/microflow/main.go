@@ -1,0 +1,59 @@
+// Microflow: the paper's motivating use case — flows beyond the continuum
+// regime. This example sweeps the Knudsen number of a microchannel-like
+// shear flow, shows which regimes conventional Navier-Stokes CFD covers,
+// picks the appropriate lattice per regime, and demonstrates that the
+// higher-order D3Q39 model contains D3Q19's hydrodynamics: with relaxation
+// times matched to one physical viscosity, both lattices measure the same
+// shear-wave decay.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/grid"
+	"repro/internal/lattice"
+	"repro/internal/physics"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const L = 32 // channel width in lattice units
+	fmt.Println("Knudsen sweep for a channel of width", L, "lattice units:")
+	fmt.Printf("%-10s %-16s %-14s %-8s\n", "Kn", "regime", "NS valid?", "model")
+	for _, kn := range []float64{0.0005, 0.005, 0.05, 0.2, 1.0, 20} {
+		m := physics.ModelForKnudsen(kn)
+		fmt.Printf("%-10.4f %-16s %-14v %-8s\n",
+			kn, physics.ClassifyKnudsen(kn), physics.NavierStokesValid(kn), m.Name)
+	}
+
+	// Matched-viscosity comparison: both lattices must reproduce
+	// ν = c_s²(τ−½) for the same physical ν, despite different c_s.
+	n := grid.Dims{NX: L, NY: 6, NZ: 6}
+	nu := 0.08
+	fmt.Printf("\nShear-wave viscosity at matched nu=%.3f (80 steps):\n", nu)
+	fmt.Printf("%-8s %-8s %-12s %-12s %-8s\n", "model", "tau", "nu measured", "nu theory", "error")
+	for _, m := range []*lattice.Model{lattice.D3Q19(), lattice.D3Q39()} {
+		tau := m.TauForViscosity(nu)
+		res, err := physics.ShearWaveViscosity(m, n, tau, 80, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %-8.4f %-12.5f %-12.5f %.2f%%\n",
+			m.Name, tau, res.NuMeasured, res.NuTheory, 100*res.RelError)
+	}
+
+	// At finite Kn, the D3Q39's relaxation time stays near the stable
+	// range while representing a much more rarefied flow.
+	fmt.Println("\nRelaxation times for finite-Kn channel flow (D3Q39):")
+	fmt.Printf("%-8s %-10s %-12s\n", "Kn", "tau", "regime")
+	q39 := lattice.D3Q39()
+	for _, kn := range []float64{0.01, 0.05, 0.1, 0.3} {
+		tau := physics.TauForKnudsen(q39, kn, L)
+		fmt.Printf("%-8.2f %-10.4f %-12s\n", kn, tau, physics.ClassifyKnudsen(kn))
+	}
+	fmt.Println("\nThe D3Q39 model's 3rd-order equilibrium keeps the higher kinetic")
+	fmt.Println("moments (§II, Eq. 3), which is what extends validity into the")
+	fmt.Println("transition regime — at double the memory traffic per cell (Table II).")
+}

@@ -1,0 +1,55 @@
+// Scaling: the deep-halo trade-off of the paper's Fig. 10, live on the
+// local machine. Sweeps ghost-cell depth for several domain sizes over
+// message-passing ranks with injected per-step load imbalance, reporting
+// runtime (normalized to depth 1) and the per-rank communication balance
+// of Fig. 9.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const ranks = 4
+	model := repro.D3Q19()
+	fmt.Printf("Deep-halo sweep: %s, %d ranks, 1 thread, injected jitter 1ms/step\n\n", model.Name, ranks)
+	fmt.Printf("%-14s %-10s %-10s %-12s %-22s\n", "domain", "depth", "MFlup/s", "t/t(GC=1)", "comm min/med/max (ms)")
+
+	for _, nxPerRank := range []int{8, 32, 96} {
+		n := repro.Dims{NX: ranks * nxPerRank, NY: 16, NZ: 16}
+		var base float64
+		for depth := 1; depth <= 4; depth++ {
+			if nxPerRank < depth*model.MaxSpeed {
+				continue
+			}
+			res, err := repro.Run(repro.Config{
+				Model: model, N: n, Tau: 0.8, Steps: 60,
+				Opt: repro.OptSIMD, Ranks: ranks, Threads: 1, GhostDepth: depth,
+				StepJitter: time.Millisecond,
+				Init: func(ix, iy, iz int) (rho, ux, uy, uz float64) {
+					return 1 + 0.02*math.Sin(2*math.Pi*float64(ix)/float64(n.NX)), 0, 0, 0
+				},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			secs := res.WallTime.Seconds()
+			if depth == 1 {
+				base = secs
+			}
+			s := res.CommSummary()
+			fmt.Printf("%-14s GC=%-7d %-10.2f %-12.3f %.1f / %.1f / %.1f\n",
+				n, depth, res.MFlups, secs/base, 1e3*s.Min, 1e3*s.Median, 1e3*s.Max)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Deeper halos trade extra ghost-cell computation for fewer messages;")
+	fmt.Println("they pay off once the per-rank domain is large enough (paper Fig. 10).")
+}

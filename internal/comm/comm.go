@@ -1,0 +1,354 @@
+// Package comm is an in-process message-passing fabric with MPI-like
+// semantics: a fixed set of ranks (goroutines) exchanging tagged messages
+// through buffered channels, with blocking Send/Recv, non-blocking
+// Isend/Irecv completed by Wait (the paper's MPI_Irecv / MPI_Isend /
+// MPI_Waitall pattern), barriers and reductions.
+//
+// The fabric substitutes for MPI on Blue Gene (see DESIGN.md): it preserves
+// the semantics that the paper's communication optimizations rely on —
+// eager buffered sends, tag matching, posting receives early, and overlap
+// of communication with computation — while running entirely inside one
+// process. Per-rank time spent blocked in communication calls is recorded,
+// which is the quantity plotted in the paper's Fig. 9.
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// chanCap is the per-(src,dst) channel buffer. Eager sends block only when
+// this many messages are in flight between one pair of ranks, far above
+// what the halo-exchange protocol keeps outstanding.
+const chanCap = 256
+
+type message struct {
+	tag  int
+	data []float64
+}
+
+// DelayFunc models per-message wire time. When non-nil, the receiving rank
+// sleeps for the returned duration before a message is delivered, so
+// wall-clock measurements feel the simulated network. Bytes is the payload
+// size in bytes (8 per float64).
+type DelayFunc func(src, dst, bytes int) time.Duration
+
+// Fabric connects N ranks. Create one with NewFabric, launch the ranks with
+// Run, and read per-rank statistics afterwards. A Fabric may be used for a
+// single Run at a time; statistics accumulate across Runs on the same
+// fabric.
+type Fabric struct {
+	n     int
+	chans [][]chan message
+	delay DelayFunc
+
+	scratchMu sync.Mutex // protects nothing hot: scratch slots are per-rank
+	scratch   [][]float64
+
+	bar *barrier
+
+	ranks []*Rank
+}
+
+// NewFabric returns a fabric connecting n ranks.
+func NewFabric(n int) *Fabric {
+	if n < 1 {
+		panic("comm: fabric needs at least one rank")
+	}
+	f := &Fabric{n: n, scratch: make([][]float64, n), bar: newBarrier(n)}
+	f.chans = make([][]chan message, n)
+	for s := 0; s < n; s++ {
+		f.chans[s] = make([]chan message, n)
+		for d := 0; d < n; d++ {
+			f.chans[s][d] = make(chan message, chanCap)
+		}
+	}
+	f.ranks = make([]*Rank, n)
+	for i := 0; i < n; i++ {
+		f.ranks[i] = &Rank{ID: i, N: n, f: f, pending: make(map[pendKey][]message)}
+	}
+	return f
+}
+
+// WithDelay installs a simulated per-message delay model and returns f.
+func (f *Fabric) WithDelay(d DelayFunc) *Fabric {
+	f.delay = d
+	return f
+}
+
+// N returns the number of ranks.
+func (f *Fabric) N() int { return f.n }
+
+// Run executes fn once per rank, each in its own goroutine, and waits for
+// all of them. Panics in rank functions are recovered and reported as
+// errors together with any errors returned by fn.
+func (f *Fabric) Run(fn func(*Rank) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, f.n)
+	for i := 0; i < f.n; i++ {
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[r.ID] = fmt.Errorf("comm: rank %d panicked: %v\n%s", r.ID, p, debug.Stack())
+				}
+			}()
+			errs[r.ID] = fn(r)
+		}(f.ranks[i])
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// CommTimes returns the accumulated per-rank time spent blocked in
+// communication calls (Send, Recv, Wait, Barrier excluded). Valid after Run
+// returns.
+func (f *Fabric) CommTimes() []time.Duration {
+	ts := make([]time.Duration, f.n)
+	for i, r := range f.ranks {
+		ts[i] = r.commTime
+	}
+	return ts
+}
+
+// BytesSent returns per-rank payload bytes sent. Valid after Run returns.
+func (f *Fabric) BytesSent() []int64 {
+	bs := make([]int64, f.n)
+	for i, r := range f.ranks {
+		bs[i] = r.bytesSent
+	}
+	return bs
+}
+
+// MessagesSent returns per-rank message counts. Valid after Run returns.
+func (f *Fabric) MessagesSent() []int64 {
+	ms := make([]int64, f.n)
+	for i, r := range f.ranks {
+		ms[i] = r.msgsSent
+	}
+	return ms
+}
+
+type pendKey struct{ src, tag int }
+
+// Rank is one participant's handle to the fabric. A Rank must be used only
+// from the goroutine Run started for it.
+type Rank struct {
+	ID, N int
+	f     *Fabric
+
+	pending   map[pendKey][]message
+	commTime  time.Duration
+	bytesSent int64
+	msgsSent  int64
+}
+
+// CommTime returns the communication time accumulated by this rank so far.
+func (r *Rank) CommTime() time.Duration { return r.commTime }
+
+// Send delivers data to rank dst with the given tag. The payload is copied,
+// so the caller may reuse data immediately (MPI buffered-send semantics).
+func (r *Rank) Send(dst, tag int, data []float64) {
+	t0 := time.Now()
+	cp := append([]float64(nil), data...)
+	r.f.chans[r.ID][dst] <- message{tag: tag, data: cp}
+	r.bytesSent += int64(8 * len(data))
+	r.msgsSent++
+	r.commTime += time.Since(t0)
+}
+
+// Recv blocks until a message with the given tag arrives from src, copies
+// its payload into buf, and returns the number of values received. Messages
+// with other tags arriving first are buffered for later receives. Recv
+// panics if the payload exceeds len(buf).
+func (r *Rank) Recv(src, tag int, buf []float64) int {
+	t0 := time.Now()
+	m := r.match(src, tag)
+	n := copy(buf, m.data)
+	if n < len(m.data) {
+		panic(fmt.Sprintf("comm: rank %d Recv(src=%d, tag=%d): buffer %d < message %d", r.ID, src, tag, len(buf), len(m.data)))
+	}
+	r.commTime += time.Since(t0)
+	return n
+}
+
+// match returns the next message from src with the given tag, consuming the
+// pending queue first.
+func (r *Rank) match(src, tag int) message {
+	key := pendKey{src, tag}
+	if q := r.pending[key]; len(q) > 0 {
+		m := q[0]
+		r.pending[key] = q[1:]
+		return m
+	}
+	ch := r.f.chans[src][r.ID]
+	for {
+		m := <-ch
+		if r.f.delay != nil {
+			time.Sleep(r.f.delay(src, r.ID, 8*len(m.data)))
+		}
+		if m.tag == tag {
+			return m
+		}
+		k := pendKey{src, m.tag}
+		r.pending[k] = append(r.pending[k], m)
+	}
+}
+
+// Request is an in-flight non-blocking operation, completed by Wait.
+type Request struct {
+	recv     bool
+	src, tag int
+	buf      []float64
+	done     bool
+	n        int
+}
+
+// N returns the number of values received; valid for completed receive
+// requests.
+func (q *Request) N() int { return q.n }
+
+// Done reports whether the request has completed.
+func (q *Request) Done() bool { return q.done }
+
+// Isend starts a non-blocking send. With the fabric's eager buffered
+// protocol the payload is copied and enqueued immediately, so the returned
+// request is already complete; it exists so call sites mirror the MPI
+// Isend/Waitall structure of the paper's code.
+func (r *Rank) Isend(dst, tag int, data []float64) *Request {
+	r.Send(dst, tag, data)
+	return &Request{done: true}
+}
+
+// Irecv posts a non-blocking receive into buf. The receive is matched when
+// Wait is called on the returned request ("the MPI_Irecv is posted before
+// the local stream calculation", §V.E — posting early lets Wait find the
+// message already buffered, which is what shrinks the exposed wait time).
+func (r *Rank) Irecv(src, tag int, buf []float64) *Request {
+	return &Request{recv: true, src: src, tag: tag, buf: buf}
+}
+
+// Wait completes the given requests (MPI_Waitall).
+func (r *Rank) Wait(reqs ...*Request) {
+	t0 := time.Now()
+	for _, q := range reqs {
+		if q == nil || q.done {
+			continue
+		}
+		if !q.recv {
+			q.done = true
+			continue
+		}
+		m := r.match(q.src, q.tag)
+		q.n = copy(q.buf, m.data)
+		if q.n < len(m.data) {
+			panic(fmt.Sprintf("comm: rank %d Wait(src=%d, tag=%d): buffer %d < message %d", r.ID, q.src, q.tag, len(q.buf), len(m.data)))
+		}
+		q.done = true
+	}
+	r.commTime += time.Since(t0)
+}
+
+// Probe reports whether a message with the given tag from src is already
+// available without blocking.
+func (r *Rank) Probe(src, tag int) bool {
+	if len(r.pending[pendKey{src, tag}]) > 0 {
+		return true
+	}
+	for {
+		select {
+		case m := <-r.f.chans[src][r.ID]:
+			k := pendKey{src, m.tag}
+			r.pending[k] = append(r.pending[k], m)
+			if m.tag == tag {
+				return true
+			}
+		default:
+			return false
+		}
+	}
+}
+
+// Barrier blocks until every rank has entered it.
+func (r *Rank) Barrier() { r.f.bar.await() }
+
+// AllReduceSum element-wise sums vals across all ranks; every rank receives
+// the full result. Implemented with a shared scratch exchange bracketed by
+// barriers, which is deadlock-free by construction.
+func (r *Rank) AllReduceSum(vals []float64) []float64 {
+	r.f.scratch[r.ID] = append([]float64(nil), vals...)
+	r.Barrier()
+	out := make([]float64, len(vals))
+	for rank := 0; rank < r.N; rank++ {
+		for i, v := range r.f.scratch[rank] {
+			if i < len(out) {
+				out[i] += v
+			}
+		}
+	}
+	r.Barrier()
+	return out
+}
+
+// AllReduceMax element-wise maximizes vals across all ranks.
+func (r *Rank) AllReduceMax(vals []float64) []float64 {
+	r.f.scratch[r.ID] = append([]float64(nil), vals...)
+	r.Barrier()
+	out := append([]float64(nil), r.f.scratch[0]...)
+	for rank := 1; rank < r.N; rank++ {
+		for i, v := range r.f.scratch[rank] {
+			if i < len(out) && v > out[i] {
+				out[i] = v
+			}
+		}
+	}
+	r.Barrier()
+	return out
+}
+
+// Gather collects each rank's vals at root, returned in rank order; other
+// ranks receive nil. All ranks must call Gather.
+func (r *Rank) Gather(root int, vals []float64) [][]float64 {
+	r.f.scratch[r.ID] = append([]float64(nil), vals...)
+	r.Barrier()
+	var out [][]float64
+	if r.ID == root {
+		out = make([][]float64, r.N)
+		for rank := 0; rank < r.N; rank++ {
+			out[rank] = append([]float64(nil), r.f.scratch[rank]...)
+		}
+	}
+	r.Barrier()
+	return out
+}
+
+// barrier is a reusable N-party barrier.
+type barrier struct {
+	mu    sync.Mutex
+	n     int
+	count int
+	ch    chan struct{}
+}
+
+func newBarrier(n int) *barrier {
+	return &barrier{n: n, ch: make(chan struct{})}
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	ch := b.ch
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.ch = make(chan struct{})
+		close(ch)
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+	<-ch
+}

@@ -1,0 +1,354 @@
+package comm
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSendRecvPair(t *testing.T) {
+	f := NewFabric(2)
+	err := f.Run(func(r *Rank) error {
+		if r.ID == 0 {
+			r.Send(1, 7, []float64{1, 2, 3})
+		} else {
+			buf := make([]float64, 3)
+			n := r.Recv(0, 7, buf)
+			if n != 3 || buf[0] != 1 || buf[2] != 3 {
+				t.Errorf("recv got n=%d buf=%v", n, buf)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	f := NewFabric(2)
+	err := f.Run(func(r *Rank) error {
+		if r.ID == 0 {
+			data := []float64{5}
+			r.Send(1, 0, data)
+			data[0] = -1 // must not affect the message
+		} else {
+			buf := make([]float64, 1)
+			r.Recv(0, 0, buf)
+			if buf[0] != 5 {
+				t.Errorf("payload mutated after send: %v", buf[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMatchingOutOfOrder(t *testing.T) {
+	f := NewFabric(2)
+	err := f.Run(func(r *Rank) error {
+		if r.ID == 0 {
+			r.Send(1, 1, []float64{10})
+			r.Send(1, 2, []float64{20})
+			r.Send(1, 1, []float64{11})
+		} else {
+			buf := make([]float64, 1)
+			r.Recv(0, 2, buf)
+			if buf[0] != 20 {
+				t.Errorf("tag 2 got %v", buf[0])
+			}
+			r.Recv(0, 1, buf)
+			if buf[0] != 10 {
+				t.Errorf("tag 1 first got %v (FIFO per tag violated)", buf[0])
+			}
+			r.Recv(0, 1, buf)
+			if buf[0] != 11 {
+				t.Errorf("tag 1 second got %v", buf[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendIrecvWait(t *testing.T) {
+	f := NewFabric(2)
+	err := f.Run(func(r *Rank) error {
+		other := 1 - r.ID
+		buf := make([]float64, 2)
+		rq := r.Irecv(other, 3, buf)
+		sq := r.Isend(other, 3, []float64{float64(r.ID), 9})
+		r.Wait(rq, sq)
+		if !rq.Done() || rq.N() != 2 {
+			t.Errorf("rank %d: request not complete (n=%d)", r.ID, rq.N())
+		}
+		if buf[0] != float64(other) || buf[1] != 9 {
+			t.Errorf("rank %d: buf=%v", r.ID, buf)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfMessaging(t *testing.T) {
+	f := NewFabric(1)
+	err := f.Run(func(r *Rank) error {
+		r.Send(0, 5, []float64{3.14})
+		buf := make([]float64, 1)
+		r.Recv(0, 5, buf)
+		if buf[0] != 3.14 {
+			t.Errorf("self message got %v", buf[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	const n = 4
+	f := NewFabric(n)
+	var phase1 atomic.Int32
+	err := f.Run(func(r *Rank) error {
+		phase1.Add(1)
+		r.Barrier()
+		if got := phase1.Load(); got != n {
+			t.Errorf("rank %d passed barrier with %d/%d arrived", r.ID, got, n)
+		}
+		// Reusability: a second barrier round must also work.
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	const n = 5
+	f := NewFabric(n)
+	err := f.Run(func(r *Rank) error {
+		got := r.AllReduceSum([]float64{1, float64(r.ID)})
+		if got[0] != n {
+			t.Errorf("rank %d: sum[0] = %g, want %d", r.ID, got[0], n)
+		}
+		if got[1] != 0+1+2+3+4 {
+			t.Errorf("rank %d: sum[1] = %g, want 10", r.ID, got[1])
+		}
+		// Twice in a row (scratch reuse).
+		got2 := r.AllReduceSum([]float64{2})
+		if got2[0] != 2*n {
+			t.Errorf("rank %d: second reduce = %g", r.ID, got2[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduceMax(t *testing.T) {
+	const n = 4
+	f := NewFabric(n)
+	err := f.Run(func(r *Rank) error {
+		got := r.AllReduceMax([]float64{float64(r.ID), -float64(r.ID)})
+		if got[0] != n-1 || got[1] != 0 {
+			t.Errorf("rank %d: max = %v", r.ID, got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	const n = 3
+	f := NewFabric(n)
+	err := f.Run(func(r *Rank) error {
+		rows := r.Gather(1, []float64{float64(r.ID * 10)})
+		if r.ID == 1 {
+			if len(rows) != n {
+				t.Errorf("gather rows = %d", len(rows))
+			}
+			for i := 0; i < n; i++ {
+				if rows[i][0] != float64(i*10) {
+					t.Errorf("rows[%d] = %v", i, rows[i])
+				}
+			}
+		} else if rows != nil {
+			t.Errorf("rank %d: non-root got rows", r.ID)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRecoversPanic(t *testing.T) {
+	f := NewFabric(2)
+	err := f.Run(func(r *Rank) error {
+		if r.ID == 1 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Run returned nil after a rank panicked")
+	}
+}
+
+func TestRingExchangeManyRanks(t *testing.T) {
+	const n = 8
+	f := NewFabric(n)
+	err := f.Run(func(r *Rank) error {
+		right := (r.ID + 1) % n
+		left := (r.ID - 1 + n) % n
+		buf := make([]float64, 1)
+		rq := r.Irecv(left, 0, buf)
+		r.Isend(right, 0, []float64{float64(r.ID)})
+		r.Wait(rq)
+		if buf[0] != float64(left) {
+			t.Errorf("rank %d: got %v from left, want %d", r.ID, buf[0], left)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommTimeAccounting(t *testing.T) {
+	f := NewFabric(2)
+	err := f.Run(func(r *Rank) error {
+		if r.ID == 0 {
+			time.Sleep(30 * time.Millisecond)
+			r.Send(1, 0, []float64{1})
+		} else {
+			buf := make([]float64, 1)
+			r.Recv(0, 0, buf)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := f.CommTimes()
+	if ts[1] < 20*time.Millisecond {
+		t.Errorf("rank 1 comm time %v, want >= ~30ms of blocking", ts[1])
+	}
+	if ts[0] > 20*time.Millisecond {
+		t.Errorf("rank 0 comm time %v, want small (eager send)", ts[0])
+	}
+}
+
+func TestByteAndMessageCounting(t *testing.T) {
+	f := NewFabric(2)
+	err := f.Run(func(r *Rank) error {
+		if r.ID == 0 {
+			r.Send(1, 0, make([]float64, 10))
+			r.Send(1, 1, make([]float64, 5))
+		} else {
+			buf := make([]float64, 10)
+			r.Recv(0, 0, buf)
+			r.Recv(0, 1, buf)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.BytesSent()[0]; got != 8*15 {
+		t.Errorf("bytes sent = %d, want 120", got)
+	}
+	if got := f.MessagesSent()[0]; got != 2 {
+		t.Errorf("messages sent = %d, want 2", got)
+	}
+}
+
+func TestDelayModelSlowsDelivery(t *testing.T) {
+	const wire = 25 * time.Millisecond
+	f := NewFabric(2).WithDelay(func(src, dst, bytes int) time.Duration { return wire })
+	start := time.Now()
+	err := f.Run(func(r *Rank) error {
+		if r.ID == 0 {
+			r.Send(1, 0, []float64{1})
+		} else {
+			buf := make([]float64, 1)
+			r.Recv(0, 0, buf)
+			if e := time.Since(start); e < wire {
+				t.Errorf("delivery after %v, want >= %v", e, wire)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbe(t *testing.T) {
+	f := NewFabric(2)
+	err := f.Run(func(r *Rank) error {
+		if r.ID == 0 {
+			r.Send(1, 9, []float64{1})
+			r.Barrier()
+		} else {
+			r.Barrier()
+			deadline := time.Now().Add(time.Second)
+			for !r.Probe(0, 9) {
+				if time.Now().After(deadline) {
+					t.Error("Probe never saw the message")
+					break
+				}
+			}
+			if r.Probe(0, 8) {
+				t.Error("Probe saw a message with the wrong tag")
+			}
+			buf := make([]float64, 1)
+			r.Recv(0, 9, buf)
+			if buf[0] != 1 {
+				t.Errorf("after probe, recv got %v", buf[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargePayloadThroughput(t *testing.T) {
+	const n = 1 << 16
+	f := NewFabric(2)
+	err := f.Run(func(r *Rank) error {
+		if r.ID == 0 {
+			data := make([]float64, n)
+			for i := range data {
+				data[i] = math.Sqrt(float64(i))
+			}
+			r.Send(1, 0, data)
+		} else {
+			buf := make([]float64, n)
+			r.Recv(0, 0, buf)
+			for i := 0; i < n; i += 997 {
+				if buf[i] != math.Sqrt(float64(i)) {
+					t.Fatalf("corruption at %d", i)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,317 @@
+package core
+
+import "repro/internal/lattice"
+
+// Collision kernels, one per optimization level. All compute the BGK
+// relaxation f ← f_adv − ω(f_adv − f_eq(ρ,u)) with ω = 1/τ, reading the
+// post-streaming field fadv and writing the state field f (the structure of
+// the paper's Fig. 4). They differ in loop order, specialization and
+// arithmetic shape, never in the math.
+
+// eqCoefs holds the precomputed equilibrium coefficients shared by the
+// specialized kernels: the reciprocal speed-of-sound powers and float copies
+// of the velocity components (the "CF" specialization — what -O5/-qipa did
+// for the paper's C code).
+type eqCoefs struct {
+	cx, cy, cz []float64
+	w          []float64
+	invCs2     float64 // 1/c_s²
+	invCs4h    float64 // 1/(2c_s⁴)
+	invCs2h    float64 // 1/(2c_s²)
+	third      bool
+	thA        float64 // 1/(6c_s⁶)
+	thB        float64 // 1/(2c_s⁴)
+}
+
+func newEqCoefs(m *lattice.Model) eqCoefs {
+	c := eqCoefs{
+		cx: make([]float64, m.Q), cy: make([]float64, m.Q), cz: make([]float64, m.Q),
+		w:       append([]float64(nil), m.W...),
+		invCs2:  1 / m.CsSq,
+		invCs4h: 1 / (2 * m.CsSq * m.CsSq),
+		invCs2h: 1 / (2 * m.CsSq),
+		third:   m.Order >= 3,
+		thA:     1 / (6 * m.CsSq * m.CsSq * m.CsSq),
+		thB:     1 / (2 * m.CsSq * m.CsSq),
+	}
+	for i := 0; i < m.Q; i++ {
+		c.cx[i] = float64(m.Cx[i])
+		c.cy[i] = float64(m.Cy[i])
+		c.cz[i] = float64(m.Cz[i])
+	}
+	return c
+}
+
+// collideNaive is the unoptimized kernel: per-cell velocity gather through
+// the generic accessors, divisions by ρ and τ, and equilibria computed by
+// method calls (paper Fig. 4 before any tuning).
+func (s *stepper) collideNaive(x0, x1 int) {
+	m := s.model
+	ny, nz := s.d.NY, s.d.NZ
+	fc := make([]float64, m.Q)
+	for ix := x0; ix < x1; ix++ {
+		for iy := 0; iy < ny; iy++ {
+			for iz := 0; iz < nz; iz++ {
+				cell := s.d.Index(ix, iy, iz)
+				for v := 0; v < m.Q; v++ {
+					fc[v] = s.fadv.Data[s.fadv.Idx(v, cell)]
+				}
+				rho, jx, jy, jz := m.Moments(fc)
+				ux := jx/rho + s.shiftX
+				uy := jy/rho + s.shiftY
+				uz := jz/rho + s.shiftZ
+				for v := 0; v < m.Q; v++ {
+					feq := m.EquilibriumAt(v, rho, ux, uy, uz)
+					s.f.Data[s.f.Idx(v, cell)] = fc[v] - (fc[v]-feq)/s.cfg.Tau
+				}
+			}
+		}
+	}
+}
+
+// rowBufs are the per-invocation z-line accumulators used by the
+// row-structured kernels.
+type rowBufs struct {
+	rho, jx, jy, jz []float64
+	ux, uy, uz, u2  []float64
+}
+
+func newRowBufs(nz int) rowBufs {
+	return rowBufs{
+		rho: make([]float64, nz), jx: make([]float64, nz), jy: make([]float64, nz), jz: make([]float64, nz),
+		ux: make([]float64, nz), uy: make([]float64, nz), uz: make([]float64, nz), u2: make([]float64, nz),
+	}
+}
+
+// collideRowGeneric is the data-handling kernel (§V.B): moments accumulated
+// one velocity block at a time in memory order (maximizing cache reuse of
+// the contiguous SoA blocks), divisions replaced by reciprocals, equilibria
+// inlined. Still a generic velocity loop.
+func (s *stepper) collideRowGeneric(x0, x1 int) {
+	m := s.model
+	ny, nz := s.d.NY, s.d.NZ
+	omega := 1 / s.cfg.Tau
+	c := s.coef
+	b := newRowBufs(nz)
+	for ix := x0; ix < x1; ix++ {
+		for iy := 0; iy < ny; iy++ {
+			base := s.d.Index(ix, iy, 0)
+			for z := 0; z < nz; z++ {
+				b.rho[z], b.jx[z], b.jy[z], b.jz[z] = 0, 0, 0, 0
+			}
+			for v := 0; v < m.Q; v++ {
+				sv := s.fadv.V(v)[base : base+nz]
+				cx, cy, cz := c.cx[v], c.cy[v], c.cz[v]
+				for z, val := range sv {
+					b.rho[z] += val
+					b.jx[z] += cx * val
+					b.jy[z] += cy * val
+					b.jz[z] += cz * val
+				}
+			}
+			for z := 0; z < nz; z++ {
+				inv := 1 / b.rho[z]
+				b.ux[z] = b.jx[z]*inv + s.shiftX
+				b.uy[z] = b.jy[z]*inv + s.shiftY
+				b.uz[z] = b.jz[z]*inv + s.shiftZ
+				b.u2[z] = b.ux[z]*b.ux[z] + b.uy[z]*b.uy[z] + b.uz[z]*b.uz[z]
+			}
+			for v := 0; v < m.Q; v++ {
+				sv := s.fadv.V(v)[base : base+nz]
+				dv := s.f.V(v)[base : base+nz]
+				cx, cy, cz, w := c.cx[v], c.cy[v], c.cz[v], c.w[v]
+				for z := 0; z < nz; z++ {
+					cu := cx*b.ux[z] + cy*b.uy[z] + cz*b.uz[z]
+					e := 1 + cu*c.invCs2 + cu*cu*c.invCs4h - b.u2[z]*c.invCs2h
+					if c.third {
+						e += cu*cu*cu*c.thA - cu*b.u2[z]*c.thB
+					}
+					feq := w * b.rho[z] * e
+					dv[z] = sv[z] - omega*(sv[z]-feq)
+				}
+			}
+		}
+	}
+}
+
+// collidePaired is the specialized kernel (§V.C stand-in): velocities are
+// processed as opposite pairs, sharing the even part of the equilibrium
+// (f_eq(+c) and f_eq(−c) differ only in the sign of the odd terms), with
+// all coefficients precomputed and no method calls or branches in the inner
+// loops.
+func (s *stepper) collidePaired(x0, x1 int) {
+	ny, nz := s.d.NY, s.d.NZ
+	omega := 1 / s.cfg.Tau
+	c := s.coef
+	b := newRowBufs(nz)
+	for ix := x0; ix < x1; ix++ {
+		for iy := 0; iy < ny; iy++ {
+			base := s.d.Index(ix, iy, 0)
+			for z := 0; z < nz; z++ {
+				b.rho[z], b.jx[z], b.jy[z], b.jz[z] = 0, 0, 0, 0
+			}
+			for _, p := range s.pairs {
+				if p.i == p.j { // rest velocity: no momentum contribution
+					sv := s.fadv.V(p.i)[base : base+nz]
+					for z, val := range sv {
+						b.rho[z] += val
+					}
+					continue
+				}
+				si := s.fadv.V(p.i)[base : base+nz]
+				sj := s.fadv.V(p.j)[base : base+nz]
+				cx, cy, cz := c.cx[p.i], c.cy[p.i], c.cz[p.i]
+				for z := 0; z < nz; z++ {
+					vi, vj := si[z], sj[z]
+					sum, diff := vi+vj, vi-vj
+					b.rho[z] += sum
+					b.jx[z] += cx * diff
+					b.jy[z] += cy * diff
+					b.jz[z] += cz * diff
+				}
+			}
+			for z := 0; z < nz; z++ {
+				inv := 1 / b.rho[z]
+				b.ux[z] = b.jx[z]*inv + s.shiftX
+				b.uy[z] = b.jy[z]*inv + s.shiftY
+				b.uz[z] = b.jz[z]*inv + s.shiftZ
+				b.u2[z] = b.ux[z]*b.ux[z] + b.uy[z]*b.uy[z] + b.uz[z]*b.uz[z]
+			}
+			for _, p := range s.pairs {
+				if p.i == p.j {
+					sv := s.fadv.V(p.i)[base : base+nz]
+					dv := s.f.V(p.i)[base : base+nz]
+					w := c.w[p.i]
+					for z := 0; z < nz; z++ {
+						feq := w * b.rho[z] * (1 - b.u2[z]*c.invCs2h)
+						dv[z] = sv[z] - omega*(sv[z]-feq)
+					}
+					continue
+				}
+				si := s.fadv.V(p.i)[base : base+nz]
+				sj := s.fadv.V(p.j)[base : base+nz]
+				di := s.f.V(p.i)[base : base+nz]
+				dj := s.f.V(p.j)[base : base+nz]
+				cx, cy, cz, w := c.cx[p.i], c.cy[p.i], c.cz[p.i], c.w[p.i]
+				if c.third {
+					for z := 0; z < nz; z++ {
+						cu := cx*b.ux[z] + cy*b.uy[z] + cz*b.uz[z]
+						even := 1 + cu*cu*c.invCs4h - b.u2[z]*c.invCs2h
+						odd := cu*c.invCs2 + cu*cu*cu*c.thA - cu*b.u2[z]*c.thB
+						wr := w * b.rho[z]
+						di[z] = si[z] - omega*(si[z]-wr*(even+odd))
+						dj[z] = sj[z] - omega*(sj[z]-wr*(even-odd))
+					}
+				} else {
+					for z := 0; z < nz; z++ {
+						cu := cx*b.ux[z] + cy*b.uy[z] + cz*b.uz[z]
+						even := 1 + cu*cu*c.invCs4h - b.u2[z]*c.invCs2h
+						odd := cu * c.invCs2
+						wr := w * b.rho[z]
+						di[z] = si[z] - omega*(si[z]-wr*(even+odd))
+						dj[z] = sj[z] - omega*(sj[z]-wr*(even-odd))
+					}
+				}
+			}
+		}
+	}
+}
+
+// collidePairedBlocked is the SIMD-shaped kernel (§V.G stand-in): the
+// paired kernel with the z loops restructured into 4-wide blocks with
+// explicit multiply-add grouping — the form hand-written double-hummer/QPX
+// intrinsics impose, which also gives the Go compiler maximal instruction-
+// level parallelism and hoisted bounds checks.
+func (s *stepper) collidePairedBlocked(x0, x1 int) {
+	ny, nz := s.d.NY, s.d.NZ
+	omega := 1 / s.cfg.Tau
+	c := s.coef
+	b := newRowBufs(nz)
+	for ix := x0; ix < x1; ix++ {
+		for iy := 0; iy < ny; iy++ {
+			base := s.d.Index(ix, iy, 0)
+			for z := 0; z < nz; z++ {
+				b.rho[z], b.jx[z], b.jy[z], b.jz[z] = 0, 0, 0, 0
+			}
+			for _, p := range s.pairs {
+				if p.i == p.j {
+					sv := s.fadv.V(p.i)[base : base+nz]
+					for z, val := range sv {
+						b.rho[z] += val
+					}
+					continue
+				}
+				si := s.fadv.V(p.i)[base : base+nz : base+nz]
+				sj := s.fadv.V(p.j)[base : base+nz : base+nz]
+				cx, cy, cz := c.cx[p.i], c.cy[p.i], c.cz[p.i]
+				z := 0
+				for ; z+4 <= nz; z += 4 {
+					v0, v1, v2, v3 := si[z], si[z+1], si[z+2], si[z+3]
+					w0, w1, w2, w3 := sj[z], sj[z+1], sj[z+2], sj[z+3]
+					s0, s1, s2, s3 := v0+w0, v1+w1, v2+w2, v3+w3
+					d0, d1, d2, d3 := v0-w0, v1-w1, v2-w2, v3-w3
+					b.rho[z] += s0
+					b.rho[z+1] += s1
+					b.rho[z+2] += s2
+					b.rho[z+3] += s3
+					b.jx[z] += cx * d0
+					b.jx[z+1] += cx * d1
+					b.jx[z+2] += cx * d2
+					b.jx[z+3] += cx * d3
+					b.jy[z] += cy * d0
+					b.jy[z+1] += cy * d1
+					b.jy[z+2] += cy * d2
+					b.jy[z+3] += cy * d3
+					b.jz[z] += cz * d0
+					b.jz[z+1] += cz * d1
+					b.jz[z+2] += cz * d2
+					b.jz[z+3] += cz * d3
+				}
+				for ; z < nz; z++ {
+					vi, vj := si[z], sj[z]
+					sum, diff := vi+vj, vi-vj
+					b.rho[z] += sum
+					b.jx[z] += cx * diff
+					b.jy[z] += cy * diff
+					b.jz[z] += cz * diff
+				}
+			}
+			for z := 0; z < nz; z++ {
+				inv := 1 / b.rho[z]
+				b.ux[z] = b.jx[z]*inv + s.shiftX
+				b.uy[z] = b.jy[z]*inv + s.shiftY
+				b.uz[z] = b.jz[z]*inv + s.shiftZ
+				b.u2[z] = b.ux[z]*b.ux[z] + b.uy[z]*b.uy[z] + b.uz[z]*b.uz[z]
+			}
+			for _, p := range s.pairs {
+				if p.i == p.j {
+					sv := s.fadv.V(p.i)[base : base+nz]
+					dv := s.f.V(p.i)[base : base+nz]
+					w := c.w[p.i]
+					for z := 0; z < nz; z++ {
+						feq := w * b.rho[z] * (1 - b.u2[z]*c.invCs2h)
+						dv[z] = sv[z] - omega*(sv[z]-feq)
+					}
+					continue
+				}
+				si := s.fadv.V(p.i)[base : base+nz : base+nz]
+				sj := s.fadv.V(p.j)[base : base+nz : base+nz]
+				di := s.f.V(p.i)[base : base+nz : base+nz]
+				dj := s.f.V(p.j)[base : base+nz : base+nz]
+				cx, cy, cz, w := c.cx[p.i], c.cy[p.i], c.cz[p.i], c.w[p.i]
+				for z := 0; z < nz; z++ {
+					cu := cx*b.ux[z] + cy*b.uy[z] + cz*b.uz[z]
+					cu2 := cu * cu
+					even := 1 + cu2*c.invCs4h - b.u2[z]*c.invCs2h
+					odd := cu * c.invCs2
+					if c.third {
+						odd += cu2*cu*c.thA - cu*b.u2[z]*c.thB
+					}
+					wr := w * b.rho[z]
+					di[z] = si[z] - omega*(si[z]-wr*(even+odd))
+					dj[z] = sj[z] - omega*(sj[z]-wr*(even-odd))
+				}
+			}
+		}
+	}
+}

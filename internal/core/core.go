@@ -1,0 +1,339 @@
+// Package core implements the lattice Boltzmann solver of Randles et al.
+// (IPDPS 2013): BGK collision with 2nd- (D3Q19) or 3rd-order (D3Q39)
+// Hermite equilibria over a periodic cubic box, 1-D domain decomposition in
+// x, deep-halo ghost cells, and the paper's ladder of optimizations from
+// the naive implementation (Fig. 2) to the overlapped, separated
+// ghost-collide, vector-restructured version (§V).
+//
+// Every optimization level is observationally equivalent: for identical
+// configurations they produce the same distribution field up to floating
+// point reassociation (~1e-12), which the test suite enforces across rank
+// counts, thread counts, ghost depths and layouts.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/decomp"
+	"repro/internal/grid"
+	"repro/internal/lattice"
+	"repro/internal/metrics"
+)
+
+// OptLevel identifies a rung on the paper's optimization ladder (the x-axis
+// of Fig. 8). Levels are cumulative: each includes all previous ones.
+type OptLevel int
+
+const (
+	// OptOrig is the naive implementation (paper Fig. 2): no ghost cells,
+	// blocking per-step exchange of the populations that crossed the rank
+	// boundary during streaming, velocity-innermost branchy loops, and
+	// divisions in the collision.
+	OptOrig OptLevel = iota
+	// OptGC adds ghost cells: a halo of depth·k planes per side exchanged
+	// every depth steps (§V.A), still with blocking communication.
+	OptGC
+	// OptDH adds the data-handling optimizations (§V.B): loops reordered so
+	// each velocity's contiguous block is traversed in memory order (the
+	// streaming step becomes bulk rotated copies), temporaries hoisted, and
+	// divisions replaced by reciprocal multiplications.
+	OptDH
+	// OptCF stands in for the paper's compiler-flag study (§V.C): the
+	// generic per-velocity collision is replaced by per-model specialized
+	// kernels with precomputed coefficient tables and opposite-pair
+	// symmetric equilibrium evaluation — the transformations -O5/-qipa=2
+	// performed for the authors, written out by hand since a pure-Go build
+	// has no equivalent switch.
+	OptCF
+	// OptLoBr adds loop restructuring and branch reduction (§V.D):
+	// per-velocity wrap index tables are precomputed so the inner streaming
+	// loops contain no wrap arithmetic, and ghost/interior regions are
+	// processed by separate loop nests.
+	OptLoBr
+	// OptNBC switches the halo exchange to non-blocking Irecv/Isend/Waitall
+	// with receives posted early (§V.E).
+	OptNBC
+	// OptGCC separates the ghost-region computation from the domain of
+	// interest (§V.F): border planes are computed and sent first, interior
+	// work overlaps the messages in flight, and the ghost-adjacent rim is
+	// finished after the receives complete.
+	OptGCC
+	// OptSIMD stands in for the double-hummer/QPX intrinsics work (§V.G):
+	// the collision inner loops are restructured into 4-wide blocks with
+	// fused multiply-add ordering and hoisted bounds, the shape hand-written
+	// intrinsics impose. Pure Go has no SIMD intrinsics (see DESIGN.md);
+	// the paper-scale effect of real intrinsics is modeled in perfsim.
+	OptSIMD
+)
+
+// Levels lists all optimization levels in ladder order.
+func Levels() []OptLevel {
+	return []OptLevel{OptOrig, OptGC, OptDH, OptCF, OptLoBr, OptNBC, OptGCC, OptSIMD}
+}
+
+var optNames = map[OptLevel]string{
+	OptOrig: "Orig", OptGC: "GC", OptDH: "DH", OptCF: "CF",
+	OptLoBr: "LoBr", OptNBC: "NB-C", OptGCC: "GC-C", OptSIMD: "SIMD",
+}
+
+func (o OptLevel) String() string {
+	if s, ok := optNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("OptLevel(%d)", int(o))
+}
+
+// ParseOptLevel resolves a level name as printed in the paper's Fig. 8.
+func ParseOptLevel(s string) (OptLevel, error) {
+	for lvl, name := range optNames {
+		if name == s {
+			return lvl, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown optimization level %q", s)
+}
+
+// InitFunc returns the initial macroscopic state at a global lattice point.
+type InitFunc func(ix, iy, iz int) (rho, ux, uy, uz float64)
+
+// UniformInit is the trivial initial condition: unit density at rest.
+func UniformInit(ix, iy, iz int) (rho, ux, uy, uz float64) { return 1, 0, 0, 0 }
+
+// Config describes one simulation.
+type Config struct {
+	Model *lattice.Model
+	// N is the global interior size (periodic in all directions).
+	N grid.Dims
+	// Tau is the BGK relaxation time (must exceed 0.5 for stability).
+	Tau float64
+	// Steps is the number of time steps.
+	Steps int
+	// Opt selects the optimization level.
+	Opt OptLevel
+	// GhostDepth is the deep-halo depth d: halo width d·k planes, exchanged
+	// every d steps. Must be 1 for OptOrig (which has no ghost cells).
+	GhostDepth int
+	// Ranks is the number of message-passing ranks ("MPI tasks").
+	Ranks int
+	// Threads is the number of worker threads per rank ("OpenMP threads").
+	Threads int
+	// Layout selects the field memory layout. The copy-based streaming
+	// kernels (OptDH and above) require SoA; AoS is supported through OptGC
+	// for the layout ablation.
+	Layout grid.Layout
+	// Fused selects the fused stream-collide kernel (one read + one write
+	// of the field per step instead of three accesses) — the paper's §VII
+	// future-work direction, implemented here as an extension. Requires
+	// the SoA layout and a ghost-cell level (OptGC or above).
+	Fused bool
+	// Solid marks lattice points as solid walls (halfway bounce-back,
+	// no-slip). Applies to every optimization level except the fused
+	// kernel. Nil means fully periodic fluid.
+	Solid func(ix, iy, iz int) bool
+	// Accel is a constant body acceleration driving the flow (velocity-
+	// shift forcing); zero means unforced.
+	Accel [3]float64
+	// Init provides the initial condition; nil means UniformInit.
+	Init InitFunc
+	// KeepField gathers the final global distribution field on completion
+	// (for verification; costs memory proportional to the global field).
+	KeepField bool
+	// StepJitter, when positive, injects a deterministic per-rank delay of
+	// up to StepJitter per step, reproducing the load imbalance whose
+	// communication-time signature the paper plots in Fig. 9.
+	StepJitter time.Duration
+	// Fabric optionally supplies a pre-built fabric (e.g. with a message
+	// delay model); it must have exactly Ranks ranks.
+	Fabric *comm.Fabric
+}
+
+func (c *Config) init() error {
+	if c.Model == nil {
+		return fmt.Errorf("core: Config.Model is nil")
+	}
+	if c.Ranks < 1 {
+		c.Ranks = 1
+	}
+	if c.Threads < 1 {
+		c.Threads = 1
+	}
+	if c.GhostDepth < 1 {
+		c.GhostDepth = 1
+	}
+	if c.Init == nil {
+		c.Init = UniformInit
+	}
+	if c.Steps < 0 {
+		return fmt.Errorf("core: negative Steps %d", c.Steps)
+	}
+	if c.Tau <= 0.5 {
+		return fmt.Errorf("core: Tau %g <= 0.5 is unstable", c.Tau)
+	}
+	k := c.Model.MaxSpeed
+	if c.Opt == OptOrig && c.GhostDepth != 1 {
+		return fmt.Errorf("core: OptOrig has no ghost cells; GhostDepth must be 1, got %d", c.GhostDepth)
+	}
+	if c.Layout == grid.AoS && c.Opt > OptGC {
+		return fmt.Errorf("core: the AoS layout supports only Orig and GC levels (the copy-streaming kernels require SoA)")
+	}
+	if c.Fused {
+		if c.Opt == OptOrig {
+			return fmt.Errorf("core: the fused kernel requires ghost cells (OptGC or above)")
+		}
+		if c.Layout != grid.SoA {
+			return fmt.Errorf("core: the fused kernel requires the SoA layout")
+		}
+		if c.Solid != nil {
+			return fmt.Errorf("core: solid obstacles need the split stream/collide path (bounce-back runs between them); disable Fused")
+		}
+	}
+	if c.N.NY < 2*k || c.N.NZ < 2*k {
+		return fmt.Errorf("core: NY/NZ (%d/%d) must be >= 2k = %d for %s", c.N.NY, c.N.NZ, 2*k, c.Model.Name)
+	}
+	d, err := decomp.New(c.N.NX, c.Ranks)
+	if err != nil {
+		return err
+	}
+	minOwn := c.N.NX
+	for r := 0; r < c.Ranks; r++ {
+		if _, size := d.Own(r); size < minOwn {
+			minOwn = size
+		}
+	}
+	w := c.GhostDepth * k
+	if minOwn < w {
+		return fmt.Errorf("core: smallest slab (%d planes) < halo width %d (depth %d × k %d)", minOwn, w, c.GhostDepth, k)
+	}
+	if c.Fabric != nil && c.Fabric.N() != c.Ranks {
+		return fmt.Errorf("core: supplied fabric has %d ranks, config wants %d", c.Fabric.N(), c.Ranks)
+	}
+	return nil
+}
+
+// RankStats reports per-rank communication behaviour.
+type RankStats struct {
+	CommTime  time.Duration
+	BytesSent int64
+	Messages  int64
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// WallTime is the longest per-rank time across the stepping loop.
+	WallTime time.Duration
+	// MFlups is the paper's metric: steps × interior cells / wall time /1e6
+	// (Eq. 4).
+	MFlups float64
+	// InteriorUpdates counts interior (fluid) cell updates: steps × N_fl.
+	InteriorUpdates int64
+	// GhostUpdates counts the extra cell updates spent recomputing ghost
+	// regions under the deep-halo schedule (the computational cost the
+	// paper trades against message reduction).
+	GhostUpdates int64
+	// Mass and MomX/Y/Z are globally summed conserved quantities at the end.
+	Mass, MomX, MomY, MomZ float64
+	// PerRank holds communication statistics per rank.
+	PerRank []RankStats
+	// Field is the gathered global distribution (layout SoA) when
+	// Config.KeepField was set, else nil.
+	Field *grid.Field
+}
+
+// CommSummary returns min/median/max of per-rank communication times in
+// seconds (the quantity of the paper's Fig. 9).
+func (r *Result) CommSummary() metrics.Summary {
+	ds := make([]time.Duration, len(r.PerRank))
+	for i, s := range r.PerRank {
+		ds[i] = s.CommTime
+	}
+	return metrics.SummarizeDurations(ds)
+}
+
+// Run executes the configured simulation and returns its result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.init(); err != nil {
+		return nil, err
+	}
+	dec, err := decomp.New(cfg.N.NX, cfg.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	fab := cfg.Fabric
+	if fab == nil {
+		fab = comm.NewFabric(cfg.Ranks)
+	}
+
+	walls := make([]time.Duration, cfg.Ranks)
+	sums := make([][5]float64, cfg.Ranks) // mass, momx, momy, momz, ghost updates
+	slabs := make([][]float64, cfg.Ranks)
+
+	runErr := fab.Run(func(r *comm.Rank) error {
+		st, err := newStepper(&cfg, dec, r)
+		if err != nil {
+			return err
+		}
+		st.initField()
+		r.Barrier()
+		t0 := time.Now()
+		st.run()
+		walls[r.ID] = time.Since(t0)
+		r.Barrier()
+
+		mass, mx, my, mz := st.ownedSums()
+		sums[r.ID] = [5]float64{mass, mx, my, mz, float64(st.ghostUpdates)}
+		if cfg.KeepField {
+			slabs[r.ID] = st.ownedSlab()
+		}
+		return nil
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	res := &Result{PerRank: make([]RankStats, cfg.Ranks)}
+	for r := 0; r < cfg.Ranks; r++ {
+		if walls[r] > res.WallTime {
+			res.WallTime = walls[r]
+		}
+		res.Mass += sums[r][0]
+		res.MomX += sums[r][1]
+		res.MomY += sums[r][2]
+		res.MomZ += sums[r][3]
+		res.GhostUpdates += int64(sums[r][4])
+	}
+	for r, ct := range fab.CommTimes() {
+		res.PerRank[r].CommTime = ct
+	}
+	for r, b := range fab.BytesSent() {
+		res.PerRank[r].BytesSent = b
+	}
+	for r, m := range fab.MessagesSent() {
+		res.PerRank[r].Messages = m
+	}
+	fluid := FluidCells(cfg.N, cfg.Solid)
+	res.InteriorUpdates = int64(cfg.Steps) * int64(fluid)
+	res.MFlups = metrics.MFlups(cfg.Steps, fluid, res.WallTime)
+	if cfg.KeepField {
+		res.Field = assembleField(&cfg, dec, slabs)
+	}
+	return res, nil
+}
+
+// assembleField glues the per-rank owned slabs into one global SoA field.
+// Slabs are packed velocity-major (see stepper.ownedSlab).
+func assembleField(cfg *Config, dec decomp.D1, slabs [][]float64) *grid.Field {
+	g := grid.NewField(cfg.Model.Q, cfg.N, grid.SoA)
+	plane := cfg.N.PlaneCells()
+	for r := 0; r < cfg.Ranks; r++ {
+		start, size := dec.Own(r)
+		src := slabs[r]
+		n := size * plane
+		for v := 0; v < cfg.Model.Q; v++ {
+			blk := g.V(v)
+			copy(blk[start*plane:start*plane+n], src[v*n:(v+1)*n])
+		}
+	}
+	return g
+}

@@ -1,0 +1,399 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/lattice"
+)
+
+// refSolver is an independent textbook implementation used as the oracle:
+// full-array pull streaming with periodic wrap in all three directions and
+// per-cell BGK collision. It shares no kernel code with the solver under
+// test.
+func refSolver(m *lattice.Model, n grid.Dims, tau float64, steps int, init InitFunc) *grid.Field {
+	f := grid.NewField(m.Q, n, grid.SoA)
+	fadv := grid.NewField(m.Q, n, grid.SoA)
+	feq := make([]float64, m.Q)
+	for ix := 0; ix < n.NX; ix++ {
+		for iy := 0; iy < n.NY; iy++ {
+			for iz := 0; iz < n.NZ; iz++ {
+				rho, ux, uy, uz := init(ix, iy, iz)
+				m.Equilibrium(rho, ux, uy, uz, feq)
+				f.SetCell(ix, iy, iz, feq)
+			}
+		}
+	}
+	wrap := func(a, n int) int { return ((a % n) + n) % n }
+	fc := make([]float64, m.Q)
+	for s := 0; s < steps; s++ {
+		for v := 0; v < m.Q; v++ {
+			for ix := 0; ix < n.NX; ix++ {
+				for iy := 0; iy < n.NY; iy++ {
+					for iz := 0; iz < n.NZ; iz++ {
+						sx := wrap(ix-m.Cx[v], n.NX)
+						sy := wrap(iy-m.Cy[v], n.NY)
+						sz := wrap(iz-m.Cz[v], n.NZ)
+						fadv.Set(v, ix, iy, iz, f.At(v, sx, sy, sz))
+					}
+				}
+			}
+		}
+		for ix := 0; ix < n.NX; ix++ {
+			for iy := 0; iy < n.NY; iy++ {
+				for iz := 0; iz < n.NZ; iz++ {
+					fadv.Cell(ix, iy, iz, fc)
+					rho, jx, jy, jz := m.Moments(fc)
+					ux, uy, uz := jx/rho, jy/rho, jz/rho
+					m.Equilibrium(rho, ux, uy, uz, feq)
+					for v := 0; v < m.Q; v++ {
+						f.Set(v, ix, iy, iz, fc[v]-(fc[v]-feq[v])/tau)
+					}
+				}
+			}
+		}
+	}
+	return f
+}
+
+// waveInit is a smooth, fully 3-D initial condition exercising all velocity
+// directions.
+func waveInit(n grid.Dims) InitFunc {
+	return func(ix, iy, iz int) (rho, ux, uy, uz float64) {
+		x := 2 * math.Pi * float64(ix) / float64(n.NX)
+		y := 2 * math.Pi * float64(iy) / float64(n.NY)
+		z := 2 * math.Pi * float64(iz) / float64(n.NZ)
+		rho = 1 + 0.04*math.Sin(x)*math.Cos(y)
+		ux = 0.02 * math.Sin(y+z)
+		uy = -0.015 * math.Cos(x) * math.Sin(z)
+		uz = 0.01 * math.Sin(x+y)
+		return
+	}
+}
+
+const eqTol = 1e-12
+
+// runAndCompare executes cfg with KeepField and compares against the oracle.
+func runAndCompare(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	cfg.KeepField = true
+	if cfg.Init == nil {
+		cfg.Init = waveInit(cfg.N)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("%s ranks=%d threads=%d depth=%d: %v", cfg.Opt, cfg.Ranks, cfg.Threads, cfg.GhostDepth, err)
+	}
+	want := refSolver(cfg.Model, cfg.N, cfg.Tau, cfg.Steps, cfg.Init)
+	if d := grid.MaxAbsDiff(res.Field, want); d > eqTol {
+		t.Errorf("%s %s ranks=%d threads=%d depth=%d layout=%v: max |Δf| = %g (tol %g)",
+			cfg.Model.Name, cfg.Opt, cfg.Ranks, cfg.Threads, cfg.GhostDepth, cfg.Layout, d, eqTol)
+	}
+	return res
+}
+
+func TestAllOptLevelsSingleRankQ19(t *testing.T) {
+	n := grid.Dims{NX: 12, NY: 6, NZ: 5}
+	for _, opt := range Levels() {
+		runAndCompare(t, Config{
+			Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 5,
+			Opt: opt, Ranks: 1, Threads: 1, GhostDepth: 1,
+		})
+	}
+}
+
+func TestAllOptLevelsSingleRankQ39(t *testing.T) {
+	n := grid.Dims{NX: 9, NY: 7, NZ: 6}
+	for _, opt := range Levels() {
+		runAndCompare(t, Config{
+			Model: lattice.D3Q39(), N: n, Tau: 0.9, Steps: 4,
+			Opt: opt, Ranks: 1, Threads: 1, GhostDepth: 1,
+		})
+	}
+}
+
+func TestAllOptLevelsMultiRankQ19(t *testing.T) {
+	n := grid.Dims{NX: 16, NY: 5, NZ: 6}
+	for _, opt := range Levels() {
+		for _, ranks := range []int{2, 4} {
+			runAndCompare(t, Config{
+				Model: lattice.D3Q19(), N: n, Tau: 0.7, Steps: 6,
+				Opt: opt, Ranks: ranks, Threads: 1, GhostDepth: 1,
+			})
+		}
+	}
+}
+
+func TestAllOptLevelsMultiRankQ39(t *testing.T) {
+	n := grid.Dims{NX: 16, NY: 6, NZ: 7}
+	for _, opt := range Levels() {
+		runAndCompare(t, Config{
+			Model: lattice.D3Q39(), N: n, Tau: 1.1, Steps: 4,
+			Opt: opt, Ranks: 2, Threads: 1, GhostDepth: 1,
+		})
+	}
+}
+
+func TestDeepHaloDepthsQ19(t *testing.T) {
+	n := grid.Dims{NX: 24, NY: 5, NZ: 5}
+	for _, opt := range []OptLevel{OptGC, OptNBC, OptGCC, OptSIMD} {
+		for _, depth := range []int{1, 2, 3, 4} {
+			for _, ranks := range []int{1, 3} {
+				runAndCompare(t, Config{
+					Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 8,
+					Opt: opt, Ranks: ranks, Threads: 1, GhostDepth: depth,
+				})
+			}
+		}
+	}
+}
+
+func TestDeepHaloDepthsQ39(t *testing.T) {
+	n := grid.Dims{NX: 24, NY: 6, NZ: 6}
+	for _, opt := range []OptLevel{OptGC, OptGCC, OptSIMD} {
+		for _, depth := range []int{1, 2} {
+			for _, ranks := range []int{1, 2} {
+				runAndCompare(t, Config{
+					Model: lattice.D3Q39(), N: n, Tau: 0.9, Steps: 5,
+					Opt: opt, Ranks: ranks, Threads: 1, GhostDepth: depth,
+				})
+			}
+		}
+	}
+}
+
+func TestStepsNotMultipleOfDepth(t *testing.T) {
+	n := grid.Dims{NX: 18, NY: 5, NZ: 5}
+	for _, steps := range []int{1, 5, 7} {
+		runAndCompare(t, Config{
+			Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: steps,
+			Opt: OptGCC, Ranks: 3, Threads: 1, GhostDepth: 3,
+		})
+	}
+}
+
+func TestThreading(t *testing.T) {
+	n := grid.Dims{NX: 16, NY: 6, NZ: 8}
+	for _, threads := range []int{2, 3, 4} {
+		for _, opt := range []OptLevel{OptOrig, OptDH, OptGCC, OptSIMD} {
+			runAndCompare(t, Config{
+				Model: lattice.D3Q19(), N: n, Tau: 0.85, Steps: 4,
+				Opt: opt, Ranks: 2, Threads: threads, GhostDepth: depthFor(opt, 2),
+			})
+		}
+	}
+}
+
+// depthFor picks a legal ghost depth for a level (Orig requires 1).
+func depthFor(opt OptLevel, d int) int {
+	if opt == OptOrig {
+		return 1
+	}
+	return d
+}
+
+func TestAoSLayout(t *testing.T) {
+	n := grid.Dims{NX: 10, NY: 5, NZ: 5}
+	for _, opt := range []OptLevel{OptOrig, OptGC} {
+		for _, ranks := range []int{1, 2} {
+			runAndCompare(t, Config{
+				Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 4,
+				Opt: opt, Ranks: ranks, Threads: 1, GhostDepth: 1, Layout: grid.AoS,
+			})
+		}
+	}
+}
+
+func TestUnevenDecomposition(t *testing.T) {
+	// 17 planes over 3 ranks: 6,6,5.
+	n := grid.Dims{NX: 17, NY: 5, NZ: 5}
+	for _, opt := range []OptLevel{OptOrig, OptGC, OptNBC, OptSIMD} {
+		runAndCompare(t, Config{
+			Model: lattice.D3Q19(), N: n, Tau: 0.75, Steps: 5,
+			Opt: opt, Ranks: 3, Threads: 1, GhostDepth: depthFor(opt, 2),
+		})
+	}
+}
+
+func TestConservation(t *testing.T) {
+	n := grid.Dims{NX: 12, NY: 6, NZ: 6}
+	for _, m := range []*lattice.Model{lattice.D3Q19(), lattice.D3Q39()} {
+		init := waveInit(n)
+		var mass0, mx0, my0, mz0 float64
+		for ix := 0; ix < n.NX; ix++ {
+			for iy := 0; iy < n.NY; iy++ {
+				for iz := 0; iz < n.NZ; iz++ {
+					rho, ux, uy, uz := init(ix, iy, iz)
+					mass0 += rho
+					mx0 += rho * ux
+					my0 += rho * uy
+					mz0 += rho * uz
+				}
+			}
+		}
+		res, err := Run(Config{
+			Model: m, N: n, Tau: 0.8, Steps: 20,
+			Opt: OptSIMD, Ranks: 2, Threads: 2, GhostDepth: 1, Init: init,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		scale := mass0
+		if math.Abs(res.Mass-mass0) > 1e-10*scale {
+			t.Errorf("%s: mass %0.12f, want %0.12f", m.Name, res.Mass, mass0)
+		}
+		for _, c := range []struct {
+			got, want float64
+			name      string
+		}{{res.MomX, mx0, "px"}, {res.MomY, my0, "py"}, {res.MomZ, mz0, "pz"}} {
+			if math.Abs(c.got-c.want) > 1e-10*scale {
+				t.Errorf("%s: %s = %g, want %g", m.Name, c.name, c.got, c.want)
+			}
+		}
+	}
+}
+
+func TestEquilibriumIsFixedPoint(t *testing.T) {
+	// A uniform equilibrium state must be exactly stationary.
+	n := grid.Dims{NX: 8, NY: 6, NZ: 6}
+	for _, m := range []*lattice.Model{lattice.D3Q19(), lattice.D3Q39()} {
+		res, err := Run(Config{
+			Model: m, N: n, Tau: 1.0, Steps: 10,
+			Opt: OptSIMD, Ranks: 2, Threads: 1, GhostDepth: 1,
+			Init:      func(ix, iy, iz int) (float64, float64, float64, float64) { return 1.25, 0, 0, 0 },
+			KeepField: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		for v := 0; v < m.Q; v++ {
+			want := 1.25 * m.W[v]
+			for c := 0; c < n.Cells(); c++ {
+				if math.Abs(res.Field.Data[res.Field.Idx(v, c)]-want) > 1e-13 {
+					t.Fatalf("%s: uniform state drifted at v=%d", m.Name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestGhostUpdatesAccounting(t *testing.T) {
+	n := grid.Dims{NX: 24, NY: 5, NZ: 5}
+	m := lattice.D3Q19()
+	// depth 1: no ghost recomputation.
+	res1, err := Run(Config{Model: m, N: n, Tau: 0.8, Steps: 4, Opt: OptGC, Ranks: 2, GhostDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.GhostUpdates != 0 {
+		t.Errorf("depth 1 ghost updates = %d, want 0", res1.GhostUpdates)
+	}
+	// depth 2, k=1: each cycle's first step computes 2·k extra planes per
+	// rank; 4 steps = 2 cycles, 2 ranks.
+	res2, err := Run(Config{Model: m, N: n, Tau: 0.8, Steps: 4, Opt: OptGC, Ranks: 2, GhostDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(2 * 2 * 2 * n.PlaneCells())
+	if res2.GhostUpdates != want {
+		t.Errorf("depth 2 ghost updates = %d, want %d", res2.GhostUpdates, want)
+	}
+	// Message count drops with depth: depth 2 sends half as many messages.
+	if m1, m2 := res1.PerRank[0].Messages, res2.PerRank[0].Messages; m2*2 != m1 {
+		t.Errorf("messages: depth1=%d depth2=%d, want halving", m1, m2)
+	}
+	// Same total bytes either way (the paper: "the same amount of data is
+	// passed" — here per unit time, since depth-2 halos are twice as wide).
+	if b1, b2 := res1.PerRank[0].BytesSent, res2.PerRank[0].BytesSent; b1 != b2 {
+		t.Errorf("bytes: depth1=%d depth2=%d, want equal", b1, b2)
+	}
+}
+
+func TestMFlupsPositive(t *testing.T) {
+	res, err := Run(Config{
+		Model: lattice.D3Q19(), N: grid.Dims{NX: 16, NY: 8, NZ: 8},
+		Tau: 0.8, Steps: 5, Opt: OptSIMD, Ranks: 2, GhostDepth: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MFlups <= 0 {
+		t.Errorf("MFlups = %g, want > 0", res.MFlups)
+	}
+	if res.InteriorUpdates != 5*16*8*8 {
+		t.Errorf("InteriorUpdates = %d", res.InteriorUpdates)
+	}
+	if res.WallTime <= 0 {
+		t.Errorf("WallTime = %v", res.WallTime)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := Config{Model: lattice.D3Q19(), N: grid.Dims{NX: 8, NY: 4, NZ: 4}, Tau: 0.8, Steps: 1}
+	cases := []struct {
+		name string
+		mod  func(c *Config)
+	}{
+		{"nil model", func(c *Config) { c.Model = nil }},
+		{"tau too small", func(c *Config) { c.Tau = 0.5 }},
+		{"negative steps", func(c *Config) { c.Steps = -1 }},
+		{"orig with depth", func(c *Config) { c.Opt = OptOrig; c.GhostDepth = 2 }},
+		{"AoS with DH", func(c *Config) { c.Layout = grid.AoS; c.Opt = OptDH }},
+		{"slab too small", func(c *Config) { c.Ranks = 4; c.GhostDepth = 3 }},
+		{"tiny NY for Q39", func(c *Config) { c.Model = lattice.D3Q39() }},
+		{"more ranks than planes", func(c *Config) { c.Ranks = 9 }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mod(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: invalid config accepted", tc.name)
+		}
+	}
+	if _, err := Run(base); err != nil {
+		t.Errorf("base config rejected: %v", err)
+	}
+}
+
+func TestOptLevelNames(t *testing.T) {
+	for _, lvl := range Levels() {
+		name := lvl.String()
+		back, err := ParseOptLevel(name)
+		if err != nil || back != lvl {
+			t.Errorf("round trip failed for %v (%q)", lvl, name)
+		}
+	}
+	if _, err := ParseOptLevel("turbo"); err == nil {
+		t.Error("unknown level accepted")
+	}
+	if s := OptLevel(99).String(); s != "OptLevel(99)" {
+		t.Errorf("unknown level String = %q", s)
+	}
+}
+
+func TestCommSummary(t *testing.T) {
+	res, err := Run(Config{
+		Model: lattice.D3Q19(), N: grid.Dims{NX: 12, NY: 4, NZ: 4},
+		Tau: 0.8, Steps: 4, Opt: OptNBC, Ranks: 4, GhostDepth: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.CommSummary()
+	if s.N != 4 || s.Min < 0 || s.Max < s.Min {
+		t.Errorf("CommSummary = %+v", s)
+	}
+}
+
+// TestD3Q27Solver: the generic solver machinery must handle the 27-velocity
+// lattice end-to-end (all kernels are model-parametric).
+func TestD3Q27Solver(t *testing.T) {
+	n := grid.Dims{NX: 12, NY: 5, NZ: 6}
+	for _, opt := range []OptLevel{OptOrig, OptDH, OptGCC, OptSIMD} {
+		runAndCompare(t, Config{
+			Model: lattice.D3Q27(), N: n, Tau: 0.8, Steps: 4,
+			Opt: opt, Ranks: 2, Threads: 1, GhostDepth: depthFor(opt, 2),
+		})
+	}
+}

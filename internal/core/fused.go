@@ -1,0 +1,202 @@
+package core
+
+// Fused stream-collide: the paper's future-work direction (§VII:
+// "investigation into methods to alter the algorithm as to reduce the
+// memory accesses per lattice update could increase the potential
+// hardware efficiency"). Instead of streaming f into f_adv (write Q
+// values/cell) and then colliding f_adv into f (read Q + write Q), the
+// fused kernel gathers each cell's neighbors into a cache-resident row
+// buffer and writes the post-collision values directly:
+//
+//	next[x] = collide(gather prev[x−c])
+//
+// One read and one write of the field per step — 2·Q·8 = 304 (D3Q19) /
+// 624 (D3Q39) bytes per cell instead of the split path's 456 / 936 —
+// which directly raises the roofline of the bandwidth-limited code. The
+// two buffers swap roles after every step. Because the previous state is
+// never overwritten mid-step, the fused path needs no stream/collide
+// staggering in the overlapped (GC-C) schedule: any plane range may be
+// computed as soon as its inputs are valid.
+
+import (
+	"repro/internal/halo"
+	"repro/internal/parallel"
+)
+
+// FusedBytesPerCell returns the per-cell main-memory traffic of the fused
+// kernel: 2·Q·8 bytes (one read, one write), versus the split path's
+// 3·Q·8 counted by the paper's performance model.
+func FusedBytesPerCell(q int) float64 { return 2 * 8 * float64(q) }
+
+// swap exchanges the state and scratch fields after a fused step.
+func (s *stepper) swap() { s.f, s.fadv = s.fadv, s.f }
+
+// fusedRegion computes one fused step for destination planes [lo,hi),
+// reading s.f and writing s.fadv. The caller must swap afterwards.
+func (s *stepper) fusedRegion(lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	s.fusedRegionPair(lo, hi, hi, hi)
+}
+
+// fusedRegionPair computes a fused step over two disjoint plane ranges.
+func (s *stepper) fusedRegionPair(lo1, hi1, lo2, hi2 int) {
+	run := func(a, b int) { s.fusedRows(a, b) }
+	if s.threads > 1 {
+		s.fusedParallelPair(lo1, hi1, lo2, hi2, run)
+		return
+	}
+	run(lo1, hi1)
+	run(lo2, hi2)
+}
+
+// fusedParallelPair distributes the two ranges over the worker threads.
+func (s *stepper) fusedParallelPair(lo1, hi1, lo2, hi2 int, run func(a, b int)) {
+	parallel.ForTwo(s.threads, lo1, hi1, lo2, hi2, run)
+}
+
+// fusedRows is the kernel body: for each destination row it gathers the
+// streamed values of every velocity into a row buffer (rotated copies, as
+// in the DH streaming kernel) and applies the pair-symmetric collision,
+// writing the next state.
+func (s *stepper) fusedRows(x0, x1 int) {
+	if x1 <= x0 {
+		return
+	}
+	m := s.model
+	ny, nz := s.d.NY, s.d.NZ
+	plane := s.d.PlaneCells()
+	omega := 1 / s.cfg.Tau
+	c := s.coef
+	b := newRowBufs(nz)
+	// Row-resident gather buffers, one per velocity.
+	rows := make([][]float64, m.Q)
+	rowStore := make([]float64, m.Q*nz)
+	for v := range rows {
+		rows[v] = rowStore[v*nz : (v+1)*nz]
+	}
+	for ix := x0; ix < x1; ix++ {
+		for iy := 0; iy < ny; iy++ {
+			// Gather: rows[v][z] = f[v] at (ix−cx, wrap(iy−cy), wrap(z−cz)).
+			for v := 0; v < m.Q; v++ {
+				sx := ix - m.Cx[v]
+				sy := iy - m.Cy[v]
+				if sy < 0 {
+					sy += ny
+				} else if sy >= ny {
+					sy -= ny
+				}
+				off := sx*plane + sy*nz
+				rotateCopy(rows[v], s.f.V(v)[off:off+nz], m.Cz[v])
+			}
+			// Collide from the row buffers into the next state.
+			for z := 0; z < nz; z++ {
+				b.rho[z], b.jx[z], b.jy[z], b.jz[z] = 0, 0, 0, 0
+			}
+			for _, p := range s.pairs {
+				if p.i == p.j {
+					for z, val := range rows[p.i] {
+						b.rho[z] += val
+					}
+					continue
+				}
+				si, sj := rows[p.i], rows[p.j]
+				cx, cy, cz := c.cx[p.i], c.cy[p.i], c.cz[p.i]
+				for z := 0; z < nz; z++ {
+					vi, vj := si[z], sj[z]
+					sum, diff := vi+vj, vi-vj
+					b.rho[z] += sum
+					b.jx[z] += cx * diff
+					b.jy[z] += cy * diff
+					b.jz[z] += cz * diff
+				}
+			}
+			for z := 0; z < nz; z++ {
+				inv := 1 / b.rho[z]
+				b.ux[z] = b.jx[z]*inv + s.shiftX
+				b.uy[z] = b.jy[z]*inv + s.shiftY
+				b.uz[z] = b.jz[z]*inv + s.shiftZ
+				b.u2[z] = b.ux[z]*b.ux[z] + b.uy[z]*b.uy[z] + b.uz[z]*b.uz[z]
+			}
+			base := s.d.Index(ix, iy, 0)
+			for _, p := range s.pairs {
+				if p.i == p.j {
+					sv := rows[p.i]
+					dv := s.fadv.V(p.i)[base : base+nz]
+					w := c.w[p.i]
+					for z := 0; z < nz; z++ {
+						feq := w * b.rho[z] * (1 - b.u2[z]*c.invCs2h)
+						dv[z] = sv[z] - omega*(sv[z]-feq)
+					}
+					continue
+				}
+				si, sj := rows[p.i], rows[p.j]
+				di := s.fadv.V(p.i)[base : base+nz]
+				dj := s.fadv.V(p.j)[base : base+nz]
+				cx, cy, cz, w := c.cx[p.i], c.cy[p.i], c.cz[p.i], c.w[p.i]
+				for z := 0; z < nz; z++ {
+					cu := cx*b.ux[z] + cy*b.uy[z] + cz*b.uz[z]
+					cu2 := cu * cu
+					even := 1 + cu2*c.invCs4h - b.u2[z]*c.invCs2h
+					odd := cu * c.invCs2
+					if c.third {
+						odd += cu2*cu*c.thA - cu*b.u2[z]*c.thB
+					}
+					wr := w * b.rho[z]
+					di[z] = si[z] - omega*(si[z]-wr*(even+odd))
+					dj[z] = sj[z] - omega*(sj[z]-wr*(even-odd))
+				}
+			}
+		}
+	}
+}
+
+// fusedCycle runs one deep-halo cycle with the fused kernel.
+func (s *stepper) fusedCycle(runLen int) {
+	exts := halo.CycleExtents(s.depth, s.k)
+	overlap := s.cfg.Opt >= OptGCC && s.r.N > 1
+	switch {
+	case s.r.N == 1:
+		s.ex.ExchangeLocal(s.f)
+	case overlap:
+		s.fusedOverlappedFirstStep(exts[0])
+	case s.cfg.Opt >= OptNBC:
+		s.ex.ExchangeNonBlocking(s.r, s.f)
+	default:
+		s.ex.ExchangeBlocking(s.r, s.f)
+	}
+	start := 0
+	if overlap {
+		s.jitter()
+		start = 1
+	}
+	for si := start; si < runLen; si++ {
+		lo, hi := s.regionFor(exts[si])
+		s.fusedRegion(lo, hi)
+		s.swap()
+		s.countUpdates(lo, hi)
+		s.jitter()
+	}
+}
+
+// fusedOverlappedFirstStep is the GC-C schedule for the fused kernel.
+// Since the previous state is read-only during the step, the only
+// constraint is input validity: the interior may run while messages fly;
+// the ghost-dependent rim follows WaitUnpack.
+func (s *stepper) fusedOverlappedFirstStep(ext int) {
+	w, k, own := s.w, s.k, s.own
+	lo, hi := s.regionFor(ext)
+	isLo := w + k
+	isHi := w + own - k
+	if isHi < isLo {
+		isHi = isLo
+	}
+	s.ex.PostRecvs(s.r)
+	s.ex.SendBorders(s.r, s.f)
+	s.fusedRegion(isLo, isHi)
+	s.ex.WaitUnpack(s.r, s.f)
+	s.fusedRegionPair(lo, isLo, isHi, hi)
+	s.swap()
+	s.countUpdates(lo, hi)
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/decomp"
+	"repro/internal/lattice"
+
+	"repro/internal/grid"
+)
+
+// benchStepper builds a single-rank stepper for white-box kernel
+// benchmarking.
+func benchStepper(b *testing.B, m *lattice.Model, n grid.Dims, opt OptLevel) *stepper {
+	b.Helper()
+	cfg := &Config{
+		Model: m, N: n, Tau: 0.8, Steps: 1,
+		Opt: opt, Ranks: 1, Threads: 1, GhostDepth: 1,
+		Init: waveInit(n),
+	}
+	if err := cfg.init(); err != nil {
+		b.Fatal(err)
+	}
+	dec, err := decomp.New(n.NX, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var st *stepper
+	fab := comm.NewFabric(1)
+	if err := fab.Run(func(r *comm.Rank) error {
+		st, err = newStepper(cfg, dec, r)
+		if err != nil {
+			return err
+		}
+		st.initField()
+		st.ex.ExchangeLocal(st.f)
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+var benchDims = grid.Dims{NX: 32, NY: 32, NZ: 32}
+
+func reportCellRate(b *testing.B, cells int) {
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcell/s")
+}
+
+// Streaming kernels (the DH ladder step isolated).
+func BenchmarkStreamKernels(b *testing.B) {
+	for _, m := range []*lattice.Model{lattice.D3Q19(), lattice.D3Q39()} {
+		k := m.MaxSpeed
+		lo, hi := k, k+benchDims.NX-2*k // interior, no wrap needed in x
+		cells := (hi - lo) * benchDims.PlaneCells()
+		b.Run(m.Name+"/scalar", func(b *testing.B) {
+			st := benchStepper(b, m, benchDims, OptGC)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.streamScalar(lo, hi)
+			}
+			reportCellRate(b, cells)
+		})
+		b.Run(m.Name+"/copy", func(b *testing.B) {
+			st := benchStepper(b, m, benchDims, OptDH)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.streamCopy(lo, hi)
+			}
+			reportCellRate(b, cells)
+		})
+		b.Run(m.Name+"/indexed", func(b *testing.B) {
+			st := benchStepper(b, m, benchDims, OptLoBr)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.streamCopyIndexed(lo, hi)
+			}
+			reportCellRate(b, cells)
+		})
+	}
+}
+
+// Collision kernels (naive vs row-generic vs paired vs blocked).
+func BenchmarkCollideKernels(b *testing.B) {
+	for _, m := range []*lattice.Model{lattice.D3Q19(), lattice.D3Q39()} {
+		k := m.MaxSpeed
+		lo, hi := k, k+benchDims.NX-2*k
+		cells := (hi - lo) * benchDims.PlaneCells()
+		cases := []struct {
+			name string
+			opt  OptLevel
+			run  func(st *stepper)
+		}{
+			{"naive", OptGC, func(st *stepper) { st.collideNaive(lo, hi) }},
+			{"rowGeneric", OptDH, func(st *stepper) { st.collideRowGeneric(lo, hi) }},
+			{"paired", OptCF, func(st *stepper) { st.collidePaired(lo, hi) }},
+			{"pairedBlocked", OptSIMD, func(st *stepper) { st.collidePairedBlocked(lo, hi) }},
+		}
+		for _, c := range cases {
+			b.Run(m.Name+"/"+c.name, func(b *testing.B) {
+				st := benchStepper(b, m, benchDims, c.opt)
+				st.streamRegion(lo, hi) // populate fadv
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c.run(st)
+				}
+				reportCellRate(b, cells)
+			})
+		}
+	}
+}
+
+// Fused kernel vs split stream+collide at the kernel level.
+func BenchmarkFusedKernel(b *testing.B) {
+	for _, m := range []*lattice.Model{lattice.D3Q19(), lattice.D3Q39()} {
+		k := m.MaxSpeed
+		lo, hi := k, k+benchDims.NX-2*k
+		cells := (hi - lo) * benchDims.PlaneCells()
+		b.Run(m.Name+"/split", func(b *testing.B) {
+			st := benchStepper(b, m, benchDims, OptSIMD)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.streamCopyIndexed(lo, hi)
+				st.collidePairedBlocked(lo, hi)
+			}
+			reportCellRate(b, cells)
+		})
+		b.Run(m.Name+"/fused", func(b *testing.B) {
+			st := benchStepper(b, m, benchDims, OptSIMD)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.fusedRows(lo, hi)
+				st.swap()
+			}
+			reportCellRate(b, cells)
+		})
+	}
+}
+
+// Halo exchange cost per depth (pack+local wrap).
+func BenchmarkHaloLocalExchange(b *testing.B) {
+	m := lattice.D3Q19()
+	for _, depth := range []int{1, 2, 4} {
+		b.Run(string(rune('0'+depth)), func(b *testing.B) {
+			cfg := &Config{
+				Model: m, N: benchDims, Tau: 0.8, Steps: 1,
+				Opt: OptSIMD, Ranks: 1, Threads: 1, GhostDepth: depth,
+			}
+			if err := cfg.init(); err != nil {
+				b.Fatal(err)
+			}
+			dec, _ := decomp.New(benchDims.NX, 1)
+			var st *stepper
+			fab := comm.NewFabric(1)
+			if err := fab.Run(func(r *comm.Rank) error {
+				var err error
+				st, err = newStepper(cfg, dec, r)
+				if err != nil {
+					return err
+				}
+				st.initField()
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.ex.ExchangeLocal(st.f)
+			}
+		})
+	}
+}

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/decomp"
+	"repro/internal/grid"
+	"repro/internal/halo"
+	"repro/internal/lattice"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+)
+
+// stepper holds one rank's state for the stepping loop.
+//
+// Local plane coordinates: the field spans [0, own+2W) in x, where W is the
+// halo width (GhostDepth·k). Planes [W, W+own) are owned; [0,W) is the left
+// ghost region and [W+own, own+2W) the right one. For OptOrig, W equals k
+// and the side regions are transient egress margins rather than ghosts.
+type stepper struct {
+	cfg   *Config
+	model *lattice.Model
+	r     *comm.Rank
+
+	startX int // first owned global plane
+	own    int // owned planes
+	k      int // lattice max speed (planes crossed per step)
+	depth  int // deep-halo depth
+	w      int // halo width = depth·k
+
+	d       grid.Dims // local field dims (own+2w, NY, NZ)
+	f, fadv *grid.Field
+	ex      *halo.Exchanger
+	orig    *origProto
+
+	threads      int
+	ghostUpdates int64
+	coef         eqCoefs
+	pairs        []velPair
+	srcY         [][]int32 // per velocity: pull-stream source row per dst row (LoBr+)
+	jit          *metrics.RNG
+
+	// Obstacles and forcing (see boundary.go).
+	mask                   []bool
+	fix                    [][]fixup
+	shiftX, shiftY, shiftZ float64
+}
+
+func newStepper(cfg *Config, dec decomp.D1, r *comm.Rank) (*stepper, error) {
+	startX, own := dec.Own(r.ID)
+	k := cfg.Model.MaxSpeed
+	w := cfg.GhostDepth * k
+	s := &stepper{
+		cfg: cfg, model: cfg.Model, r: r,
+		startX: startX, own: own,
+		k: k, depth: cfg.GhostDepth, w: w,
+		threads: cfg.Threads,
+		coef:    newEqCoefs(cfg.Model),
+		pairs:   velocityPairs(cfg.Model),
+	}
+	s.d = grid.Dims{NX: own + 2*w, NY: cfg.N.NY, NZ: cfg.N.NZ}
+	s.f = grid.NewField(cfg.Model.Q, s.d, cfg.Layout)
+	s.fadv = grid.NewField(cfg.Model.Q, s.d, cfg.Layout)
+	if cfg.Opt == OptOrig {
+		s.orig = newOrigProto(s, dec)
+	} else {
+		ex, err := halo.NewExchanger(cfg.Model.Q, s.d, own, w, dec.Left(r.ID), dec.Right(r.ID))
+		if err != nil {
+			return nil, err
+		}
+		s.ex = ex
+	}
+	if cfg.Opt >= OptLoBr {
+		s.buildSrcYTables()
+	}
+	if cfg.StepJitter > 0 {
+		s.jit = metrics.NewRNG(uint64(r.ID)*0x9e3779b9 + 1)
+	}
+	// Velocity-shift forcing: equilibrium evaluated at u + τ·a.
+	s.shiftX = cfg.Tau * cfg.Accel[0]
+	s.shiftY = cfg.Tau * cfg.Accel[1]
+	s.shiftZ = cfg.Tau * cfg.Accel[2]
+	s.buildMask()
+	return s, nil
+}
+
+// buildSrcYTables precomputes, for every velocity, the pull-stream source
+// row index for each destination row: srcY[v][y] = (y − cy) mod NY. This is
+// the branch-reduction analog of the paper's Fig. 6 index arrays: the inner
+// loops then contain no wrap arithmetic at all.
+func (s *stepper) buildSrcYTables() {
+	ny := s.d.NY
+	s.srcY = make([][]int32, s.model.Q)
+	for v := 0; v < s.model.Q; v++ {
+		tab := make([]int32, ny)
+		for y := 0; y < ny; y++ {
+			tab[y] = int32(((y-s.model.Cy[v])%ny + ny) % ny)
+		}
+		s.srcY[v] = tab
+	}
+}
+
+// initField writes the equilibrium of the configured initial condition into
+// the owned region. Ghost planes are populated by the first exchange.
+func (s *stepper) initField() {
+	feq := make([]float64, s.model.Q)
+	rest := make([]float64, s.model.Q)
+	s.model.Equilibrium(1, 0, 0, 0, rest)
+	for ix := 0; ix < s.own; ix++ {
+		gx := s.startX + ix
+		for iy := 0; iy < s.d.NY; iy++ {
+			for iz := 0; iz < s.d.NZ; iz++ {
+				if s.mask != nil && s.mask[s.d.Index(s.w+ix, iy, iz)] {
+					// Solid cells hold a benign rest state; their values are
+					// never consumed (every link out of them is bounced).
+					s.f.SetCell(s.w+ix, iy, iz, rest)
+					continue
+				}
+				rho, ux, uy, uz := s.cfg.Init(gx, iy, iz)
+				s.model.Equilibrium(rho, ux, uy, uz, feq)
+				s.f.SetCell(s.w+ix, iy, iz, feq)
+			}
+		}
+	}
+}
+
+// run advances the configured number of steps.
+func (s *stepper) run() {
+	if s.orig != nil {
+		for n := 0; n < s.cfg.Steps; n++ {
+			s.orig.step()
+			s.jitter()
+		}
+		return
+	}
+	for done := 0; done < s.cfg.Steps; {
+		runLen := s.depth
+		if rest := s.cfg.Steps - done; rest < runLen {
+			runLen = rest
+		}
+		if s.cfg.Fused {
+			s.fusedCycle(runLen)
+		} else {
+			s.cycle(runLen)
+		}
+		done += runLen
+	}
+}
+
+// jitter injects the configured deterministic per-rank delay.
+func (s *stepper) jitter() {
+	if s.jit == nil {
+		return
+	}
+	time.Sleep(time.Duration(s.jit.Float64() * float64(s.cfg.StepJitter)))
+}
+
+// cycle performs one deep-halo cycle: a halo exchange followed by runLen
+// (≤ depth) stream+collide steps on a shrinking valid region.
+func (s *stepper) cycle(runLen int) {
+	exts := halo.CycleExtents(s.depth, s.k)
+	overlap := s.cfg.Opt >= OptGCC && s.r.N > 1
+	switch {
+	case s.r.N == 1:
+		// Single rank: periodic wrap in x is a local copy.
+		s.ex.ExchangeLocal(s.f)
+	case overlap:
+		s.overlappedFirstStep(exts[0])
+	case s.cfg.Opt >= OptNBC:
+		s.ex.ExchangeNonBlocking(s.r, s.f)
+	default:
+		s.ex.ExchangeBlocking(s.r, s.f)
+	}
+	start := 0
+	if overlap {
+		s.jitter()
+		start = 1
+	}
+	for si := start; si < runLen; si++ {
+		ext := exts[si]
+		lo, hi := s.regionFor(ext)
+		s.streamRegion(lo, hi)
+		s.applyBounceBack(lo, hi)
+		s.collideRegion(lo, hi)
+		s.countUpdates(lo, hi)
+		s.jitter()
+	}
+}
+
+// regionFor returns the destination plane range computable in a step whose
+// inputs are valid on owned ± ext planes: owned ± (ext − k).
+func (s *stepper) regionFor(ext int) (lo, hi int) {
+	return s.w - (ext - s.k), s.w + s.own + (ext - s.k)
+}
+
+// overlappedFirstStep implements the GC-C schedule (§V.F, Fig. 7) for the
+// first step of a cycle: receives posted, borders of the previous state
+// sent, interior streamed and partially collided while messages fly, then
+// the ghost-dependent rim finished after WaitUnpack. The phase split is
+// chosen so no collide overwrites state an edge stream still needs.
+func (s *stepper) overlappedFirstStep(ext int) {
+	w, k, own := s.w, s.k, s.own
+	lo, hi := s.regionFor(ext) // [k, own+2w−k)
+
+	// Stream may run ahead wherever its inputs avoid the ghost planes.
+	isLo := w + k
+	isHi := w + own - k
+	if isHi < isLo {
+		isHi = isLo
+	}
+	// Collide may run ahead only where edge streams will not re-read f.
+	icLo := w + 2*k
+	if icLo > hi {
+		icLo = hi
+	}
+	icHi := w + own - 2*k
+	if icHi < icLo {
+		icHi = icLo
+	}
+
+	s.ex.PostRecvs(s.r)
+	s.ex.SendBorders(s.r, s.f)
+	s.streamRegion(isLo, isHi)
+	s.applyBounceBack(isLo, isHi)
+	s.collideRegion(icLo, icHi)
+	s.ex.WaitUnpack(s.r, s.f)
+	s.streamRegionPair(lo, isLo, isHi, hi)
+	s.applyBounceBack(lo, isLo)
+	s.applyBounceBack(isHi, hi)
+	s.collideRegionPair(lo, icLo, icHi, hi)
+	s.countUpdates(lo, hi)
+}
+
+// countUpdates accumulates the ghost-region overhead metric.
+func (s *stepper) countUpdates(lo, hi int) {
+	extra := (hi - lo) - s.own
+	if extra > 0 {
+		s.ghostUpdates += int64(extra) * int64(s.d.PlaneCells())
+	}
+}
+
+// streamRegion advances the streaming step for destination planes [lo,hi).
+func (s *stepper) streamRegion(lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	switch {
+	case s.cfg.Opt <= OptGC:
+		parallel.For(s.threads, lo, hi, func(a, b int) { s.streamScalar(a, b) })
+	case s.cfg.Opt < OptLoBr:
+		parallel.For(s.threads, lo, hi, func(a, b int) { s.streamCopy(a, b) })
+	default:
+		parallel.For(s.threads, lo, hi, func(a, b int) { s.streamCopyIndexed(a, b) })
+	}
+}
+
+// streamRegionPair streams two disjoint plane ranges (the separated
+// ghost-region loops of §V.D).
+func (s *stepper) streamRegionPair(lo1, hi1, lo2, hi2 int) {
+	body := s.streamScalar
+	switch {
+	case s.cfg.Opt <= OptGC:
+	case s.cfg.Opt < OptLoBr:
+		body = s.streamCopy
+	default:
+		body = s.streamCopyIndexed
+	}
+	parallel.ForTwo(s.threads, lo1, hi1, lo2, hi2, body)
+}
+
+// collideRegion applies BGK collision to planes [lo,hi).
+func (s *stepper) collideRegion(lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	switch {
+	case s.cfg.Opt <= OptGC:
+		parallel.For(s.threads, lo, hi, func(a, b int) { s.collideNaive(a, b) })
+	case s.cfg.Opt == OptDH:
+		parallel.For(s.threads, lo, hi, func(a, b int) { s.collideRowGeneric(a, b) })
+	case s.cfg.Opt < OptSIMD:
+		parallel.For(s.threads, lo, hi, func(a, b int) { s.collidePaired(a, b) })
+	default:
+		parallel.For(s.threads, lo, hi, func(a, b int) { s.collidePairedBlocked(a, b) })
+	}
+}
+
+// collideRegionPair collides two disjoint plane ranges.
+func (s *stepper) collideRegionPair(lo1, hi1, lo2, hi2 int) {
+	body := s.collideNaive
+	switch {
+	case s.cfg.Opt <= OptGC:
+	case s.cfg.Opt == OptDH:
+		body = s.collideRowGeneric
+	case s.cfg.Opt < OptSIMD:
+		body = s.collidePaired
+	default:
+		body = s.collidePairedBlocked
+	}
+	parallel.ForTwo(s.threads, lo1, hi1, lo2, hi2, body)
+}
+
+// ownedSums returns mass and momentum summed over the owned fluid cells.
+func (s *stepper) ownedSums() (mass, mx, my, mz float64) {
+	fc := make([]float64, s.model.Q)
+	for ix := s.w; ix < s.w+s.own; ix++ {
+		for iy := 0; iy < s.d.NY; iy++ {
+			for iz := 0; iz < s.d.NZ; iz++ {
+				if s.mask != nil && s.mask[s.d.Index(ix, iy, iz)] {
+					continue
+				}
+				s.f.Cell(ix, iy, iz, fc)
+				rho, jx, jy, jz := s.model.Moments(fc)
+				mass += rho
+				mx += jx
+				my += jy
+				mz += jz
+			}
+		}
+	}
+	return
+}
+
+// ownedSlab packs the owned region of the final state velocity-major (for
+// every velocity, the owned planes in order), independent of layout.
+func (s *stepper) ownedSlab() []float64 {
+	plane := s.d.PlaneCells()
+	n := s.own * plane
+	out := make([]float64, s.model.Q*n)
+	if s.f.Layout == grid.SoA {
+		for v := 0; v < s.model.Q; v++ {
+			blk := s.f.V(v)
+			copy(out[v*n:(v+1)*n], blk[s.w*plane:(s.w+s.own)*plane])
+		}
+		return out
+	}
+	for v := 0; v < s.model.Q; v++ {
+		for c := 0; c < n; c++ {
+			out[v*n+c] = s.f.Data[(s.w*plane+c)*s.model.Q+v]
+		}
+	}
+	return out
+}
+
+// velPair groups a velocity with its opposite for the pair-symmetric
+// collision kernels; rest velocities pair with themselves.
+type velPair struct {
+	i, j int // j = Opp[i]; i == j for the rest velocity
+}
+
+func velocityPairs(m *lattice.Model) []velPair {
+	var ps []velPair
+	for i := 0; i < m.Q; i++ {
+		j := m.Opp[i]
+		if i < j {
+			ps = append(ps, velPair{i, j})
+		} else if i == j {
+			ps = append(ps, velPair{i, i})
+		}
+	}
+	return ps
+}

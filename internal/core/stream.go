@@ -1,0 +1,98 @@
+package core
+
+// Streaming kernels. All halo-based levels use the pull form: each
+// destination cell gathers f_i from x − c_i, which makes the computed
+// region exactly the iterated one (the push form of the paper's Fig. 3 is
+// kept for the no-ghost Orig protocol in orig.go, where scattering into the
+// egress margins is the point). Pull and push visit the same data and move
+// the same bytes; they differ only in write locality.
+
+// streamScalar is the naive pull kernel: velocity-innermost loops with
+// modulo wrap arithmetic on every access, per the paper's Fig. 3 structure.
+func (s *stepper) streamScalar(x0, x1 int) {
+	m := s.model
+	ny, nz := s.d.NY, s.d.NZ
+	for ix := x0; ix < x1; ix++ {
+		for iy := 0; iy < ny; iy++ {
+			for iz := 0; iz < nz; iz++ {
+				dst := s.d.Index(ix, iy, iz)
+				for v := 0; v < m.Q; v++ {
+					sx := ix - m.Cx[v]
+					sy := ((iy-m.Cy[v])%ny + ny) % ny
+					sz := ((iz-m.Cz[v])%nz + nz) % nz
+					s.fadv.Data[s.fadv.Idx(v, dst)] = s.f.Data[s.f.Idx(v, s.d.Index(sx, sy, sz))]
+				}
+			}
+		}
+	}
+}
+
+// streamCopy is the data-handling kernel (§V.B): velocities outermost so
+// each contiguous velocity block is traversed in memory order, with the
+// z-line movement expressed as bulk rotated copies. Requires SoA layout.
+func (s *stepper) streamCopy(x0, x1 int) {
+	m := s.model
+	ny, nz := s.d.NY, s.d.NZ
+	plane := s.d.PlaneCells()
+	for v := 0; v < m.Q; v++ {
+		src := s.f.V(v)
+		dst := s.fadv.V(v)
+		cx, cy, cz := m.Cx[v], m.Cy[v], m.Cz[v]
+		for ix := x0; ix < x1; ix++ {
+			srcBase := (ix - cx) * plane
+			dstBase := ix * plane
+			for iy := 0; iy < ny; iy++ {
+				sy := iy - cy
+				if sy < 0 {
+					sy += ny
+				} else if sy >= ny {
+					sy -= ny
+				}
+				srow := src[srcBase+sy*nz : srcBase+sy*nz+nz]
+				drow := dst[dstBase+iy*nz : dstBase+iy*nz+nz]
+				rotateCopy(drow, srow, cz)
+			}
+		}
+	}
+}
+
+// streamCopyIndexed is streamCopy with the per-row wrap replaced by the
+// precomputed source-row tables (§V.D branch reduction): the loop body
+// contains no conditional at all.
+func (s *stepper) streamCopyIndexed(x0, x1 int) {
+	m := s.model
+	ny, nz := s.d.NY, s.d.NZ
+	plane := s.d.PlaneCells()
+	for v := 0; v < m.Q; v++ {
+		src := s.f.V(v)
+		dst := s.fadv.V(v)
+		cx, cz := m.Cx[v], m.Cz[v]
+		rows := s.srcY[v]
+		for ix := x0; ix < x1; ix++ {
+			srcBase := (ix - cx) * plane
+			dstBase := ix * plane
+			for iy := 0; iy < ny; iy++ {
+				sOff := srcBase + int(rows[iy])*nz
+				dOff := dstBase + iy*nz
+				rotateCopy(dst[dOff:dOff+nz], src[sOff:sOff+nz], cz)
+			}
+		}
+	}
+}
+
+// rotateCopy writes dst[z] = src[(z − cz) mod n]: a cyclic shift of the
+// z-line by +cz, realized as at most two block copies.
+func rotateCopy(dst, src []float64, cz int) {
+	n := len(dst)
+	switch {
+	case cz == 0:
+		copy(dst, src)
+	case cz > 0:
+		copy(dst[cz:], src[:n-cz])
+		copy(dst[:cz], src[n-cz:])
+	default:
+		c := -cz
+		copy(dst[:n-c], src[c:])
+		copy(dst[n-c:], src[:c])
+	}
+}

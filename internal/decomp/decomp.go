@@ -1,0 +1,64 @@
+// Package decomp implements the one-dimensional domain decomposition used
+// throughout the paper (§IV): the global x extent is split into contiguous
+// slabs, one per rank, with periodic neighbor relationships. The y and z
+// dimensions are never decomposed, which shifts the analysis onto the
+// algorithm and enables direct study of ghost-cell depth, exactly as the
+// paper argues.
+package decomp
+
+import "fmt"
+
+// D1 is a balanced 1-D block decomposition of GlobalNX cells over Ranks
+// ranks. Rank r owns a contiguous slab; when GlobalNX is not divisible by
+// Ranks, the first GlobalNX mod Ranks ranks own one extra plane.
+type D1 struct {
+	GlobalNX int
+	Ranks    int
+}
+
+// New validates and returns a decomposition.
+func New(globalNX, ranks int) (D1, error) {
+	if ranks < 1 {
+		return D1{}, fmt.Errorf("decomp: ranks = %d, want >= 1", ranks)
+	}
+	if globalNX < ranks {
+		return D1{}, fmt.Errorf("decomp: global NX %d < ranks %d (every rank needs at least one plane)", globalNX, ranks)
+	}
+	return D1{GlobalNX: globalNX, Ranks: ranks}, nil
+}
+
+// Own returns the global start plane and plane count owned by rank r.
+func (d D1) Own(r int) (start, size int) {
+	base := d.GlobalNX / d.Ranks
+	rem := d.GlobalNX % d.Ranks
+	if r < rem {
+		return r * (base + 1), base + 1
+	}
+	return rem*(base+1) + (r-rem)*base, base
+}
+
+// Left returns the periodic left (lower-x) neighbor rank of r.
+func (d D1) Left(r int) int { return (r - 1 + d.Ranks) % d.Ranks }
+
+// Right returns the periodic right (higher-x) neighbor rank of r.
+func (d D1) Right(r int) int { return (r + 1) % d.Ranks }
+
+// RankOf returns the rank owning global plane ix.
+func (d D1) RankOf(ix int) int {
+	base := d.GlobalNX / d.Ranks
+	rem := d.GlobalNX % d.Ranks
+	cut := rem * (base + 1)
+	if ix < cut {
+		return ix / (base + 1)
+	}
+	return rem + (ix-cut)/base
+}
+
+// MaxOwn returns the largest slab size over all ranks.
+func (d D1) MaxOwn() int {
+	base := d.GlobalNX / d.Ranks
+	if d.GlobalNX%d.Ranks != 0 {
+		return base + 1
+	}
+	return base
+}

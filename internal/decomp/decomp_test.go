@@ -1,0 +1,88 @@
+package decomp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOwnPartitionsExactly(t *testing.T) {
+	for _, c := range []struct{ nx, ranks int }{
+		{10, 1}, {10, 2}, {10, 3}, {7, 7}, {129, 8}, {64, 5},
+	} {
+		d, err := New(c.nx, c.ranks)
+		if err != nil {
+			t.Fatalf("New(%d,%d): %v", c.nx, c.ranks, err)
+		}
+		next := 0
+		for r := 0; r < c.ranks; r++ {
+			start, size := d.Own(r)
+			if start != next {
+				t.Errorf("nx=%d ranks=%d rank %d: start %d, want %d", c.nx, c.ranks, r, start, next)
+			}
+			if size < 1 {
+				t.Errorf("nx=%d ranks=%d rank %d: empty slab", c.nx, c.ranks, r)
+			}
+			next = start + size
+		}
+		if next != c.nx {
+			t.Errorf("nx=%d ranks=%d: slabs cover %d planes", c.nx, c.ranks, next)
+		}
+	}
+}
+
+func TestBalance(t *testing.T) {
+	d, _ := New(10, 3)
+	sizes := make([]int, 3)
+	for r := 0; r < 3; r++ {
+		_, sizes[r] = d.Own(r)
+	}
+	if sizes[0] != 4 || sizes[1] != 3 || sizes[2] != 3 {
+		t.Errorf("sizes = %v, want [4 3 3]", sizes)
+	}
+	if d.MaxOwn() != 4 {
+		t.Errorf("MaxOwn = %d, want 4", d.MaxOwn())
+	}
+}
+
+func TestNeighborsPeriodic(t *testing.T) {
+	d, _ := New(16, 4)
+	if d.Left(0) != 3 || d.Right(3) != 0 {
+		t.Error("periodic wrap broken")
+	}
+	for r := 0; r < 4; r++ {
+		if d.Right(d.Left(r)) != r || d.Left(d.Right(r)) != r {
+			t.Errorf("neighbor relations not inverse at rank %d", r)
+		}
+	}
+}
+
+func TestRankOfMatchesOwn(t *testing.T) {
+	prop := func(nxRaw, ranksRaw uint8) bool {
+		ranks := int(ranksRaw)%7 + 1
+		nx := ranks + int(nxRaw)%100
+		d, err := New(nx, ranks)
+		if err != nil {
+			return false
+		}
+		for ix := 0; ix < nx; ix++ {
+			r := d.RankOf(ix)
+			start, size := d.Own(r)
+			if ix < start || ix >= start+size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(4, 0); err == nil {
+		t.Error("ranks=0 accepted")
+	}
+	if _, err := New(3, 4); err == nil {
+		t.Error("nx<ranks accepted")
+	}
+}

@@ -1,0 +1,162 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index). Paper-scale
+// results come from the perfsim discrete-event simulator over the Blue
+// Gene machine models; the Real* variants execute the actual Go kernels on
+// the local machine at laptop scale. Each generator returns a Table that
+// renders as fixed-width text.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment: a title, column headers, string rows and
+// free-form notes (paper comparison, caveats).
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table as fixed-width text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Names lists the experiment identifiers accepted by Generate.
+func Names() []string {
+	return []string{"table1", "table2", "fig8", "fig9", "fig10", "table3", "table4", "fig11"}
+}
+
+// Generate runs one experiment by name. The machine argument applies to
+// fig8, fig9 and fig11 ("bgp" or "bgq"); fig10 and tables 3/4 use the
+// machines the paper used (BG/P at 2048 procs for D3Q19, BG/Q 16 nodes for
+// D3Q39).
+func Generate(name, machineName string) ([]*Table, error) {
+	switch name {
+	case "table1":
+		return []*Table{Table1Q19(), Table1Q39()}, nil
+	case "table2":
+		t2 := Table2()
+		return []*Table{t2, SectionIIICBounds()}, nil
+	case "fig8":
+		t, err := Fig8(machineName)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	case "fig9":
+		t, err := Fig9(machineName)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	case "fig10":
+		a, err := Fig10Q19()
+		if err != nil {
+			return nil, err
+		}
+		b, err := Fig10Q39()
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{a, b}, nil
+	case "table3":
+		t, err := Table3()
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	case "table4":
+		t, err := Table4()
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	case "fig11":
+		t, err := Fig11(machineName)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (want one of %s)", name, strings.Join(Names(), ", "))
+}
+
+// GenerateAll runs every experiment for both machines where applicable.
+func GenerateAll() ([]*Table, error) {
+	var out []*Table
+	add := func(ts []*Table, err error) error {
+		if err != nil {
+			return err
+		}
+		out = append(out, ts...)
+		return nil
+	}
+	if err := add(Generate("table1", "")); err != nil {
+		return nil, err
+	}
+	if err := add(Generate("table2", "")); err != nil {
+		return nil, err
+	}
+	for _, m := range []string{"bgp", "bgq"} {
+		if err := add(Generate("fig8", m)); err != nil {
+			return nil, err
+		}
+	}
+	if err := add(Generate("fig9", "bgp")); err != nil {
+		return nil, err
+	}
+	if err := add(Generate("fig10", "")); err != nil {
+		return nil, err
+	}
+	if err := add(Generate("table3", "")); err != nil {
+		return nil, err
+	}
+	if err := add(Generate("table4", "")); err != nil {
+		return nil, err
+	}
+	for _, m := range []string{"bgp", "bgq"} {
+		if err := add(Generate("fig11", m)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTable1Shapes(t *testing.T) {
+	q19 := Table1Q19()
+	if len(q19.Rows) != 3 {
+		t.Errorf("D3Q19 has %d shells, want 3", len(q19.Rows))
+	}
+	q39 := Table1Q39()
+	if len(q39.Rows) != 6 {
+		t.Errorf("D3Q39 has %d shells, want 6", len(q39.Rows))
+	}
+	var total int
+	for _, r := range q39.Rows {
+		n, err := strconv.Atoi(r[2])
+		if err != nil {
+			t.Fatalf("bad count %q", r[2])
+		}
+		total += n
+	}
+	if total != 39 {
+		t.Errorf("D3Q39 shells cover %d velocities", total)
+	}
+}
+
+func TestTable2Values(t *testing.T) {
+	tb := Table2()
+	if len(tb.Rows) != 4 {
+		t.Fatalf("Table II has %d rows, want 4", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		if r[6] != "bandwidth" {
+			t.Errorf("%s %s limited by %s, want bandwidth", r[0], r[1], r[6])
+		}
+	}
+	txt := tb.Render()
+	for _, want := range []string{"29.8", "94.3", "14.5", "45.9"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Table II output missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestSectionIIICBounds(t *testing.T) {
+	tb := SectionIIICBounds()
+	txt := tb.Render()
+	for _, want := range []string{"11.2", "5.4", "70.2", "34.2"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("bounds output missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestFig8BothMachines(t *testing.T) {
+	for _, m := range []string{"bgp", "bgq"} {
+		tb, err := Fig8(m)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if len(tb.Rows) != 9 { // 8 levels + model peak
+			t.Errorf("%s: %d rows, want 9", m, len(tb.Rows))
+		}
+		// MFlup/s must be non-decreasing down the ladder for both models.
+		for col := 1; col <= 3; col += 2 {
+			prev := 0.0
+			for i := 0; i < 8; i++ {
+				v, err := strconv.ParseFloat(tb.Rows[i][col], 64)
+				if err != nil {
+					t.Fatalf("%s row %d: %v", m, i, err)
+				}
+				if v < prev*0.98 {
+					t.Errorf("%s: ladder not monotone at row %d col %d (%.0f < %.0f)", m, i, col, v, prev)
+				}
+				prev = v
+			}
+		}
+	}
+}
+
+func TestFig9Structure(t *testing.T) {
+	tb, err := Fig9("bgp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 { // 2 models × 3 protocols
+		t.Fatalf("%d rows, want 6", len(tb.Rows))
+	}
+	// Max comm time must shrink down the protocol ladder for each model.
+	for _, base := range []int{0, 3} {
+		var maxes [3]float64
+		for i := 0; i < 3; i++ {
+			v, err := strconv.ParseFloat(tb.Rows[base+i][4], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			maxes[i] = v
+		}
+		if !(maxes[2] < maxes[1] && maxes[1] < maxes[0]) {
+			t.Errorf("rows %d..%d: max comm %.2f -> %.2f -> %.2f did not shrink", base, base+2, maxes[0], maxes[1], maxes[2])
+		}
+	}
+}
+
+func TestFig10ShapesAndOOM(t *testing.T) {
+	a, err := Fig10Q19()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 5 {
+		t.Fatalf("Fig10a rows = %d", len(a.Rows))
+	}
+	// Small sizes: deep halos hurt (ratio > 1); the largest size must
+	// prefer depth >= 2.
+	smallGC2, err := strconv.ParseFloat(a.Rows[0][2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smallGC2 <= 1 {
+		t.Errorf("8k: GC=2 ratio %.3f, want > 1", smallGC2)
+	}
+	if best := a.Rows[4][5]; best == "GC=1" {
+		t.Errorf("133k: best depth is GC=1, want deeper")
+	}
+	// The paper's OOM case: 133k with GC=4.
+	if a.Rows[4][4] != "OOM" {
+		t.Errorf("133k GC=4 = %q, want OOM", a.Rows[4][4])
+	}
+	b, err := Fig10Q39()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Rows) != 6 {
+		t.Fatalf("Fig10b rows = %d", len(b.Rows))
+	}
+	if best := b.Rows[5][5]; best == "GC=1" {
+		t.Errorf("200k: best depth is GC=1, want deeper")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tb, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smallest ratio must prefer depth 1; largest must prefer > 1.
+	if tb.Rows[0][1] != "1" {
+		t.Errorf("R=4 optimal depth %s, want 1", tb.Rows[0][1])
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[1] == "1" {
+		t.Errorf("R=66 optimal depth 1, want deeper (paper: 2)")
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	tb, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows[0][1] != "1" {
+		t.Errorf("R=64 optimal depth %s, want 1", tb.Rows[0][1])
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[1] == "1" {
+		t.Errorf("R=800 optimal depth 1, want deeper (paper: 2 or 3)")
+	}
+}
+
+func TestFig11BGP(t *testing.T) {
+	tb, err := Fig11("bgp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(tb.Rows))
+	}
+	get := func(row, col int) float64 {
+		v, err := strconv.ParseFloat(tb.Rows[row][col], 64)
+		if err != nil {
+			t.Fatalf("row %d col %d: %v", row, col, err)
+		}
+		return v
+	}
+	// Threading must help: 4T beats 1T for both models.
+	if !(get(3, 1) < get(0, 1) && get(3, 3) < get(0, 3)) {
+		t.Error("4 threads did not beat 1 thread")
+	}
+	// The paper's key hybrid finding: for D3Q39, 4T beats VN.
+	if !(get(3, 3) < get(4, 3)) {
+		t.Errorf("D3Q39: 4T (%.2f) did not beat VN (%.2f)", get(3, 3), get(4, 3))
+	}
+}
+
+func TestFig11BGQ(t *testing.T) {
+	tb, err := Fig11("bgq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 13 {
+		t.Fatalf("%d rows, want 13", len(tb.Rows))
+	}
+	times := map[string]float64{}
+	for _, r := range tb.Rows {
+		v, err := strconv.ParseFloat(r[3], 64) // D3Q39 time
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[r[0]] = v
+	}
+	// §VI.B: 4 tasks × 16 threads is the optimum for the higher-order model.
+	for _, other := range []string{"64-1", "1-64", "16-1", "4-1"} {
+		if times["4-16"] >= times[other] {
+			t.Errorf("4-16 (%.2f) did not beat %s (%.2f)", times["4-16"], other, times[other])
+		}
+	}
+}
+
+func TestGenerateDispatch(t *testing.T) {
+	for _, name := range []string{"table1", "table2"} {
+		ts, err := Generate(name, "")
+		if err != nil || len(ts) == 0 {
+			t.Errorf("Generate(%q): %v", name, err)
+		}
+	}
+	if _, err := Generate("fig99", ""); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if _, err := Generate("fig8", "cray"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}
+
+func TestRenderAlignment(t *testing.T) {
+	tb := &Table{
+		Title:  "T",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"xxx", "y"}},
+		Notes:  []string{"n"},
+	}
+	out := tb.Render()
+	for _, want := range []string{"== T ==", "xxx", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRealFig8SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-kernel experiment in -short mode")
+	}
+	tb, err := RealFig8("D3Q19", 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 8 {
+		t.Errorf("%d rows, want 8", len(tb.Rows))
+	}
+}
+
+func TestRealFig11SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-kernel experiment in -short mode")
+	}
+	tb, err := RealFig11("D3Q19", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Errorf("%d rows, want 6", len(tb.Rows))
+	}
+}
+
+func TestRealFig9SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-kernel experiment in -short mode")
+	}
+	tb, err := RealFig9("D3Q19", 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Errorf("%d rows, want 3", len(tb.Rows))
+	}
+}
+
+func TestRealFig10SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-kernel experiment in -short mode")
+	}
+	tb, err := RealFig10("D3Q19", 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Errorf("%d rows, want 3", len(tb.Rows))
+	}
+	// Each row's GC=1 column is the normalization base.
+	for _, r := range tb.Rows {
+		if r[1] != "1.000" {
+			t.Errorf("GC=1 column = %q, want 1.000", r[1])
+		}
+	}
+}
+
+func TestRealExperimentsRejectBadModel(t *testing.T) {
+	if _, err := RealFig8("D2Q9", 1, 1); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := RealFig10("D2Q9", 1, 1); err == nil {
+		t.Error("unknown model accepted")
+	}
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/lattice"
+)
+
+// The Real* experiments execute the actual Go kernels on the local machine
+// at laptop scale. They demonstrate the same qualitative trade-offs as the
+// perfsim projections with no model in between; EXPERIMENTS.md records both
+// alongside the paper's values.
+
+// realDims returns a laptop-scale domain for a model (D3Q39 cells carry ~2×
+// the data, so its box is smaller).
+func realDims(m *lattice.Model) grid.Dims {
+	if m.Q == 39 {
+		return grid.Dims{NX: 48, NY: 24, NZ: 24}
+	}
+	return grid.Dims{NX: 64, NY: 32, NZ: 32}
+}
+
+// RealFig8 measures MFlup/s for each optimization level with the real
+// kernels (the local analog of Fig. 8).
+func RealFig8(modelName string, ranks, steps int) (*Table, error) {
+	m, err := lattice.ByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	n := realDims(m)
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 8 (real kernels) — %s, %s, %d ranks, local machine (MFlup/s)", m.Name, n, ranks),
+		Header: []string{"level", "MFlup/s", "speedup vs Orig"},
+	}
+	var first float64
+	for _, opt := range core.Levels() {
+		res, err := core.Run(core.Config{
+			Model: m, N: n, Tau: 0.8, Steps: steps,
+			Opt: opt, Ranks: ranks, Threads: 1, GhostDepth: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if opt == core.OptOrig {
+			first = res.MFlups
+		}
+		t.Rows = append(t.Rows, []string{
+			opt.String(),
+			fmt.Sprintf("%.2f", res.MFlups),
+			fmt.Sprintf("%.2fx", res.MFlups/first),
+		})
+	}
+	return t, nil
+}
+
+// RealFig9 measures the per-rank communication-time balance with injected
+// per-step jitter (the local analog of Fig. 9).
+func RealFig9(modelName string, ranks, steps int) (*Table, error) {
+	m, err := lattice.ByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	n := realDims(m)
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 9 (real kernels) — %s, %d ranks, per-rank comm time (ms)", m.Name, ranks),
+		Header: []string{"protocol", "min", "median", "max"},
+	}
+	configs := []struct {
+		label string
+		opt   core.OptLevel
+	}{
+		{"blocking, no ghost cells (Orig)", core.OptOrig},
+		{"NB-C & GC", core.OptNBC},
+		{"GC-C", core.OptGCC},
+	}
+	for _, c := range configs {
+		res, err := core.Run(core.Config{
+			Model: m, N: n, Tau: 0.8, Steps: steps,
+			Opt: c.opt, Ranks: ranks, Threads: 1, GhostDepth: 1,
+			StepJitter: 2 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s := res.CommSummary()
+		t.Rows = append(t.Rows, []string{
+			c.label,
+			fmt.Sprintf("%.1f", 1e3*s.Min),
+			fmt.Sprintf("%.1f", 1e3*s.Median),
+			fmt.Sprintf("%.1f", 1e3*s.Max),
+		})
+	}
+	t.Notes = append(t.Notes, "deterministic per-rank jitter of up to 2 ms/step injected to provoke imbalance")
+	return t, nil
+}
+
+// RealFig10 sweeps ghost depth × domain size with the real kernels (the
+// local analog of Fig. 10), reporting runtimes normalized to depth 1.
+func RealFig10(modelName string, ranks, steps int) (*Table, error) {
+	m, err := lattice.ByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 10 (real kernels) — %s, %d ranks (time / time at GC=1)", m.Name, ranks),
+		Header: []string{"NX", "GC=1", "GC=2", "GC=3", "GC=4"},
+	}
+	ny := 16
+	if m.Q == 39 {
+		ny = 8
+	}
+	for _, nx := range []int{ranks * 8 * m.MaxSpeed, ranks * 16 * m.MaxSpeed, ranks * 32 * m.MaxSpeed} {
+		row := []string{fmt.Sprintf("%d", nx)}
+		var base float64
+		for depth := 1; depth <= 4; depth++ {
+			if nx/ranks < depth*m.MaxSpeed {
+				row = append(row, "n/a")
+				continue
+			}
+			res, err := core.Run(core.Config{
+				Model: m, N: grid.Dims{NX: nx, NY: ny, NZ: ny},
+				Tau: 0.8, Steps: steps,
+				Opt: core.OptSIMD, Ranks: ranks, Threads: 1, GhostDepth: depth,
+				StepJitter: time.Millisecond,
+			})
+			if err != nil {
+				return nil, err
+			}
+			secs := res.WallTime.Seconds()
+			if depth == 1 {
+				base = secs
+			}
+			row = append(row, fmt.Sprintf("%.3f", secs/base))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// RealFig11 sweeps ranks×threads at a fixed total worker count (the local
+// analog of Fig. 11).
+func RealFig11(modelName string, steps int) (*Table, error) {
+	m, err := lattice.ByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	n := realDims(m)
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 11 (real kernels) — %s, %s tasks×threads on the local machine", m.Name, n),
+		Header: []string{"tasks-threads", "time (ms)", "MFlup/s"},
+	}
+	for _, c := range [][2]int{{1, 1}, {1, 2}, {1, 4}, {2, 1}, {2, 2}, {4, 1}} {
+		res, err := core.Run(core.Config{
+			Model: m, N: n, Tau: 0.8, Steps: steps,
+			Opt: core.OptSIMD, Ranks: c[0], Threads: c[1], GhostDepth: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d-%d", c[0], c[1]),
+			fmt.Sprintf("%.1f", 1e3*res.WallTime.Seconds()),
+			fmt.Sprintf("%.2f", res.MFlups),
+		})
+	}
+	return t, nil
+}

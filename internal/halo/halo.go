@@ -1,0 +1,243 @@
+// Package halo implements ghost-cell ("halo") management for the 1-D
+// decomposed solver: packing and unpacking of x-plane slabs, blocking and
+// non-blocking exchange protocols, and the deep-halo schedule of Kjolstad &
+// Snir used by the paper (§V.A): with ghost depth d on a lattice whose
+// particles cross k planes per step, each rank keeps W = d·k ghost planes
+// per side and exchanges them only every d steps, recomputing the ghost
+// region locally in between.
+package halo
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/grid"
+)
+
+// Tags for the two message directions. "ToRight" data flows rightward: a
+// rank's right border planes travel to its right neighbor's left ghost.
+const (
+	TagToRight = 0x100
+	TagToLeft  = 0x101
+)
+
+// PackPlanes copies all Q velocities of x-planes [x0,x1) of f into buf and
+// returns the number of values packed. Both layouts store whole x-planes
+// contiguously, so packing is a handful of block copies. The wire format
+// follows the field layout (velocity-major for SoA, cell-major for AoS);
+// both endpoints of an exchange must therefore use the same layout, which
+// the solver guarantees.
+func PackPlanes(f *grid.Field, x0, x1 int, buf []float64) int {
+	plane := f.D.PlaneCells()
+	np := (x1 - x0) * plane
+	if np <= 0 {
+		return 0
+	}
+	if f.Layout == grid.AoS {
+		return copy(buf, f.Data[x0*plane*f.Q:x1*plane*f.Q])
+	}
+	n := 0
+	for v := 0; v < f.Q; v++ {
+		blk := f.V(v)
+		n += copy(buf[n:n+np], blk[x0*plane:x1*plane])
+	}
+	return n
+}
+
+// UnpackPlanes is the inverse of PackPlanes.
+func UnpackPlanes(f *grid.Field, x0, x1 int, buf []float64) int {
+	plane := f.D.PlaneCells()
+	np := (x1 - x0) * plane
+	if np <= 0 {
+		return 0
+	}
+	if f.Layout == grid.AoS {
+		return copy(f.Data[x0*plane*f.Q:x1*plane*f.Q], buf[:np*f.Q])
+	}
+	n := 0
+	for v := 0; v < f.Q; v++ {
+		blk := f.V(v)
+		n += copy(blk[x0*plane:x1*plane], buf[n:n+np])
+	}
+	return n
+}
+
+// PackPlanesVel packs only the listed velocities of planes [x0,x1), in list
+// order. Used by the no-ghost-cell ("Orig") protocol, which ships only the
+// populations that actually crossed the boundary during streaming.
+func PackPlanesVel(f *grid.Field, x0, x1 int, vels []int, buf []float64) int {
+	plane := f.D.PlaneCells()
+	np := (x1 - x0) * plane
+	if np <= 0 || len(vels) == 0 {
+		return 0
+	}
+	n := 0
+	if f.Layout == grid.AoS {
+		for _, v := range vels {
+			for c := x0 * plane; c < x1*plane; c++ {
+				buf[n] = f.Data[c*f.Q+v]
+				n++
+			}
+		}
+		return n
+	}
+	for _, v := range vels {
+		blk := f.V(v)
+		n += copy(buf[n:n+np], blk[x0*plane:x1*plane])
+	}
+	return n
+}
+
+// UnpackPlanesVel is the inverse of PackPlanesVel.
+func UnpackPlanesVel(f *grid.Field, x0, x1 int, vels []int, buf []float64) int {
+	plane := f.D.PlaneCells()
+	np := (x1 - x0) * plane
+	if np <= 0 || len(vels) == 0 {
+		return 0
+	}
+	n := 0
+	if f.Layout == grid.AoS {
+		for _, v := range vels {
+			for c := x0 * plane; c < x1*plane; c++ {
+				f.Data[c*f.Q+v] = buf[n]
+				n++
+			}
+		}
+		return n
+	}
+	for _, v := range vels {
+		blk := f.V(v)
+		n += copy(blk[x0*plane:x1*plane], buf[n:n+np])
+	}
+	return n
+}
+
+// Exchanger owns the send/receive buffers for one rank's halo exchange.
+// The field geometry is fixed at construction: own interior planes with
+// width ghost planes on each x side, so plane x ∈ [width, width+own) is
+// owned, [0,width) is the left ghost and [width+own, width+2·width) the
+// right ghost.
+type Exchanger struct {
+	Q     int
+	Dims  grid.Dims // field dims including ghosts
+	Own   int       // owned planes
+	Width int       // ghost planes per side (depth · k)
+	Left  int       // left neighbor rank
+	Right int       // right neighbor rank
+
+	sendL, sendR []float64
+	recvL, recvR []float64
+	reqL, reqR   *comm.Request
+}
+
+// NewExchanger builds an exchanger for a field of the given shape.
+func NewExchanger(q int, d grid.Dims, own, width, left, right int) (*Exchanger, error) {
+	if d.NX != own+2*width {
+		return nil, fmt.Errorf("halo: field NX %d != own %d + 2*width %d", d.NX, own, width)
+	}
+	if width < 1 {
+		return nil, fmt.Errorf("halo: width %d < 1", width)
+	}
+	if own < width {
+		// A rank must own at least as many planes as it sends: otherwise a
+		// border message would need data from two ranks away, which the
+		// nearest-neighbor protocol cannot provide.
+		return nil, fmt.Errorf("halo: owned planes %d < halo width %d (grow the domain or reduce depth)", own, width)
+	}
+	n := q * width * d.PlaneCells()
+	return &Exchanger{
+		Q: q, Dims: d, Own: own, Width: width, Left: left, Right: right,
+		sendL: make([]float64, n), sendR: make([]float64, n),
+		recvL: make([]float64, n), recvR: make([]float64, n),
+	}, nil
+}
+
+// BytesPerExchange returns the payload bytes this rank sends per exchange
+// (both directions).
+func (e *Exchanger) BytesPerExchange() int64 {
+	return int64(2 * 8 * e.Q * e.Width * e.Dims.PlaneCells())
+}
+
+// ExchangeBlocking performs a full-width halo exchange with blocking
+// sends/receives (the pre-NB-C protocol, §V.E "naive implementation used
+// blocking communication").
+func (e *Exchanger) ExchangeBlocking(r *comm.Rank, f *grid.Field) {
+	e.packBorders(f)
+	// Eager buffered sends cannot deadlock; order recvs after both sends.
+	r.Send(e.Left, TagToLeft, e.sendL)
+	r.Send(e.Right, TagToRight, e.sendR)
+	r.Recv(e.Right, TagToLeft, e.recvR)
+	r.Recv(e.Left, TagToRight, e.recvL)
+	e.unpackGhosts(f)
+}
+
+// PostRecvs posts the two ghost receives early (MPI_Irecv before local
+// computation, §V.E).
+func (e *Exchanger) PostRecvs(r *comm.Rank) {
+	e.reqL = r.Irecv(e.Left, TagToRight, e.recvL)
+	e.reqR = r.Irecv(e.Right, TagToLeft, e.recvR)
+}
+
+// SendBorders packs the border planes of f and sends them non-blocking.
+func (e *Exchanger) SendBorders(r *comm.Rank, f *grid.Field) {
+	e.packBorders(f)
+	r.Isend(e.Left, TagToLeft, e.sendL)
+	r.Isend(e.Right, TagToRight, e.sendR)
+}
+
+// WaitUnpack completes the posted receives and fills the ghost planes of f.
+// PostRecvs must have been called first.
+func (e *Exchanger) WaitUnpack(r *comm.Rank, f *grid.Field) {
+	if e.reqL == nil || e.reqR == nil {
+		panic("halo: WaitUnpack without PostRecvs")
+	}
+	r.Wait(e.reqL, e.reqR)
+	e.reqL, e.reqR = nil, nil
+	e.unpackGhosts(f)
+}
+
+// ExchangeNonBlocking is the NB-C protocol as one call: post receives, send
+// borders, wait, unpack.
+func (e *Exchanger) ExchangeNonBlocking(r *comm.Rank, f *grid.Field) {
+	e.PostRecvs(r)
+	e.SendBorders(r, f)
+	e.WaitUnpack(r, f)
+}
+
+// ExchangeLocal fills the ghost planes directly from the owned borders for
+// single-rank runs (periodic in x without messaging). It is the fast path
+// used when both neighbors are the rank itself.
+func (e *Exchanger) ExchangeLocal(f *grid.Field) {
+	w, own := e.Width, e.Own
+	// Left ghost [0,w) <- right border [own, own+w) (periodic wrap).
+	n := PackPlanes(f, own, own+w, e.sendR)
+	UnpackPlanes(f, 0, w, e.sendR[:n])
+	// Right ghost [w+own, w+own+w) <- left border [w, 2w).
+	n = PackPlanes(f, w, 2*w, e.sendL)
+	UnpackPlanes(f, w+own, w+own+w, e.sendL[:n])
+}
+
+func (e *Exchanger) packBorders(f *grid.Field) {
+	w, own := e.Width, e.Own
+	PackPlanes(f, w, 2*w, e.sendL)     // left border -> left neighbor
+	PackPlanes(f, own, own+w, e.sendR) // right border -> right neighbor
+}
+
+func (e *Exchanger) unpackGhosts(f *grid.Field) {
+	w, own := e.Width, e.Own
+	UnpackPlanes(f, 0, w, e.recvL)           // left ghost from left neighbor
+	UnpackPlanes(f, w+own, w+own+w, e.recvR) // right ghost from right neighbor
+}
+
+// CycleExtents returns, for a deep-halo cycle of the given depth on a
+// lattice with unit halo width k, the extra planes beyond the owned region
+// that remain valid as *inputs* to each step s of the cycle: ext(s) =
+// (depth−s)·k. The step may therefore compute outputs on owned ± (ext(s)−k)
+// planes; the final step (s = depth−1) computes exactly the owned region.
+func CycleExtents(depth, k int) []int {
+	ext := make([]int, depth)
+	for s := 0; s < depth; s++ {
+		ext[s] = (depth - s) * k
+	}
+	return ext
+}

@@ -1,0 +1,76 @@
+// Package hermite provides tensor Hermite polynomials on a discrete
+// velocity lattice and a generic Grad-Hermite equilibrium builder.
+//
+// It exists to cross-validate the closed-form equilibria in package lattice:
+// the truncated Hermite expansion
+//
+//	f_i^eq = w_i Σ_{n=0..N} (1/(n! c_s^{2n})) a^(n) : H^(n)(c_i)
+//
+// with coefficients a^(0)=ρ, a^(1)=ρu, a^(2)=ρuu, a^(3)=ρuuu must agree with
+// the paper's Eq. (2) for N=2 and Eq. (3) for N=3 on lattices of sufficient
+// isotropy order.
+package hermite
+
+// H2 returns the rank-2 tensor Hermite polynomial H^(2)_ab(c) = c_a c_b −
+// c_s² δ_ab evaluated at the velocity c (components cx,cy,cz cast to
+// float64).
+func H2(csSq float64, c [3]float64, a, b int) float64 {
+	v := c[a] * c[b]
+	if a == b {
+		v -= csSq
+	}
+	return v
+}
+
+// H3 returns the rank-3 tensor Hermite polynomial
+// H^(3)_abc = c_a c_b c_c − c_s²(c_a δ_bc + c_b δ_ac + c_c δ_ab).
+func H3(csSq float64, c [3]float64, a, b, d int) float64 {
+	v := c[a] * c[b] * c[d]
+	if b == d {
+		v -= csSq * c[a]
+	}
+	if a == d {
+		v -= csSq * c[b]
+	}
+	if a == b {
+		v -= csSq * c[d]
+	}
+	return v
+}
+
+// Equilibrium returns the order-N Grad-Hermite equilibrium for a single
+// discrete velocity c with weight w on a lattice with speed of sound
+// squared csSq. Supported orders are 1, 2 and 3.
+func Equilibrium(order int, w, csSq float64, c [3]float64, rho, ux, uy, uz float64) float64 {
+	u := [3]float64{ux, uy, uz}
+	// n = 0 term.
+	e := 1.0
+	// n = 1 term: (c·u)/c_s².
+	cu := c[0]*u[0] + c[1]*u[1] + c[2]*u[2]
+	if order >= 1 {
+		e += cu / csSq
+	}
+	// n = 2 term: (1/(2c_s⁴)) u_a u_b H2_ab.
+	if order >= 2 {
+		var s float64
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				s += u[a] * u[b] * H2(csSq, c, a, b)
+			}
+		}
+		e += s / (2 * csSq * csSq)
+	}
+	// n = 3 term: (1/(6c_s⁶)) u_a u_b u_d H3_abd.
+	if order >= 3 {
+		var s float64
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				for d := 0; d < 3; d++ {
+					s += u[a] * u[b] * u[d] * H3(csSq, c, a, b, d)
+				}
+			}
+		}
+		e += s / (6 * csSq * csSq * csSq)
+	}
+	return w * rho * e
+}

@@ -1,0 +1,96 @@
+package hermite
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestH2Symmetry(t *testing.T) {
+	cs2 := 1.0 / 3.0
+	c := [3]float64{1, -1, 0}
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			if H2(cs2, c, a, b) != H2(cs2, c, b, a) {
+				t.Errorf("H2 not symmetric at (%d,%d)", a, b)
+			}
+		}
+	}
+	// Trace of H2 is c² − 3c_s².
+	var tr float64
+	for a := 0; a < 3; a++ {
+		tr += H2(cs2, c, a, a)
+	}
+	want := 2 - 3*cs2
+	if math.Abs(tr-want) > 1e-14 {
+		t.Errorf("trace H2 = %g, want %g", tr, want)
+	}
+}
+
+func TestH3FullSymmetry(t *testing.T) {
+	cs2 := 2.0 / 3.0
+	c := [3]float64{2, 0, -1}
+	perms := [][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	base := H3(cs2, c, 0, 1, 2)
+	for _, p := range perms {
+		if got := H3(cs2, c, p[0], p[1], p[2]); math.Abs(got-base) > 1e-14 {
+			t.Errorf("H3 not symmetric under %v: %g vs %g", p, got, base)
+		}
+	}
+}
+
+func TestH3Values(t *testing.T) {
+	cs2 := 0.5
+	c := [3]float64{1, 2, 3}
+	// H3_xxx = cx³ − 3c_s²cx.
+	if got, want := H3(cs2, c, 0, 0, 0), 1.0-3*0.5*1; math.Abs(got-want) > 1e-14 {
+		t.Errorf("H3_xxx = %g, want %g", got, want)
+	}
+	// H3_xyz = cx·cy·cz (no delta terms).
+	if got, want := H3(cs2, c, 0, 1, 2), 6.0; math.Abs(got-want) > 1e-14 {
+		t.Errorf("H3_xyz = %g, want %g", got, want)
+	}
+	// H3_xxy = cx²cy − c_s²cy.
+	if got, want := H3(cs2, c, 0, 0, 1), 1.0*2-0.5*2; math.Abs(got-want) > 1e-14 {
+		t.Errorf("H3_xxy = %g, want %g", got, want)
+	}
+}
+
+func TestEquilibriumOrderNesting(t *testing.T) {
+	// Order n must equal order n-1 plus its own term; at u=0 all orders
+	// give w·rho.
+	w, cs2 := 1.0/18.0, 1.0/3.0
+	c := [3]float64{1, 1, 0}
+	if got := Equilibrium(3, w, cs2, c, 2.0, 0, 0, 0); math.Abs(got-2*w) > 1e-15 {
+		t.Errorf("order 3 at rest = %g, want %g", got, 2*w)
+	}
+	prop := func(uxR, uyR, uzR float64) bool {
+		ux := math.Mod(uxR, 0.1)
+		uy := math.Mod(uyR, 0.1)
+		uz := math.Mod(uzR, 0.1)
+		if math.IsNaN(ux + uy + uz) {
+			return true
+		}
+		e2 := Equilibrium(2, w, cs2, c, 1, ux, uy, uz)
+		e3 := Equilibrium(3, w, cs2, c, 1, ux, uy, uz)
+		// The order-3 expansion adds exactly the closed-form third Hermite
+		// term: w·ρ·[cu³/(6c_s⁶) − cu·u²/(2c_s⁴)].
+		cu := c[0]*ux + c[1]*uy + c[2]*uz
+		u2 := ux*ux + uy*uy + uz*uz
+		third := w * (cu*cu*cu/(6*cs2*cs2*cs2) - cu*u2/(2*cs2*cs2))
+		return math.Abs((e3-e2)-third) <= 1e-15+1e-12*math.Abs(third)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquilibriumLinearInRho(t *testing.T) {
+	w, cs2 := 1.0/12.0, 2.0/3.0
+	c := [3]float64{3, 0, 0}
+	a := Equilibrium(3, w, cs2, c, 1.0, 0.02, -0.01, 0.03)
+	b := Equilibrium(3, w, cs2, c, 2.5, 0.02, -0.01, 0.03)
+	if math.Abs(b-2.5*a) > 1e-14 {
+		t.Errorf("equilibrium not linear in rho: %g vs %g", b, 2.5*a)
+	}
+}

@@ -1,0 +1,49 @@
+package lattice
+
+import (
+	"math"
+	"testing"
+)
+
+func TestD3Q27Structure(t *testing.T) {
+	m := D3Q27()
+	if m.Q != 27 {
+		t.Fatalf("Q = %d, want 27", m.Q)
+	}
+	if m.MaxSpeed != 1 {
+		t.Errorf("MaxSpeed = %d, want 1", m.MaxSpeed)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	last := m.Q - 1
+	if m.Cx[last] != 0 || m.Cy[last] != 0 || m.Cz[last] != 0 || m.W[last] != 8.0/27.0 {
+		t.Errorf("rest velocity wrong: (%d,%d,%d) w=%g", m.Cx[last], m.Cy[last], m.Cz[last], m.W[last])
+	}
+}
+
+func TestD3Q27Isotropy(t *testing.T) {
+	m := D3Q27()
+	// 4th-order isotropic (Navier-Stokes capable), fails at 6th like D3Q19.
+	if got := m.IsotropyOrder(6, 1e-12); got != 5 {
+		t.Errorf("isotropy order = %d, want 5", got)
+	}
+}
+
+func TestD3Q27EquilibriumMoments(t *testing.T) {
+	m := D3Q27()
+	feq := make([]float64, m.Q)
+	m.Equilibrium(1.2, 0.03, -0.02, 0.01, feq)
+	rho, jx, jy, jz := m.Moments(feq)
+	if math.Abs(rho-1.2) > 1e-13 || math.Abs(jx-1.2*0.03) > 1e-13 ||
+		math.Abs(jy+1.2*0.02) > 1e-13 || math.Abs(jz-1.2*0.01) > 1e-13 {
+		t.Errorf("moments: rho=%g j=(%g,%g,%g)", rho, jx, jy, jz)
+	}
+}
+
+func TestD3Q27ByName(t *testing.T) {
+	m, err := ByName("q27")
+	if err != nil || m.Name != "D3Q27" {
+		t.Errorf("ByName(q27) = %v, %v", m, err)
+	}
+}

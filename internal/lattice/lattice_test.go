@@ -1,0 +1,344 @@
+package lattice
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hermite"
+)
+
+func TestD3Q19Counts(t *testing.T) {
+	m := D3Q19()
+	if m.Q != 19 {
+		t.Fatalf("Q = %d, want 19", m.Q)
+	}
+	if m.MaxSpeed != 1 {
+		t.Errorf("MaxSpeed = %d, want 1", m.MaxSpeed)
+	}
+	if m.CsSq != 1.0/3.0 {
+		t.Errorf("CsSq = %g, want 1/3", m.CsSq)
+	}
+	if m.Order != 2 {
+		t.Errorf("Order = %d, want 2", m.Order)
+	}
+	// Rest velocity last, per the paper ("the 19th value is the point itself").
+	last := m.Q - 1
+	if m.Cx[last] != 0 || m.Cy[last] != 0 || m.Cz[last] != 0 {
+		t.Errorf("velocity %d = (%d,%d,%d), want rest", last, m.Cx[last], m.Cy[last], m.Cz[last])
+	}
+	if m.W[last] != 1.0/3.0 {
+		t.Errorf("rest weight = %g, want 1/3", m.W[last])
+	}
+}
+
+func TestD3Q39Counts(t *testing.T) {
+	m := D3Q39()
+	if m.Q != 39 {
+		t.Fatalf("Q = %d, want 39", m.Q)
+	}
+	if m.MaxSpeed != 3 {
+		t.Errorf("MaxSpeed = %d, want 3 (velocity (3,0,0) exists)", m.MaxSpeed)
+	}
+	if m.CsSq != 2.0/3.0 {
+		t.Errorf("CsSq = %g, want 2/3", m.CsSq)
+	}
+	if m.Order != 3 {
+		t.Errorf("Order = %d, want 3", m.Order)
+	}
+	last := m.Q - 1
+	if m.Cx[last] != 0 || m.Cy[last] != 0 || m.Cz[last] != 0 {
+		t.Errorf("velocity %d = (%d,%d,%d), want rest", last, m.Cx[last], m.Cy[last], m.Cz[last])
+	}
+	if m.W[last] != 1.0/12.0 {
+		t.Errorf("rest weight = %g, want 1/12", m.W[last])
+	}
+}
+
+// TestTableIShells checks the shell structure of the paper's Table I: the
+// neighbor orders, distances and weights of each velocity shell.
+func TestTableIShells(t *testing.T) {
+	type shell struct {
+		count    int
+		weight   float64
+		distance float64
+	}
+	cases := []struct {
+		model  *Model
+		shells []shell
+	}{
+		{D3Q19(), []shell{
+			{6, 1.0 / 18.0, 1},
+			{12, 1.0 / 36.0, math.Sqrt2},
+			{1, 1.0 / 3.0, 0},
+		}},
+		{D3Q39(), []shell{
+			{6, 1.0 / 12.0, 1},
+			{8, 1.0 / 27.0, math.Sqrt(3)},
+			{6, 2.0 / 135.0, 2},
+			{12, 1.0 / 432.0, 2 * math.Sqrt2},
+			{6, 1.0 / 1620.0, 3},
+			{1, 1.0 / 12.0, 0},
+		}},
+	}
+	for _, c := range cases {
+		i := 0
+		for si, s := range c.shells {
+			for k := 0; k < s.count; k++ {
+				if c.model.W[i] != s.weight {
+					t.Errorf("%s shell %d velocity %d: weight %g, want %g", c.model.Name, si, i, c.model.W[i], s.weight)
+				}
+				if d := c.model.NeighborOrderDistance(i); math.Abs(d-s.distance) > 1e-12 {
+					t.Errorf("%s shell %d velocity %d: distance %g, want %g", c.model.Name, si, i, d, s.distance)
+				}
+				i++
+			}
+		}
+		if i != c.model.Q {
+			t.Errorf("%s: shells cover %d velocities, want %d", c.model.Name, i, c.model.Q)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, m := range []*Model{D3Q19(), D3Q39()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+// TestPaperWeightTypo documents the Table I transcription error: replacing
+// the (2,2,0) shell weight 1/432 with the printed 1/142 breaks weight
+// normalization, so 1/432 is the value the authors must have used.
+func TestPaperWeightTypo(t *testing.T) {
+	m := D3Q39()
+	var sum float64
+	for i := range m.W {
+		w := m.W[i]
+		if w == 1.0/432.0 {
+			w = 1.0 / 142.0
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) < 1e-6 {
+		t.Errorf("weights with 1/142 sum to %v; expected a clear violation of 1", sum)
+	}
+}
+
+// TestIsotropyOrders verifies the central claim of §II: a 3rd-order Hermite
+// truncation requires 6th-order isotropy, which D3Q39 has and D3Q19 does
+// not; D3Q19 provides the 4th-order isotropy needed for Navier-Stokes.
+func TestIsotropyOrders(t *testing.T) {
+	const tol = 1e-12
+	q19 := D3Q19()
+	if got := q19.IsotropyOrder(6, tol); got != 5 {
+		// Rank 5 is an odd rank (vanishes by symmetry); rank 6 must fail.
+		t.Errorf("D3Q19 isotropy order = %d, want 5 (isotropic through 4, odd 5 vanishes, fails at 6)", got)
+	}
+	if d := q19.IsotropyDefect(4); d > tol {
+		t.Errorf("D3Q19 rank-4 defect = %g, want 0", d)
+	}
+	if d := q19.IsotropyDefect(6); d < 1e-3 {
+		t.Errorf("D3Q19 rank-6 defect = %g, expected a substantial violation", d)
+	}
+	q39 := D3Q39()
+	if got := q39.IsotropyOrder(7, tol); got != 7 {
+		t.Errorf("D3Q39 isotropy order = %d, want 7 (isotropic through 6, odd 7 vanishes)", got)
+	}
+	if d := q39.IsotropyDefect(8); d < 1e-3 {
+		t.Errorf("D3Q39 rank-8 defect = %g; 8th order isotropy is not expected", d)
+	}
+}
+
+// TestIsotropicMoment checks the pairing formula on known Gaussian moments.
+func TestIsotropicMoment(t *testing.T) {
+	cs2 := 0.7
+	cases := []struct {
+		axes []int
+		want float64
+	}{
+		{[]int{}, 1},
+		{[]int{0}, 0},
+		{[]int{0, 0}, cs2},
+		{[]int{0, 1}, 0},
+		{[]int{0, 0, 1, 1}, cs2 * cs2},
+		{[]int{0, 0, 0, 0}, 3 * cs2 * cs2},
+		{[]int{0, 0, 0, 0, 0, 0}, 15 * cs2 * cs2 * cs2},
+		{[]int{0, 0, 0, 0, 1, 1}, 3 * cs2 * cs2 * cs2},
+		{[]int{0, 0, 1, 1, 2, 2}, cs2 * cs2 * cs2},
+	}
+	for _, c := range cases {
+		if got := IsotropicMoment(cs2, c.axes); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("IsotropicMoment(%v) = %g, want %g", c.axes, got, c.want)
+		}
+	}
+}
+
+// TestEquilibriumMoments: the equilibrium must carry exactly the target
+// density and momentum for both models (a conservation prerequisite).
+func TestEquilibriumMoments(t *testing.T) {
+	for _, m := range []*Model{D3Q19(), D3Q39()} {
+		feq := make([]float64, m.Q)
+		rho0, ux0, uy0, uz0 := 1.07, 0.03, -0.02, 0.015
+		m.Equilibrium(rho0, ux0, uy0, uz0, feq)
+		rho, jx, jy, jz := m.Moments(feq)
+		if math.Abs(rho-rho0) > 1e-13 {
+			t.Errorf("%s: equilibrium density %g, want %g", m.Name, rho, rho0)
+		}
+		for _, c := range []struct {
+			got, want float64
+			name      string
+		}{
+			{jx, rho0 * ux0, "jx"}, {jy, rho0 * uy0, "jy"}, {jz, rho0 * uz0, "jz"},
+		} {
+			if math.Abs(c.got-c.want) > 1e-13 {
+				t.Errorf("%s: equilibrium %s = %g, want %g", m.Name, c.name, c.got, c.want)
+			}
+		}
+	}
+}
+
+// TestEquilibriumSecondMoment: at order ≥2 the equilibrium pressure tensor
+// must equal ρ(c_s²δ_ab + u_a u_b), the Euler-level stress.
+func TestEquilibriumSecondMoment(t *testing.T) {
+	for _, m := range []*Model{D3Q19(), D3Q39()} {
+		feq := make([]float64, m.Q)
+		rho0, u := 0.93, [3]float64{0.04, -0.01, 0.02}
+		m.Equilibrium(rho0, u[0], u[1], u[2], feq)
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				var pab float64
+				for i := 0; i < m.Q; i++ {
+					pab += feq[i] * float64(m.component(i, a)) * float64(m.component(i, b))
+				}
+				want := rho0 * u[a] * u[b]
+				if a == b {
+					want += rho0 * m.CsSq
+				}
+				if math.Abs(pab-want) > 1e-13 {
+					t.Errorf("%s: P[%d][%d] = %g, want %g", m.Name, a, b, pab, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEquilibriumThirdMoment: the D3Q39's 3rd-order expansion must recover
+// the full Maxwellian third moment ρ[c_s²(u_aδ_bc+u_bδ_ac+u_cδ_ab)+u_au_bu_c],
+// which is what extends validity beyond Navier-Stokes; D3Q19 at 2nd order
+// must miss the u³ contribution.
+func TestEquilibriumThirdMoment(t *testing.T) {
+	m := D3Q39()
+	feq := make([]float64, m.Q)
+	rho0, u := 1.11, [3]float64{0.05, -0.03, 0.02}
+	m.Equilibrium(rho0, u[0], u[1], u[2], feq)
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			for c := 0; c < 3; c++ {
+				var q float64
+				for i := 0; i < m.Q; i++ {
+					q += feq[i] * float64(m.component(i, a)) * float64(m.component(i, b)) * float64(m.component(i, c))
+				}
+				want := rho0 * u[a] * u[b] * u[c]
+				if b == c {
+					want += rho0 * m.CsSq * u[a]
+				}
+				if a == c {
+					want += rho0 * m.CsSq * u[b]
+				}
+				if a == b {
+					want += rho0 * m.CsSq * u[c]
+				}
+				if math.Abs(q-want) > 1e-12 {
+					t.Errorf("Q[%d][%d][%d] = %g, want %g", a, b, c, q, want)
+				}
+			}
+		}
+	}
+	// D3Q19 at order 2 misses the u_a u_b u_c term: check the xxx moment.
+	m19 := D3Q19()
+	feq19 := make([]float64, m19.Q)
+	m19.Equilibrium(rho0, u[0], u[1], u[2], feq19)
+	var qxxx float64
+	for i := 0; i < m19.Q; i++ {
+		cx := float64(m19.Cx[i])
+		qxxx += feq19[i] * cx * cx * cx
+	}
+	want := rho0 * (3*m19.CsSq*u[0] + u[0]*u[0]*u[0])
+	if math.Abs(qxxx-want) < 1e-9 {
+		t.Errorf("D3Q19 Qxxx = %g unexpectedly matches the full Maxwellian %g", qxxx, want)
+	}
+}
+
+// TestEquilibriumMatchesHermite cross-validates the closed-form equilibria
+// against the generic tensor Hermite expansion from package hermite.
+func TestEquilibriumMatchesHermite(t *testing.T) {
+	for _, m := range []*Model{D3Q19(), D3Q39()} {
+		cfg := quick.Config{MaxCount: 200}
+		f := func(rhoRaw, uxRaw, uyRaw, uzRaw float64) bool {
+			rho := 0.5 + math.Abs(math.Mod(rhoRaw, 1.0))
+			ux := math.Mod(uxRaw, 0.1)
+			uy := math.Mod(uyRaw, 0.1)
+			uz := math.Mod(uzRaw, 0.1)
+			for i := 0; i < m.Q; i++ {
+				c := [3]float64{float64(m.Cx[i]), float64(m.Cy[i]), float64(m.Cz[i])}
+				want := hermite.Equilibrium(m.Order, m.W[i], m.CsSq, c, rho, ux, uy, uz)
+				got := m.EquilibriumAt(i, rho, ux, uy, uz)
+				if math.Abs(got-want) > 1e-13*math.Max(1, math.Abs(want)) {
+					t.Logf("%s i=%d got %g want %g", m.Name, i, got, want)
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &cfg); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+// TestEquilibriumZeroVelocity: at u=0 the equilibrium reduces to w_i ρ.
+func TestEquilibriumZeroVelocity(t *testing.T) {
+	for _, m := range []*Model{D3Q19(), D3Q39()} {
+		feq := make([]float64, m.Q)
+		m.Equilibrium(2.5, 0, 0, 0, feq)
+		for i := range feq {
+			if math.Abs(feq[i]-2.5*m.W[i]) > 1e-14 {
+				t.Errorf("%s: feq[%d] = %g, want %g", m.Name, i, feq[i], 2.5*m.W[i])
+			}
+		}
+	}
+}
+
+func TestViscosityRoundTrip(t *testing.T) {
+	for _, m := range []*Model{D3Q19(), D3Q39()} {
+		for _, tau := range []float64{0.6, 1.0, 1.7} {
+			nu := m.Viscosity(tau)
+			if back := m.TauForViscosity(nu); math.Abs(back-tau) > 1e-14 {
+				t.Errorf("%s: tau %g -> nu %g -> tau %g", m.Name, tau, nu, back)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"D3Q19", "q19", "d3q39"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("D2Q9"); err == nil {
+		t.Error("ByName(D2Q9) succeeded, want error")
+	}
+}
+
+func TestOppositeInvolution(t *testing.T) {
+	for _, m := range []*Model{D3Q19(), D3Q39()} {
+		for i := 0; i < m.Q; i++ {
+			if m.Opp[m.Opp[i]] != i {
+				t.Errorf("%s: Opp not an involution at %d", m.Name, i)
+			}
+		}
+	}
+}

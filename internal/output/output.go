@@ -1,0 +1,56 @@
+// Package output writes macroscopic fields to standard visualization
+// formats: legacy VTK structured points (ParaView, VisIt) and CSV. Both
+// writers take the derived macro.Fields, so any solver state — including
+// mid-run snapshots — can be exported.
+package output
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/macro"
+)
+
+// WriteVTK writes a legacy-format VTK structured-points dataset with the
+// density as a scalar field and the velocity as a vector field.
+func WriteVTK(w io.Writer, title string, f *macro.Fields) error {
+	bw := bufio.NewWriter(w)
+	n := f.D
+	fmt.Fprintln(bw, "# vtk DataFile Version 3.0")
+	fmt.Fprintln(bw, title)
+	fmt.Fprintln(bw, "ASCII")
+	fmt.Fprintln(bw, "DATASET STRUCTURED_POINTS")
+	// VTK expects x fastest; our layout is z fastest, so declare the
+	// dimensions transposed and emit in our natural order.
+	fmt.Fprintf(bw, "DIMENSIONS %d %d %d\n", n.NZ, n.NY, n.NX)
+	fmt.Fprintln(bw, "ORIGIN 0 0 0")
+	fmt.Fprintln(bw, "SPACING 1 1 1")
+	fmt.Fprintf(bw, "POINT_DATA %d\n", n.Cells())
+	fmt.Fprintln(bw, "SCALARS density double 1")
+	fmt.Fprintln(bw, "LOOKUP_TABLE default")
+	for c := 0; c < n.Cells(); c++ {
+		fmt.Fprintf(bw, "%.9g\n", f.Rho[c])
+	}
+	fmt.Fprintln(bw, "VECTORS velocity double")
+	for c := 0; c < n.Cells(); c++ {
+		fmt.Fprintf(bw, "%.9g %.9g %.9g\n", f.Ux[c], f.Uy[c], f.Uz[c])
+	}
+	return bw.Flush()
+}
+
+// WriteCSV writes one row per lattice point: x,y,z,rho,ux,uy,uz.
+func WriteCSV(w io.Writer, f *macro.Fields) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "x,y,z,rho,ux,uy,uz")
+	n := f.D
+	for ix := 0; ix < n.NX; ix++ {
+		for iy := 0; iy < n.NY; iy++ {
+			for iz := 0; iz < n.NZ; iz++ {
+				rho, ux, uy, uz := f.At(ix, iy, iz)
+				fmt.Fprintf(bw, "%d,%d,%d,%.9g,%.9g,%.9g,%.9g\n", ix, iy, iz, rho, ux, uy, uz)
+			}
+		}
+	}
+	return bw.Flush()
+}

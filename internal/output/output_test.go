@@ -1,0 +1,91 @@
+package output
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/lattice"
+	"repro/internal/macro"
+)
+
+func sampleFields(t *testing.T) *macro.Fields {
+	t.Helper()
+	m := lattice.D3Q19()
+	n := grid.Dims{NX: 3, NY: 2, NZ: 4}
+	f := grid.NewField(m.Q, n, grid.SoA)
+	feq := make([]float64, m.Q)
+	for ix := 0; ix < n.NX; ix++ {
+		for iy := 0; iy < n.NY; iy++ {
+			for iz := 0; iz < n.NZ; iz++ {
+				m.Equilibrium(1+0.1*float64(ix), 0.01*float64(iz), 0, 0, feq)
+				f.SetCell(ix, iy, iz, feq)
+			}
+		}
+	}
+	return macro.Compute(m, f, [3]float64{})
+}
+
+func TestWriteVTKStructure(t *testing.T) {
+	fields := sampleFields(t)
+	var sb strings.Builder
+	if err := WriteVTK(&sb, "test", fields); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# vtk DataFile Version 3.0",
+		"DATASET STRUCTURED_POINTS",
+		"DIMENSIONS 4 2 3",
+		"POINT_DATA 24",
+		"SCALARS density double 1",
+		"VECTORS velocity double",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VTK output missing %q", want)
+		}
+	}
+	// 11 header/section lines plus one scalar and one vector line per cell.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 11+2*24 {
+		t.Errorf("VTK output has %d lines, want %d", len(lines), 11+2*24)
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	fields := sampleFields(t)
+	var sb strings.Builder
+	if err := WriteCSV(&sb, fields); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "x,y,z,rho,ux,uy,uz" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 1+24 {
+		t.Fatalf("CSV has %d lines, want 25", len(lines))
+	}
+	// Spot-check one row against the source data.
+	for _, line := range lines[1:] {
+		parts := strings.Split(line, ",")
+		if len(parts) != 7 {
+			t.Fatalf("row %q has %d fields", line, len(parts))
+		}
+		ix, _ := strconv.Atoi(parts[0])
+		iz, _ := strconv.Atoi(parts[2])
+		rho, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRho := 1 + 0.1*float64(ix)
+		if diff := rho - wantRho; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("row %q: rho %g, want %g", line, rho, wantRho)
+		}
+		ux, _ := strconv.ParseFloat(parts[4], 64)
+		wantUx := 0.01 * float64(iz)
+		if diff := ux - wantUx; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("row %q: ux %g, want %g", line, ux, wantUx)
+		}
+	}
+}

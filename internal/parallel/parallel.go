@@ -1,0 +1,78 @@
+// Package parallel provides the intra-rank threading substrate that stands
+// in for OpenMP in the paper's hybrid MPI/OpenMP study (§VI.B): a simple
+// static-partition parallel-for over index ranges, executed by transient
+// goroutines. Work is split into contiguous blocks, one per thread,
+// mirroring an OpenMP "schedule(static)" loop over x-planes.
+package parallel
+
+import "sync"
+
+// For partitions [lo,hi) into at most threads contiguous blocks and invokes
+// body(blockLo, blockHi) for each, concurrently when threads > 1. It
+// returns when every block is done. threads < 1 is treated as 1. The body
+// must not panic across blocks it does not own.
+func For(threads, lo, hi int, body func(lo, hi int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > n {
+		threads = n
+	}
+	if threads == 1 {
+		body(lo, hi)
+		return
+	}
+	var wg sync.WaitGroup
+	base := n / threads
+	rem := n % threads
+	start := lo
+	for t := 0; t < threads; t++ {
+		size := base
+		if t < rem {
+			size++
+		}
+		blo, bhi := start, start+size
+		start = bhi
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body(blo, bhi)
+		}()
+	}
+	wg.Wait()
+}
+
+// ForTwo runs For over two disjoint ranges as one logical loop, keeping the
+// static partition balanced across both (used for the separated ghost-region
+// loops, where the left and right ghost slabs are processed together).
+func ForTwo(threads, lo1, hi1, lo2, hi2 int, body func(lo, hi int)) {
+	n1 := hi1 - lo1
+	if n1 < 0 {
+		n1 = 0
+	}
+	n2 := hi2 - lo2
+	if n2 < 0 {
+		n2 = 0
+	}
+	For(threads, 0, n1+n2, func(lo, hi int) {
+		// Map the virtual range back onto the two real ranges.
+		if lo < n1 {
+			end := hi
+			if end > n1 {
+				end = n1
+			}
+			body(lo1+lo, lo1+end)
+		}
+		if hi > n1 {
+			start := lo
+			if start < n1 {
+				start = n1
+			}
+			body(lo2+start-n1, lo2+hi-n1)
+		}
+	})
+}

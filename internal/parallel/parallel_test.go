@@ -1,0 +1,132 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// collectRanges runs the loop and returns a coverage bitmap, failing on
+// overlap.
+func collectRanges(t *testing.T, threads, lo, hi int) []bool {
+	t.Helper()
+	covered := make([]bool, hi)
+	var mu sync.Mutex
+	For(threads, lo, hi, func(blo, bhi int) {
+		mu.Lock()
+		defer mu.Unlock()
+		for i := blo; i < bhi; i++ {
+			if covered[i] {
+				t.Errorf("index %d covered twice", i)
+			}
+			covered[i] = true
+		}
+	})
+	return covered
+}
+
+func TestForCoversExactly(t *testing.T) {
+	for _, threads := range []int{1, 2, 3, 7, 100} {
+		covered := collectRanges(t, threads, 0, 23)
+		for i, c := range covered {
+			if !c {
+				t.Errorf("threads=%d: index %d not covered", threads, i)
+			}
+		}
+	}
+}
+
+func TestForNonZeroLo(t *testing.T) {
+	covered := collectRanges(t, 3, 5, 17)
+	for i := 0; i < 5; i++ {
+		if covered[i] {
+			t.Errorf("index %d below lo covered", i)
+		}
+	}
+	for i := 5; i < 17; i++ {
+		if !covered[i] {
+			t.Errorf("index %d not covered", i)
+		}
+	}
+}
+
+func TestForEmptyAndDegenerate(t *testing.T) {
+	ran := false
+	For(4, 3, 3, func(lo, hi int) { ran = true })
+	if ran {
+		t.Error("body ran for empty range")
+	}
+	For(4, 5, 2, func(lo, hi int) { ran = true })
+	if ran {
+		t.Error("body ran for inverted range")
+	}
+	// threads < 1 behaves like 1.
+	count := 0
+	For(0, 0, 4, func(lo, hi int) { count += hi - lo })
+	if count != 4 {
+		t.Errorf("threads=0 covered %d, want 4", count)
+	}
+}
+
+func TestForPartitionProperty(t *testing.T) {
+	prop := func(threadsRaw, nRaw uint8) bool {
+		threads := int(threadsRaw)%8 + 1
+		n := int(nRaw) % 64
+		var mu sync.Mutex
+		sum := 0
+		blocks := 0
+		For(threads, 0, n, func(lo, hi int) {
+			mu.Lock()
+			sum += hi - lo
+			blocks++
+			mu.Unlock()
+		})
+		want := threads
+		if n < threads {
+			want = n
+		}
+		return sum == n && (n == 0 || blocks == want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForTwoCoversBothRanges(t *testing.T) {
+	for _, threads := range []int{1, 2, 5} {
+		covered := make([]bool, 30)
+		var mu sync.Mutex
+		ForTwo(threads, 2, 7, 20, 28, func(lo, hi int) {
+			mu.Lock()
+			defer mu.Unlock()
+			for i := lo; i < hi; i++ {
+				if covered[i] {
+					t.Errorf("threads=%d: index %d twice", threads, i)
+				}
+				covered[i] = true
+			}
+		})
+		for i := 0; i < 30; i++ {
+			want := (i >= 2 && i < 7) || (i >= 20 && i < 28)
+			if covered[i] != want {
+				t.Errorf("threads=%d: covered[%d]=%v, want %v", threads, i, covered[i], want)
+			}
+		}
+	}
+}
+
+func TestForTwoEmptyHalves(t *testing.T) {
+	total := 0
+	var mu sync.Mutex
+	ForTwo(3, 0, 0, 10, 14, func(lo, hi int) {
+		mu.Lock()
+		total += hi - lo
+		mu.Unlock()
+	})
+	if total != 4 {
+		t.Errorf("covered %d, want 4", total)
+	}
+	ForTwo(3, 0, 0, 0, 0, func(lo, hi int) {
+		t.Error("body ran for fully empty ForTwo")
+	})
+}

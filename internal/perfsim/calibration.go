@@ -1,0 +1,119 @@
+package perfsim
+
+import "repro/internal/core"
+
+// calibration holds the per-machine efficiency factors of the simulator.
+//
+// These are the only fitted constants in perfsim; everything else (message
+// sizes and counts, ghost overhead, overlap windows, imbalance propagation)
+// is derived from the simulated schedule. Each value is anchored to a
+// statement in the paper, cited inline. memEff is the fraction of the
+// node's main-store bandwidth the kernels stream at for each cumulative
+// optimization level; flopEff the fraction of peak flop/s reachable.
+type calibration struct {
+	memEff map[core.OptLevel]float64
+	// flopEffScalar applies below OptSIMD, flopEffSIMD at OptSIMD.
+	flopEffScalar, flopEffSIMD float64
+	// smtYield is the marginal throughput of a hardware thread beyond one
+	// per core.
+	smtYield float64
+	// bwSaturationUnits is the core-equivalents needed to saturate the
+	// node's memory bandwidth.
+	bwSaturationUnits float64
+	// threadSyncLoss is the per-extra-thread team synchronization cost.
+	threadSyncLoss float64
+	// msgSWOverhead is the per-message fixed cost on the critical path, in
+	// seconds: MPI stack and request handling, DMA descriptor setup,
+	// rendezvous handshakes, plus the synchronization-noise absorption the
+	// uniform-jitter model underestimates. It is the cost that deep halos
+	// amortize ("the reduction in number of messages allows for easier
+	// masking of the messaging latency", §VI.A); its value is fitted to
+	// place the Fig. 10 depth crossover near the paper's 32-66
+	// planes/processor band.
+	msgSWOverhead float64
+}
+
+func (c calibration) flopEff(opt core.OptLevel) float64 {
+	if opt >= core.OptSIMD {
+		return c.flopEffSIMD
+	}
+	return c.flopEffScalar
+}
+
+// bgpCalibration: anchors —
+//   - final tuned code reaches 92% (D3Q19) of the Table II bound and 43%
+//     hardware efficiency in collide (§VI) → memEff[SIMD] ≈ 0.95 before
+//     communication losses;
+//   - overall improvement ≈ 3× (§I, §VI) → memEff[Orig] ≈ 0.33;
+//   - DH was "a moderate impact ... 30%" (§V.B) → DH = 1.3 × GC;
+//   - on BG/P the compiler level (O5/qipa) and GC-C gave the largest Q39
+//     gains (§VI) → CF is the biggest single scalar step;
+//   - SIMD intrinsics: "we failed to have SIMD double hummer intrinsics
+//     leveraged, cutting our potential hardware efficiency in half"
+//     (§V.G) → the SIMD step recovers the last ~40%.
+var bgpCalibration = calibration{
+	memEff: map[core.OptLevel]float64{
+		core.OptOrig: 0.31, core.OptGC: 0.35, core.OptDH: 0.455,
+		core.OptCF: 0.60, core.OptLoBr: 0.66, core.OptNBC: 0.68,
+		core.OptGCC: 0.70, core.OptSIMD: 0.95,
+	},
+	flopEffScalar:     0.20, // no double-hummer: scalar FPU issue
+	flopEffSIMD:       0.40, // 31% of peak measured overall, 43% in collide
+	smtYield:          0.0,  // PowerPC 450: 1 thread per core
+	bwSaturationUnits: 4,    // all 4 cores needed to stream at 13.6 GB/s
+	threadSyncLoss:    0.001,
+	msgSWOverhead:     500e-6, // 850 MHz cores: substantial per-message cost
+}
+
+// bgqCalibration: anchors —
+//   - final results at 85% (D3Q19) / 79% (D3Q39) of the bound (§VI) →
+//     memEff[SIMD] ≈ 0.90;
+//   - overall improvement ≈ 7.5-8× (§I, §VI) → memEff[Orig] ≈ 0.115;
+//   - DH: "a very significant impact of a 75% increase in MFlup/s on
+//     BG/Q" (§V.B) → DH = 1.75 × GC;
+//   - CF: "a lower optimization setting of O3 ... increased the produced
+//     MFlup/s by 2.5×" (§V.C) → CF = 2.5 × DH;
+//   - intrinsics "provided less of an impact" on BG/Q (§VI) → modest SIMD
+//     step;
+//   - the A2 core needs multiple hardware threads to reach issue-rate
+//     saturation ("max issue rate per core rose from 16.19% to 29.52%",
+//     §VI) → smtYield 0.45, saturation ≈ 24 core-equivalents.
+var bgqCalibration = calibration{
+	memEff: map[core.OptLevel]float64{
+		core.OptOrig: 0.115, core.OptGC: 0.12, core.OptDH: 0.21,
+		core.OptCF: 0.525, core.OptLoBr: 0.60, core.OptNBC: 0.63,
+		core.OptGCC: 0.70, core.OptSIMD: 0.90,
+	},
+	flopEffScalar:     0.15,
+	flopEffSIMD:       0.30,
+	smtYield:          0.45,
+	bwSaturationUnits: 24,
+	threadSyncLoss:    0.001,
+	msgSWOverhead:     150e-6,
+}
+
+// genericCalibration covers non-Blue-Gene machines with neutral factors.
+var genericCalibration = calibration{
+	memEff: map[core.OptLevel]float64{
+		core.OptOrig: 0.3, core.OptGC: 0.32, core.OptDH: 0.45,
+		core.OptCF: 0.55, core.OptLoBr: 0.6, core.OptNBC: 0.62,
+		core.OptGCC: 0.65, core.OptSIMD: 0.8,
+	},
+	flopEffScalar:     0.2,
+	flopEffSIMD:       0.4,
+	smtYield:          0.3,
+	bwSaturationUnits: 8,
+	threadSyncLoss:    0.001,
+	msgSWOverhead:     100e-6,
+}
+
+func calibrationFor(machineName string) calibration {
+	switch machineName {
+	case "BG/P":
+		return bgpCalibration
+	case "BG/Q":
+		return bgqCalibration
+	default:
+		return genericCalibration
+	}
+}

@@ -1,0 +1,300 @@
+package perfsim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// fig8Job is the paper's Fig. 8 configuration: 128 nodes, flat MPI — 4
+// tasks/node (virtual node mode) on BG/P, 32 unthreaded tasks/node on BG/Q
+// ("these results are from 128 nodes using 32 tasks per node with an
+// unthreaded implementation", §VI).
+func fig8Job(m machine.Machine, spec machine.KernelSpec, k int, opt core.OptLevel) Job {
+	tasks := m.CoresPerNode
+	if m.ThreadsPerCore > 1 {
+		tasks = 2 * m.CoresPerNode
+	}
+	return Job{
+		Machine: m, Spec: spec, K: k,
+		Nodes: 128, TasksPerNode: tasks, ThreadsPerTask: 1,
+		NX: 128 * tasks * 64, NY: 64, NZ: 64,
+		Steps: 20, Depth: 1, Opt: opt,
+		Imbalance: 0.05, Seed: 7,
+	}
+}
+
+func mustRun(t *testing.T, j Job) *Result {
+	t.Helper()
+	res, err := Run(j)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+// TestFig8LadderMonotone: each optimization level must not be slower than
+// the previous one, on both machines and both lattices.
+func TestFig8LadderMonotone(t *testing.T) {
+	for _, m := range []machine.Machine{machine.BGP(), machine.BGQ()} {
+		for _, spec := range []machine.KernelSpec{machine.SpecD3Q19(), machine.SpecD3Q39()} {
+			k := 1
+			if spec.Q == 39 {
+				k = 3
+			}
+			prev := 0.0
+			for _, opt := range core.Levels() {
+				res := mustRun(t, fig8Job(m, spec, k, opt))
+				if res.MFlups < prev*0.98 {
+					t.Errorf("%s %s: %v = %.0f MFlup/s < previous %.0f", m.Name, spec.Name, opt, res.MFlups, prev)
+				}
+				if res.MFlups > prev {
+					prev = res.MFlups
+				}
+			}
+		}
+	}
+}
+
+// TestFig8HeadlineRatios pins the paper's headline results: ~3× overall
+// improvement on BG/P and ~7.5-8× on BG/Q, with the tuned code reaching
+// ~92%/83% (BG/P) and ~85%/79% (BG/Q) of the Table II bound.
+func TestFig8HeadlineRatios(t *testing.T) {
+	cases := []struct {
+		m          machine.Machine
+		spec       machine.KernelSpec
+		k          int
+		minR, maxR float64 // acceptable Orig→SIMD ratio window
+		minF, maxF float64 // acceptable fraction of Table II bound
+	}{
+		{machine.BGP(), machine.SpecD3Q19(), 1, 2.4, 3.8, 0.85, 1.0},
+		{machine.BGP(), machine.SpecD3Q39(), 3, 2.4, 3.8, 0.70, 0.95},
+		{machine.BGQ(), machine.SpecD3Q19(), 1, 6.0, 9.5, 0.78, 0.95},
+		{machine.BGQ(), machine.SpecD3Q39(), 3, 6.0, 9.5, 0.65, 0.9},
+	}
+	for _, c := range cases {
+		orig := mustRun(t, fig8Job(c.m, c.spec, c.k, core.OptOrig))
+		simd := mustRun(t, fig8Job(c.m, c.spec, c.k, core.OptSIMD))
+		ratio := simd.MFlups / orig.MFlups
+		if ratio < c.minR || ratio > c.maxR {
+			t.Errorf("%s %s: Orig→SIMD ratio %.2f, want in [%.1f, %.1f]", c.m.Name, c.spec.Name, ratio, c.minR, c.maxR)
+		}
+		bound := machine.MaxMFlups(c.m, c.spec).Attainable * float64(128)
+		frac := simd.MFlups / bound
+		if frac < c.minF || frac > c.maxF {
+			t.Errorf("%s %s: tuned at %.0f%% of bound, want %.0f%%-%.0f%%", c.m.Name, c.spec.Name, 100*frac, 100*c.minF, 100*c.maxF)
+		}
+	}
+}
+
+// TestQ39SlowerThanQ19: the extended model must cost roughly the Table II
+// factor (~2×) in MFlup/s at equal optimization.
+func TestQ39SlowerThanQ19(t *testing.T) {
+	for _, m := range []machine.Machine{machine.BGP(), machine.BGQ()} {
+		q19 := mustRun(t, fig8Job(m, machine.SpecD3Q19(), 1, core.OptSIMD))
+		q39 := mustRun(t, fig8Job(m, machine.SpecD3Q39(), 3, core.OptSIMD))
+		ratio := q19.MFlups / q39.MFlups
+		if ratio < 1.6 || ratio > 3.2 {
+			t.Errorf("%s: Q19/Q39 = %.2f, want ~2 (456 vs 936 bytes/cell)", m.Name, ratio)
+		}
+	}
+}
+
+// TestFig9CommBalance: the paper's Fig. 9 compares (a) the no-ghost-cell
+// code with non-blocking messaging, (b) non-blocking + ghost cells, and
+// (c) the separated ghost collide. The spread (max−min of per-rank comm
+// time) and the maximum must both shrink down the ladder.
+func TestFig9CommBalance(t *testing.T) {
+	job := func(opt core.OptLevel, depth int) Job {
+		return Job{
+			Machine: machine.BGP(), Spec: machine.SpecD3Q19(), K: 1,
+			Nodes: 64, TasksPerNode: 4, ThreadsPerTask: 1,
+			NX: 64 * 4 * 24, NY: 96, NZ: 96,
+			Steps: 60, Depth: depth, Opt: opt,
+			Imbalance: 0.15, PersistentImbalance: 0.25, Seed: 11,
+		}
+	}
+	noGC := mustRun(t, job(core.OptOrig, 1))
+	nbcGC := mustRun(t, job(core.OptNBC, 3))
+	gcc := mustRun(t, job(core.OptGCC, 3))
+	sp1 := noGC.CommSummary()
+	sp2 := nbcGC.CommSummary()
+	sp3 := gcc.CommSummary()
+	spread1 := sp1.Max - sp1.Min
+	spread2 := sp2.Max - sp2.Min
+	spread3 := sp3.Max - sp3.Min
+	if !(spread3 < spread1 && spread2 < spread1) {
+		t.Errorf("comm spread did not shrink: no-GC %.3g, NB-C+GC %.3g, GC-C %.3g", spread1, spread2, spread3)
+	}
+	if sp3.Max >= sp2.Max || sp2.Max >= sp1.Max {
+		t.Errorf("max comm did not shrink: no-GC %.3g, NB-C+GC %.3g, GC-C %.3g", sp1.Max, sp2.Max, sp3.Max)
+	}
+}
+
+// TestFig10DeepHaloTradeoff: at small per-rank sizes depth 1 must win (the
+// ghost overhead dominates); at large sizes depth ≥ 2 must win (message
+// reduction dominates) — the crossover of Fig. 10.
+func TestFig10DeepHaloTradeoff(t *testing.T) {
+	job := func(nx, depth int) Job {
+		return Job{
+			Machine: machine.BGP(), Spec: machine.SpecD3Q19(), K: 1,
+			Nodes: 512, TasksPerNode: 4, ThreadsPerTask: 1,
+			NX: nx, NY: 156, NZ: 156,
+			Steps: 60, Depth: depth, Opt: core.OptNBC,
+			Imbalance: 0.40, Seed: 5,
+		}
+	}
+	// Small: 8k planes over 2048 ranks → ~4 planes/rank.
+	smallD1 := mustRun(t, job(8192, 1))
+	smallD2 := mustRun(t, job(8192, 2))
+	if smallD2.Seconds < smallD1.Seconds {
+		t.Errorf("small system: depth 2 (%.3gs) beat depth 1 (%.3gs); ghost overhead should dominate", smallD2.Seconds, smallD1.Seconds)
+	}
+	// Large: 128k planes → 64 planes/rank.
+	largeD1 := mustRun(t, job(131072, 1))
+	largeD2 := mustRun(t, job(131072, 2))
+	if largeD2.Seconds >= largeD1.Seconds {
+		t.Errorf("large system: depth 2 (%.3gs) did not beat depth 1 (%.3gs)", largeD2.Seconds, largeD1.Seconds)
+	}
+}
+
+// TestFig10OOM: the paper reports the 133k D3Q19 case with GC=4 exceeded
+// node memory on BG/P.
+func TestFig10OOM(t *testing.T) {
+	j := Job{
+		Machine: machine.BGP(), Spec: machine.SpecD3Q19(), K: 1,
+		Nodes: 512, TasksPerNode: 4, ThreadsPerTask: 1,
+		NX: 133000, NY: 512, NZ: 512,
+		Steps: 1, Depth: 4, Opt: core.OptSIMD,
+	}
+	res := mustRun(t, j)
+	if !res.OOM {
+		t.Errorf("133k×512×512 over 2048 ranks with depth 4 fits in %.1f MB? bytes/task = %.0f MB",
+			float64(machine.BGP().MemPerNodeBytes)/4/1e6, res.BytesPerTask/1e6)
+	}
+}
+
+// TestFig11HybridQ39: for the extended model, fewer tasks with more threads
+// must beat flat MPI at equal core count (ghost-cell reduction), the
+// paper's key hybrid finding.
+func TestFig11HybridQ39(t *testing.T) {
+	job := func(tasks, threads, depth int) Job {
+		return Job{
+			Machine: machine.BGP(), Spec: machine.SpecD3Q39(), K: 3,
+			Nodes: 32, TasksPerNode: tasks, ThreadsPerTask: threads,
+			NX: 32 * 4 * 50, NY: 48, NZ: 48,
+			Steps: 30, Depth: depth, Opt: core.OptSIMD,
+			Imbalance: 0.15, Seed: 3,
+		}
+	}
+	best := func(tasks, threads int) float64 {
+		bestT := 0.0
+		for depth := 1; depth <= 4; depth++ {
+			res := mustRun(t, job(tasks, threads, depth))
+			if bestT == 0 || res.Seconds < bestT {
+				bestT = res.Seconds
+			}
+		}
+		return bestT
+	}
+	hybrid := best(1, 4) // 1 task × 4 threads
+	vn := best(4, 1)     // virtual node mode: 4 tasks × 1 thread
+	if hybrid >= vn {
+		t.Errorf("D3Q39: hybrid 1×4 (%.3gs) did not beat VN 4×1 (%.3gs)", hybrid, vn)
+	}
+}
+
+// TestFig11BGQTasksThreads: on BG/Q, 4 tasks × 16 threads must beat both
+// 64 tasks × 1 thread and 1 task × 64 threads (§VI.B: "the optimal pairing
+// ... is actually four tasks per node with 16 threads").
+func TestFig11BGQTasksThreads(t *testing.T) {
+	job := func(tasks, threads int) Job {
+		return Job{
+			Machine: machine.BGQ(), Spec: machine.SpecD3Q39(), K: 3,
+			Nodes: 16, TasksPerNode: tasks, ThreadsPerTask: threads,
+			NX: 16 * 4 * 200, NY: 48, NZ: 48,
+			Steps: 30, Depth: 2, Opt: core.OptSIMD,
+			Imbalance: 0.15, Seed: 9,
+		}
+	}
+	t4x16 := mustRun(t, job(4, 16)).Seconds
+	t64x1 := mustRun(t, job(64, 1)).Seconds
+	t1x64 := mustRun(t, job(1, 64)).Seconds
+	if t4x16 >= t64x1 {
+		t.Errorf("4×16 (%.3gs) did not beat 64×1 (%.3gs)", t4x16, t64x1)
+	}
+	if t4x16 >= t1x64 {
+		t.Errorf("4×16 (%.3gs) did not beat 1×64 (%.3gs)", t4x16, t1x64)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	base := fig8Job(machine.BGP(), machine.SpecD3Q19(), 1, core.OptSIMD)
+	bad := base
+	bad.ThreadsPerTask = 99
+	if _, err := Run(bad); err == nil {
+		t.Error("oversubscribed threads accepted")
+	}
+	bad = base
+	bad.Depth = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("depth 0 accepted")
+	}
+	bad = base
+	bad.Opt = core.OptOrig
+	bad.Depth = 2
+	if _, err := Run(bad); err == nil {
+		t.Error("Orig with depth 2 accepted")
+	}
+	bad = base
+	bad.NX = 10
+	if _, err := Run(bad); err == nil {
+		t.Error("NX < ranks accepted")
+	}
+	bad = base
+	bad.Steps = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("0 steps accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	j := fig8Job(machine.BGQ(), machine.SpecD3Q19(), 1, core.OptNBC)
+	a := mustRun(t, j)
+	b := mustRun(t, j)
+	if a.Seconds != b.Seconds || a.MFlups != b.MFlups {
+		t.Error("same job, different results")
+	}
+	j.Seed++
+	c := mustRun(t, j)
+	if c.Seconds == a.Seconds {
+		t.Error("different seed produced identical timing")
+	}
+}
+
+func TestDefaultCross(t *testing.T) {
+	q19 := DefaultCross(19)
+	if len(q19) != 1 || q19[0] != 5 {
+		t.Errorf("DefaultCross(19) = %v, want [5]", q19)
+	}
+	q39 := DefaultCross(39)
+	if len(q39) != 3 || q39[0] != 11 || q39[1] != 6 || q39[2] != 1 {
+		t.Errorf("DefaultCross(39) = %v, want [11 6 1]", q39)
+	}
+}
+
+// TestGhostFractionGrowsWithDepth validates the overhead accounting.
+func TestGhostFractionGrowsWithDepth(t *testing.T) {
+	j := fig8Job(machine.BGP(), machine.SpecD3Q19(), 1, core.OptGC)
+	j.Depth = 1
+	d1 := mustRun(t, j)
+	j.Depth = 3
+	d3 := mustRun(t, j)
+	if d1.GhostUpdateFraction != 0 {
+		t.Errorf("depth 1 ghost fraction = %g, want 0", d1.GhostUpdateFraction)
+	}
+	if d3.GhostUpdateFraction <= 0 {
+		t.Errorf("depth 3 ghost fraction = %g, want > 0", d3.GhostUpdateFraction)
+	}
+}

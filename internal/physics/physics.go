@@ -1,0 +1,268 @@
+// Package physics validates the solver against analytic fluid dynamics:
+// shear-wave and Taylor-Green viscosity measurements (the BGK relation
+// ν = c_s²(τ−½) must emerge from the simulation, for both lattices), and
+// the Knudsen-number machinery that motivates the paper's D3Q39 model —
+// flows with Kn outside [0, 0.1] are beyond Navier-Stokes and need the
+// higher-order equilibrium.
+package physics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/lattice"
+)
+
+// Regime classifies a flow by Knudsen number, following the paper's §I
+// (continuum hydrodynamics is trusted for Kn in [0, 0.1]) and the standard
+// rarefied-gas taxonomy.
+type Regime string
+
+const (
+	RegimeContinuum  Regime = "continuum"      // Kn ≤ 0.001
+	RegimeSlip       Regime = "slip"           // 0.001 < Kn ≤ 0.1
+	RegimeTransition Regime = "transition"     // 0.1 < Kn ≤ 10
+	RegimeFree       Regime = "free-molecular" // Kn > 10
+)
+
+// ClassifyKnudsen returns the flow regime for a Knudsen number.
+func ClassifyKnudsen(kn float64) Regime {
+	switch {
+	case kn <= 0.001:
+		return RegimeContinuum
+	case kn <= 0.1:
+		return RegimeSlip
+	case kn <= 10:
+		return RegimeTransition
+	default:
+		return RegimeFree
+	}
+}
+
+// NavierStokesValid reports whether conventional CFD is trusted at this
+// Knudsen number (the paper's [0, 0.1] interval).
+func NavierStokesValid(kn float64) bool { return kn <= 0.1 }
+
+// KnudsenNumber estimates Kn = λ/L for a BGK lattice gas: the mean free
+// path is λ ≈ ν/c_s, so Kn ≈ c_s(τ−½)/L with L in lattice units.
+func KnudsenNumber(m *lattice.Model, tau, L float64) float64 {
+	cs := math.Sqrt(m.CsSq)
+	return m.Viscosity(tau) / (cs * L)
+}
+
+// TauForKnudsen inverts KnudsenNumber.
+func TauForKnudsen(m *lattice.Model, kn, L float64) float64 {
+	cs := math.Sqrt(m.CsSq)
+	return m.TauForViscosity(kn * cs * L)
+}
+
+// ModelForKnudsen returns the lattice a user should employ at the given
+// Knudsen number: D3Q19 suffices in the continuum/slip range; beyond it the
+// 3rd-order D3Q39 model is required ("flows at finite Kn ... allowing the
+// accurate modeling of nanoscale flows", §VII).
+func ModelForKnudsen(kn float64) *lattice.Model {
+	if NavierStokesValid(kn) {
+		return lattice.D3Q19()
+	}
+	return lattice.D3Q39()
+}
+
+// DecayResult reports a viscosity measurement from an exponentially
+// decaying flow.
+type DecayResult struct {
+	NuMeasured float64
+	NuTheory   float64
+	RelError   float64
+	// Amplitude0 and AmplitudeT are the mode amplitudes at start and end.
+	Amplitude0, AmplitudeT float64
+}
+
+// ShearWaveViscosity initializes a transverse shear wave u_y(x) =
+// U0·sin(2πx/NX), advances it, and extracts the kinematic viscosity from
+// the exponential decay of the mode amplitude: A(t) = A(0)·exp(−νk²t).
+func ShearWaveViscosity(m *lattice.Model, n grid.Dims, tau float64, steps int, cfgMod func(*core.Config)) (*DecayResult, error) {
+	const u0 = 0.01
+	kx := 2 * math.Pi / float64(n.NX)
+	init := func(ix, iy, iz int) (rho, ux, uy, uz float64) {
+		return 1, 0, u0 * math.Sin(kx*float64(ix)), 0
+	}
+	cfg := core.Config{
+		Model: m, N: n, Tau: tau, Steps: steps,
+		Opt: core.OptSIMD, Ranks: 1, Threads: 1, GhostDepth: 1,
+		Init: init, KeepField: true,
+	}
+	if cfgMod != nil {
+		cfgMod(&cfg)
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ampT := fourierAmplitudeUy(m, res.Field, kx)
+	amp0 := u0
+	if ampT <= 0 || ampT >= amp0 {
+		return nil, fmt.Errorf("physics: shear wave did not decay (A0=%g, AT=%g)", amp0, ampT)
+	}
+	nu := -math.Log(ampT/amp0) / (kx * kx * float64(steps))
+	theory := m.Viscosity(tau)
+	return &DecayResult{
+		NuMeasured: nu, NuTheory: theory,
+		RelError:   math.Abs(nu-theory) / theory,
+		Amplitude0: amp0, AmplitudeT: ampT,
+	}, nil
+}
+
+// fourierAmplitudeUy projects the u_y velocity field onto sin(k·x).
+func fourierAmplitudeUy(m *lattice.Model, f *grid.Field, kx float64) float64 {
+	n := f.D
+	fc := make([]float64, m.Q)
+	var amp float64
+	for ix := 0; ix < n.NX; ix++ {
+		var uySum float64
+		for iy := 0; iy < n.NY; iy++ {
+			for iz := 0; iz < n.NZ; iz++ {
+				f.Cell(ix, iy, iz, fc)
+				rho, _, jy, _ := m.Moments(fc)
+				uySum += jy / rho
+			}
+		}
+		mean := uySum / float64(n.NY*n.NZ)
+		amp += mean * math.Sin(kx*float64(ix))
+	}
+	return amp * 2 / float64(n.NX)
+}
+
+// TaylorGreenResult reports the kinetic-energy decay measurement.
+type TaylorGreenResult struct {
+	NuMeasured float64
+	NuTheory   float64
+	RelError   float64
+	Energy0    float64
+	EnergyT    float64
+}
+
+// TaylorGreenViscosity initializes the 2-D Taylor-Green vortex
+// u = U0(cos kx·sin ky, −sin kx·cos ky, 0) and measures ν from the kinetic
+// energy decay E(t) = E(0)·exp(−2ν(kx²+ky²)t).
+func TaylorGreenViscosity(m *lattice.Model, n grid.Dims, tau float64, steps int) (*TaylorGreenResult, error) {
+	const u0 = 0.01
+	kx := 2 * math.Pi / float64(n.NX)
+	ky := 2 * math.Pi / float64(n.NY)
+	init := func(ix, iy, iz int) (rho, ux, uy, uz float64) {
+		x, y := kx*float64(ix), ky*float64(iy)
+		return 1, u0 * math.Cos(x) * math.Sin(y), -u0 * math.Sin(x) * math.Cos(y), 0
+	}
+	energy := func(f *grid.Field) float64 {
+		fc := make([]float64, m.Q)
+		var e float64
+		for ix := 0; ix < n.NX; ix++ {
+			for iy := 0; iy < n.NY; iy++ {
+				for iz := 0; iz < n.NZ; iz++ {
+					f.Cell(ix, iy, iz, fc)
+					rho, jx, jy, jz := m.Moments(fc)
+					e += (jx*jx + jy*jy + jz*jz) / (2 * rho)
+				}
+			}
+		}
+		return e
+	}
+	run := func(steps int) (*grid.Field, error) {
+		res, err := core.Run(core.Config{
+			Model: m, N: n, Tau: tau, Steps: steps,
+			Opt: core.OptSIMD, Ranks: 1, Threads: 1, GhostDepth: 1,
+			Init: init, KeepField: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.Field, nil
+	}
+	f0, err := run(0)
+	if err != nil {
+		return nil, err
+	}
+	fT, err := run(steps)
+	if err != nil {
+		return nil, err
+	}
+	e0, eT := energy(f0), energy(fT)
+	if eT <= 0 || eT >= e0 {
+		return nil, fmt.Errorf("physics: Taylor-Green energy did not decay (E0=%g, ET=%g)", e0, eT)
+	}
+	nu := -math.Log(eT/e0) / (2 * (kx*kx + ky*ky) * float64(steps))
+	theory := m.Viscosity(tau)
+	return &TaylorGreenResult{
+		NuMeasured: nu, NuTheory: theory,
+		RelError: math.Abs(nu-theory) / theory,
+		Energy0:  e0, EnergyT: eT,
+	}, nil
+}
+
+// SoundSpeedResult reports a sound-speed measurement from a density wave.
+type SoundSpeedResult struct {
+	CsMeasured float64
+	CsTheory   float64
+	RelError   float64
+}
+
+// MeasureSoundSpeed launches a small standing density wave and extracts the
+// oscillation period of its fundamental mode, giving the lattice sound
+// speed c_s (1/√3 for D3Q19, √(2/3) for D3Q39 — the two-speed nature the
+// paper highlights).
+func MeasureSoundSpeed(m *lattice.Model, n grid.Dims, tau float64) (*SoundSpeedResult, error) {
+	const eps = 0.001
+	kx := 2 * math.Pi / float64(n.NX)
+	init := func(ix, iy, iz int) (rho, ux, uy, uz float64) {
+		return 1 + eps*math.Cos(kx*float64(ix)), 0, 0, 0
+	}
+	amplitude := func(f *grid.Field) float64 {
+		fc := make([]float64, m.Q)
+		var amp float64
+		for ix := 0; ix < n.NX; ix++ {
+			var rhoSum float64
+			for iy := 0; iy < n.NY; iy++ {
+				for iz := 0; iz < n.NZ; iz++ {
+					f.Cell(ix, iy, iz, fc)
+					rho, _, _, _ := m.Moments(fc)
+					rhoSum += rho
+				}
+			}
+			mean := rhoSum/float64(n.NY*n.NZ) - 1
+			amp += mean * math.Cos(kx*float64(ix))
+		}
+		return amp * 2 / float64(n.NX)
+	}
+	// March in time and find the first sign change of the mode amplitude:
+	// a standing wave crosses zero at a quarter period... the fundamental
+	// rho mode behaves as cos(ω t)·exp(−γt) with ω = c_s·k, so the first
+	// zero is at t = π/(2ω).
+	var prev float64 = eps
+	maxSteps := 8 * n.NX
+	for step := 1; step <= maxSteps; step++ {
+		res, err := core.Run(core.Config{
+			Model: m, N: n, Tau: tau, Steps: step,
+			Opt: core.OptSIMD, Ranks: 1, Threads: 1, GhostDepth: 1,
+			Init: init, KeepField: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		amp := amplitude(res.Field)
+		if amp <= 0 && prev > 0 {
+			// Linear interpolation of the zero crossing.
+			frac := prev / (prev - amp)
+			tZero := float64(step-1) + frac
+			omega := math.Pi / (2 * tZero)
+			cs := omega / kx
+			theory := math.Sqrt(m.CsSq)
+			return &SoundSpeedResult{
+				CsMeasured: cs, CsTheory: theory,
+				RelError: math.Abs(cs-theory) / theory,
+			}, nil
+		}
+		prev = amp
+	}
+	return nil, fmt.Errorf("physics: density mode of %s never crossed zero in %d steps", m.Name, maxSteps)
+}

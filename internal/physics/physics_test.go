@@ -1,0 +1,142 @@
+package physics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/lattice"
+)
+
+// TestShearWaveViscosity: the measured viscosity must match ν = c_s²(τ−½)
+// for both lattices at several relaxation times.
+func TestShearWaveViscosity(t *testing.T) {
+	n := grid.Dims{NX: 32, NY: 6, NZ: 6}
+	for _, m := range []*lattice.Model{lattice.D3Q19(), lattice.D3Q39()} {
+		for _, tau := range []float64{0.7, 1.0, 1.5} {
+			res, err := ShearWaveViscosity(m, n, tau, 80, nil)
+			if err != nil {
+				t.Fatalf("%s tau=%g: %v", m.Name, tau, err)
+			}
+			if res.RelError > 0.03 {
+				t.Errorf("%s tau=%g: nu measured %.5f vs theory %.5f (err %.1f%%)",
+					m.Name, tau, res.NuMeasured, res.NuTheory, 100*res.RelError)
+			}
+		}
+	}
+}
+
+// TestShearWaveViscosityMultiRank: the measurement must be identical when
+// the domain is decomposed and threaded.
+func TestShearWaveViscosityMultiRank(t *testing.T) {
+	n := grid.Dims{NX: 32, NY: 6, NZ: 6}
+	m := lattice.D3Q19()
+	res, err := ShearWaveViscosity(m, n, 0.9, 60, func(c *core.Config) {
+		c.Ranks = 4
+		c.Threads = 2
+		c.GhostDepth = 2
+		c.Opt = core.OptGCC
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RelError > 0.03 {
+		t.Errorf("multi-rank: nu %.5f vs %.5f (err %.1f%%)", res.NuMeasured, res.NuTheory, 100*res.RelError)
+	}
+}
+
+func TestTaylorGreenViscosity(t *testing.T) {
+	n := grid.Dims{NX: 24, NY: 24, NZ: 6}
+	for _, m := range []*lattice.Model{lattice.D3Q19(), lattice.D3Q39()} {
+		res, err := TaylorGreenViscosity(m, n, 0.8, 60)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if res.RelError > 0.05 {
+			t.Errorf("%s: nu measured %.5f vs theory %.5f (err %.1f%%)",
+				m.Name, res.NuMeasured, res.NuTheory, 100*res.RelError)
+		}
+	}
+}
+
+// TestSoundSpeeds: the two lattices have different sound speeds (1/√3 vs
+// √(2/3)) — the "two-speed nature" the paper mentions; both must be
+// recovered from density-wave oscillation.
+func TestSoundSpeeds(t *testing.T) {
+	n := grid.Dims{NX: 48, NY: 6, NZ: 6}
+	for _, m := range []*lattice.Model{lattice.D3Q19(), lattice.D3Q39()} {
+		res, err := MeasureSoundSpeed(m, n, 0.8)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if res.RelError > 0.05 {
+			t.Errorf("%s: c_s measured %.4f vs theory %.4f (err %.1f%%)",
+				m.Name, res.CsMeasured, res.CsTheory, 100*res.RelError)
+		}
+	}
+}
+
+func TestKnudsenClassification(t *testing.T) {
+	cases := []struct {
+		kn   float64
+		want Regime
+		ns   bool
+	}{
+		{0.0005, RegimeContinuum, true},
+		{0.05, RegimeSlip, true},
+		{0.1, RegimeSlip, true},
+		{0.5, RegimeTransition, false},
+		{50, RegimeFree, false},
+	}
+	for _, c := range cases {
+		if got := ClassifyKnudsen(c.kn); got != c.want {
+			t.Errorf("ClassifyKnudsen(%g) = %s, want %s", c.kn, got, c.want)
+		}
+		if got := NavierStokesValid(c.kn); got != c.ns {
+			t.Errorf("NavierStokesValid(%g) = %v, want %v", c.kn, got, c.ns)
+		}
+	}
+}
+
+func TestKnudsenRoundTrip(t *testing.T) {
+	m := lattice.D3Q39()
+	for _, kn := range []float64{0.01, 0.1, 1.0} {
+		tau := TauForKnudsen(m, kn, 32)
+		if back := KnudsenNumber(m, tau, 32); math.Abs(back-kn) > 1e-12 {
+			t.Errorf("Kn %g -> tau %g -> Kn %g", kn, tau, back)
+		}
+		if tau <= 0.5 {
+			t.Errorf("Kn %g gives unstable tau %g", kn, tau)
+		}
+	}
+}
+
+func TestModelForKnudsen(t *testing.T) {
+	if m := ModelForKnudsen(0.01); m.Name != "D3Q19" {
+		t.Errorf("continuum flow got %s", m.Name)
+	}
+	if m := ModelForKnudsen(0.5); m.Name != "D3Q39" {
+		t.Errorf("transition flow got %s", m.Name)
+	}
+}
+
+// TestModelsAgreeAtLowKn: with relaxation times matched to the same
+// physical viscosity, both lattices must measure that same viscosity —
+// D3Q39 contains Navier-Stokes.
+func TestModelsAgreeAtLowKn(t *testing.T) {
+	n := grid.Dims{NX: 32, NY: 6, NZ: 6}
+	nu := 0.08
+	q19, q39 := lattice.D3Q19(), lattice.D3Q39()
+	r19, err := ShearWaveViscosity(q19, n, q19.TauForViscosity(nu), 80, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r39, err := ShearWaveViscosity(q39, n, q39.TauForViscosity(nu), 80, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(r19.NuMeasured-r39.NuMeasured) / nu; d > 0.05 {
+		t.Errorf("models disagree at low Kn: Q19 %.5f vs Q39 %.5f (%.1f%%)", r19.NuMeasured, r39.NuMeasured, 100*d)
+	}
+}

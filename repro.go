@@ -1,0 +1,119 @@
+// Package repro is a Go reproduction of Randles, Kale, Hammond, Gropp &
+// Kaxiras, "Performance Analysis of the Lattice Boltzmann Model Beyond
+// Navier-Stokes" (IPDPS 2013): a 3-D lattice Boltzmann solver with the
+// standard D3Q19 and the higher-order D3Q39 discrete velocity models, a
+// 1-D decomposed message-passing runtime, deep-halo ghost cells, the
+// paper's full ladder of optimizations, its roofline performance model,
+// and a discrete-event simulator that projects the solver's schedule onto
+// the Blue Gene/P and Blue Gene/Q machine models to regenerate the paper's
+// evaluation at scale.
+//
+// This package is the public façade: it re-exports the configuration and
+// entry points a downstream user needs. The implementation lives in the
+// internal packages (see DESIGN.md for the system inventory).
+//
+// Quick start:
+//
+//	res, err := repro.Run(repro.Config{
+//		Model: repro.D3Q19(),
+//		N:     repro.Dims{NX: 64, NY: 32, NZ: 32},
+//		Tau:   0.8,
+//		Steps: 100,
+//		Opt:   repro.OptSIMD,
+//		Ranks: 4, Threads: 2,
+//		GhostDepth: 2,
+//	})
+//	fmt.Printf("%.1f MFlup/s\n", res.MFlups)
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/lattice"
+	"repro/internal/machine"
+	"repro/internal/perfsim"
+)
+
+// Core solver types.
+type (
+	// Config describes one simulation; see core.Config for field docs.
+	Config = core.Config
+	// Result summarizes a completed run.
+	Result = core.Result
+	// OptLevel is a rung on the paper's optimization ladder.
+	OptLevel = core.OptLevel
+	// InitFunc provides the initial macroscopic state per lattice point.
+	InitFunc = core.InitFunc
+	// Dims is a 3-D box extent (z fastest).
+	Dims = grid.Dims
+	// Layout selects the field memory layout (SoA or AoS).
+	Layout = grid.Layout
+	// Model is a discrete velocity lattice.
+	Model = lattice.Model
+)
+
+// Optimization levels (cumulative), the x-axis of the paper's Fig. 8.
+const (
+	OptOrig = core.OptOrig
+	OptGC   = core.OptGC
+	OptDH   = core.OptDH
+	OptCF   = core.OptCF
+	OptLoBr = core.OptLoBr
+	OptNBC  = core.OptNBC
+	OptGCC  = core.OptGCC
+	OptSIMD = core.OptSIMD
+)
+
+// Memory layouts.
+const (
+	SoA = grid.SoA
+	AoS = grid.AoS
+)
+
+// D3Q19 returns the standard 19-velocity lattice (Navier-Stokes regime).
+func D3Q19() *Model { return lattice.D3Q19() }
+
+// D3Q27 returns the full 27-velocity cubic lattice (library completeness;
+// the "27 neighbors" prior art the paper's abstract cites).
+func D3Q27() *Model { return lattice.D3Q27() }
+
+// D3Q39 returns the 39-velocity Gauss-Hermite lattice (finite-Knudsen
+// regime, 3rd-order equilibrium).
+func D3Q39() *Model { return lattice.D3Q39() }
+
+// ModelByName resolves "D3Q19"/"D3Q39" (case-insensitive forms accepted).
+func ModelByName(name string) (*Model, error) { return lattice.ByName(name) }
+
+// Run executes a simulation.
+func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// OptLevels lists all optimization levels in ladder order.
+func OptLevels() []OptLevel { return core.Levels() }
+
+// Performance-model façade (paper §III).
+type (
+	// Machine is a modeled compute platform (BG/P, BG/Q).
+	Machine = machine.Machine
+	// KernelSpec carries bytes/flops per lattice-point update.
+	KernelSpec = machine.KernelSpec
+	// Bound is the roofline evaluation of the paper's Eq. 5.
+	Bound = machine.Bound
+)
+
+// BGP and BGQ return the paper's two platforms.
+func BGP() Machine { return machine.BGP() }
+func BGQ() Machine { return machine.BGQ() }
+
+// MaxMFlups evaluates the attainable-performance model (Table II).
+func MaxMFlups(m Machine, k KernelSpec) Bound { return machine.MaxMFlups(m, k) }
+
+// Cluster-simulation façade.
+type (
+	// ClusterJob describes a paper-scale simulated run.
+	ClusterJob = perfsim.Job
+	// ClusterResult is its outcome.
+	ClusterResult = perfsim.Result
+)
+
+// SimulateCluster projects the solver's schedule onto a machine model.
+func SimulateCluster(j ClusterJob) (*ClusterResult, error) { return perfsim.Run(j) }
