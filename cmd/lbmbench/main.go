@@ -26,17 +26,18 @@ func main() {
 	log.SetPrefix("lbmbench: ")
 
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1, table2, fig8, fig9, fig10, table3, table4, fig11, or all")
-		machine = flag.String("machine", "bgp", "machine for fig8/fig9/fig11: bgp or bgq")
+		exp     = flag.String("exp", "all", "experiment: table1, table2, fig8, fig9, fig10, table3, table4, fig11, decomp, or all")
+		machine = flag.String("machine", "bgp", "machine for fig8/fig9/fig11/decomp: bgp or bgq")
 		real    = flag.Bool("real", false, "run the real kernels locally instead of the paper-scale simulator")
 		model   = flag.String("model", "D3Q19", "model for -real experiments")
 		ranks   = flag.Int("ranks", 4, "ranks for -real experiments")
 		steps   = flag.Int("steps", 30, "steps for -real experiments")
+		decomp  = flag.String("decomp", "1d", "decomposition for -real experiments: 1d, 2d, 3d or PxxPyxPz")
 	)
 	flag.Parse()
 
 	if *real {
-		tb, err := realExperiment(*exp, *model, *ranks, *steps)
+		tb, err := realExperiment(*exp, *model, *ranks, *steps, *decomp)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -59,16 +60,16 @@ func main() {
 	}
 }
 
-func realExperiment(exp, model string, ranks, steps int) (*experiments.Table, error) {
+func realExperiment(exp, model string, ranks, steps int, decomp string) (*experiments.Table, error) {
 	switch exp {
 	case "fig8":
-		return experiments.RealFig8(model, ranks, steps)
+		return experiments.RealFig8(model, ranks, steps, decomp)
 	case "fig9":
-		return experiments.RealFig9(model, ranks, steps)
+		return experiments.RealFig9(model, ranks, steps, decomp)
 	case "fig10":
-		return experiments.RealFig10(model, ranks, steps)
+		return experiments.RealFig10(model, ranks, steps, decomp)
 	case "fig11":
-		return experiments.RealFig11(model, steps)
+		return experiments.RealFig11(model, steps, decomp)
 	}
 	return nil, fmt.Errorf("-real supports fig8, fig9, fig10, fig11 (got %q)", exp)
 }

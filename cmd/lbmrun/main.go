@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/decomp"
 	"repro/internal/grid"
 	"repro/internal/lattice"
 	"repro/internal/macro"
@@ -35,6 +36,7 @@ func main() {
 		tau       = flag.Float64("tau", 0.8, "BGK relaxation time (> 0.5)")
 		optName   = flag.String("opt", "SIMD", "optimization level: Orig, GC, DH, CF, LoBr, NB-C, GC-C, SIMD")
 		ranks     = flag.Int("ranks", 1, "message-passing ranks")
+		decompF   = flag.String("decomp", "1d", "domain decomposition: 1d (slab), 2d (pencil), 3d (block), or explicit PxxPyxPz (e.g. 2x2x2)")
 		threads   = flag.Int("threads", 1, "worker threads per rank")
 		depth     = flag.Int("depth", 1, "ghost-cell depth (exchange every depth steps)")
 		layout    = flag.String("layout", "soa", "memory layout: soa or aos")
@@ -62,10 +64,14 @@ func main() {
 	}
 
 	n := grid.Dims{NX: *nx, NY: *ny, NZ: *nz}
+	dec, err := decomp.ParseShape(*decompF, *ranks, [3]int{n.NX, n.NY, n.NZ})
+	if err != nil {
+		log.Fatal(err)
+	}
 	a := *amplitude
 	cfg := core.Config{
 		Model: model, N: n, Tau: *tau, Steps: *steps,
-		Opt: opt, Ranks: *ranks, Threads: *threads, GhostDepth: *depth,
+		Opt: opt, Ranks: *ranks, Decomp: dec.P, Threads: *threads, GhostDepth: *depth,
 		Layout: lay, Fused: *fused, KeepField: *out != "",
 		Init: func(ix, iy, iz int) (rho, ux, uy, uz float64) {
 			x := 2 * math.Pi * float64(ix) / float64(n.NX)
@@ -80,8 +86,12 @@ func main() {
 
 	fmt.Printf("model        %s (Q=%d, c_s^2=%.4f, k=%d)\n", model.Name, model.Q, model.CsSq, model.MaxSpeed)
 	fmt.Printf("domain       %s  (%d fluid cells)\n", n, n.Cells())
-	fmt.Printf("config       opt=%s ranks=%d threads=%d depth=%d layout=%s fused=%v\n", opt, *ranks, *threads, *depth, lay, *fused)
+	fmt.Printf("config       opt=%s ranks=%d decomp=%s threads=%d depth=%d layout=%s fused=%v\n", opt, *ranks, dec, *threads, *depth, lay, *fused)
 	fmt.Printf("steps        %d\n", *steps)
+	if hb := res.HaloAxisBytes; hb != [3]int64{} {
+		fmt.Printf("halo surface %.1f KB/rank/exchange (x %.1f, y %.1f, z %.1f)\n",
+			float64(hb[0]+hb[1]+hb[2])/1024, float64(hb[0])/1024, float64(hb[1])/1024, float64(hb[2])/1024)
+	}
 	fmt.Printf("wall time    %v\n", res.WallTime)
 	fmt.Printf("performance  %.2f MFlup/s\n", res.MFlups)
 	fmt.Printf("ghost work   %d extra cell updates (%.2f%% of interior)\n",

@@ -1,0 +1,67 @@
+package comm
+
+import "fmt"
+
+// CartTopology maps a fabric's linear ranks onto a periodic Px×Py×Pz
+// Cartesian grid, the fabric-level analog of MPI_Cart_create. Numbering is
+// z-fastest (rank = cz + Pz·(cy + Py·cx)), matching the cell indexing of
+// grid.Dims, so a slab grid (N,1,1) numbers ranks identically to the
+// linear fabric.
+type CartTopology struct {
+	P [3]int
+}
+
+// NewCartTopology validates that the grid shape covers exactly n ranks.
+func NewCartTopology(n int, p [3]int) (CartTopology, error) {
+	for a, v := range p {
+		if v < 1 {
+			return CartTopology{}, fmt.Errorf("comm: topology axis %d extent %d, want >= 1", a, v)
+		}
+	}
+	if got := p[0] * p[1] * p[2]; got != n {
+		return CartTopology{}, fmt.Errorf("comm: topology %dx%dx%d covers %d ranks, fabric has %d", p[0], p[1], p[2], got, n)
+	}
+	return CartTopology{P: p}, nil
+}
+
+// Cart returns a Cartesian topology over this fabric's ranks.
+func (f *Fabric) Cart(p [3]int) (CartTopology, error) {
+	return NewCartTopology(f.n, p)
+}
+
+// Ranks returns the total rank count of the grid.
+func (t CartTopology) Ranks() int { return t.P[0] * t.P[1] * t.P[2] }
+
+// Coords returns the grid coordinates of a rank.
+func (t CartTopology) Coords(rank int) [3]int {
+	cz := rank % t.P[2]
+	rank /= t.P[2]
+	return [3]int{rank / t.P[1], rank % t.P[1], cz}
+}
+
+// Rank inverts Coords.
+func (t CartTopology) Rank(c [3]int) int {
+	return c[2] + t.P[2]*(c[1]+t.P[1]*c[0])
+}
+
+// Shift returns the periodic neighbor of rank displaced by disp along
+// axis (the fabric-level MPI_Cart_shift): disp -1 is the lower neighbor,
+// +1 the upper, and larger magnitudes walk further around the ring.
+func (t CartTopology) Shift(rank, axis, disp int) int {
+	c := t.Coords(rank)
+	n := t.P[axis]
+	c[axis] = ((c[axis]+disp)%n + n) % n
+	return t.Rank(c)
+}
+
+// Neighbors returns the low- and high-side neighbor of rank on each axis:
+// Neighbors(r)[axis][0] is the -1 shift, [axis][1] the +1 shift. On an
+// axis of extent 1 both entries are rank itself (self-exchange).
+func (t CartTopology) Neighbors(rank int) [3][2]int {
+	var nb [3][2]int
+	for a := 0; a < 3; a++ {
+		nb[a][0] = t.Shift(rank, a, -1)
+		nb[a][1] = t.Shift(rank, a, +1)
+	}
+	return nb
+}

@@ -1,0 +1,524 @@
+package core
+
+// Multi-axis (2-D pencil / 3-D block) decomposition path. The paper's 1-D
+// slab keeps its specialized stepper (stepper.go) and full optimization
+// ladder bit-for-bit; this file generalizes the owned-region/ghost-width
+// bookkeeping from (startX, own, w) scalars to per-axis extents. Ghost
+// layers of width w = depth·k exist on all three axes (axes with one rank
+// wrap locally), which removes every modulo from the kernels: streaming
+// becomes pure offset block copies and the deep-halo cycle shrinks an
+// axis-aligned box instead of an x interval.
+//
+// The ladder maps onto the box kernels as follows: levels through GC use
+// the per-cell naive collide, DH the row-accumulating generic collide,
+// and CF upward the pair-symmetric collide (whose per-cell arithmetic is
+// identical to the slab path's paired/blocked kernels, keeping 1-D and
+// 3-D runs within float reassociation of each other). NB-C and above
+// switch the per-axis exchange to the posted-receive protocol. The
+// compute/communication overlap of GC-C and the fused kernel remain
+// slab-only (see DESIGN.md); the no-ghost Orig protocol is slab-only by
+// construction.
+
+import (
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/decomp"
+	"repro/internal/grid"
+	"repro/internal/halo"
+	"repro/internal/lattice"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+)
+
+// box is an axis-aligned local cell region: [lo[a], hi[a]) per axis.
+type box struct {
+	lo, hi [3]int
+}
+
+// cells returns the number of cells in the box.
+func (b box) cells() int {
+	n := 1
+	for a := 0; a < 3; a++ {
+		if b.hi[a] <= b.lo[a] {
+			return 0
+		}
+		n *= b.hi[a] - b.lo[a]
+	}
+	return n
+}
+
+// cartStepper holds one rank's state for the multi-axis stepping loop.
+// Local coordinates on axis a: [w, w+own[a]) is owned, [0, w) the low
+// ghost and [w+own[a], own[a]+2w) the high ghost.
+type cartStepper struct {
+	cfg   *Config
+	model *lattice.Model
+	r     *comm.Rank
+	dec   decomp.Cartesian
+
+	start [3]int // first owned global cell per axis
+	own   [3]int // owned extents
+	k     int    // lattice max speed
+	depth int    // deep-halo depth
+	w     int    // ghost width per side on every axis (depth·k)
+
+	d       grid.Dims
+	f, fadv *grid.Field
+	ex      *halo.CartExchanger
+
+	threads      int
+	ghostUpdates int64
+	coef         eqCoefs
+	pairs        []velPair
+	jit          *metrics.RNG
+
+	mask                   []bool
+	fix                    [][]fixup
+	shiftX, shiftY, shiftZ float64
+}
+
+func newCartStepper(cfg *Config, dec decomp.Cartesian, r *comm.Rank) (*cartStepper, error) {
+	cs := &cartStepper{
+		cfg: cfg, model: cfg.Model, r: r, dec: dec,
+		k: cfg.Model.MaxSpeed, depth: cfg.GhostDepth,
+		threads: cfg.Threads,
+		coef:    newEqCoefs(cfg.Model),
+		pairs:   velocityPairs(cfg.Model),
+	}
+	cs.w = cfg.GhostDepth * cs.k
+	for a := 0; a < 3; a++ {
+		cs.start[a], cs.own[a] = dec.Own(r.ID, a)
+	}
+	cs.d = grid.Dims{NX: cs.own[0] + 2*cs.w, NY: cs.own[1] + 2*cs.w, NZ: cs.own[2] + 2*cs.w}
+	cs.f = grid.NewField(cfg.Model.Q, cs.d, cfg.Layout)
+	cs.fadv = grid.NewField(cfg.Model.Q, cs.d, cfg.Layout)
+	// Neighbor ranks come from the fabric-level Cartesian topology (the
+	// MPI_Cart_create analog); the decomposition supplies only extents.
+	// Both number ranks z-fastest, which the equivalence tests pin.
+	top, err := comm.NewCartTopology(r.N, dec.Shape())
+	if err != nil {
+		return nil, err
+	}
+	neighbors := top.Neighbors(r.ID)
+	ww := [3]int{cs.w, cs.w, cs.w}
+	ex, err := halo.NewCartExchanger(cfg.Model.Q, cs.d, cs.own, ww, r.ID, neighbors)
+	if err != nil {
+		return nil, err
+	}
+	cs.ex = ex
+	if cfg.StepJitter > 0 {
+		cs.jit = metrics.NewRNG(uint64(r.ID)*0x9e3779b9 + 1)
+	}
+	cs.shiftX = cfg.Tau * cfg.Accel[0]
+	cs.shiftY = cfg.Tau * cfg.Accel[1]
+	cs.shiftZ = cfg.Tau * cfg.Accel[2]
+	cs.buildMask()
+	return cs, nil
+}
+
+// initField writes the equilibrium of the configured initial condition
+// into the owned box; ghosts are populated by the first exchange.
+func (cs *cartStepper) initField() {
+	feq := make([]float64, cs.model.Q)
+	rest := make([]float64, cs.model.Q)
+	cs.model.Equilibrium(1, 0, 0, 0, rest)
+	w := cs.w
+	for ix := 0; ix < cs.own[0]; ix++ {
+		for iy := 0; iy < cs.own[1]; iy++ {
+			for iz := 0; iz < cs.own[2]; iz++ {
+				if cs.mask != nil && cs.mask[cs.d.Index(w+ix, w+iy, w+iz)] {
+					cs.f.SetCell(w+ix, w+iy, w+iz, rest)
+					continue
+				}
+				rho, ux, uy, uz := cs.cfg.Init(cs.start[0]+ix, cs.start[1]+iy, cs.start[2]+iz)
+				cs.model.Equilibrium(rho, ux, uy, uz, feq)
+				cs.f.SetCell(w+ix, w+iy, w+iz, feq)
+			}
+		}
+	}
+}
+
+// run advances the configured number of steps in deep-halo cycles.
+func (cs *cartStepper) run() {
+	for done := 0; done < cs.cfg.Steps; {
+		runLen := cs.depth
+		if rest := cs.cfg.Steps - done; rest < runLen {
+			runLen = rest
+		}
+		cs.cycle(runLen)
+		done += runLen
+	}
+}
+
+func (cs *cartStepper) jitter() {
+	if cs.jit == nil {
+		return
+	}
+	time.Sleep(time.Duration(cs.jit.Float64() * float64(cs.cfg.StepJitter)))
+}
+
+// cycle performs one deep-halo cycle: a sequential-axis halo exchange
+// followed by runLen (≤ depth) stream+collide steps on a shrinking box.
+func (cs *cartStepper) cycle(runLen int) {
+	cs.ex.ExchangeAll(cs.r, cs.f, cs.cfg.Opt >= OptNBC)
+	exts := halo.CycleExtents(cs.depth, cs.k)
+	for s := 0; s < runLen; s++ {
+		b := cs.boxFor(exts[s])
+		cs.streamBox(b)
+		cs.applyBounceBackBox(b)
+		cs.collideBox(b)
+		cs.countUpdates(b)
+		cs.jitter()
+	}
+}
+
+// boxFor returns the destination box computable in a step whose inputs
+// are valid on owned ± ext cells per axis: owned ± (ext − k).
+func (cs *cartStepper) boxFor(ext int) box {
+	var b box
+	for a := 0; a < 3; a++ {
+		b.lo[a] = cs.w - (ext - cs.k)
+		b.hi[a] = cs.w + cs.own[a] + (ext - cs.k)
+	}
+	return b
+}
+
+// countUpdates accumulates the ghost-region overhead metric.
+func (cs *cartStepper) countUpdates(b box) {
+	if extra := b.cells() - cs.own[0]*cs.own[1]*cs.own[2]; extra > 0 {
+		cs.ghostUpdates += int64(extra)
+	}
+}
+
+// streamBox advances the streaming step for destination box b. With
+// ghosts on every axis there is no wrap arithmetic at all: each velocity
+// moves as offset block copies of z-runs (the DH data-handling form,
+// which every optimization level shares on this path — streaming only
+// moves values, so the level's arithmetic is untouched).
+func (cs *cartStepper) streamBox(b box) {
+	parallel.For(cs.threads, b.lo[0], b.hi[0], func(x0, x1 int) { cs.streamBoxRange(b, x0, x1) })
+}
+
+func (cs *cartStepper) streamBoxRange(b box, x0, x1 int) {
+	m := cs.model
+	zn := b.hi[2] - b.lo[2]
+	for v := 0; v < m.Q; v++ {
+		src := cs.f.V(v)
+		dst := cs.fadv.V(v)
+		cx, cy, cz := m.Cx[v], m.Cy[v], m.Cz[v]
+		for ix := x0; ix < x1; ix++ {
+			for iy := b.lo[1]; iy < b.hi[1]; iy++ {
+				sOff := cs.d.Index(ix-cx, iy-cy, b.lo[2]-cz)
+				dOff := cs.d.Index(ix, iy, b.lo[2])
+				copy(dst[dOff:dOff+zn], src[sOff:sOff+zn])
+			}
+		}
+	}
+}
+
+// collideBox applies BGK collision to box b with the kernel matching the
+// configured optimization level.
+func (cs *cartStepper) collideBox(b box) {
+	switch {
+	case cs.cfg.Opt <= OptGC:
+		parallel.For(cs.threads, b.lo[0], b.hi[0], func(x0, x1 int) { cs.collideBoxNaive(b, x0, x1) })
+	case cs.cfg.Opt == OptDH:
+		parallel.For(cs.threads, b.lo[0], b.hi[0], func(x0, x1 int) { cs.collideBoxGeneric(b, x0, x1) })
+	default:
+		parallel.For(cs.threads, b.lo[0], b.hi[0], func(x0, x1 int) { cs.collideBoxPaired(b, x0, x1) })
+	}
+}
+
+// collideBoxNaive mirrors collideNaive over a box: per-cell gather,
+// divisions, equilibria by method call.
+func (cs *cartStepper) collideBoxNaive(b box, x0, x1 int) {
+	m := cs.model
+	fc := make([]float64, m.Q)
+	for ix := x0; ix < x1; ix++ {
+		for iy := b.lo[1]; iy < b.hi[1]; iy++ {
+			for iz := b.lo[2]; iz < b.hi[2]; iz++ {
+				cell := cs.d.Index(ix, iy, iz)
+				for v := 0; v < m.Q; v++ {
+					fc[v] = cs.fadv.Data[cs.fadv.Idx(v, cell)]
+				}
+				rho, jx, jy, jz := m.Moments(fc)
+				ux := jx/rho + cs.shiftX
+				uy := jy/rho + cs.shiftY
+				uz := jz/rho + cs.shiftZ
+				for v := 0; v < m.Q; v++ {
+					feq := m.EquilibriumAt(v, rho, ux, uy, uz)
+					cs.f.Data[cs.f.Idx(v, cell)] = fc[v] - (fc[v]-feq)/cs.cfg.Tau
+				}
+			}
+		}
+	}
+}
+
+// collideBoxGeneric mirrors collideRowGeneric over a box: moments
+// accumulated one velocity block at a time over z-runs, reciprocals,
+// inlined equilibria.
+func (cs *cartStepper) collideBoxGeneric(b box, x0, x1 int) {
+	m := cs.model
+	zn := b.hi[2] - b.lo[2]
+	omega := 1 / cs.cfg.Tau
+	c := cs.coef
+	rb := newRowBufs(zn)
+	for ix := x0; ix < x1; ix++ {
+		for iy := b.lo[1]; iy < b.hi[1]; iy++ {
+			base := cs.d.Index(ix, iy, b.lo[2])
+			for z := 0; z < zn; z++ {
+				rb.rho[z], rb.jx[z], rb.jy[z], rb.jz[z] = 0, 0, 0, 0
+			}
+			for v := 0; v < m.Q; v++ {
+				sv := cs.fadv.V(v)[base : base+zn]
+				cx, cy, cz := c.cx[v], c.cy[v], c.cz[v]
+				for z, val := range sv {
+					rb.rho[z] += val
+					rb.jx[z] += cx * val
+					rb.jy[z] += cy * val
+					rb.jz[z] += cz * val
+				}
+			}
+			for z := 0; z < zn; z++ {
+				inv := 1 / rb.rho[z]
+				rb.ux[z] = rb.jx[z]*inv + cs.shiftX
+				rb.uy[z] = rb.jy[z]*inv + cs.shiftY
+				rb.uz[z] = rb.jz[z]*inv + cs.shiftZ
+				rb.u2[z] = rb.ux[z]*rb.ux[z] + rb.uy[z]*rb.uy[z] + rb.uz[z]*rb.uz[z]
+			}
+			for v := 0; v < m.Q; v++ {
+				sv := cs.fadv.V(v)[base : base+zn]
+				dv := cs.f.V(v)[base : base+zn]
+				cx, cy, cz, w := c.cx[v], c.cy[v], c.cz[v], c.w[v]
+				for z := 0; z < zn; z++ {
+					cu := cx*rb.ux[z] + cy*rb.uy[z] + cz*rb.uz[z]
+					e := 1 + cu*c.invCs2 + cu*cu*c.invCs4h - rb.u2[z]*c.invCs2h
+					if c.third {
+						e += cu*cu*cu*c.thA - cu*rb.u2[z]*c.thB
+					}
+					feq := w * rb.rho[z] * e
+					dv[z] = sv[z] - omega*(sv[z]-feq)
+				}
+			}
+		}
+	}
+}
+
+// collideBoxPaired mirrors collidePaired over a box: opposite-pair
+// symmetric equilibria with precomputed coefficients. Its per-cell
+// arithmetic is identical to the slab path's paired and blocked kernels,
+// which is what keeps cross-decomposition runs within reassociation
+// tolerance of each other.
+func (cs *cartStepper) collideBoxPaired(b box, x0, x1 int) {
+	zn := b.hi[2] - b.lo[2]
+	omega := 1 / cs.cfg.Tau
+	c := cs.coef
+	rb := newRowBufs(zn)
+	for ix := x0; ix < x1; ix++ {
+		for iy := b.lo[1]; iy < b.hi[1]; iy++ {
+			base := cs.d.Index(ix, iy, b.lo[2])
+			for z := 0; z < zn; z++ {
+				rb.rho[z], rb.jx[z], rb.jy[z], rb.jz[z] = 0, 0, 0, 0
+			}
+			for _, p := range cs.pairs {
+				if p.i == p.j {
+					sv := cs.fadv.V(p.i)[base : base+zn]
+					for z, val := range sv {
+						rb.rho[z] += val
+					}
+					continue
+				}
+				si := cs.fadv.V(p.i)[base : base+zn]
+				sj := cs.fadv.V(p.j)[base : base+zn]
+				cx, cy, cz := c.cx[p.i], c.cy[p.i], c.cz[p.i]
+				for z := 0; z < zn; z++ {
+					vi, vj := si[z], sj[z]
+					sum, diff := vi+vj, vi-vj
+					rb.rho[z] += sum
+					rb.jx[z] += cx * diff
+					rb.jy[z] += cy * diff
+					rb.jz[z] += cz * diff
+				}
+			}
+			for z := 0; z < zn; z++ {
+				inv := 1 / rb.rho[z]
+				rb.ux[z] = rb.jx[z]*inv + cs.shiftX
+				rb.uy[z] = rb.jy[z]*inv + cs.shiftY
+				rb.uz[z] = rb.jz[z]*inv + cs.shiftZ
+				rb.u2[z] = rb.ux[z]*rb.ux[z] + rb.uy[z]*rb.uy[z] + rb.uz[z]*rb.uz[z]
+			}
+			for _, p := range cs.pairs {
+				if p.i == p.j {
+					sv := cs.fadv.V(p.i)[base : base+zn]
+					dv := cs.f.V(p.i)[base : base+zn]
+					w := c.w[p.i]
+					for z := 0; z < zn; z++ {
+						feq := w * rb.rho[z] * (1 - rb.u2[z]*c.invCs2h)
+						dv[z] = sv[z] - omega*(sv[z]-feq)
+					}
+					continue
+				}
+				si := cs.fadv.V(p.i)[base : base+zn]
+				sj := cs.fadv.V(p.j)[base : base+zn]
+				di := cs.f.V(p.i)[base : base+zn]
+				dj := cs.f.V(p.j)[base : base+zn]
+				cx, cy, cz, w := c.cx[p.i], c.cy[p.i], c.cz[p.i], c.w[p.i]
+				for z := 0; z < zn; z++ {
+					cu := cx*rb.ux[z] + cy*rb.uy[z] + cz*rb.uz[z]
+					cu2 := cu * cu
+					even := 1 + cu2*c.invCs4h - rb.u2[z]*c.invCs2h
+					odd := cu * c.invCs2
+					if c.third {
+						odd += cu2*cu*c.thA - cu*rb.u2[z]*c.thB
+					}
+					wr := w * rb.rho[z]
+					di[z] = si[z] - omega*(si[z]-wr*(even+odd))
+					dj[z] = sj[z] - omega*(sj[z]-wr*(even-odd))
+				}
+			}
+		}
+	}
+}
+
+// buildMask evaluates the global solid mask over the local box (ghosts
+// included, with periodic wrap on every axis) and precomputes the
+// per-x-plane bounce-back fixup lists.
+func (cs *cartStepper) buildMask() {
+	if cs.cfg.Solid == nil {
+		return
+	}
+	g := [3]int{cs.cfg.N.NX, cs.cfg.N.NY, cs.cfg.N.NZ}
+	wrap := func(i, a int) int { return ((cs.start[a]+i-cs.w)%g[a] + g[a]) % g[a] }
+	nx, ny, nz := cs.d.NX, cs.d.NY, cs.d.NZ
+	cs.mask = make([]bool, cs.d.Cells())
+	for ix := 0; ix < nx; ix++ {
+		gx := wrap(ix, 0)
+		for iy := 0; iy < ny; iy++ {
+			gy := wrap(iy, 1)
+			for iz := 0; iz < nz; iz++ {
+				cs.mask[cs.d.Index(ix, iy, iz)] = cs.cfg.Solid(gx, gy, wrap(iz, 2))
+			}
+		}
+	}
+	m := cs.model
+	cs.fix = make([][]fixup, nx)
+	for ix := 0; ix < nx; ix++ {
+		for iy := 0; iy < ny; iy++ {
+			for iz := 0; iz < nz; iz++ {
+				cell := cs.d.Index(ix, iy, iz)
+				if cs.mask[cell] {
+					continue
+				}
+				for v := 0; v < m.Q; v++ {
+					sx, sy, sz := ix-m.Cx[v], iy-m.Cy[v], iz-m.Cz[v]
+					if sx < 0 || sx >= nx || sy < 0 || sy >= ny || sz < 0 || sz >= nz {
+						continue // outside the allocation; never streamed
+					}
+					if cs.mask[cs.d.Index(sx, sy, sz)] {
+						cs.fix[ix] = append(cs.fix[ix], fixup{
+							cell: int32(cell), v: uint8(v), opp: uint8(m.Opp[v]),
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// applyBounceBackBox replaces populations streamed out of solid cells for
+// the x-planes of box b. Fixups at cells outside the box's y/z range
+// touch only cells whose state is already stale this step and is never
+// read again before the next exchange, so the per-x-plane lists need no
+// further filtering.
+func (cs *cartStepper) applyBounceBackBox(b box) {
+	if cs.fix == nil {
+		return
+	}
+	cells := cs.d.Cells()
+	f, fadv := cs.f, cs.fadv
+	for ix := b.lo[0]; ix < b.hi[0]; ix++ {
+		for _, fx := range cs.fix[ix] {
+			fadv.Data[int(fx.v)*cells+int(fx.cell)] = f.Data[int(fx.opp)*cells+int(fx.cell)]
+		}
+	}
+}
+
+// ownedSums returns mass and momentum summed over the owned fluid cells.
+func (cs *cartStepper) ownedSums() (mass, mx, my, mz float64) {
+	fc := make([]float64, cs.model.Q)
+	w := cs.w
+	for ix := 0; ix < cs.own[0]; ix++ {
+		for iy := 0; iy < cs.own[1]; iy++ {
+			for iz := 0; iz < cs.own[2]; iz++ {
+				if cs.mask != nil && cs.mask[cs.d.Index(w+ix, w+iy, w+iz)] {
+					continue
+				}
+				cs.f.Cell(w+ix, w+iy, w+iz, fc)
+				rho, jx, jy, jz := cs.model.Moments(fc)
+				mass += rho
+				mx += jx
+				my += jy
+				mz += jz
+			}
+		}
+	}
+	return
+}
+
+// ownedBlock packs the owned box of the final state velocity-major (for
+// every velocity, x-major y then z runs), the wire format assembleCart
+// expects.
+func (cs *cartStepper) ownedBlock() []float64 {
+	n := cs.own[0] * cs.own[1] * cs.own[2]
+	out := make([]float64, cs.model.Q*n)
+	w, zn := cs.w, cs.own[2]
+	pos := 0
+	for v := 0; v < cs.model.Q; v++ {
+		blk := cs.f.V(v)
+		for ix := 0; ix < cs.own[0]; ix++ {
+			for iy := 0; iy < cs.own[1]; iy++ {
+				off := cs.d.Index(w+ix, w+iy, w)
+				pos += copy(out[pos:pos+zn], blk[off:off+zn])
+			}
+		}
+	}
+	return out
+}
+
+// ghosts, gather and axisBytes adapt the cart stepper to the shared Run
+// harness. axisBytes comes from the exchanger that does the sending, so
+// it stays truthful to the actual pack shapes.
+func (cs *cartStepper) ghosts() int64     { return cs.ghostUpdates }
+func (cs *cartStepper) gather() []float64 { return cs.ownedBlock() }
+func (cs *cartStepper) axisBytes() [3]int64 {
+	return [3]int64{cs.ex.BytesPerExchange(0), cs.ex.BytesPerExchange(1), cs.ex.BytesPerExchange(2)}
+}
+
+// assembleCart glues the per-rank owned blocks into one global SoA field.
+func assembleCart(cfg *Config, dec decomp.Cartesian, blocks [][]float64) *grid.Field {
+	g := grid.NewField(cfg.Model.Q, cfg.N, grid.SoA)
+	for r := 0; r < dec.Ranks(); r++ {
+		var st, sz [3]int
+		for a := 0; a < 3; a++ {
+			st[a], sz[a] = dec.Own(r, a)
+		}
+		src := blocks[r]
+		n := sz[0] * sz[1] * sz[2]
+		pos := 0
+		for v := 0; v < cfg.Model.Q; v++ {
+			blk := g.V(v)
+			for ix := 0; ix < sz[0]; ix++ {
+				for iy := 0; iy < sz[1]; iy++ {
+					off := cfg.N.Index(st[0]+ix, st[1]+iy, st[2])
+					copy(blk[off:off+sz[2]], src[pos:pos+sz[2]])
+					pos += sz[2]
+				}
+			}
+		}
+		if pos != cfg.Model.Q*n {
+			panic("core: cart gather size mismatch")
+		}
+	}
+	return g
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/lattice"
+)
+
+// Multi-axis decomposition tests: the oracle comparisons reuse the
+// independent refSolver of core_test.go, so a 2-D or 3-D run is held to
+// the same 1e-12 standard as every slab configuration.
+
+func TestCartOptLevelsAgainstOracleQ19(t *testing.T) {
+	n := grid.Dims{NX: 8, NY: 6, NZ: 6}
+	for _, opt := range []OptLevel{OptGC, OptDH, OptCF, OptLoBr, OptNBC, OptGCC, OptSIMD} {
+		for _, p := range [][3]int{{2, 2, 1}, {1, 2, 2}, {2, 2, 2}} {
+			runAndCompare(t, Config{
+				Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 5,
+				Opt: opt, Ranks: p[0] * p[1] * p[2], Decomp: p, Threads: 1, GhostDepth: 1,
+			})
+		}
+	}
+}
+
+func TestCartOptLevelsAgainstOracleQ39(t *testing.T) {
+	// k = 3 for D3Q39: every axis needs at least w = depth·3 owned cells.
+	n := grid.Dims{NX: 8, NY: 8, NZ: 6}
+	for _, opt := range []OptLevel{OptGC, OptDH, OptSIMD} {
+		runAndCompare(t, Config{
+			Model: lattice.D3Q39(), N: n, Tau: 0.9, Steps: 4,
+			Opt: opt, Ranks: 4, Decomp: [3]int{2, 2, 1}, Threads: 1, GhostDepth: 1,
+		})
+	}
+}
+
+func TestCartDeepHalo(t *testing.T) {
+	n := grid.Dims{NX: 12, NY: 8, NZ: 8}
+	for _, depth := range []int{2, 3} {
+		for _, steps := range []int{4, 7} {
+			runAndCompare(t, Config{
+				Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: steps,
+				Opt: OptSIMD, Ranks: 8, Decomp: [3]int{2, 2, 2}, Threads: 1, GhostDepth: depth,
+			})
+		}
+	}
+}
+
+func TestCartUnevenBlocks(t *testing.T) {
+	// 17×9×11 over 3×2×2: blocks of 6/6/5, 5/4 and 6/5 cells.
+	n := grid.Dims{NX: 17, NY: 9, NZ: 11}
+	runAndCompare(t, Config{
+		Model: lattice.D3Q19(), N: n, Tau: 0.75, Steps: 5,
+		Opt: OptSIMD, Ranks: 12, Decomp: [3]int{3, 2, 2}, Threads: 1, GhostDepth: 2,
+	})
+}
+
+func TestCartThreading(t *testing.T) {
+	n := grid.Dims{NX: 10, NY: 8, NZ: 8}
+	for _, threads := range []int{2, 4} {
+		runAndCompare(t, Config{
+			Model: lattice.D3Q19(), N: n, Tau: 0.85, Steps: 4,
+			Opt: OptSIMD, Ranks: 4, Decomp: [3]int{2, 2, 1}, Threads: threads, GhostDepth: 2,
+		})
+	}
+}
+
+// TestCrossDecompositionEquivalence is the acceptance experiment: the
+// same problem solved with 1-D, 2-D and 3-D rank grids must agree on the
+// final field to within float reassociation, and the 3-D 2×2×2 run's
+// conserved sums must match the 8-rank slab's to 1e-12.
+func TestCrossDecompositionEquivalence(t *testing.T) {
+	n := grid.Dims{NX: 32, NY: 32, NZ: 32}
+	steps := 50
+	if testing.Short() {
+		steps = 10
+	}
+	base := Config{
+		Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: steps,
+		Opt: OptSIMD, Ranks: 8, Threads: 1, GhostDepth: 1,
+		Init: waveInit(n), KeepField: true,
+	}
+	shapes := [][3]int{{8, 1, 1}, {4, 2, 1}, {2, 2, 2}}
+	results := make([]*Result, len(shapes))
+	for i, p := range shapes {
+		cfg := base
+		cfg.Decomp = p
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("decomp %v: %v", p, err)
+		}
+		results[i] = res
+	}
+	ref := results[0]
+	for i, p := range shapes[1:] {
+		res := results[i+1]
+		if d := grid.MaxAbsDiff(ref.Field, res.Field); d > 1e-12 {
+			t.Errorf("decomp %v vs slab: max |Δf| = %g", p, d)
+		}
+		if d := math.Abs(res.Mass - ref.Mass); d > 1e-12*ref.Mass {
+			t.Errorf("decomp %v: mass %0.15f vs slab %0.15f", p, res.Mass, ref.Mass)
+		}
+		for _, m := range []struct {
+			got, want float64
+			name      string
+		}{
+			{res.MomX, ref.MomX, "px"}, {res.MomY, ref.MomY, "py"}, {res.MomZ, ref.MomZ, "pz"},
+		} {
+			if math.Abs(m.got-m.want) > 1e-12*ref.Mass {
+				t.Errorf("decomp %v: %s = %g vs slab %g", p, m.name, m.got, m.want)
+			}
+		}
+	}
+	// The 3-D block's per-axis surface must beat the slab's single fat
+	// face: total halo bytes strictly smaller at 8 ranks.
+	slabTotal := ref.HaloAxisBytes[0] + ref.HaloAxisBytes[1] + ref.HaloAxisBytes[2]
+	blk := results[2].HaloAxisBytes
+	blkTotal := blk[0] + blk[1] + blk[2]
+	if blk[0] == 0 || blk[1] == 0 || blk[2] == 0 {
+		t.Errorf("3-D run axis bytes %v: want all axes nonzero", blk)
+	}
+	if blkTotal >= slabTotal {
+		t.Errorf("3-D halo bytes %d not below slab %d at 8 ranks", blkTotal, slabTotal)
+	}
+}
+
+// TestCartSolidObstacles holds the multi-axis bounce-back to the slab
+// solver's result: identical fields and exact mass conservation.
+func TestCartSolidObstacles(t *testing.T) {
+	n := grid.Dims{NX: 12, NY: 10, NZ: 10}
+	solid := func(ix, iy, iz int) bool {
+		dx, dy, dz := ix-6, iy-5, iz-5
+		return dx*dx+dy*dy+dz*dz < 6
+	}
+	base := Config{
+		Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 8,
+		Opt: OptSIMD, Ranks: 4, Threads: 1, GhostDepth: 2,
+		Solid: solid, Init: waveInit(n), KeepField: true,
+	}
+	slabCfg := base
+	slabCfg.Decomp = [3]int{4, 1, 1}
+	want, err := Run(slabCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range [][3]int{{2, 2, 1}, {1, 2, 2}} {
+		cfg := base
+		cfg.Decomp = p
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("decomp %v: %v", p, err)
+		}
+		if d := grid.MaxAbsDiff(want.Field, got.Field); d > 1e-12 {
+			t.Errorf("decomp %v: max |Δf| vs slab = %g", p, d)
+		}
+		if math.Abs(got.Mass-want.Mass) > 1e-10 {
+			t.Errorf("decomp %v: mass %g vs slab %g", p, got.Mass, want.Mass)
+		}
+	}
+}
+
+func TestCartForcing(t *testing.T) {
+	n := grid.Dims{NX: 8, NY: 8, NZ: 8}
+	base := Config{
+		Model: lattice.D3Q19(), N: n, Tau: 0.9, Steps: 6,
+		Opt: OptSIMD, Ranks: 8, Threads: 1, GhostDepth: 1,
+		Accel: [3]float64{1e-4, 0, 0}, KeepField: true,
+	}
+	slabCfg := base
+	slabCfg.Decomp = [3]int{8, 1, 1}
+	want, err := Run(slabCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Decomp = [3]int{2, 2, 2}
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := grid.MaxAbsDiff(want.Field, got.Field); d > 1e-12 {
+		t.Errorf("forced 3-D vs slab: max |Δf| = %g", d)
+	}
+	if got.MomX <= 0 {
+		t.Errorf("forced momentum not positive: %g", got.MomX)
+	}
+}
+
+func TestCartGhostUpdatesAccounting(t *testing.T) {
+	n := grid.Dims{NX: 16, NY: 16, NZ: 16}
+	res, err := Run(Config{
+		Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 4,
+		Opt: OptGC, Ranks: 8, Decomp: [3]int{2, 2, 2}, GhostDepth: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each cycle's first step computes a box grown by 2k on every axis:
+	// 10³ − 8³ = 488 extra cells per rank per cycle; 2 cycles, 8 ranks.
+	want := int64(2 * 8 * (10*10*10 - 8*8*8))
+	if res.GhostUpdates != want {
+		t.Errorf("ghost updates = %d, want %d", res.GhostUpdates, want)
+	}
+}
+
+func TestCartValidation(t *testing.T) {
+	base := Config{
+		Model: lattice.D3Q19(), N: grid.Dims{NX: 8, NY: 8, NZ: 8},
+		Tau: 0.8, Steps: 1, Ranks: 8, Decomp: [3]int{2, 2, 2}, Opt: OptGC, GhostDepth: 1,
+	}
+	cases := []struct {
+		name string
+		mod  func(c *Config)
+	}{
+		{"orig multi-axis", func(c *Config) { c.Opt = OptOrig }},
+		{"AoS multi-axis", func(c *Config) { c.Layout = grid.AoS }},
+		{"fused multi-axis", func(c *Config) { c.Fused = true }},
+		{"shape/ranks mismatch", func(c *Config) { c.Ranks = 4 }},
+		{"block smaller than halo", func(c *Config) { c.GhostDepth = 5 }},
+		{"axis overcommit", func(c *Config) { c.Decomp = [3]int{1, 1, 8}; c.N.NZ = 4; c.N.NY = 16 }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mod(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: invalid config accepted", tc.name)
+		}
+	}
+	if _, err := Run(base); err != nil {
+		t.Errorf("base config rejected: %v", err)
+	}
+}

@@ -117,6 +117,14 @@ type Config struct {
 	GhostDepth int
 	// Ranks is the number of message-passing ranks ("MPI tasks").
 	Ranks int
+	// Decomp is the rank-grid shape (Px, Py, Pz) of the Cartesian domain
+	// decomposition; its product must equal Ranks. The zero value selects
+	// the paper's 1-D slab (Ranks, 1, 1), which keeps the specialized
+	// slab stepper and its full optimization ladder. Multi-axis shapes
+	// (pencil/block) require the SoA layout, a ghost-cell level (not
+	// Orig) and the split kernels (no Fused); their GC-C level falls back
+	// to the NB-C exchange protocol (no compute overlap yet).
+	Decomp [3]int
 	// Threads is the number of worker threads per rank ("OpenMP threads").
 	Threads int
 	// Layout selects the field memory layout. The copy-based streaming
@@ -192,19 +200,37 @@ func (c *Config) init() error {
 	if c.N.NY < 2*k || c.N.NZ < 2*k {
 		return fmt.Errorf("core: NY/NZ (%d/%d) must be >= 2k = %d for %s", c.N.NY, c.N.NZ, 2*k, c.Model.Name)
 	}
-	d, err := decomp.New(c.N.NX, c.Ranks)
+	if c.Decomp == ([3]int{}) {
+		c.Decomp = [3]int{c.Ranks, 1, 1}
+	}
+	if got := c.Decomp[0] * c.Decomp[1] * c.Decomp[2]; got != c.Ranks {
+		return fmt.Errorf("core: decomposition %dx%dx%d covers %d ranks, config has %d",
+			c.Decomp[0], c.Decomp[1], c.Decomp[2], got, c.Ranks)
+	}
+	dec, err := decomp.NewCartesian([3]int{c.N.NX, c.N.NY, c.N.NZ}, c.Decomp)
 	if err != nil {
 		return err
 	}
-	minOwn := c.N.NX
-	for r := 0; r < c.Ranks; r++ {
-		if _, size := d.Own(r); size < minOwn {
-			minOwn = size
-		}
-	}
 	w := c.GhostDepth * k
-	if minOwn < w {
-		return fmt.Errorf("core: smallest slab (%d planes) < halo width %d (depth %d × k %d)", minOwn, w, c.GhostDepth, k)
+	if dec.IsSlab() {
+		if minOwn := dec.MinOwn(0); minOwn < w {
+			return fmt.Errorf("core: smallest slab (%d planes) < halo width %d (depth %d × k %d)", minOwn, w, c.GhostDepth, k)
+		}
+	} else {
+		if c.Opt == OptOrig {
+			return fmt.Errorf("core: the no-ghost Orig protocol is slab-only; use Decomp (Ranks,1,1) or a ghost-cell level")
+		}
+		if c.Layout != grid.SoA {
+			return fmt.Errorf("core: multi-axis decompositions require the SoA layout")
+		}
+		if c.Fused {
+			return fmt.Errorf("core: the fused kernel is slab-only; disable Fused or use a 1-D decomposition")
+		}
+		for a := 0; a < 3; a++ {
+			if mo := dec.MinOwn(a); mo < w {
+				return fmt.Errorf("core: axis %d smallest block (%d cells) < halo width %d (depth %d × k %d)", a, mo, w, c.GhostDepth, k)
+			}
+		}
 	}
 	if c.Fabric != nil && c.Fabric.N() != c.Ranks {
 		return fmt.Errorf("core: supplied fabric has %d ranks, config wants %d", c.Fabric.N(), c.Ranks)
@@ -234,6 +260,13 @@ type Result struct {
 	GhostUpdates int64
 	// Mass and MomX/Y/Z are globally summed conserved quantities at the end.
 	Mass, MomX, MomY, MomZ float64
+	// Decomp is the rank-grid shape the run used.
+	Decomp [3]int
+	// HaloAxisBytes is the per-rank halo payload sent along each axis per
+	// full exchange (max over ranks): the per-axis communication surface
+	// that distinguishes slab, pencil and block decompositions. Zero on
+	// undecomposed axes and for the no-ghost Orig protocol.
+	HaloAxisBytes [3]int64
 	// PerRank holds communication statistics per rank.
 	PerRank []RankStats
 	// Field is the gathered global distribution (layout SoA) when
@@ -251,12 +284,15 @@ func (r *Result) CommSummary() metrics.Summary {
 	return metrics.SummarizeDurations(ds)
 }
 
-// Run executes the configured simulation and returns its result.
+// Run executes the configured simulation and returns its result. The 1-D
+// slab shape dispatches to the specialized slab stepper (the paper's full
+// optimization ladder); pencil and block shapes use the generalized
+// multi-axis stepper of cart.go.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.init(); err != nil {
 		return nil, err
 	}
-	dec, err := decomp.New(cfg.N.NX, cfg.Ranks)
+	dec, err := decomp.NewCartesian([3]int{cfg.N.NX, cfg.N.NY, cfg.N.NZ}, cfg.Decomp)
 	if err != nil {
 		return nil, err
 	}
@@ -267,10 +303,25 @@ func Run(cfg Config) (*Result, error) {
 
 	walls := make([]time.Duration, cfg.Ranks)
 	sums := make([][5]float64, cfg.Ranks) // mass, momx, momy, momz, ghost updates
-	slabs := make([][]float64, cfg.Ranks)
+	blocks := make([][]float64, cfg.Ranks)
+	axisB := make([][3]int64, cfg.Ranks)
+	slab := dec.IsSlab()
 
 	runErr := fab.Run(func(r *comm.Rank) error {
-		st, err := newStepper(&cfg, dec, r)
+		var st interface {
+			initField()
+			run()
+			ownedSums() (mass, mx, my, mz float64)
+			ghosts() int64
+			gather() []float64
+			axisBytes() [3]int64
+		}
+		var err error
+		if slab {
+			st, err = newStepper(&cfg, dec, r)
+		} else {
+			st, err = newCartStepper(&cfg, dec, r)
+		}
 		if err != nil {
 			return err
 		}
@@ -282,9 +333,10 @@ func Run(cfg Config) (*Result, error) {
 		r.Barrier()
 
 		mass, mx, my, mz := st.ownedSums()
-		sums[r.ID] = [5]float64{mass, mx, my, mz, float64(st.ghostUpdates)}
+		sums[r.ID] = [5]float64{mass, mx, my, mz, float64(st.ghosts())}
+		axisB[r.ID] = st.axisBytes()
 		if cfg.KeepField {
-			slabs[r.ID] = st.ownedSlab()
+			blocks[r.ID] = st.gather()
 		}
 		return nil
 	})
@@ -292,7 +344,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, runErr
 	}
 
-	res := &Result{PerRank: make([]RankStats, cfg.Ranks)}
+	res := &Result{PerRank: make([]RankStats, cfg.Ranks), Decomp: cfg.Decomp}
 	for r := 0; r < cfg.Ranks; r++ {
 		if walls[r] > res.WallTime {
 			res.WallTime = walls[r]
@@ -312,22 +364,33 @@ func Run(cfg Config) (*Result, error) {
 	for r, m := range fab.MessagesSent() {
 		res.PerRank[r].Messages = m
 	}
+	for _, ab := range axisB {
+		for a := 0; a < 3; a++ {
+			if ab[a] > res.HaloAxisBytes[a] {
+				res.HaloAxisBytes[a] = ab[a]
+			}
+		}
+	}
 	fluid := FluidCells(cfg.N, cfg.Solid)
 	res.InteriorUpdates = int64(cfg.Steps) * int64(fluid)
 	res.MFlups = metrics.MFlups(cfg.Steps, fluid, res.WallTime)
 	if cfg.KeepField {
-		res.Field = assembleField(&cfg, dec, slabs)
+		if slab {
+			res.Field = assembleField(&cfg, dec, blocks)
+		} else {
+			res.Field = assembleCart(&cfg, dec, blocks)
+		}
 	}
 	return res, nil
 }
 
 // assembleField glues the per-rank owned slabs into one global SoA field.
 // Slabs are packed velocity-major (see stepper.ownedSlab).
-func assembleField(cfg *Config, dec decomp.D1, slabs [][]float64) *grid.Field {
+func assembleField(cfg *Config, dec decomp.Cartesian, slabs [][]float64) *grid.Field {
 	g := grid.NewField(cfg.Model.Q, cfg.N, grid.SoA)
 	plane := cfg.N.PlaneCells()
 	for r := 0; r < cfg.Ranks; r++ {
-		start, size := dec.Own(r)
+		start, size := dec.Own(r, decomp.AxisX)
 		src := slabs[r]
 		n := size * plane
 		for v := 0; v < cfg.Model.Q; v++ {

@@ -22,7 +22,7 @@ func benchStepper(b *testing.B, m *lattice.Model, n grid.Dims, opt OptLevel) *st
 	if err := cfg.init(); err != nil {
 		b.Fatal(err)
 	}
-	dec, err := decomp.New(n.NX, 1)
+	dec, err := decomp.NewCartesian([3]int{n.NX, n.NY, n.NZ}, [3]int{1, 1, 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func BenchmarkHaloLocalExchange(b *testing.B) {
 			if err := cfg.init(); err != nil {
 				b.Fatal(err)
 			}
-			dec, _ := decomp.New(benchDims.NX, 1)
+			dec, _ := decomp.NewCartesian([3]int{benchDims.NX, benchDims.NY, benchDims.NZ}, [3]int{1, 1, 1})
 			var st *stepper
 			fab := comm.NewFabric(1)
 			if err := fab.Run(func(r *comm.Rank) error {

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"repro/internal/decomp"
 	"repro/internal/grid"
 	"repro/internal/halo"
 	"repro/internal/parallel"
@@ -30,9 +29,9 @@ const (
 	tagOrigR = 0x340
 )
 
-func newOrigProto(s *stepper, dec decomp.D1) *origProto {
+func newOrigProto(s *stepper, left, right int) *origProto {
 	m := s.model
-	p := &origProto{s: s, left: dec.Left(s.r.ID), right: dec.Right(s.r.ID)}
+	p := &origProto{s: s, left: left, right: right}
 	plane := s.d.PlaneCells()
 	maxLen := 0
 	for off := 1; off <= s.k; off++ {

@@ -47,8 +47,10 @@ type stepper struct {
 	shiftX, shiftY, shiftZ float64
 }
 
-func newStepper(cfg *Config, dec decomp.D1, r *comm.Rank) (*stepper, error) {
-	startX, own := dec.Own(r.ID)
+func newStepper(cfg *Config, dec decomp.Cartesian, r *comm.Rank) (*stepper, error) {
+	startX, own := dec.Own(r.ID, decomp.AxisX)
+	left := dec.Neighbor(r.ID, decomp.AxisX, -1)
+	right := dec.Neighbor(r.ID, decomp.AxisX, +1)
 	k := cfg.Model.MaxSpeed
 	w := cfg.GhostDepth * k
 	s := &stepper{
@@ -63,9 +65,9 @@ func newStepper(cfg *Config, dec decomp.D1, r *comm.Rank) (*stepper, error) {
 	s.f = grid.NewField(cfg.Model.Q, s.d, cfg.Layout)
 	s.fadv = grid.NewField(cfg.Model.Q, s.d, cfg.Layout)
 	if cfg.Opt == OptOrig {
-		s.orig = newOrigProto(s, dec)
+		s.orig = newOrigProto(s, left, right)
 	} else {
-		ex, err := halo.NewExchanger(cfg.Model.Q, s.d, own, w, dec.Left(r.ID), dec.Right(r.ID))
+		ex, err := halo.NewExchanger(cfg.Model.Q, s.d, own, w, left, right)
 		if err != nil {
 			return nil, err
 		}
@@ -341,6 +343,21 @@ func (s *stepper) ownedSlab() []float64 {
 		}
 	}
 	return out
+}
+
+// ghosts, gather and axisBytes adapt the stepper to the shared Run
+// harness (the cart stepper implements the same trio).
+func (s *stepper) ghosts() int64     { return s.ghostUpdates }
+func (s *stepper) gather() []float64 { return s.ownedSlab() }
+
+// axisBytes reports this rank's halo payload per full exchange: the
+// exchanger's own accounting (x only — the slab has no y/z halo). Zero
+// for the no-ghost Orig protocol and for single-rank local wraps.
+func (s *stepper) axisBytes() [3]int64 {
+	if s.ex == nil || s.r.N == 1 {
+		return [3]int64{}
+	}
+	return [3]int64{s.ex.BytesPerExchange(), 0, 0}
 }
 
 // velPair groups a velocity with its opposite for the pair-symmetric

@@ -1,0 +1,302 @@
+package decomp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Axis indices for the three Cartesian directions.
+const (
+	AxisX = 0
+	AxisY = 1
+	AxisZ = 2
+)
+
+// Decomposition is implemented by Cartesian; consumers that only need
+// the rank-grid geometry (ownership, neighbors, coordinates) can take
+// the interface so alternative decompositions (e.g. space-filling-curve
+// or load-balanced blocks) can slot in later.
+//
+// Decomposition abstracts a periodic Cartesian domain decomposition: a
+// rank grid laid over the global box, with balanced contiguous blocks per
+// axis. The paper's 1-D slab is the shape (P,1,1); pencils are (Px,Py,1)
+// and blocks (Px,Py,Pz). Rank numbering is z-fastest, matching the cell
+// indexing of grid.Dims, so a slab decomposition numbers ranks exactly
+// like the original D1.
+type Decomposition interface {
+	// Ranks returns the total rank count (product of the grid shape).
+	Ranks() int
+	// Shape returns the rank-grid extents (Px, Py, Pz).
+	Shape() [3]int
+	// Coords returns the grid coordinates of a rank.
+	Coords(rank int) [3]int
+	// RankAt inverts Coords.
+	RankAt(c [3]int) int
+	// Own returns the global start index and count owned by rank on axis.
+	Own(rank, axis int) (start, size int)
+	// Neighbor returns the periodic neighbor of rank along axis in
+	// direction dir (-1 toward lower indices, +1 toward higher).
+	Neighbor(rank, axis, dir int) int
+	// MaxOwn returns the largest owned extent over all ranks on axis.
+	MaxOwn(axis int) int
+	// RankOf returns the rank owning the global cell (ix, iy, iz).
+	RankOf(ix, iy, iz int) int
+}
+
+// blockOwn returns the start and size of block i when n items are split
+// into parts balanced contiguous blocks: the first n mod parts blocks get
+// one extra item. This is the same formula D1 has always used.
+func blockOwn(n, parts, i int) (start, size int) {
+	base := n / parts
+	rem := n % parts
+	if i < rem {
+		return i * (base + 1), base + 1
+	}
+	return rem*(base+1) + (i-rem)*base, base
+}
+
+// blockRankOf inverts blockOwn: the block index owning item gi.
+func blockRankOf(n, parts, gi int) int {
+	base := n / parts
+	rem := n % parts
+	cut := rem * (base + 1)
+	if gi < cut {
+		return gi / (base + 1)
+	}
+	return rem + (gi-cut)/base
+}
+
+// blockMax returns the largest block size.
+func blockMax(n, parts int) int {
+	if n%parts != 0 {
+		return n/parts + 1
+	}
+	return n / parts
+}
+
+// Cartesian is a balanced block decomposition of a global box over a
+// Px×Py×Pz rank grid with periodic neighbor relationships on every axis.
+// It implements Decomposition.
+type Cartesian struct {
+	Global [3]int // global cell extents (NX, NY, NZ)
+	P      [3]int // rank-grid extents
+}
+
+var _ Decomposition = Cartesian{}
+
+// NewCartesian validates and returns a Cartesian decomposition of the
+// global extents over a p[0]×p[1]×p[2] rank grid.
+func NewCartesian(global, p [3]int) (Cartesian, error) {
+	for a := 0; a < 3; a++ {
+		if p[a] < 1 {
+			return Cartesian{}, fmt.Errorf("decomp: axis %d rank count %d, want >= 1", a, p[a])
+		}
+		if global[a] < p[a] {
+			return Cartesian{}, fmt.Errorf("decomp: axis %d extent %d < %d ranks (every rank needs at least one cell)", a, global[a], p[a])
+		}
+	}
+	return Cartesian{Global: global, P: p}, nil
+}
+
+// Ranks returns the total rank count.
+func (c Cartesian) Ranks() int { return c.P[0] * c.P[1] * c.P[2] }
+
+// Shape returns the rank-grid extents.
+func (c Cartesian) Shape() [3]int { return c.P }
+
+// Coords returns the grid coordinates of a rank (z-fastest numbering).
+func (c Cartesian) Coords(rank int) [3]int {
+	cz := rank % c.P[2]
+	rank /= c.P[2]
+	cy := rank % c.P[1]
+	cx := rank / c.P[1]
+	return [3]int{cx, cy, cz}
+}
+
+// RankAt inverts Coords.
+func (c Cartesian) RankAt(co [3]int) int {
+	return co[2] + c.P[2]*(co[1]+c.P[1]*co[0])
+}
+
+// Own returns the global start index and count owned by rank on axis.
+func (c Cartesian) Own(rank, axis int) (start, size int) {
+	return blockOwn(c.Global[axis], c.P[axis], c.Coords(rank)[axis])
+}
+
+// Neighbor returns the periodic neighbor of rank along axis (dir ±1).
+func (c Cartesian) Neighbor(rank, axis, dir int) int {
+	co := c.Coords(rank)
+	co[axis] = (co[axis] + dir + c.P[axis]) % c.P[axis]
+	return c.RankAt(co)
+}
+
+// MaxOwn returns the largest owned extent over all ranks on axis.
+func (c Cartesian) MaxOwn(axis int) int {
+	return blockMax(c.Global[axis], c.P[axis])
+}
+
+// MinOwn returns the smallest owned extent over all ranks on axis.
+func (c Cartesian) MinOwn(axis int) int {
+	return c.Global[axis] / c.P[axis]
+}
+
+// RankOf returns the rank owning the global cell (ix, iy, iz).
+func (c Cartesian) RankOf(ix, iy, iz int) int {
+	return c.RankAt([3]int{
+		blockRankOf(c.Global[0], c.P[0], ix),
+		blockRankOf(c.Global[1], c.P[1], iy),
+		blockRankOf(c.Global[2], c.P[2], iz),
+	})
+}
+
+// IsSlab reports whether the decomposition is the paper's 1-D x-slab
+// shape (Py = Pz = 1).
+func (c Cartesian) IsSlab() bool { return c.P[1] == 1 && c.P[2] == 1 }
+
+// String renders the rank grid as "PxxPyxPz".
+func (c Cartesian) String() string {
+	return fmt.Sprintf("%dx%dx%d", c.P[0], c.P[1], c.P[2])
+}
+
+// surface returns the per-rank communication surface of shape p over the
+// global extents: for each decomposed axis, the cross-section of the
+// largest subdomain in the other two axes. Lower is better; this is the
+// quantity a near-cubic factorization minimizes (per-rank surface shrinks
+// with P^(2/3) for blocks but stays O(NY·NZ) for slabs).
+func surface(global, p [3]int) float64 {
+	var s float64
+	for a := 0; a < 3; a++ {
+		if p[a] == 1 {
+			continue
+		}
+		cross := 1.0
+		for b := 0; b < 3; b++ {
+			if b != a {
+				cross *= float64(blockMax(global[b], p[b]))
+			}
+		}
+		s += 2 * cross
+	}
+	return s
+}
+
+// Factor returns the rank-grid shape for ranks ranks over the global
+// extents using at most maxAxes decomposed axes (1 → slab, 2 → pencil,
+// 3 → block). Among all admissible factorizations it picks the one with
+// the smallest per-rank communication surface, tie-broken toward the most
+// cubic grid and then toward decomposing x first (so shape (R,1,1) is the
+// 1-D result, matching the paper).
+func Factor(ranks, maxAxes int, global [3]int) ([3]int, error) {
+	if ranks < 1 {
+		return [3]int{}, fmt.Errorf("decomp: ranks = %d, want >= 1", ranks)
+	}
+	if maxAxes < 1 || maxAxes > 3 {
+		return [3]int{}, fmt.Errorf("decomp: maxAxes = %d, want 1..3", maxAxes)
+	}
+	best := [3]int{}
+	found := false
+	var bestSurf float64
+	bestSpread := 0
+	// px descends so that, among equal-surface equal-spread shapes, the
+	// x-decomposed one wins (a 1-D request yields (R,1,1), matching D1).
+	for px := ranks; px >= 1; px-- {
+		if ranks%px != 0 {
+			continue
+		}
+		// py descends for the same reason: prefer y over z.
+		for py := ranks / px; py >= 1; py-- {
+			if (ranks/px)%py != 0 {
+				continue
+			}
+			pz := ranks / (px * py)
+			p := [3]int{px, py, pz}
+			axes := 0
+			admissible := true
+			for a := 0; a < 3; a++ {
+				if p[a] > 1 {
+					axes++
+				}
+				if global[a] < p[a] {
+					admissible = false
+				}
+			}
+			if !admissible || axes > maxAxes {
+				continue
+			}
+			surf := surface(global, p)
+			spread := maxOf(p) - minOf(p)
+			if !found || surf < bestSurf || (surf == bestSurf && spread < bestSpread) {
+				best, bestSurf, bestSpread, found = p, surf, spread, true
+			}
+		}
+	}
+	if !found {
+		return [3]int{}, fmt.Errorf("decomp: no %d-axis factorization of %d ranks fits the %dx%dx%d domain",
+			maxAxes, ranks, global[0], global[1], global[2])
+	}
+	return best, nil
+}
+
+func maxOf(p [3]int) int {
+	m := p[0]
+	for _, v := range p[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func minOf(p [3]int) int {
+	m := p[0]
+	for _, v := range p[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ParseShape resolves a decomposition spec for the given rank count and
+// global extents. "1d" is the paper's x-slab (Ranks,1,1), always — it
+// never migrates to another axis, so Orig/Fused/ladder semantics are
+// preserved exactly. "2d" (pencil) and "3d" (block) are axis budgets
+// factored automatically with Factor (minimum communication surface;
+// on strongly anisotropic domains the optimum may use fewer axes than
+// budgeted). An explicit "PxxPyxPz" grid such as "2x2x2" must multiply
+// to ranks.
+func ParseShape(spec string, ranks int, global [3]int) (Cartesian, error) {
+	switch strings.ToLower(spec) {
+	case "", "1d", "slab":
+		return NewCartesian(global, [3]int{ranks, 1, 1})
+	case "2d", "pencil":
+		p, err := Factor(ranks, 2, global)
+		if err != nil {
+			return Cartesian{}, err
+		}
+		return NewCartesian(global, p)
+	case "3d", "block":
+		p, err := Factor(ranks, 3, global)
+		if err != nil {
+			return Cartesian{}, err
+		}
+		return NewCartesian(global, p)
+	}
+	parts := strings.Split(strings.ToLower(spec), "x")
+	if len(parts) != 3 {
+		return Cartesian{}, fmt.Errorf("decomp: bad shape %q (want 1d, 2d, 3d or PxxPyxPz)", spec)
+	}
+	var p [3]int
+	for a, s := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return Cartesian{}, fmt.Errorf("decomp: bad shape %q: %v", spec, err)
+		}
+		p[a] = v
+	}
+	if p[0]*p[1]*p[2] != ranks {
+		return Cartesian{}, fmt.Errorf("decomp: shape %q has %d ranks, want %d", spec, p[0]*p[1]*p[2], ranks)
+	}
+	return NewCartesian(global, p)
+}

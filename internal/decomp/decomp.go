@@ -1,9 +1,11 @@
-// Package decomp implements the one-dimensional domain decomposition used
-// throughout the paper (§IV): the global x extent is split into contiguous
-// slabs, one per rank, with periodic neighbor relationships. The y and z
-// dimensions are never decomposed, which shifts the analysis onto the
-// algorithm and enables direct study of ghost-cell depth, exactly as the
-// paper argues.
+// Package decomp implements pluggable Cartesian domain decompositions.
+// The paper (§IV) restricts itself to the one-dimensional slab split in x
+// to isolate the ghost-cell-depth analysis; that shape survives here as D1
+// and as the Cartesian shape (P,1,1). The Cartesian type (cartesian.go)
+// generalizes to 2-D pencil and 3-D block rank grids, whose per-rank
+// communication surface shrinks with P^(2/3) where the slab's stays
+// O(NY·NZ) — the surface-to-volume argument that motivates every
+// beyond-slab scaling study.
 package decomp
 
 import "fmt"
@@ -29,12 +31,7 @@ func New(globalNX, ranks int) (D1, error) {
 
 // Own returns the global start plane and plane count owned by rank r.
 func (d D1) Own(r int) (start, size int) {
-	base := d.GlobalNX / d.Ranks
-	rem := d.GlobalNX % d.Ranks
-	if r < rem {
-		return r * (base + 1), base + 1
-	}
-	return rem*(base+1) + (r-rem)*base, base
+	return blockOwn(d.GlobalNX, d.Ranks, r)
 }
 
 // Left returns the periodic left (lower-x) neighbor rank of r.
@@ -45,20 +42,10 @@ func (d D1) Right(r int) int { return (r + 1) % d.Ranks }
 
 // RankOf returns the rank owning global plane ix.
 func (d D1) RankOf(ix int) int {
-	base := d.GlobalNX / d.Ranks
-	rem := d.GlobalNX % d.Ranks
-	cut := rem * (base + 1)
-	if ix < cut {
-		return ix / (base + 1)
-	}
-	return rem + (ix-cut)/base
+	return blockRankOf(d.GlobalNX, d.Ranks, ix)
 }
 
 // MaxOwn returns the largest slab size over all ranks.
 func (d D1) MaxOwn() int {
-	base := d.GlobalNX / d.Ranks
-	if d.GlobalNX%d.Ranks != 0 {
-		return base + 1
-	}
-	return base
+	return blockMax(d.GlobalNX, d.Ranks)
 }

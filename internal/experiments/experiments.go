@@ -62,7 +62,7 @@ func (t *Table) Render() string {
 
 // Names lists the experiment identifiers accepted by Generate.
 func Names() []string {
-	return []string{"table1", "table2", "fig8", "fig9", "fig10", "table3", "table4", "fig11"}
+	return []string{"table1", "table2", "fig8", "fig9", "fig10", "table3", "table4", "fig11", "decomp"}
 }
 
 // Generate runs one experiment by name. The machine argument applies to
@@ -116,6 +116,12 @@ func Generate(name, machineName string) ([]*Table, error) {
 			return nil, err
 		}
 		return []*Table{t}, nil
+	case "decomp":
+		t, err := DecompTable(machineName)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (want one of %s)", name, strings.Join(Names(), ", "))
 }
@@ -157,6 +163,9 @@ func GenerateAll() ([]*Table, error) {
 		if err := add(Generate("fig11", m)); err != nil {
 			return nil, err
 		}
+	}
+	if err := add(Generate("decomp", "bgq")); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -254,7 +254,7 @@ func TestRealFig8SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-kernel experiment in -short mode")
 	}
-	tb, err := RealFig8("D3Q19", 2, 3)
+	tb, err := RealFig8("D3Q19", 2, 3, "1d")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +267,7 @@ func TestRealFig11SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-kernel experiment in -short mode")
 	}
-	tb, err := RealFig11("D3Q19", 3)
+	tb, err := RealFig11("D3Q19", 3, "1d")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +280,7 @@ func TestRealFig9SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-kernel experiment in -short mode")
 	}
-	tb, err := RealFig9("D3Q19", 2, 4)
+	tb, err := RealFig9("D3Q19", 2, 4, "1d")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +293,7 @@ func TestRealFig10SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-kernel experiment in -short mode")
 	}
-	tb, err := RealFig10("D3Q19", 2, 4)
+	tb, err := RealFig10("D3Q19", 2, 4, "2d")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,10 +309,10 @@ func TestRealFig10SmallRun(t *testing.T) {
 }
 
 func TestRealExperimentsRejectBadModel(t *testing.T) {
-	if _, err := RealFig8("D2Q9", 1, 1); err == nil {
+	if _, err := RealFig8("D2Q9", 1, 1, "1d"); err == nil {
 		t.Error("unknown model accepted")
 	}
-	if _, err := RealFig10("D2Q9", 1, 1); err == nil {
+	if _, err := RealFig10("D2Q9", 1, 1, "1d"); err == nil {
 		t.Error("unknown model accepted")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/decomp"
 	"repro/internal/grid"
 	"repro/internal/lattice"
 )
@@ -23,23 +24,43 @@ func realDims(m *lattice.Model) grid.Dims {
 	return grid.Dims{NX: 64, NY: 32, NZ: 32}
 }
 
+// realShape resolves a decomposition spec against a Real* run's rank
+// count and dims ("1d" yields the paper's slab).
+func realShape(spec string, ranks int, n grid.Dims) ([3]int, error) {
+	d, err := decomp.ParseShape(spec, ranks, [3]int{n.NX, n.NY, n.NZ})
+	if err != nil {
+		return [3]int{}, err
+	}
+	return d.P, nil
+}
+
 // RealFig8 measures MFlup/s for each optimization level with the real
-// kernels (the local analog of Fig. 8).
-func RealFig8(modelName string, ranks, steps int) (*Table, error) {
+// kernels (the local analog of Fig. 8). Orig always runs the 1-D slab
+// (the no-ghost protocol is slab-only); the other levels use the
+// requested decomposition shape.
+func RealFig8(modelName string, ranks, steps int, decompSpec string) (*Table, error) {
 	m, err := lattice.ByName(modelName)
 	if err != nil {
 		return nil, err
 	}
 	n := realDims(m)
+	shape, err := realShape(decompSpec, ranks, n)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
-		Title:  fmt.Sprintf("Fig. 8 (real kernels) — %s, %s, %d ranks, local machine (MFlup/s)", m.Name, n, ranks),
+		Title:  fmt.Sprintf("Fig. 8 (real kernels) — %s, %s, %d ranks (%dx%dx%d), local machine (MFlup/s)", m.Name, n, ranks, shape[0], shape[1], shape[2]),
 		Header: []string{"level", "MFlup/s", "speedup vs Orig"},
 	}
 	var first float64
 	for _, opt := range core.Levels() {
+		sh := shape
+		if opt == core.OptOrig {
+			sh = [3]int{ranks, 1, 1}
+		}
 		res, err := core.Run(core.Config{
 			Model: m, N: n, Tau: 0.8, Steps: steps,
-			Opt: opt, Ranks: ranks, Threads: 1, GhostDepth: 1,
+			Opt: opt, Ranks: ranks, Decomp: sh, Threads: 1, GhostDepth: 1,
 		})
 		if err != nil {
 			return nil, err
@@ -58,12 +79,16 @@ func RealFig8(modelName string, ranks, steps int) (*Table, error) {
 
 // RealFig9 measures the per-rank communication-time balance with injected
 // per-step jitter (the local analog of Fig. 9).
-func RealFig9(modelName string, ranks, steps int) (*Table, error) {
+func RealFig9(modelName string, ranks, steps int, decompSpec string) (*Table, error) {
 	m, err := lattice.ByName(modelName)
 	if err != nil {
 		return nil, err
 	}
 	n := realDims(m)
+	shape, err := realShape(decompSpec, ranks, n)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:  fmt.Sprintf("Fig. 9 (real kernels) — %s, %d ranks, per-rank comm time (ms)", m.Name, ranks),
 		Header: []string{"protocol", "min", "median", "max"},
@@ -77,9 +102,13 @@ func RealFig9(modelName string, ranks, steps int) (*Table, error) {
 		{"GC-C", core.OptGCC},
 	}
 	for _, c := range configs {
+		sh := shape
+		if c.opt == core.OptOrig {
+			sh = [3]int{ranks, 1, 1}
+		}
 		res, err := core.Run(core.Config{
 			Model: m, N: n, Tau: 0.8, Steps: steps,
-			Opt: c.opt, Ranks: ranks, Threads: 1, GhostDepth: 1,
+			Opt: c.opt, Ranks: ranks, Decomp: sh, Threads: 1, GhostDepth: 1,
 			StepJitter: 2 * time.Millisecond,
 		})
 		if err != nil {
@@ -99,7 +128,7 @@ func RealFig9(modelName string, ranks, steps int) (*Table, error) {
 
 // RealFig10 sweeps ghost depth × domain size with the real kernels (the
 // local analog of Fig. 10), reporting runtimes normalized to depth 1.
-func RealFig10(modelName string, ranks, steps int) (*Table, error) {
+func RealFig10(modelName string, ranks, steps int, decompSpec string) (*Table, error) {
 	m, err := lattice.ByName(modelName)
 	if err != nil {
 		return nil, err
@@ -120,10 +149,15 @@ func RealFig10(modelName string, ranks, steps int) (*Table, error) {
 				row = append(row, "n/a")
 				continue
 			}
+			dims := grid.Dims{NX: nx, NY: ny, NZ: ny}
+			sh, err := realShape(decompSpec, ranks, dims)
+			if err != nil {
+				return nil, err
+			}
 			res, err := core.Run(core.Config{
-				Model: m, N: grid.Dims{NX: nx, NY: ny, NZ: ny},
+				Model: m, N: dims,
 				Tau: 0.8, Steps: steps,
-				Opt: core.OptSIMD, Ranks: ranks, Threads: 1, GhostDepth: depth,
+				Opt: core.OptSIMD, Ranks: ranks, Decomp: sh, Threads: 1, GhostDepth: depth,
 				StepJitter: time.Millisecond,
 			})
 			if err != nil {
@@ -142,7 +176,7 @@ func RealFig10(modelName string, ranks, steps int) (*Table, error) {
 
 // RealFig11 sweeps ranks×threads at a fixed total worker count (the local
 // analog of Fig. 11).
-func RealFig11(modelName string, steps int) (*Table, error) {
+func RealFig11(modelName string, steps int, decompSpec string) (*Table, error) {
 	m, err := lattice.ByName(modelName)
 	if err != nil {
 		return nil, err
@@ -153,9 +187,13 @@ func RealFig11(modelName string, steps int) (*Table, error) {
 		Header: []string{"tasks-threads", "time (ms)", "MFlup/s"},
 	}
 	for _, c := range [][2]int{{1, 1}, {1, 2}, {1, 4}, {2, 1}, {2, 2}, {4, 1}} {
+		sh, err := realShape(decompSpec, c[0], n)
+		if err != nil {
+			return nil, err
+		}
 		res, err := core.Run(core.Config{
 			Model: m, N: n, Tau: 0.8, Steps: steps,
-			Opt: core.OptSIMD, Ranks: c[0], Threads: c[1], GhostDepth: 1,
+			Opt: core.OptSIMD, Ranks: c[0], Decomp: sh, Threads: c[1], GhostDepth: 1,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,196 @@
+package halo
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/decomp"
+	"repro/internal/grid"
+)
+
+func TestPackBoxRoundTrip(t *testing.T) {
+	d := grid.Dims{NX: 5, NY: 4, NZ: 3}
+	boxes := [][2][3]int{
+		{{1, 0, 0}, {3, 4, 3}}, // full cross-section: fast path
+		{{0, 1, 0}, {5, 2, 3}}, // y face
+		{{0, 0, 2}, {5, 4, 3}}, // z face
+		{{1, 1, 1}, {3, 3, 2}}, // interior box
+	}
+	for _, layout := range []grid.Layout{grid.SoA, grid.AoS} {
+		src := grid.NewField(2, d, layout)
+		for i := range src.Data {
+			src.Data[i] = float64(i) + 0.25
+		}
+		for _, b := range boxes {
+			lo, hi := b[0], b[1]
+			cells := (hi[0] - lo[0]) * (hi[1] - lo[1]) * (hi[2] - lo[2])
+			buf := make([]float64, 2*cells)
+			if n := PackBox(src, lo, hi, buf); n != 2*cells {
+				t.Fatalf("%v box %v-%v: packed %d, want %d", layout, lo, hi, n, 2*cells)
+			}
+			dst := grid.NewField(2, d, layout)
+			if n := UnpackBox(dst, lo, hi, buf); n != 2*cells {
+				t.Fatalf("%v box %v-%v: unpacked %d", layout, lo, hi, n)
+			}
+			for v := 0; v < 2; v++ {
+				for ix := lo[0]; ix < hi[0]; ix++ {
+					for iy := lo[1]; iy < hi[1]; iy++ {
+						for iz := lo[2]; iz < hi[2]; iz++ {
+							if got, want := dst.At(v, ix, iy, iz), src.At(v, ix, iy, iz); got != want {
+								t.Fatalf("%v box %v-%v: (%d,%d,%d,%d) = %g, want %g", layout, lo, hi, v, ix, iy, iz, got, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// encode gives every global cell a unique value so ghost provenance is
+// checkable: v*1e6 + gx*1e4 + gy*1e2 + gz.
+func encode(v, gx, gy, gz int) float64 {
+	return float64(v)*1e6 + float64(gx)*1e4 + float64(gy)*1e2 + float64(gz)
+}
+
+// TestCartExchangeFillsAllGhosts runs a full exchange over several rank
+// grids and asserts every ghost cell — faces, edges AND corners — holds
+// the periodically wrapped global value after the sequential-axis pass.
+func TestCartExchangeFillsAllGhosts(t *testing.T) {
+	global := [3]int{8, 6, 6}
+	const q = 2
+	for _, p := range [][3]int{{4, 1, 1}, {1, 2, 2}, {2, 2, 1}, {2, 2, 2}} {
+		for _, nonblocking := range []bool{false, true} {
+			dec, err := decomp.NewCartesian(global, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := [3]int{1, 1, 1}
+			fab := comm.NewFabric(dec.Ranks())
+			top, err := fab.Cart(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runErr := fab.Run(func(r *comm.Rank) error {
+				var start, own [3]int
+				for a := 0; a < 3; a++ {
+					start[a], own[a] = dec.Own(r.ID, a)
+				}
+				d := grid.Dims{NX: own[0] + 2*w[0], NY: own[1] + 2*w[1], NZ: own[2] + 2*w[2]}
+				f := grid.NewField(q, d, grid.SoA)
+				for i := range f.Data {
+					f.Data[i] = -1 // poison: ghosts must all be overwritten
+				}
+				for v := 0; v < q; v++ {
+					for ix := 0; ix < own[0]; ix++ {
+						for iy := 0; iy < own[1]; iy++ {
+							for iz := 0; iz < own[2]; iz++ {
+								f.Set(v, w[0]+ix, w[1]+iy, w[2]+iz,
+									encode(v, start[0]+ix, start[1]+iy, start[2]+iz))
+							}
+						}
+					}
+				}
+				ex, err := NewCartExchanger(q, d, own, w, r.ID, top.Neighbors(r.ID))
+				if err != nil {
+					return err
+				}
+				ex.ExchangeAll(r, f, nonblocking)
+				wrap := func(g, n int) int { return ((g % n) + n) % n }
+				for v := 0; v < q; v++ {
+					for ix := 0; ix < d.NX; ix++ {
+						for iy := 0; iy < d.NY; iy++ {
+							for iz := 0; iz < d.NZ; iz++ {
+								gx := wrap(start[0]+ix-w[0], global[0])
+								gy := wrap(start[1]+iy-w[1], global[1])
+								gz := wrap(start[2]+iz-w[2], global[2])
+								if got, want := f.At(v, ix, iy, iz), encode(v, gx, gy, gz); got != want {
+									t.Errorf("p=%v nb=%v rank %d: cell (%d,%d,%d,%d) = %v, want %v",
+										p, nonblocking, r.ID, v, ix, iy, iz, got, want)
+									return nil
+								}
+							}
+						}
+					}
+				}
+				return nil
+			})
+			if runErr != nil {
+				t.Fatalf("p=%v: %v", p, runErr)
+			}
+		}
+	}
+}
+
+// TestCartExchangeDeepHalo repeats the ghost check with width-2 halos
+// (ghost depth 2 on a k=1 lattice).
+func TestCartExchangeDeepHalo(t *testing.T) {
+	global := [3]int{8, 8, 8}
+	p := [3]int{2, 2, 1}
+	dec, _ := decomp.NewCartesian(global, p)
+	w := [3]int{2, 2, 2}
+	fab := comm.NewFabric(dec.Ranks())
+	top, _ := fab.Cart(p)
+	runErr := fab.Run(func(r *comm.Rank) error {
+		var start, own [3]int
+		for a := 0; a < 3; a++ {
+			start[a], own[a] = dec.Own(r.ID, a)
+		}
+		d := grid.Dims{NX: own[0] + 2*w[0], NY: own[1] + 2*w[1], NZ: own[2] + 2*w[2]}
+		f := grid.NewField(1, d, grid.SoA)
+		for ix := 0; ix < own[0]; ix++ {
+			for iy := 0; iy < own[1]; iy++ {
+				for iz := 0; iz < own[2]; iz++ {
+					f.Set(0, w[0]+ix, w[1]+iy, w[2]+iz,
+						encode(0, start[0]+ix, start[1]+iy, start[2]+iz))
+				}
+			}
+		}
+		ex, err := NewCartExchanger(1, d, own, w, r.ID, top.Neighbors(r.ID))
+		if err != nil {
+			return err
+		}
+		ex.ExchangeAll(r, f, true)
+		wrap := func(g, n int) int { return ((g % n) + n) % n }
+		for ix := 0; ix < d.NX; ix++ {
+			for iy := 0; iy < d.NY; iy++ {
+				for iz := 0; iz < d.NZ; iz++ {
+					gx := wrap(start[0]+ix-w[0], global[0])
+					gy := wrap(start[1]+iy-w[1], global[1])
+					gz := wrap(start[2]+iz-w[2], global[2])
+					if got, want := f.At(0, ix, iy, iz), encode(0, gx, gy, gz); got != want {
+						t.Errorf("rank %d: cell (%d,%d,%d) = %v, want %v", r.ID, ix, iy, iz, got, want)
+						return nil
+					}
+				}
+			}
+		}
+		// Per-axis byte accounting: x and y decomposed, z local.
+		ab := ex.AxisBytes()
+		if ab[0] == 0 || ab[1] == 0 || ab[2] != 0 {
+			t.Errorf("rank %d: axis bytes %v, want x,y > 0 and z == 0", r.ID, ab)
+		}
+		if ab[0] != ex.BytesPerExchange(0) {
+			t.Errorf("rank %d: axis 0 bytes %d != BytesPerExchange %d", r.ID, ab[0], ex.BytesPerExchange(0))
+		}
+		return nil
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+}
+
+func TestNewCartExchangerValidation(t *testing.T) {
+	d := grid.Dims{NX: 6, NY: 6, NZ: 6}
+	nb := [3][2]int{{0, 0}, {0, 0}, {0, 0}}
+	if _, err := NewCartExchanger(1, d, [3]int{4, 4, 4}, [3]int{1, 1, 1}, 0, nb); err != nil {
+		t.Errorf("valid shape rejected: %v", err)
+	}
+	if _, err := NewCartExchanger(1, d, [3]int{4, 4, 3}, [3]int{1, 1, 1}, 0, nb); err == nil {
+		t.Error("mismatched extent accepted")
+	}
+	d2 := grid.Dims{NX: 7, NY: 6, NZ: 6}
+	if _, err := NewCartExchanger(1, d2, [3]int{1, 4, 4}, [3]int{3, 1, 1}, 0, nb); err == nil {
+		t.Error("own < width accepted")
+	}
+}

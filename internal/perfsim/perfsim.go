@@ -43,11 +43,18 @@ type Job struct {
 	TasksPerNode   int
 	ThreadsPerTask int
 
-	// NX, NY, NZ is the global domain; decomposed in x across all tasks.
+	// NX, NY, NZ is the global domain, decomposed across all tasks.
 	NX, NY, NZ int
-	Steps      int
-	Depth      int // ghost-cell depth (1 for OptOrig)
-	Opt        core.OptLevel
+	// Decomp is the rank-grid shape (Px, Py, Pz); its product must equal
+	// Nodes × TasksPerNode. The zero value selects the paper's 1-D slab.
+	// Multi-axis shapes model the sequential per-axis exchange of the
+	// real cart solver: per-axis message sizes shrink with the block
+	// cross-sections, which is how 3-D beats 1-D per-rank surface at
+	// scale.
+	Decomp [3]int
+	Steps  int
+	Depth  int // ghost-cell depth (1 for OptOrig)
+	Opt    core.OptLevel
 
 	// Imbalance is the peak fractional per-step compute jitter (uniform in
 	// [0, Imbalance], redrawn every step); PersistentImbalance is a
@@ -93,6 +100,16 @@ type Result struct {
 	OOM          bool
 	// GhostUpdateFraction is extra ghost-cell updates / interior updates.
 	GhostUpdateFraction float64
+	// AxisBytes is the per-rank halo payload sent along each axis per
+	// full exchange (widest rank, both directions): the per-axis
+	// communication surface of the decomposition shape. Zero on
+	// undecomposed axes and for the no-ghost Orig protocol.
+	AxisBytes [3]float64
+}
+
+// SurfaceBytes returns the total per-rank halo payload per exchange.
+func (r *Result) SurfaceBytes() float64 {
+	return r.AxisBytes[0] + r.AxisBytes[1] + r.AxisBytes[2]
 }
 
 // CommSummary returns min/median/max of per-rank exposed communication time.
@@ -117,8 +134,20 @@ func (j *Job) validate() error {
 		return fmt.Errorf("perfsim: K %d < 1", j.K)
 	}
 	ranks := j.Nodes * j.TasksPerNode
-	if j.NX < ranks {
-		return fmt.Errorf("perfsim: NX %d < %d ranks", j.NX, ranks)
+	if j.Decomp == ([3]int{}) {
+		j.Decomp = [3]int{ranks, 1, 1}
+	}
+	if got := j.Decomp[0] * j.Decomp[1] * j.Decomp[2]; got != ranks {
+		return fmt.Errorf("perfsim: decomposition %dx%dx%d covers %d ranks, job has %d",
+			j.Decomp[0], j.Decomp[1], j.Decomp[2], got, ranks)
+	}
+	if j.Opt == core.OptOrig && !(j.Decomp[1] == 1 && j.Decomp[2] == 1) {
+		return fmt.Errorf("perfsim: the no-ghost Orig protocol is slab-only")
+	}
+	for a, n := range [3]int{j.NX, j.NY, j.NZ} {
+		if n < j.Decomp[a] {
+			return fmt.Errorf("perfsim: axis %d extent %d < %d ranks", a, n, j.Decomp[a])
+		}
 	}
 	if j.Steps < 1 {
 		return fmt.Errorf("perfsim: steps %d < 1", j.Steps)
@@ -182,7 +211,7 @@ func Run(j Job) (*Result, error) {
 		j.CrossPlaneVels = DefaultCross(j.Spec.Q)
 	}
 	ranks := j.Nodes * j.TasksPerNode
-	dec, err := decomp.New(j.NX, ranks)
+	dec, err := decomp.NewCartesian([3]int{j.NX, j.NY, j.NZ}, j.Decomp)
 	if err != nil {
 		return nil, err
 	}
@@ -191,13 +220,24 @@ func Run(j Job) (*Result, error) {
 	plane := float64(j.NY * j.NZ)
 	q := float64(j.Spec.Q)
 
-	// Per-task memory: two fields over own+2W planes (OptOrig: own+2k).
-	maxOwn := float64(dec.MaxOwn())
-	margins := float64(2 * w)
-	if j.Opt == core.OptOrig {
-		margins = float64(2 * j.K)
+	// Per-task memory: two fields over the owned block plus margins —
+	// 2W per decomposed-path axis (slab: x only; multi-axis: all three),
+	// 2k for OptOrig.
+	var bytesPerTask float64
+	if dec.IsSlab() {
+		maxOwn := float64(dec.MaxOwn(0))
+		margins := float64(2 * w)
+		if j.Opt == core.OptOrig {
+			margins = float64(2 * j.K)
+		}
+		bytesPerTask = 2 * 8 * q * (maxOwn + margins) * plane
+	} else {
+		cells := 1.0
+		for a := 0; a < 3; a++ {
+			cells *= float64(dec.MaxOwn(a) + 2*w)
+		}
+		bytesPerTask = 2 * 8 * q * cells
 	}
-	bytesPerTask := 2 * 8 * q * (maxOwn + margins) * plane
 	oom := bytesPerTask > j.Machine.MemPerNodeBytes/float64(j.TasksPerNode)
 
 	st := &simState{
@@ -219,6 +259,7 @@ func Run(j Job) (*Result, error) {
 		CommSeconds:    st.comm,
 		BytesPerTask:   bytesPerTask,
 		OOM:            oom,
+		AxisBytes:      st.axisBytes(),
 	}
 	for _, c := range st.clock {
 		if c > res.Seconds {
@@ -234,7 +275,7 @@ func Run(j Job) (*Result, error) {
 // simState carries the virtual clocks through the cycle loop.
 type simState struct {
 	j     Job
-	dec   decomp.D1
+	dec   decomp.Cartesian
 	rt    rates
 	ranks int
 	w     int
@@ -260,7 +301,7 @@ func (st *simState) sameNode(a, b int) bool {
 // processor boundary", §VI) — collision is roughly half a cell update, so
 // the two sides cost k plane-equivalents.
 func (st *simState) stepTime(r, s int) float64 {
-	_, own := st.dec.Own(r)
+	_, own := st.dec.Own(r, decomp.AxisX)
 	extra := float64(2 * (st.j.Depth - s - 1) * st.j.K)
 	if st.j.Opt != core.OptOrig {
 		extra += float64(st.j.K)
@@ -290,6 +331,9 @@ func (st *simState) run() float64 {
 	if j.Opt == core.OptOrig {
 		return st.runOrig()
 	}
+	if !st.dec.IsSlab() {
+		return st.runMulti()
+	}
 	var ghost float64
 	haloBytes := st.q * float64(st.w) * st.plane * 8 // per direction
 	wire := j.Machine.LinkLatency + haloBytes/st.rt.linkBW
@@ -311,7 +355,8 @@ func (st *simState) run() float64 {
 			sendAt[r] = st.clock[r] + packT
 		}
 		for r := 0; r < st.ranks; r++ {
-			left, right := st.dec.Left(r), st.dec.Right(r)
+			left := st.dec.Neighbor(r, decomp.AxisX, -1)
+			right := st.dec.Neighbor(r, decomp.AxisX, +1)
 			wl, wr := wire, wire
 			if st.sameNode(r, left) {
 				wl = wireIntra
@@ -328,7 +373,7 @@ func (st *simState) run() float64 {
 				// Overlap: interior of the first step hides the wait; the
 				// posting software cost is not hideable.
 				t0 := st.stepTime(r, 0)
-				_, own := st.dec.Own(r)
+				_, own := st.dec.Own(r, decomp.AxisX)
 				interior := float64(own-2*j.K) / (float64(own) + float64(2*(j.Depth-1)*j.K))
 				if interior < 0 {
 					interior = 0
@@ -402,7 +447,8 @@ func (st *simState) runOrig() float64 {
 			sendAt[r] = st.clock[r] + 0.5*stepT[r] + packT
 		}
 		for r := 0; r < st.ranks; r++ {
-			left, right := st.dec.Left(r), st.dec.Right(r)
+			left := st.dec.Neighbor(r, decomp.AxisX, -1)
+			right := st.dec.Neighbor(r, decomp.AxisX, +1)
 			wl, wr := wire, wire
 			if st.sameNode(r, left) {
 				wl = wireIntra
@@ -424,4 +470,183 @@ func (st *simState) runOrig() float64 {
 		}
 	}
 	return 0
+}
+
+// ownBlock returns rank r's owned extents on all three axes.
+func (st *simState) ownBlock(r int) [3]int {
+	var own [3]int
+	for a := 0; a < 3; a++ {
+		_, own[a] = st.dec.Own(r, a)
+	}
+	return own
+}
+
+// axisHaloBytes returns rank r's halo payload per direction along axis:
+// q · w · cross-section, where the cross-section spans the other axes'
+// full local extents (ghosts included — later-axis ghost layers ride
+// along in the sequential exchange, exactly as in the real packer).
+// Multi-axis only: the slab schedule keeps its own haloBytes in run().
+func (st *simState) axisHaloBytes(r, axis int) float64 {
+	own := st.ownBlock(r)
+	cross := 1.0
+	for b := 0; b < 3; b++ {
+		if b != axis {
+			cross *= float64(own[b] + 2*st.w)
+		}
+	}
+	return st.q * float64(st.w) * cross * 8
+}
+
+// axisBytes reports the widest rank's per-axis halo payload per full
+// exchange (both directions); zero on undecomposed axes and for Orig.
+func (st *simState) axisBytes() [3]float64 {
+	var out [3]float64
+	if st.j.Opt == core.OptOrig {
+		return out
+	}
+	p := st.dec.Shape()
+	for a := 0; a < 3; a++ {
+		if p[a] == 1 {
+			continue
+		}
+		if st.dec.IsSlab() {
+			out[a] = 2 * st.q * float64(st.w) * st.plane * 8
+			continue
+		}
+		cross := 1.0
+		for b := 0; b < 3; b++ {
+			if b != a {
+				cross *= float64(st.dec.MaxOwn(b) + 2*st.w)
+			}
+		}
+		out[a] = 2 * st.q * float64(st.w) * cross * 8
+	}
+	return out
+}
+
+// stepTimeMulti is stepTime for a multi-axis block: the computed box
+// grows by 2·(depth−s−1)·k on every axis, plus the k-cell-equivalent
+// boundary-collide overhead per decomposed axis.
+func (st *simState) stepTimeMulti(r, s int) float64 {
+	own := st.ownBlock(r)
+	e := 2 * (st.j.Depth - s - 1) * st.j.K
+	cells := 1.0
+	for a := 0; a < 3; a++ {
+		cells *= float64(own[a] + e)
+	}
+	p := st.dec.Shape()
+	for a := 0; a < 3; a++ {
+		if p[a] == 1 {
+			continue
+		}
+		cross := 1.0
+		for b := 0; b < 3; b++ {
+			if b != a {
+				cross *= float64(own[b])
+			}
+		}
+		cells += float64(st.j.K) * cross
+	}
+	tb := cells * st.j.Spec.BytesPerCell / st.rt.taskBW
+	tf := cells * st.j.Spec.FlopsPerCell / st.rt.taskFlops
+	t := tb
+	if tf > t {
+		t = tf
+	}
+	return t * st.slow[r] * (1 + st.j.Imbalance*st.rng[r].Float64())
+}
+
+// ghostExtraMulti returns rank r's per-cycle ghost-box updates.
+func (st *simState) ghostExtraMulti(r, runLen int) float64 {
+	own := st.ownBlock(r)
+	interior := float64(own[0]) * float64(own[1]) * float64(own[2])
+	var extra float64
+	for s := 0; s < runLen; s++ {
+		e := 2 * (st.j.Depth - s - 1) * st.j.K
+		cells := 1.0
+		for a := 0; a < 3; a++ {
+			cells *= float64(own[a] + e)
+		}
+		extra += cells - interior
+	}
+	return extra
+}
+
+// runMulti simulates the multi-axis deep-halo schedule: one sequential
+// per-axis exchange per cycle (undecomposed axes wrap with local copies,
+// decomposed axes message their ring neighbors), then runLen compute
+// steps on the shrinking box. NB-C and above post receives early; the
+// GC-C compute overlap is slab-only, so those levels use the NB-C
+// protocol here, mirroring internal/core's cart path.
+func (st *simState) runMulti() float64 {
+	j := st.j
+	p := st.dec.Shape()
+	sw := st.rt.msgSW
+	nonblocking := j.Opt >= core.OptNBC
+	var ghost float64
+	sendAt := make([]float64, st.ranks)
+	for done := 0; done < j.Steps; {
+		runLen := j.Depth
+		if rest := j.Steps - done; rest < runLen {
+			runLen = rest
+		}
+		for axis := 0; axis < 3; axis++ {
+			if p[axis] == 1 {
+				// Local periodic wrap: pack+unpack copies on both sides.
+				for r := 0; r < st.ranks; r++ {
+					st.clock[r] += 4 * st.axisHaloBytes(r, axis) / st.rt.taskBWRaw
+				}
+				continue
+			}
+			for r := 0; r < st.ranks; r++ {
+				sendAt[r] = st.clock[r] + 2*st.axisHaloBytes(r, axis)/st.rt.taskBWRaw
+			}
+			for r := 0; r < st.ranks; r++ {
+				bytes := st.axisHaloBytes(r, axis)
+				wire := j.Machine.LinkLatency + bytes/st.rt.linkBW
+				wireIntra := bytes / (j.Machine.MemBWBytes / 2)
+				lo := st.dec.Neighbor(r, axis, -1)
+				hi := st.dec.Neighbor(r, axis, +1)
+				wl, wh := wire, wire
+				if st.sameNode(r, lo) {
+					wl = wireIntra
+				}
+				if st.sameNode(r, hi) {
+					wh = wireIntra
+				}
+				recvReady := sendAt[lo] + sw + wl
+				if t := sendAt[hi] + sw + wh; t > recvReady {
+					recvReady = t
+				}
+				unpackT := 2 * bytes / st.rt.taskBWRaw
+				if nonblocking {
+					posted := sendAt[r] + 2*sw
+					ready := posted
+					if recvReady > ready {
+						ready = recvReady
+					}
+					st.comm[r] += (ready - sendAt[r]) + unpackT
+					st.clock[r] = ready + unpackT
+				} else {
+					sendDone := sendAt[r] + 2*sw + wire
+					ready := sendDone
+					if recvReady > ready {
+						ready = recvReady
+					}
+					// Pack time is compute, not comm — same accounting
+					// as the slab path.
+					st.comm[r] += (ready - sendAt[r]) + unpackT
+					st.clock[r] = ready + unpackT
+				}
+			}
+		}
+		for r := 0; r < st.ranks; r++ {
+			for s := 0; s < runLen; s++ {
+				st.clock[r] += st.stepTimeMulti(r, s)
+			}
+			ghost += st.ghostExtraMulti(r, runLen)
+		}
+		done += runLen
+	}
+	return ghost
 }

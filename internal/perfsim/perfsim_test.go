@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/decomp"
 	"repro/internal/machine"
 )
 
@@ -296,5 +297,96 @@ func TestGhostFractionGrowsWithDepth(t *testing.T) {
 	}
 	if d3.GhostUpdateFraction <= 0 {
 		t.Errorf("depth 3 ghost fraction = %g, want > 0", d3.GhostUpdateFraction)
+	}
+}
+
+// decompJob is a BG/Q job at paper-like scale used for the decomposition
+// shape comparisons.
+func decompJob(ranks int, p [3]int, n int) Job {
+	return Job{
+		Machine: machine.BGQ(), Spec: machine.SpecD3Q19(), K: 1,
+		Nodes: ranks, TasksPerNode: 1, ThreadsPerTask: 16,
+		NX: n, NY: n, NZ: n, Decomp: p,
+		Steps: 20, Depth: 1, Opt: core.OptNBC,
+		Imbalance: 0.05, Seed: 13,
+	}
+}
+
+// TestDecompSurfaceShrinks: at >= 8 ranks the 3-D block's total per-rank
+// halo payload must be strictly below the slab's, and per-axis volumes
+// must be populated only on decomposed axes.
+func TestDecompSurfaceShrinks(t *testing.T) {
+	for _, ranks := range []int{8, 64} {
+		slab := mustRun(t, decompJob(ranks, [3]int{ranks, 1, 1}, 256))
+		p3, err := decomp.Factor(ranks, 3, [3]int{256, 256, 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		block := mustRun(t, decompJob(ranks, p3, 256))
+		if slab.AxisBytes[1] != 0 || slab.AxisBytes[2] != 0 {
+			t.Errorf("ranks %d: slab reports y/z traffic %v", ranks, slab.AxisBytes)
+		}
+		for a := 0; a < 3; a++ {
+			if p3[a] > 1 && block.AxisBytes[a] == 0 {
+				t.Errorf("ranks %d: block shape %v missing axis %d traffic", ranks, p3, a)
+			}
+		}
+		if block.SurfaceBytes() >= slab.SurfaceBytes() {
+			t.Errorf("ranks %d: block surface %.0f not below slab %.0f",
+				ranks, block.SurfaceBytes(), slab.SurfaceBytes())
+		}
+	}
+}
+
+// TestDecompBlockFasterAtScale: with a slab so thin that its faces
+// dominate, the 3-D block must finish sooner.
+func TestDecompBlockFasterAtScale(t *testing.T) {
+	const ranks, n = 512, 512
+	slab := mustRun(t, decompJob(ranks, [3]int{ranks, 1, 1}, n))
+	block := mustRun(t, decompJob(ranks, [3]int{8, 8, 8}, n))
+	if block.Seconds >= slab.Seconds {
+		t.Errorf("512 ranks: 8x8x8 (%.4gs) did not beat slab (%.4gs)", block.Seconds, slab.Seconds)
+	}
+}
+
+// TestDecompGhostAccountingMulti: deep halos on a block recompute ghost
+// shells on every decomposed axis.
+func TestDecompGhostAccountingMulti(t *testing.T) {
+	j := decompJob(8, [3]int{2, 2, 2}, 64)
+	j.Depth = 1
+	d1 := mustRun(t, j)
+	j.Depth = 2
+	d2 := mustRun(t, j)
+	if d1.GhostUpdateFraction != 0 {
+		t.Errorf("depth 1 ghost fraction = %g, want 0", d1.GhostUpdateFraction)
+	}
+	if d2.GhostUpdateFraction <= 0 {
+		t.Errorf("depth 2 ghost fraction = %g, want > 0", d2.GhostUpdateFraction)
+	}
+	// At 8 ranks on 64³ a slab is only 8 planes thick, so its relative
+	// deep-halo recompute overhead exceeds the chunky 32³ block's — the
+	// same surface-to-volume argument that shrinks the block's messages.
+	js := decompJob(8, [3]int{8, 1, 1}, 64)
+	js.Depth = 2
+	slab := mustRun(t, js)
+	if d2.GhostUpdateFraction >= slab.GhostUpdateFraction {
+		t.Errorf("block ghost fraction %g not below thin-slab %g", d2.GhostUpdateFraction, slab.GhostUpdateFraction)
+	}
+}
+
+func TestDecompValidation(t *testing.T) {
+	j := decompJob(8, [3]int{2, 2, 1}, 64)
+	if _, err := Run(j); err == nil {
+		t.Error("shape/rank mismatch accepted")
+	}
+	j = decompJob(8, [3]int{2, 2, 2}, 64)
+	j.Opt = core.OptOrig
+	if _, err := Run(j); err == nil {
+		t.Error("Orig with multi-axis decomposition accepted")
+	}
+	j = decompJob(8, [3]int{2, 2, 2}, 64)
+	j.NZ = 1
+	if _, err := Run(j); err == nil {
+		t.Error("axis overcommit accepted")
 	}
 }

@@ -28,6 +28,7 @@ package repro
 
 import (
 	"repro/internal/core"
+	"repro/internal/decomp"
 	"repro/internal/grid"
 	"repro/internal/lattice"
 	"repro/internal/machine"
@@ -89,6 +90,28 @@ func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
 
 // OptLevels lists all optimization levels in ladder order.
 func OptLevels() []OptLevel { return core.Levels() }
+
+// Decomposition is a Cartesian rank grid over the global box: the
+// paper's 1-D slab is shape (P,1,1); 2-D pencils and 3-D blocks shrink
+// the per-rank communication surface with P^(2/3).
+type Decomposition = decomp.Cartesian
+
+// ParseDecomp resolves a decomposition spec — "1d"/"2d"/"3d" (factored
+// automatically, minimum communication surface) or an explicit
+// "PxxPyxPz" grid — into the rank-grid shape for Config.Decomp.
+func ParseDecomp(spec string, ranks int, n Dims) ([3]int, error) {
+	d, err := decomp.ParseShape(spec, ranks, [3]int{n.NX, n.NY, n.NZ})
+	if err != nil {
+		return [3]int{}, err
+	}
+	return d.P, nil
+}
+
+// FactorDecomp returns the minimum-surface rank grid for ranks ranks
+// using at most maxAxes decomposed axes (1 slab, 2 pencil, 3 block).
+func FactorDecomp(ranks, maxAxes int, n Dims) ([3]int, error) {
+	return decomp.Factor(ranks, maxAxes, [3]int{n.NX, n.NY, n.NZ})
+}
 
 // Performance-model façade (paper §III).
 type (
