@@ -2,9 +2,10 @@
 // kernels on the local machine and reports the paper's metrics: MFlup/s,
 // wall time, per-rank communication balance and conservation checksums.
 //
-// Example:
+// Examples:
 //
 //	lbmrun -model d3q39 -nx 48 -ny 24 -nz 24 -steps 100 -ranks 4 -threads 2 -opt SIMD -depth 2
+//	lbmrun -scenario cavity -nx 48 -ny 48 -nz 2 -re 100 -steps 8000 -decomp 2d -ranks 4
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"repro/internal/lattice"
 	"repro/internal/macro"
 	"repro/internal/output"
+	"repro/internal/physics"
 )
 
 func main() {
@@ -42,6 +44,9 @@ func main() {
 		layout    = flag.String("layout", "soa", "memory layout: soa or aos")
 		fused     = flag.Bool("fused", false, "fused stream-collide kernel (§VII future work; needs SoA and a GC level)")
 		amplitude = flag.Float64("amplitude", 0.02, "initial perturbation amplitude")
+		scenario  = flag.String("scenario", "wave", "flow scenario: wave (periodic) or cavity (bounded lid-driven)")
+		re        = flag.Float64("re", 100, "cavity scenario: Reynolds number lidU*NY/nu (sets tau)")
+		lidU      = flag.Float64("lidu", 0.1, "cavity scenario: lid speed in lattice units")
 		out       = flag.String("out", "", "write the final macroscopic fields to this file (.vtk or .csv)")
 	)
 	flag.Parse()
@@ -79,12 +84,28 @@ func main() {
 			return 1 + a*math.Sin(x)*math.Cos(y), a * math.Sin(y), -a * math.Cos(x), 0
 		},
 	}
+	switch *scenario {
+	case "wave":
+	case "cavity":
+		// Lid-driven cavity: walls everywhere except the high-y lid moving
+		// along +x; z stays periodic (quasi-2-D). Re = lidU·NY/ν sets tau.
+		cfg.Tau = model.TauForViscosity(*lidU * float64(n.NY) / *re)
+		cfg.Boundary = core.CavitySpec(*lidU)
+		cfg.Init = nil // start from rest
+		cfg.KeepField = true
+	default:
+		log.Fatalf("unknown scenario %q (want wave or cavity)", *scenario)
+	}
 	res, err := core.Run(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("model        %s (Q=%d, c_s^2=%.4f, k=%d)\n", model.Name, model.Q, model.CsSq, model.MaxSpeed)
+	fmt.Printf("scenario     %s\n", *scenario)
+	if *scenario == "cavity" {
+		fmt.Printf("cavity       Re=%g lidU=%g tau=%.4f (walls x/y, lid +x at high y, periodic z)\n", *re, *lidU, cfg.Tau)
+	}
 	fmt.Printf("domain       %s  (%d fluid cells)\n", n, n.Cells())
 	fmt.Printf("config       opt=%s ranks=%d decomp=%s threads=%d depth=%d layout=%s fused=%v\n", opt, *ranks, dec, *threads, *depth, lay, *fused)
 	fmt.Printf("steps        %d\n", *steps)
@@ -104,6 +125,13 @@ func main() {
 	if math.IsNaN(res.Mass) {
 		log.Println("simulation diverged (NaN mass): reduce amplitude or increase tau")
 		os.Exit(1)
+	}
+
+	if *scenario == "cavity" && n.NX == n.NY {
+		prof := physics.CavityProfiles(model, res.Field, *lidU)
+		if eu, ev, err := prof.CompareCavity(int(*re)); err == nil {
+			fmt.Printf("centerline   max |Δu| %.4f, |Δv| %.4f of lid speed vs Hou et al. Re=%d\n", eu, ev, int(*re))
+		}
 	}
 
 	if *out != "" {

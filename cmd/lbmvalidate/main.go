@@ -1,12 +1,20 @@
 // Command lbmvalidate runs the physics validation suite: lattice sanity
 // (weights, isotropy order), viscosity from shear-wave and Taylor-Green
-// decay, sound speeds, and conservation — for both velocity models.
-// It exits non-zero if any check fails its tolerance.
+// decay, sound speeds, conservation — for both velocity models — and the
+// bounded-domain scenarios: the body-force Poiseuille channel between
+// global wall faces and the lid-driven cavity against the Hou et al.
+// Re=100/400 reference centerlines. It exits non-zero if any check fails
+// its tolerance.
+//
+// Flags: -quick shrinks domains and step counts for CI; -list prints the
+// check list (names and tolerances) without running anything — the
+// golden-file regression test pins that output shape.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"os"
@@ -17,90 +25,148 @@ import (
 	"repro/internal/physics"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("lbmvalidate: ")
-	quick := flag.Bool("quick", false, "smaller domains and fewer steps")
-	flag.Parse()
+// check is one validation: run returns a non-negative measure (usually a
+// relative error) that must not exceed tol.
+type check struct {
+	name string
+	tol  float64
+	run  func() (measure float64, err error)
+}
 
-	failures := 0
-	check := func(name string, err error, relErr, tol float64) {
-		status := "ok"
-		if err != nil {
-			status = "ERROR: " + err.Error()
-			failures++
-		} else if relErr > tol {
-			status = fmt.Sprintf("FAIL (err %.2f%% > %.2f%%)", 100*relErr, 100*tol)
-			failures++
-		} else {
-			status = fmt.Sprintf("ok   (err %.2f%%)", 100*relErr)
-		}
-		fmt.Printf("%-52s %s\n", name, status)
-	}
-
+// suite assembles the validation checks. The quick variant shrinks
+// domains and step counts but keeps every check's identity, so the -list
+// output shape is the regression surface.
+func suite(quick bool) []check {
 	steps := 80
 	shearN := grid.Dims{NX: 32, NY: 6, NZ: 6}
 	tgN := grid.Dims{NX: 24, NY: 24, NZ: 6}
 	soundN := grid.Dims{NX: 48, NY: 6, NZ: 6}
-	if *quick {
+	// The cavity's step count scales with L inside RunCavity (16
+	// convective times), so quick mode shrinks only the resolution.
+	cavityL := 48
+	if quick {
 		steps = 40
 		shearN = grid.Dims{NX: 16, NY: 6, NZ: 6}
 		tgN = grid.Dims{NX: 16, NY: 16, NZ: 6}
 		soundN = grid.Dims{NX: 32, NY: 6, NZ: 6}
+		cavityL = 32
 	}
 
+	var cs []check
 	for _, m := range []*lattice.Model{lattice.D3Q19(), lattice.D3Q39()} {
-		fmt.Printf("=== %s ===\n", m.Name)
-		if err := m.Validate(); err != nil {
-			check("lattice consistency", err, 0, 1)
-		} else {
-			check("lattice consistency (weights, moments, symmetry)", nil, 0, 1)
-		}
+		m := m
+		cs = append(cs, check{
+			name: m.Name + " lattice consistency (weights, moments, symmetry)",
+			tol:  0,
+			run:  func() (float64, error) { return 0, m.Validate() },
+		})
 		wantOrder := 5
 		if m.Order >= 3 {
 			wantOrder = 7
 		}
-		orderErr := 0.0
-		if got := m.IsotropyOrder(wantOrder, 1e-12); got < wantOrder {
-			orderErr = 1
-		}
-		check(fmt.Sprintf("isotropy through rank %d", wantOrder), nil, orderErr, 0.5)
-
+		cs = append(cs, check{
+			name: fmt.Sprintf("%s isotropy through rank %d", m.Name, wantOrder),
+			tol:  0.5,
+			run: func() (float64, error) {
+				if got := m.IsotropyOrder(wantOrder, 1e-12); got < wantOrder {
+					return 1, nil
+				}
+				return 0, nil
+			},
+		})
 		for _, tau := range []float64{0.7, 1.0} {
-			res, err := physics.ShearWaveViscosity(m, shearN, tau, steps, nil)
-			relErr := 0.0
-			if err == nil {
-				relErr = res.RelError
+			tau := tau
+			cs = append(cs, check{
+				name: fmt.Sprintf("%s shear-wave viscosity (tau=%.1f)", m.Name, tau),
+				tol:  0.05,
+				run: func() (float64, error) {
+					res, err := physics.ShearWaveViscosity(m, shearN, tau, steps, nil)
+					if err != nil {
+						return 0, err
+					}
+					return res.RelError, nil
+				},
+			})
+		}
+		cs = append(cs, check{
+			name: m.Name + " Taylor-Green viscosity (tau=0.8)",
+			tol:  0.07,
+			run: func() (float64, error) {
+				res, err := physics.TaylorGreenViscosity(m, tgN, 0.8, steps)
+				if err != nil {
+					return 0, err
+				}
+				return res.RelError, nil
+			},
+		})
+		cs = append(cs, check{
+			name: m.Name + " sound speed",
+			tol:  0.06,
+			run: func() (float64, error) {
+				res, err := physics.MeasureSoundSpeed(m, soundN, 0.8)
+				if err != nil {
+					return 0, err
+				}
+				return res.RelError, nil
+			},
+		})
+		cs = append(cs, check{
+			name: m.Name + " mass/momentum conservation (20 steps, 2 ranks)",
+			tol:  1e-9,
+			run:  func() (float64, error) { return conservation(m) },
+		})
+	}
+
+	// Bounded-domain scenarios: the global-boundary wall path.
+	cs = append(cs, check{
+		name: "D3Q19 Poiseuille channel vs parabola (global walls, H=16)",
+		tol:  0.02,
+		run: func() (float64, error) {
+			res, err := physics.PoiseuilleChannel(lattice.D3Q19(), 16, 1.0, 1e-6, 0)
+			if err != nil {
+				return 0, err
 			}
-			check(fmt.Sprintf("shear-wave viscosity (tau=%.1f)", tau), err, relErr, 0.05)
-		}
-		tg, err := physics.TaylorGreenViscosity(m, tgN, 0.8, steps)
-		relErr := 0.0
-		if err == nil {
-			relErr = tg.RelError
-		}
-		check("Taylor-Green viscosity (tau=0.8)", err, relErr, 0.07)
-
-		ss, err := physics.MeasureSoundSpeed(m, soundN, 0.8)
-		relErr = 0.0
-		if err == nil {
-			relErr = ss.RelError
-		}
-		check("sound speed", err, relErr, 0.06)
-
-		consErr, err := conservation(m)
-		check("mass/momentum conservation (20 steps, 2 ranks)", err, consErr, 1e-9)
+			return res.MaxRelErr, nil
+		},
+	})
+	cs = append(cs, check{
+		name: "D3Q39 Poiseuille channel vs parabola (global walls, H=18)",
+		tol:  0.02,
+		run: func() (float64, error) {
+			res, err := physics.PoiseuilleChannel(lattice.D3Q39(), 18, 1.0, 1e-6, 0)
+			if err != nil {
+				return 0, err
+			}
+			return res.MaxRelErr, nil
+		},
+	})
+	cs = append(cs, check{
+		name: fmt.Sprintf("lid-driven cavity Re=100 centerlines vs Hou et al. (L=%d)", cavityL),
+		tol:  0.03,
+		run:  func() (float64, error) { return cavityErr(100, cavityL, 0) },
+	})
+	if !quick {
+		cs = append(cs, check{
+			name: "lid-driven cavity Re=400 centerlines vs Hou et al. (L=48)",
+			tol:  0.03,
+			run:  func() (float64, error) { return cavityErr(400, 48, 16000) },
+		})
 	}
+	return cs
+}
 
-	fmt.Printf("\nKnudsen regimes: Kn=0.01 -> %s (%s), Kn=0.5 -> %s (%s)\n",
-		physics.ClassifyKnudsen(0.01), physics.ModelForKnudsen(0.01).Name,
-		physics.ClassifyKnudsen(0.5), physics.ModelForKnudsen(0.5).Name)
-
-	if failures > 0 {
-		fmt.Printf("\n%d validation(s) FAILED\n", failures)
-		os.Exit(1)
+// cavityErr runs a cavity and returns the worst centerline deviation from
+// the tabulated reference, in lid units.
+func cavityErr(re, l, steps int) (float64, error) {
+	res, err := physics.RunCavity(physics.CavityConfig{L: l, Re: float64(re), Steps: steps})
+	if err != nil {
+		return 0, err
 	}
-	fmt.Println("\nall validations passed")
+	errU, errV, err := res.CompareCavity(re)
+	if err != nil {
+		return 0, err
+	}
+	return math.Max(errU, errV), nil
 }
 
 // conservation measures the relative drift of total mass over a short run.
@@ -127,4 +193,53 @@ func conservation(m *lattice.Model) (float64, error) {
 		return 0, err
 	}
 	return math.Abs(res.Mass-mass0) / mass0, nil
+}
+
+// writeList prints the check list: one "name  tol" line per check. This
+// is the -list output the golden-file test pins.
+func writeList(w io.Writer, cs []check) {
+	for _, c := range cs {
+		fmt.Fprintf(w, "%-62s tol %g\n", c.name, c.tol)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lbmvalidate: ")
+	quick := flag.Bool("quick", false, "smaller domains and fewer steps")
+	list := flag.Bool("list", false, "print the check list without running")
+	flag.Parse()
+
+	cs := suite(*quick)
+	if *list {
+		writeList(os.Stdout, cs)
+		return
+	}
+
+	failures := 0
+	for _, c := range cs {
+		measure, err := c.run()
+		var status string
+		switch {
+		case err != nil:
+			status = "ERROR: " + err.Error()
+			failures++
+		case measure > c.tol:
+			status = fmt.Sprintf("FAIL (err %.2f%% > %.2f%%)", 100*measure, 100*c.tol)
+			failures++
+		default:
+			status = fmt.Sprintf("ok   (err %.2f%%)", 100*measure)
+		}
+		fmt.Printf("%-62s %s\n", c.name, status)
+	}
+
+	fmt.Printf("\nKnudsen regimes: Kn=0.01 -> %s (%s), Kn=0.5 -> %s (%s)\n",
+		physics.ClassifyKnudsen(0.01), physics.ModelForKnudsen(0.01).Name,
+		physics.ClassifyKnudsen(0.5), physics.ModelForKnudsen(0.5).Name)
+
+	if failures > 0 {
+		fmt.Printf("\n%d validation(s) FAILED\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("\nall validations passed")
 }

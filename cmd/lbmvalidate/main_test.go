@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestQuickSuiteGolden pins the -quick -list output shape: the check
+// names, their order and their tolerances are the regression surface a
+// physics change must consciously update (go test ./cmd/lbmvalidate
+// -update regenerates the file).
+func TestQuickSuiteGolden(t *testing.T) {
+	var buf bytes.Buffer
+	writeList(&buf, suite(true))
+	golden := filepath.Join("testdata", "quick_suite.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("quick suite shape changed.\n--- got ---\n%s--- want ---\n%s(run with -update to accept)", buf.String(), want)
+	}
+}
+
+// TestFullSuiteExtendsQuick: the full suite must contain every quick
+// check (same names, same order) plus the long-transient extras, so CI's
+// quick run is a strict subset of the full validation.
+func TestFullSuiteExtendsQuick(t *testing.T) {
+	quick, full := suite(true), suite(false)
+	if len(full) <= len(quick) {
+		t.Fatalf("full suite (%d checks) not larger than quick (%d)", len(full), len(quick))
+	}
+	seen := make(map[string]bool, len(full))
+	for _, c := range full {
+		seen[c.name] = true
+	}
+	for _, c := range quick {
+		if !seen[c.name] && c.name != "lid-driven cavity Re=100 centerlines vs Hou et al. (L=32)" {
+			t.Errorf("quick check %q missing from the full suite", c.name)
+		}
+	}
+	// The full suite must include the Re=400 long-transient check.
+	if !seen["lid-driven cavity Re=400 centerlines vs Hou et al. (L=48)"] {
+		t.Error("full suite lacks the Re=400 cavity check")
+	}
+}

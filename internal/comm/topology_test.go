@@ -81,3 +81,43 @@ func TestCartTopologyMessaging(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCartTopologyBounded: on a bounded axis, shifts off either global
+// edge resolve to NoNeighbor; interior shifts and periodic axes are
+// unchanged.
+func TestCartTopologyBounded(t *testing.T) {
+	top, err := NewCartTopologyBounded(12, [3]int{3, 2, 2}, [3]bool{true, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 12; r++ {
+		c := top.Coords(r)
+		nb := top.Neighbors(r)
+		for a := 0; a < 3; a++ {
+			wantLo, wantHi := top.Shift(r, a, -1), top.Shift(r, a, +1)
+			if nb[a][0] != wantLo || nb[a][1] != wantHi {
+				t.Fatalf("rank %d axis %d: Neighbors %v != Shift (%d,%d)", r, a, nb[a], wantLo, wantHi)
+			}
+			if !top.Bounded[a] {
+				continue
+			}
+			if c[a] == 0 && nb[a][0] != NoNeighbor {
+				t.Errorf("rank %d axis %d: low edge has neighbor %d", r, a, nb[a][0])
+			}
+			if c[a] == top.P[a]-1 && nb[a][1] != NoNeighbor {
+				t.Errorf("rank %d axis %d: high edge has neighbor %d", r, a, nb[a][1])
+			}
+			if c[a] > 0 && nb[a][0] == NoNeighbor || c[a] < top.P[a]-1 && nb[a][1] == NoNeighbor {
+				t.Errorf("rank %d axis %d: interior neighbor missing (%v)", r, a, nb[a])
+			}
+		}
+		// Walking past the edge in one big stride is also NoNeighbor.
+		if top.Shift(r, 0, 3) != NoNeighbor || top.Shift(r, 0, -3) != NoNeighbor {
+			t.Errorf("rank %d: long shift across a bounded axis found a rank", r)
+		}
+		// The periodic z axis still wraps.
+		if top.Shift(r, 2, 2) != r {
+			t.Errorf("rank %d: periodic z full-ring shift not identity", r)
+		}
+	}
+}

@@ -26,11 +26,16 @@ import "repro/internal/grid"
 
 // fixup is one bounce-back link: population v of (fluid) cell was streamed
 // from a solid neighbor and must be replaced by the cell's own opposite
-// pre-stream population.
+// pre-stream population, plus delta — zero for stationary walls, the
+// 2·w_v·ρ0·(c_v·u_w)/c_s² momentum correction for a moving global
+// boundary face (see bc.go). The fixup reads only the fluid cell's own
+// populations, never the solid neighbor's, which is what keeps bounded
+// runs bit-comparable across decompositions and ghost depths.
 type fixup struct {
-	cell int32
-	v    uint8
-	opp  uint8
+	cell  int32
+	v     uint8
+	opp   uint8
+	delta float64
 }
 
 // buildMask evaluates the global solid mask over the local field
@@ -96,7 +101,7 @@ func (s *stepper) applyBounceBack(lo, hi int) {
 		cells := s.d.Cells()
 		for ix := lo; ix < hi; ix++ {
 			for _, fx := range s.fix[ix] {
-				fadv.Data[int(fx.v)*cells+int(fx.cell)] = f.Data[int(fx.opp)*cells+int(fx.cell)]
+				fadv.Data[int(fx.v)*cells+int(fx.cell)] = f.Data[int(fx.opp)*cells+int(fx.cell)] + fx.delta
 			}
 		}
 		return
@@ -104,7 +109,7 @@ func (s *stepper) applyBounceBack(lo, hi int) {
 	q := f.Q
 	for ix := lo; ix < hi; ix++ {
 		for _, fx := range s.fix[ix] {
-			fadv.Data[int(fx.cell)*q+int(fx.v)] = f.Data[int(fx.cell)*q+int(fx.opp)]
+			fadv.Data[int(fx.cell)*q+int(fx.v)] = f.Data[int(fx.cell)*q+int(fx.opp)] + fx.delta
 		}
 	}
 }

@@ -76,6 +76,9 @@ type cartStepper struct {
 	mask                   []bool
 	fix                    [][]fixup
 	shiftX, shiftY, shiftZ float64
+
+	spec *BoundarySpec // global-face boundary conditions (nil = periodic)
+	rest []float64     // rest-state equilibrium, the wall ghost filler
 }
 
 func newCartStepper(cfg *Config, dec decomp.Cartesian, r *comm.Rank) (*cartStepper, error) {
@@ -85,6 +88,7 @@ func newCartStepper(cfg *Config, dec decomp.Cartesian, r *comm.Rank) (*cartStepp
 		threads: cfg.Threads,
 		coef:    newEqCoefs(cfg.Model),
 		pairs:   velocityPairs(cfg.Model),
+		spec:    cfg.Boundary,
 	}
 	cs.w = cfg.GhostDepth * cs.k
 	for a := 0; a < 3; a++ {
@@ -93,10 +97,15 @@ func newCartStepper(cfg *Config, dec decomp.Cartesian, r *comm.Rank) (*cartStepp
 	cs.d = grid.Dims{NX: cs.own[0] + 2*cs.w, NY: cs.own[1] + 2*cs.w, NZ: cs.own[2] + 2*cs.w}
 	cs.f = grid.NewField(cfg.Model.Q, cs.d, cfg.Layout)
 	cs.fadv = grid.NewField(cfg.Model.Q, cs.d, cfg.Layout)
+	cs.rest = make([]float64, cfg.Model.Q)
+	cfg.Model.Equilibrium(1, 0, 0, 0, cs.rest)
 	// Neighbor ranks come from the fabric-level Cartesian topology (the
-	// MPI_Cart_create analog); the decomposition supplies only extents.
-	// Both number ranks z-fastest, which the equivalence tests pin.
-	top, err := comm.NewCartTopology(r.N, dec.Shape())
+	// MPI_Cart_create analog); the decomposition supplies only extents and
+	// per-axis periodicity. Both number ranks z-fastest, which the
+	// equivalence tests pin. At the global edge of a bounded axis the
+	// topology reports NoNeighbor, which makes the exchanger skip that
+	// face and leaves its ghosts to the boundary fill below.
+	top, err := comm.NewCartTopologyBounded(r.N, dec.Shape(), dec.Bounded)
 	if err != nil {
 		return nil, err
 	}
@@ -158,10 +167,11 @@ func (cs *cartStepper) jitter() {
 	time.Sleep(time.Duration(cs.jit.Float64() * float64(cs.cfg.StepJitter)))
 }
 
-// cycle performs one deep-halo cycle: a sequential-axis halo exchange
-// followed by runLen (≤ depth) stream+collide steps on a shrinking box.
+// cycle performs one deep-halo cycle: a sequential-axis ghost refresh
+// (halo exchanges plus boundary fills) followed by runLen (≤ depth)
+// stream+collide steps on a shrinking box.
 func (cs *cartStepper) cycle(runLen int) {
-	cs.ex.ExchangeAll(cs.r, cs.f, cs.cfg.Opt >= OptNBC)
+	cs.refreshGhosts()
 	exts := halo.CycleExtents(cs.depth, cs.k)
 	for s := 0; s < runLen; s++ {
 		b := cs.boxFor(exts[s])
@@ -170,6 +180,106 @@ func (cs *cartStepper) cycle(runLen int) {
 		cs.collideBox(b)
 		cs.countUpdates(b)
 		cs.jitter()
+	}
+}
+
+// refreshGhosts makes every ghost layer valid for one deep-halo cycle.
+// Axes are processed in x, y, z order, and within an axis the boundary
+// fill runs before the exchange: the fill of axis a spans the full local
+// extent of the other axes, so the already-refreshed earlier axes give it
+// current corner data, and the exchanges of later axes transport the
+// filled faces to neighboring ranks — the same sequential ride-along that
+// covers periodic edges and corners, extended to boundary data. Interior
+// ranks of a bounded axis only exchange; edge ranks additionally fill
+// their NoNeighbor faces.
+func (cs *cartStepper) refreshGhosts() {
+	nonblocking := cs.cfg.Opt >= OptNBC
+	for axis := 0; axis < 3; axis++ {
+		if cs.spec != nil {
+			for side := 0; side < 2; side++ {
+				if cs.ex.Neighbors[axis][side] == halo.NoNeighbor {
+					cs.fillFace(axis, side)
+				}
+			}
+		}
+		cs.ex.ExchangeAxis(cs.r, cs.f, axis, nonblocking)
+	}
+}
+
+// faceBox returns the ghost box of one global boundary face: the full w
+// ghost layers on the given side of axis, spanning the full local extent
+// of the other axes.
+func (cs *cartStepper) faceBox(axis, side int) box {
+	b := box{hi: [3]int{cs.d.NX, cs.d.NY, cs.d.NZ}}
+	if side == 0 {
+		b.lo[axis], b.hi[axis] = 0, cs.w
+	} else {
+		b.lo[axis], b.hi[axis] = cs.w+cs.own[axis], cs.own[axis]+2*cs.w
+	}
+	return b
+}
+
+// fillFace writes boundary data into the ghost box of one global face.
+// Wall faces (moving or not) hold the rest-state equilibrium: their
+// values are never consumed by fluid cells — the bounce-back fixups
+// replace every population streamed out of a solid ghost — but a valid
+// distribution keeps the extended-box collisions of deep-halo cycles
+// stable and the ride-along exchange payloads deterministic. Outflow
+// faces are zero-gradient: every ghost layer copies the outermost owned
+// layer.
+func (cs *cartStepper) fillFace(axis, side int) {
+	switch cs.spec.Faces[axis][side].Kind {
+	case BCWall, BCMovingWall:
+		b := cs.faceBox(axis, side)
+		zn := b.hi[2] - b.lo[2]
+		for v := 0; v < cs.model.Q; v++ {
+			blk := cs.f.V(v)
+			val := cs.rest[v]
+			for ix := b.lo[0]; ix < b.hi[0]; ix++ {
+				for iy := b.lo[1]; iy < b.hi[1]; iy++ {
+					run := blk[cs.d.Index(ix, iy, b.lo[2]) : cs.d.Index(ix, iy, b.lo[2])+zn]
+					for z := range run {
+						run[z] = val
+					}
+				}
+			}
+		}
+	case BCOutflow:
+		src := cs.w // first owned layer
+		if side == 1 {
+			src = cs.w + cs.own[axis] - 1 // last owned layer
+		}
+		b := cs.faceBox(axis, side)
+		for l := b.lo[axis]; l < b.hi[axis]; l++ {
+			cs.copyAxisLayer(axis, l, src)
+		}
+	}
+}
+
+// copyAxisLayer copies the full cross-section layer at axis position src
+// to position dst (local indices, ghosts included in the cross-section).
+func (cs *cartStepper) copyAxisLayer(axis, dst, src int) {
+	d := cs.d
+	for v := 0; v < cs.model.Q; v++ {
+		blk := cs.f.V(v)
+		switch axis {
+		case 0:
+			// An x layer is one contiguous NY·NZ block.
+			n := d.NY * d.NZ
+			copy(blk[dst*n:(dst+1)*n], blk[src*n:(src+1)*n])
+		case 1:
+			for ix := 0; ix < d.NX; ix++ {
+				do := d.Index(ix, dst, 0)
+				so := d.Index(ix, src, 0)
+				copy(blk[do:do+d.NZ], blk[so:so+d.NZ])
+			}
+		default:
+			for ix := 0; ix < d.NX; ix++ {
+				for iy := 0; iy < d.NY; iy++ {
+					blk[d.Index(ix, iy, dst)] = blk[d.Index(ix, iy, src)]
+				}
+			}
+		}
 	}
 }
 
@@ -381,27 +491,91 @@ func (cs *cartStepper) collideBoxPaired(b box, x0, x1 int) {
 	}
 }
 
-// buildMask evaluates the global solid mask over the local box (ghosts
-// included, with periodic wrap on every axis) and precomputes the
-// per-x-plane bounce-back fixup lists.
+// axisClass classifies one local index on one axis: the in-domain global
+// coordinate (periodic wrap, or zero-gradient clamp beyond a non-wall
+// face) and the bounded face the point lies beyond, if any.
+type axisClass struct {
+	g    int // in-domain global coordinate (wrapped or clamped)
+	side int // -1 inside the domain; else 0/1, the bounded face crossed
+}
+
+// classifyAxis precomputes axisClass for every local index of one axis.
+func (cs *cartStepper) classifyAxis(a, n int) []axisClass {
+	g := [3]int{cs.cfg.N.NX, cs.cfg.N.NY, cs.cfg.N.NZ}[a]
+	out := make([]axisClass, n)
+	for i := 0; i < n; i++ {
+		gi := cs.start[a] + i - cs.w
+		c := axisClass{side: -1}
+		switch {
+		case cs.spec.AxisPeriodic(a):
+			c.g = ((gi % g) + g) % g
+		case gi < 0:
+			c.g, c.side = 0, 0
+		case gi >= g:
+			c.g, c.side = g-1, 1
+		default:
+			c.g = gi
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// buildMask evaluates the solid geometry over the local box (ghosts
+// included) and precomputes the per-x-plane bounce-back fixup lists. Two
+// sources make a cell solid: the user's Solid mask over the global domain
+// (periodic axes wrap; coordinates beyond a non-wall bounded face clamp,
+// the mask analog of zero gradient), and the region beyond a wall or
+// moving-wall global face. A link whose solid endpoint lies beyond
+// exactly one bounded face, and that face is a moving wall, carries the
+// 2·w_v·ρ0·(c_v·u_w)/c_s² momentum correction; endpoints beyond two or
+// three faces (edge and corner ghosts) bounce as stationary walls, the
+// corner convention of the cavity literature.
 func (cs *cartStepper) buildMask() {
-	if cs.cfg.Solid == nil {
+	if cs.cfg.Solid == nil && !cs.spec.hasWallFaces() {
 		return
 	}
-	g := [3]int{cs.cfg.N.NX, cs.cfg.N.NY, cs.cfg.N.NZ}
-	wrap := func(i, a int) int { return ((cs.start[a]+i-cs.w)%g[a] + g[a]) % g[a] }
 	nx, ny, nz := cs.d.NX, cs.d.NY, cs.d.NZ
+	class := [3][]axisClass{
+		cs.classifyAxis(0, nx), cs.classifyAxis(1, ny), cs.classifyAxis(2, nz),
+	}
+	solidAt := func(c [3]axisClass) bool {
+		for a := 0; a < 3; a++ {
+			if c[a].side >= 0 {
+				if k := cs.spec.Faces[a][c[a].side].Kind; k == BCWall || k == BCMovingWall {
+					return true
+				}
+			}
+		}
+		return cs.cfg.Solid != nil && cs.cfg.Solid(c[0].g, c[1].g, c[2].g)
+	}
+	m := cs.model
+	lidDelta := func(v int, c [3]axisClass) float64 {
+		outside, axis := 0, -1
+		for a := 0; a < 3; a++ {
+			if c[a].side >= 0 {
+				outside++
+				axis = a
+			}
+		}
+		if outside != 1 {
+			return 0
+		}
+		face := cs.spec.Faces[axis][c[axis].side]
+		if face.Kind != BCMovingWall {
+			return 0
+		}
+		cu := float64(m.Cx[v])*face.U[0] + float64(m.Cy[v])*face.U[1] + float64(m.Cz[v])*face.U[2]
+		return 2 * m.W[v] * cu / m.CsSq
+	}
 	cs.mask = make([]bool, cs.d.Cells())
 	for ix := 0; ix < nx; ix++ {
-		gx := wrap(ix, 0)
 		for iy := 0; iy < ny; iy++ {
-			gy := wrap(iy, 1)
 			for iz := 0; iz < nz; iz++ {
-				cs.mask[cs.d.Index(ix, iy, iz)] = cs.cfg.Solid(gx, gy, wrap(iz, 2))
+				cs.mask[cs.d.Index(ix, iy, iz)] = solidAt([3]axisClass{class[0][ix], class[1][iy], class[2][iz]})
 			}
 		}
 	}
-	m := cs.model
 	cs.fix = make([][]fixup, nx)
 	for ix := 0; ix < nx; ix++ {
 		for iy := 0; iy < ny; iy++ {
@@ -418,6 +592,7 @@ func (cs *cartStepper) buildMask() {
 					if cs.mask[cs.d.Index(sx, sy, sz)] {
 						cs.fix[ix] = append(cs.fix[ix], fixup{
 							cell: int32(cell), v: uint8(v), opp: uint8(m.Opp[v]),
+							delta: lidDelta(v, [3]axisClass{class[0][sx], class[1][sy], class[2][sz]}),
 						})
 					}
 				}
@@ -439,7 +614,7 @@ func (cs *cartStepper) applyBounceBackBox(b box) {
 	f, fadv := cs.f, cs.fadv
 	for ix := b.lo[0]; ix < b.hi[0]; ix++ {
 		for _, fx := range cs.fix[ix] {
-			fadv.Data[int(fx.v)*cells+int(fx.cell)] = f.Data[int(fx.opp)*cells+int(fx.cell)]
+			fadv.Data[int(fx.v)*cells+int(fx.cell)] = f.Data[int(fx.opp)*cells+int(fx.cell)] + fx.delta
 		}
 	}
 }

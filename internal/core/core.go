@@ -136,6 +136,14 @@ type Config struct {
 	// future-work direction, implemented here as an extension. Requires
 	// the SoA layout and a ghost-cell level (OptGC or above).
 	Fused bool
+	// Boundary assigns conditions to the six global faces (walls, moving
+	// walls, outflow, periodic — see BoundarySpec). Nil, and any spec
+	// whose faces are all periodic, keeps the fully periodic domain. A
+	// spec with non-periodic faces requires the SoA layout, a ghost-cell
+	// level (not Orig) and the split kernels (no Fused), and always runs
+	// on the multi-axis box stepper — including slab-shaped rank grids —
+	// so the periodic slab ladder stays untouched.
+	Boundary *BoundarySpec
 	// Solid marks lattice points as solid walls (halfway bounce-back,
 	// no-slip). Applies to every optimization level except the fused
 	// kernel. Nil means fully periodic fluid.
@@ -200,6 +208,14 @@ func (c *Config) init() error {
 	if c.N.NY < 2*k || c.N.NZ < 2*k {
 		return fmt.Errorf("core: NY/NZ (%d/%d) must be >= 2k = %d for %s", c.N.NY, c.N.NZ, 2*k, c.Model.Name)
 	}
+	if err := c.Boundary.validate(); err != nil {
+		return err
+	}
+	if c.Boundary != nil && c.Boundary.BoundedAxes() == ([3]bool{}) {
+		// A fully periodic spec is the default domain: drop it so the
+		// specialized slab stepper keeps handling slab shapes.
+		c.Boundary = nil
+	}
 	if c.Decomp == ([3]int{}) {
 		c.Decomp = [3]int{c.Ranks, 1, 1}
 	}
@@ -207,24 +223,26 @@ func (c *Config) init() error {
 		return fmt.Errorf("core: decomposition %dx%dx%d covers %d ranks, config has %d",
 			c.Decomp[0], c.Decomp[1], c.Decomp[2], got, c.Ranks)
 	}
-	dec, err := decomp.NewCartesian([3]int{c.N.NX, c.N.NY, c.N.NZ}, c.Decomp)
+	dec, err := decomp.NewCartesianBounded([3]int{c.N.NX, c.N.NY, c.N.NZ}, c.Decomp, c.Boundary.BoundedAxes())
 	if err != nil {
 		return err
 	}
 	w := c.GhostDepth * k
-	if dec.IsSlab() {
+	if dec.IsSlab() && c.Boundary == nil {
 		if minOwn := dec.MinOwn(0); minOwn < w {
 			return fmt.Errorf("core: smallest slab (%d planes) < halo width %d (depth %d × k %d)", minOwn, w, c.GhostDepth, k)
 		}
 	} else {
+		// Multi-axis decompositions and all bounded domains use the box
+		// stepper of cart.go.
 		if c.Opt == OptOrig {
-			return fmt.Errorf("core: the no-ghost Orig protocol is slab-only; use Decomp (Ranks,1,1) or a ghost-cell level")
+			return fmt.Errorf("core: the no-ghost Orig protocol is periodic-slab-only; use a ghost-cell level")
 		}
 		if c.Layout != grid.SoA {
-			return fmt.Errorf("core: multi-axis decompositions require the SoA layout")
+			return fmt.Errorf("core: the box stepper (multi-axis or bounded runs) requires the SoA layout")
 		}
 		if c.Fused {
-			return fmt.Errorf("core: the fused kernel is slab-only; disable Fused or use a 1-D decomposition")
+			return fmt.Errorf("core: the fused kernel is periodic-slab-only; disable Fused")
 		}
 		for a := 0; a < 3; a++ {
 			if mo := dec.MinOwn(a); mo < w {
@@ -284,15 +302,16 @@ func (r *Result) CommSummary() metrics.Summary {
 	return metrics.SummarizeDurations(ds)
 }
 
-// Run executes the configured simulation and returns its result. The 1-D
-// slab shape dispatches to the specialized slab stepper (the paper's full
-// optimization ladder); pencil and block shapes use the generalized
-// multi-axis stepper of cart.go.
+// Run executes the configured simulation and returns its result. The
+// fully periodic 1-D slab shape dispatches to the specialized slab
+// stepper (the paper's full optimization ladder); pencil and block shapes
+// — and every run with non-periodic global boundaries — use the
+// generalized multi-axis stepper of cart.go.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.init(); err != nil {
 		return nil, err
 	}
-	dec, err := decomp.NewCartesian([3]int{cfg.N.NX, cfg.N.NY, cfg.N.NZ}, cfg.Decomp)
+	dec, err := decomp.NewCartesianBounded([3]int{cfg.N.NX, cfg.N.NY, cfg.N.NZ}, cfg.Decomp, cfg.Boundary.BoundedAxes())
 	if err != nil {
 		return nil, err
 	}
@@ -305,7 +324,7 @@ func Run(cfg Config) (*Result, error) {
 	sums := make([][5]float64, cfg.Ranks) // mass, momx, momy, momz, ghost updates
 	blocks := make([][]float64, cfg.Ranks)
 	axisB := make([][3]int64, cfg.Ranks)
-	slab := dec.IsSlab()
+	slab := dec.IsSlab() && cfg.Boundary == nil
 
 	runErr := fab.Run(func(r *comm.Rank) error {
 		var st interface {

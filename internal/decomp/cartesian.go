@@ -13,6 +13,12 @@ const (
 	AxisZ = 2
 )
 
+// NoNeighbor is returned by Neighbor for a step off the global edge of a
+// bounded (non-periodic) axis: there is no rank there, the face is a
+// global boundary whose ghost cells are filled from boundary conditions
+// rather than exchanged data.
+const NoNeighbor = -1
+
 // Decomposition is implemented by Cartesian; consumers that only need
 // the rank-grid geometry (ownership, neighbors, coordinates) can take
 // the interface so alternative decompositions (e.g. space-filling-curve
@@ -35,8 +41,10 @@ type Decomposition interface {
 	RankAt(c [3]int) int
 	// Own returns the global start index and count owned by rank on axis.
 	Own(rank, axis int) (start, size int)
-	// Neighbor returns the periodic neighbor of rank along axis in
-	// direction dir (-1 toward lower indices, +1 toward higher).
+	// Neighbor returns the neighbor of rank along axis in direction dir
+	// (-1 toward lower indices, +1 toward higher): the periodic ring
+	// neighbor on periodic axes, or NoNeighbor when the axis is bounded
+	// and the step walks off the global edge.
 	Neighbor(rank, axis, dir int) int
 	// MaxOwn returns the largest owned extent over all ranks on axis.
 	MaxOwn(axis int) int
@@ -76,18 +84,27 @@ func blockMax(n, parts int) int {
 }
 
 // Cartesian is a balanced block decomposition of a global box over a
-// Px×Py×Pz rank grid with periodic neighbor relationships on every axis.
+// Px×Py×Pz rank grid. Axes are periodic by default (the zero Bounded
+// value); a bounded axis has real global faces — its edge ranks have no
+// neighbor across the boundary and its ghost faces carry boundary data.
 // It implements Decomposition.
 type Cartesian struct {
-	Global [3]int // global cell extents (NX, NY, NZ)
-	P      [3]int // rank-grid extents
+	Global  [3]int  // global cell extents (NX, NY, NZ)
+	P       [3]int  // rank-grid extents
+	Bounded [3]bool // true = non-periodic axis with global boundary faces
 }
 
 var _ Decomposition = Cartesian{}
 
-// NewCartesian validates and returns a Cartesian decomposition of the
-// global extents over a p[0]×p[1]×p[2] rank grid.
+// NewCartesian validates and returns a fully periodic Cartesian
+// decomposition of the global extents over a p[0]×p[1]×p[2] rank grid.
 func NewCartesian(global, p [3]int) (Cartesian, error) {
+	return NewCartesianBounded(global, p, [3]bool{})
+}
+
+// NewCartesianBounded is NewCartesian with per-axis periodicity control:
+// bounded[a] = true makes axis a non-periodic.
+func NewCartesianBounded(global, p [3]int, bounded [3]bool) (Cartesian, error) {
 	for a := 0; a < 3; a++ {
 		if p[a] < 1 {
 			return Cartesian{}, fmt.Errorf("decomp: axis %d rank count %d, want >= 1", a, p[a])
@@ -96,7 +113,7 @@ func NewCartesian(global, p [3]int) (Cartesian, error) {
 			return Cartesian{}, fmt.Errorf("decomp: axis %d extent %d < %d ranks (every rank needs at least one cell)", a, global[a], p[a])
 		}
 	}
-	return Cartesian{Global: global, P: p}, nil
+	return Cartesian{Global: global, P: p, Bounded: bounded}, nil
 }
 
 // Ranks returns the total rank count.
@@ -124,10 +141,19 @@ func (c Cartesian) Own(rank, axis int) (start, size int) {
 	return blockOwn(c.Global[axis], c.P[axis], c.Coords(rank)[axis])
 }
 
-// Neighbor returns the periodic neighbor of rank along axis (dir ±1).
+// Neighbor returns the neighbor of rank along axis (dir ±1): the periodic
+// ring neighbor, or NoNeighbor off the global edge of a bounded axis.
 func (c Cartesian) Neighbor(rank, axis, dir int) int {
 	co := c.Coords(rank)
-	co[axis] = (co[axis] + dir + c.P[axis]) % c.P[axis]
+	next := co[axis] + dir
+	if c.Bounded[axis] {
+		if next < 0 || next >= c.P[axis] {
+			return NoNeighbor
+		}
+	} else {
+		next = (next + c.P[axis]) % c.P[axis]
+	}
+	co[axis] = next
 	return c.RankAt(co)
 }
 

@@ -230,3 +230,34 @@ func TestParseShape(t *testing.T) {
 		}
 	}
 }
+
+// TestCartesianBoundedNeighbors: bounded axes end at the global edge
+// (NoNeighbor) while periodic axes keep their ring; interior neighbor
+// relations stay inverse.
+func TestCartesianBoundedNeighbors(t *testing.T) {
+	d, err := NewCartesianBounded([3]int{12, 9, 8}, [3]int{3, 2, 2}, [3]bool{true, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < d.Ranks(); r++ {
+		co := d.Coords(r)
+		for axis := 0; axis < 3; axis++ {
+			lo, hi := d.Neighbor(r, axis, -1), d.Neighbor(r, axis, +1)
+			if !d.Bounded[axis] {
+				if d.Neighbor(hi, axis, -1) != r {
+					t.Fatalf("periodic axis %d: neighbors not inverse at rank %d", axis, r)
+				}
+				continue
+			}
+			if co[axis] == 0 && lo != NoNeighbor {
+				t.Errorf("rank %d axis %d: low edge neighbor = %d", r, axis, lo)
+			}
+			if co[axis] == d.P[axis]-1 && hi != NoNeighbor {
+				t.Errorf("rank %d axis %d: high edge neighbor = %d", r, axis, hi)
+			}
+			if co[axis] > 0 && (lo == NoNeighbor || d.Neighbor(lo, axis, +1) != r) {
+				t.Errorf("rank %d axis %d: interior low neighbor broken (%d)", r, axis, lo)
+			}
+		}
+	}
+}

@@ -1,5 +1,5 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (see DESIGN.md §4 for the experiment index). Paper-scale
+// evaluation (see DESIGN.md §5 for the experiment index). Paper-scale
 // results come from the perfsim discrete-event simulator over the Blue
 // Gene machine models; the Real* variants execute the actual Go kernels on
 // the local machine at laptop scale. Each generator returns a Table that

@@ -20,6 +20,10 @@ import (
 // direction dir (0 = toward lower coordinates, 1 = toward higher).
 func cartTag(axis, dir int) int { return 0x200 + 2*axis + dir }
 
+// NoNeighbor marks a missing neighbor (a global boundary face of a
+// bounded axis) in CartExchanger.Neighbors; it matches comm.NoNeighbor.
+const NoNeighbor = -1
+
 // PackBox copies all Q velocities of the axis-aligned box [lo,hi) of f
 // into buf and returns the number of values packed. The wire format
 // follows the field layout (velocity-major for SoA, cell-major for AoS);
@@ -105,6 +109,10 @@ type CartExchanger struct {
 	W    [3]int    // ghost width per side, per axis
 	Self int       // this rank's ID (self-neighbor axes wrap locally)
 	// Neighbors[axis][0] is the low-side rank, [axis][1] the high-side.
+	// An entry of NoNeighbor marks a global boundary face of a bounded
+	// (non-periodic) axis: no message crosses it and no wraparound copy is
+	// made — its ghost cells are left for the caller to fill from boundary
+	// conditions.
 	Neighbors [3][2]int
 
 	send, recv [3][2][]float64
@@ -173,12 +181,17 @@ func (e *CartExchanger) face(axis, region int) (lo, hi [3]int) {
 }
 
 // BytesPerExchange returns the payload bytes this rank sends along axis
-// per full exchange (both directions); zero for self-neighbor axes.
+// per full exchange: one face payload per side that has a real neighbor —
+// zero for self-neighbor (locally wrapped) axes and for boundary faces.
 func (e *CartExchanger) BytesPerExchange(axis int) int64 {
-	if e.Neighbors[axis][0] == e.Self && e.Neighbors[axis][1] == e.Self {
-		return 0
+	face := int64(8 * e.Q * e.W[axis] * e.crossCells(axis))
+	var total int64
+	for s := 0; s < 2; s++ {
+		if n := e.Neighbors[axis][s]; n != NoNeighbor && n != e.Self {
+			total += face
+		}
 	}
-	return int64(2 * 8 * e.Q * e.W[axis] * e.crossCells(axis))
+	return total
 }
 
 // AxisBytes returns the accumulated payload bytes sent per axis.
@@ -194,12 +207,18 @@ func (e *CartExchanger) ExchangeAll(r *comm.Rank, f *grid.Field, nonblocking boo
 	}
 }
 
-// ExchangeAxis exchanges the two faces normal to one axis. Both sides of
-// a self-neighbor axis wrap locally without messaging.
+// ExchangeAxis exchanges the faces normal to one axis. Both sides of a
+// self-neighbor axis wrap locally without messaging. A NoNeighbor side is
+// a global boundary: nothing is sent, received or wrapped there, so no
+// wraparound data can ever land in a boundary ghost face. An axis with no
+// neighbors on either side (bounded, undecomposed) is a no-op.
 func (e *CartExchanger) ExchangeAxis(r *comm.Rank, f *grid.Field, axis int, nonblocking bool) {
 	loN, hiN := e.Neighbors[axis][0], e.Neighbors[axis][1]
 	if loN == e.Self && hiN == e.Self {
 		e.exchangeLocalAxis(f, axis)
+		return
+	}
+	if loN == NoNeighbor && hiN == NoNeighbor {
 		return
 	}
 	if nonblocking {
@@ -208,42 +227,75 @@ func (e *CartExchanger) ExchangeAxis(r *comm.Rank, f *grid.Field, axis int, nonb
 		e.WaitUnpackAxis(r, f, axis)
 		return
 	}
-	nLo := e.packFace(f, axis, 1, e.send[axis][0])
-	nHi := e.packFace(f, axis, 2, e.send[axis][1])
 	// Eager buffered sends cannot deadlock; order recvs after both sends.
-	r.Send(loN, cartTag(axis, 0), e.send[axis][0][:nLo])
-	r.Send(hiN, cartTag(axis, 1), e.send[axis][1][:nHi])
-	e.axisBytes[axis] += int64(8 * (nLo + nHi))
-	r.Recv(hiN, cartTag(axis, 0), e.recv[axis][1])
-	r.Recv(loN, cartTag(axis, 1), e.recv[axis][0])
-	e.unpackFace(f, axis, 3, e.recv[axis][1])
-	e.unpackFace(f, axis, 0, e.recv[axis][0])
-}
-
-// PostRecvsAxis posts the two ghost receives for one axis early.
-func (e *CartExchanger) PostRecvsAxis(r *comm.Rank, axis int) {
-	e.reqs[axis][0] = r.Irecv(e.Neighbors[axis][0], cartTag(axis, 1), e.recv[axis][0])
-	e.reqs[axis][1] = r.Irecv(e.Neighbors[axis][1], cartTag(axis, 0), e.recv[axis][1])
-}
-
-// SendBordersAxis packs and sends the two border faces of one axis.
-func (e *CartExchanger) SendBordersAxis(r *comm.Rank, f *grid.Field, axis int) {
-	nLo := e.packFace(f, axis, 1, e.send[axis][0])
-	nHi := e.packFace(f, axis, 2, e.send[axis][1])
-	r.Isend(e.Neighbors[axis][0], cartTag(axis, 0), e.send[axis][0][:nLo])
-	r.Isend(e.Neighbors[axis][1], cartTag(axis, 1), e.send[axis][1][:nHi])
-	e.axisBytes[axis] += int64(8 * (nLo + nHi))
-}
-
-// WaitUnpackAxis completes one axis's receives and fills its ghosts.
-func (e *CartExchanger) WaitUnpackAxis(r *comm.Rank, f *grid.Field, axis int) {
-	if e.reqs[axis][0] == nil || e.reqs[axis][1] == nil {
-		panic("halo: WaitUnpackAxis without PostRecvsAxis")
+	if loN != NoNeighbor {
+		n := e.packFace(f, axis, 1, e.send[axis][0])
+		r.Send(loN, cartTag(axis, 0), e.send[axis][0][:n])
+		e.axisBytes[axis] += int64(8 * n)
 	}
-	r.Wait(e.reqs[axis][0], e.reqs[axis][1])
+	if hiN != NoNeighbor {
+		n := e.packFace(f, axis, 2, e.send[axis][1])
+		r.Send(hiN, cartTag(axis, 1), e.send[axis][1][:n])
+		e.axisBytes[axis] += int64(8 * n)
+	}
+	if hiN != NoNeighbor {
+		r.Recv(hiN, cartTag(axis, 0), e.recv[axis][1])
+		e.unpackFace(f, axis, 3, e.recv[axis][1])
+	}
+	if loN != NoNeighbor {
+		r.Recv(loN, cartTag(axis, 1), e.recv[axis][0])
+		e.unpackFace(f, axis, 0, e.recv[axis][0])
+	}
+}
+
+// PostRecvsAxis posts the ghost receives for one axis early (boundary
+// sides excluded).
+func (e *CartExchanger) PostRecvsAxis(r *comm.Rank, axis int) {
+	if n := e.Neighbors[axis][0]; n != NoNeighbor {
+		e.reqs[axis][0] = r.Irecv(n, cartTag(axis, 1), e.recv[axis][0])
+	}
+	if n := e.Neighbors[axis][1]; n != NoNeighbor {
+		e.reqs[axis][1] = r.Irecv(n, cartTag(axis, 0), e.recv[axis][1])
+	}
+}
+
+// SendBordersAxis packs and sends the border faces of one axis (boundary
+// sides excluded).
+func (e *CartExchanger) SendBordersAxis(r *comm.Rank, f *grid.Field, axis int) {
+	if n := e.Neighbors[axis][0]; n != NoNeighbor {
+		nLo := e.packFace(f, axis, 1, e.send[axis][0])
+		r.Isend(n, cartTag(axis, 0), e.send[axis][0][:nLo])
+		e.axisBytes[axis] += int64(8 * nLo)
+	}
+	if n := e.Neighbors[axis][1]; n != NoNeighbor {
+		nHi := e.packFace(f, axis, 2, e.send[axis][1])
+		r.Isend(n, cartTag(axis, 1), e.send[axis][1][:nHi])
+		e.axisBytes[axis] += int64(8 * nHi)
+	}
+}
+
+// WaitUnpackAxis completes one axis's posted receives and fills the
+// corresponding ghosts.
+func (e *CartExchanger) WaitUnpackAxis(r *comm.Rank, f *grid.Field, axis int) {
+	for s := 0; s < 2; s++ {
+		if e.Neighbors[axis][s] != NoNeighbor && e.reqs[axis][s] == nil {
+			panic("halo: WaitUnpackAxis without PostRecvsAxis")
+		}
+	}
+	if e.reqs[axis][0] != nil && e.reqs[axis][1] != nil {
+		r.Wait(e.reqs[axis][0], e.reqs[axis][1])
+	} else if e.reqs[axis][0] != nil {
+		r.Wait(e.reqs[axis][0])
+	} else if e.reqs[axis][1] != nil {
+		r.Wait(e.reqs[axis][1])
+	}
+	if e.reqs[axis][0] != nil {
+		e.unpackFace(f, axis, 0, e.recv[axis][0])
+	}
+	if e.reqs[axis][1] != nil {
+		e.unpackFace(f, axis, 3, e.recv[axis][1])
+	}
 	e.reqs[axis][0], e.reqs[axis][1] = nil, nil
-	e.unpackFace(f, axis, 0, e.recv[axis][0])
-	e.unpackFace(f, axis, 3, e.recv[axis][1])
 }
 
 // exchangeLocalAxis wraps one undecomposed axis periodically in place:

@@ -180,6 +180,127 @@ func TestCartExchangeDeepHalo(t *testing.T) {
 	}
 }
 
+// TestCartExchangeBoundedAxes is the mixed periodic/bounded table: for
+// every combination of rank grid and per-axis boundedness, a full
+// exchange must (a) leave every ghost cell whose global coordinate falls
+// outside the domain on a bounded axis untouched — no wraparound data
+// ever lands in a boundary ghost face — and (b) still deliver the correct
+// wrapped value to every in-domain ghost cell, edges and corners
+// included.
+func TestCartExchangeBoundedAxes(t *testing.T) {
+	const poison = -1.0
+	global := [3]int{8, 6, 6}
+	const q = 2
+	cases := []struct {
+		name    string
+		p       [3]int
+		bounded [3]bool
+	}{
+		{"slab, x bounded", [3]int{4, 1, 1}, [3]bool{true, false, false}},
+		{"slab, y bounded undecomposed", [3]int{4, 1, 1}, [3]bool{false, true, false}},
+		{"slab, all bounded", [3]int{4, 1, 1}, [3]bool{true, true, true}},
+		{"pencil, x bounded", [3]int{2, 2, 1}, [3]bool{true, false, false}},
+		{"pencil, xy bounded", [3]int{2, 2, 1}, [3]bool{true, true, false}},
+		{"block, x bounded", [3]int{2, 2, 2}, [3]bool{true, false, false}},
+		{"block, xy bounded", [3]int{2, 2, 2}, [3]bool{true, true, false}},
+		{"block, all bounded", [3]int{2, 2, 2}, [3]bool{true, true, true}},
+		{"single rank, xy bounded", [3]int{1, 1, 1}, [3]bool{true, true, false}},
+	}
+	for _, tc := range cases {
+		for _, nonblocking := range []bool{false, true} {
+			dec, err := decomp.NewCartesianBounded(global, tc.p, tc.bounded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := [3]int{1, 1, 1}
+			fab := comm.NewFabric(dec.Ranks())
+			top, err := fab.CartBounded(tc.p, tc.bounded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runErr := fab.Run(func(r *comm.Rank) error {
+				var start, own [3]int
+				for a := 0; a < 3; a++ {
+					start[a], own[a] = dec.Own(r.ID, a)
+				}
+				d := grid.Dims{NX: own[0] + 2*w[0], NY: own[1] + 2*w[1], NZ: own[2] + 2*w[2]}
+				f := grid.NewField(q, d, grid.SoA)
+				for i := range f.Data {
+					f.Data[i] = poison
+				}
+				for v := 0; v < q; v++ {
+					for ix := 0; ix < own[0]; ix++ {
+						for iy := 0; iy < own[1]; iy++ {
+							for iz := 0; iz < own[2]; iz++ {
+								f.Set(v, w[0]+ix, w[1]+iy, w[2]+iz,
+									encode(v, start[0]+ix, start[1]+iy, start[2]+iz))
+							}
+						}
+					}
+				}
+				ex, err := NewCartExchanger(q, d, own, w, r.ID, top.Neighbors(r.ID))
+				if err != nil {
+					return err
+				}
+				ex.ExchangeAll(r, f, nonblocking)
+				wrap := func(g, n int) int { return ((g % n) + n) % n }
+				for v := 0; v < q; v++ {
+					for ix := 0; ix < d.NX; ix++ {
+						for iy := 0; iy < d.NY; iy++ {
+							for iz := 0; iz < d.NZ; iz++ {
+								g := [3]int{start[0] + ix - w[0], start[1] + iy - w[1], start[2] + iz - w[2]}
+								outside := false
+								for a := 0; a < 3; a++ {
+									if tc.bounded[a] && (g[a] < 0 || g[a] >= global[a]) {
+										outside = true
+									}
+								}
+								got := f.At(v, ix, iy, iz)
+								if outside {
+									// A boundary ghost cell: nothing may have
+									// been exchanged or wrapped into it.
+									if got != poison {
+										t.Errorf("%s nb=%v rank %d: boundary ghost (%d,%d,%d,%d) overwritten with %v",
+											tc.name, nonblocking, r.ID, v, ix, iy, iz, got)
+										return nil
+									}
+									continue
+								}
+								want := encode(v, wrap(g[0], global[0]), wrap(g[1], global[1]), wrap(g[2], global[2]))
+								if got != want {
+									t.Errorf("%s nb=%v rank %d: cell (%d,%d,%d,%d) = %v, want %v",
+										tc.name, nonblocking, r.ID, v, ix, iy, iz, got, want)
+									return nil
+								}
+							}
+						}
+					}
+				}
+				// Per-axis byte accounting must reflect the skipped faces:
+				// an edge rank of a bounded decomposed axis sends one face,
+				// an interior rank two.
+				for a := 0; a < 3; a++ {
+					faces := 0
+					for s := 0; s < 2; s++ {
+						if n := ex.Neighbors[a][s]; n != NoNeighbor && n != r.ID {
+							faces++
+						}
+					}
+					per := int64(8 * q * w[a] * (d.Cells() / [3]int{d.NX, d.NY, d.NZ}[a]))
+					if want := int64(faces) * per; ex.BytesPerExchange(a) != want {
+						t.Errorf("%s rank %d axis %d: BytesPerExchange = %d, want %d (%d faces)",
+							tc.name, r.ID, a, ex.BytesPerExchange(a), want, faces)
+					}
+				}
+				return nil
+			})
+			if runErr != nil {
+				t.Fatalf("%s: %v", tc.name, runErr)
+			}
+		}
+	}
+}
+
 func TestNewCartExchangerValidation(t *testing.T) {
 	d := grid.Dims{NX: 6, NY: 6, NZ: 6}
 	nb := [3][2]int{{0, 0}, {0, 0}, {0, 0}}

@@ -20,6 +20,7 @@ package perfsim
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/decomp"
@@ -52,9 +53,16 @@ type Job struct {
 	// cross-sections, which is how 3-D beats 1-D per-rank surface at
 	// scale.
 	Decomp [3]int
-	Steps  int
-	Depth  int // ghost-cell depth (1 for OptOrig)
-	Opt    core.OptLevel
+	// Bounded marks non-periodic axes (walls, lids, outflow): the edge
+	// ranks of a bounded axis have no wraparound partner, so they skip
+	// the message across the global boundary and write their boundary
+	// ghost faces locally instead (a memory copy, not a message) — the
+	// schedule of the bounded solver. An interior rank of a bounded axis
+	// communicates exactly like a periodic one.
+	Bounded [3]bool
+	Steps   int
+	Depth   int // ghost-cell depth (1 for OptOrig)
+	Opt     core.OptLevel
 
 	// Imbalance is the peak fractional per-step compute jitter (uniform in
 	// [0, Imbalance], redrawn every step); PersistentImbalance is a
@@ -144,6 +152,9 @@ func (j *Job) validate() error {
 	if j.Opt == core.OptOrig && !(j.Decomp[1] == 1 && j.Decomp[2] == 1) {
 		return fmt.Errorf("perfsim: the no-ghost Orig protocol is slab-only")
 	}
+	if j.Opt == core.OptOrig && j.Bounded != ([3]bool{}) {
+		return fmt.Errorf("perfsim: the no-ghost Orig protocol is periodic-only (boundaries need ghost cells)")
+	}
 	for a, n := range [3]int{j.NX, j.NY, j.NZ} {
 		if n < j.Decomp[a] {
 			return fmt.Errorf("perfsim: axis %d extent %d < %d ranks", a, n, j.Decomp[a])
@@ -211,7 +222,7 @@ func Run(j Job) (*Result, error) {
 		j.CrossPlaneVels = DefaultCross(j.Spec.Q)
 	}
 	ranks := j.Nodes * j.TasksPerNode
-	dec, err := decomp.NewCartesian([3]int{j.NX, j.NY, j.NZ}, j.Decomp)
+	dec, err := decomp.NewCartesianBounded([3]int{j.NX, j.NY, j.NZ}, j.Decomp, j.Bounded)
 	if err != nil {
 		return nil, err
 	}
@@ -340,7 +351,11 @@ func (st *simState) run() float64 {
 	// Halo traffic between tasks of one node moves through shared memory,
 	// not the torus.
 	wireIntra := haloBytes / (j.Machine.MemBWBytes / 2)
-	packT := 2 * haloBytes / st.rt.taskBWRaw
+	faceT := haloBytes / st.rt.taskBWRaw
+	// Each cycle touches two border faces (packed toward neighbors, or
+	// written in place from boundary data on a bounded edge — same copy
+	// cost either way) and two ghost faces (unpacked or boundary-filled).
+	packT := 2 * faceT
 	unpackT := packT
 	sw := st.rt.msgSW
 
@@ -357,16 +372,29 @@ func (st *simState) run() float64 {
 		for r := 0; r < st.ranks; r++ {
 			left := st.dec.Neighbor(r, decomp.AxisX, -1)
 			right := st.dec.Neighbor(r, decomp.AxisX, +1)
-			wl, wr := wire, wire
-			if st.sameNode(r, left) {
-				wl = wireIntra
+			// A bounded-axis edge rank has fewer messages: nothing crosses
+			// the global boundary in either direction.
+			nmsg := 0.0
+			recvReady := math.Inf(-1)
+			if left != decomp.NoNeighbor {
+				nmsg++
+				wl := wire
+				if st.sameNode(r, left) {
+					wl = wireIntra
+				}
+				if t := sendAt[left] + sw + wl; t > recvReady {
+					recvReady = t
+				}
 			}
-			if st.sameNode(r, right) {
-				wr = wireIntra
-			}
-			recvReady := sendAt[left] + sw + wl
-			if t := sendAt[right] + sw + wr; t > recvReady {
-				recvReady = t
+			if right != decomp.NoNeighbor {
+				nmsg++
+				wr := wire
+				if st.sameNode(r, right) {
+					wr = wireIntra
+				}
+				if t := sendAt[right] + sw + wr; t > recvReady {
+					recvReady = t
+				}
 			}
 			switch {
 			case j.Opt >= core.OptGCC:
@@ -378,12 +406,12 @@ func (st *simState) run() float64 {
 				if interior < 0 {
 					interior = 0
 				}
-				rimStart := sendAt[r] + 2*sw + interior*t0
+				rimStart := sendAt[r] + nmsg*sw + interior*t0
 				wait := recvReady - rimStart
-				if wait < 0 {
+				if wait < 0 || math.IsInf(wait, -1) {
 					wait = 0
 				}
-				st.comm[r] += 2*sw + wait + unpackT
+				st.comm[r] += nmsg*sw + wait + unpackT
 				st.clock[r] = rimStart + wait + unpackT + (1-interior)*t0
 				for s := 1; s < runLen; s++ {
 					st.clock[r] += st.stepTime(r, s)
@@ -391,8 +419,7 @@ func (st *simState) run() float64 {
 			case j.Opt >= core.OptNBC:
 				// Non-blocking: sends are DMA'd; the rank pays the posting
 				// software cost and then waits only for the receives.
-				posted := sendAt[r] + 2*sw
-				ready := posted
+				ready := sendAt[r] + nmsg*sw
 				if recvReady > ready {
 					ready = recvReady
 				}
@@ -402,9 +429,12 @@ func (st *simState) run() float64 {
 					st.clock[r] += st.stepTime(r, s)
 				}
 			default:
-				// Blocking sends return only after delivery: the two
-				// directions' software costs serialize, then the wire.
-				sendDone := sendAt[r] + 2*sw + wire
+				// Blocking sends return only after delivery: the software
+				// costs of the directions serialize, then the wire.
+				sendDone := sendAt[r] + nmsg*sw
+				if nmsg > 0 {
+					sendDone += wire
+				}
 				ready := sendDone
 				if recvReady > ready {
 					ready = recvReady
@@ -497,8 +527,21 @@ func (st *simState) axisHaloBytes(r, axis int) float64 {
 	return st.q * float64(st.w) * cross * 8
 }
 
-// axisBytes reports the widest rank's per-axis halo payload per full
-// exchange (both directions); zero on undecomposed axes and for Orig.
+// faces returns how many of rank r's two faces on axis carry a message
+// (0, 1 or 2): bounded-axis edge ranks lose the wraparound face.
+func (st *simState) faces(r, axis int) float64 {
+	n := 0.0
+	for _, dir := range [2]int{-1, +1} {
+		if st.dec.Neighbor(r, axis, dir) != decomp.NoNeighbor {
+			n++
+		}
+	}
+	return n
+}
+
+// axisBytes reports the busiest rank's per-axis halo payload per full
+// exchange (message-carrying faces only); zero on undecomposed axes and
+// for Orig.
 func (st *simState) axisBytes() [3]float64 {
 	var out [3]float64
 	if st.j.Opt == core.OptOrig {
@@ -509,17 +552,17 @@ func (st *simState) axisBytes() [3]float64 {
 		if p[a] == 1 {
 			continue
 		}
-		if st.dec.IsSlab() {
-			out[a] = 2 * st.q * float64(st.w) * st.plane * 8
-			continue
-		}
-		cross := 1.0
-		for b := 0; b < 3; b++ {
-			if b != a {
-				cross *= float64(st.dec.MaxOwn(b) + 2*st.w)
+		for r := 0; r < st.ranks; r++ {
+			var face float64
+			if st.dec.IsSlab() {
+				face = st.q * float64(st.w) * st.plane * 8
+			} else {
+				face = st.axisHaloBytes(r, a)
+			}
+			if b := st.faces(r, a) * face; b > out[a] {
+				out[a] = b
 			}
 		}
-		out[a] = 2 * st.q * float64(st.w) * cross * 8
 	}
 	return out
 }
@@ -592,6 +635,15 @@ func (st *simState) runMulti() float64 {
 		}
 		for axis := 0; axis < 3; axis++ {
 			if p[axis] == 1 {
+				if j.Bounded[axis] {
+					// Bounded undecomposed axis: both ghost faces are
+					// boundary-filled in place — one write per face, no
+					// border pack and no message.
+					for r := 0; r < st.ranks; r++ {
+						st.clock[r] += 2 * st.axisHaloBytes(r, axis) / st.rt.taskBWRaw
+					}
+					continue
+				}
 				// Local periodic wrap: pack+unpack copies on both sides.
 				for r := 0; r < st.ranks; r++ {
 					st.clock[r] += 4 * st.axisHaloBytes(r, axis) / st.rt.taskBWRaw
@@ -599,36 +651,45 @@ func (st *simState) runMulti() float64 {
 				continue
 			}
 			for r := 0; r < st.ranks; r++ {
+				// Two face-sized copies per cycle regardless of geometry:
+				// borders packed toward neighbors, boundary ghost faces
+				// written from boundary data (edge ranks swap one for the
+				// other).
 				sendAt[r] = st.clock[r] + 2*st.axisHaloBytes(r, axis)/st.rt.taskBWRaw
 			}
 			for r := 0; r < st.ranks; r++ {
 				bytes := st.axisHaloBytes(r, axis)
 				wire := j.Machine.LinkLatency + bytes/st.rt.linkBW
 				wireIntra := bytes / (j.Machine.MemBWBytes / 2)
-				lo := st.dec.Neighbor(r, axis, -1)
-				hi := st.dec.Neighbor(r, axis, +1)
-				wl, wh := wire, wire
-				if st.sameNode(r, lo) {
-					wl = wireIntra
-				}
-				if st.sameNode(r, hi) {
-					wh = wireIntra
-				}
-				recvReady := sendAt[lo] + sw + wl
-				if t := sendAt[hi] + sw + wh; t > recvReady {
-					recvReady = t
+				nmsg := 0.0
+				recvReady := math.Inf(-1)
+				for _, dir := range [2]int{-1, +1} {
+					nb := st.dec.Neighbor(r, axis, dir)
+					if nb == decomp.NoNeighbor {
+						continue
+					}
+					nmsg++
+					w := wire
+					if st.sameNode(r, nb) {
+						w = wireIntra
+					}
+					if t := sendAt[nb] + sw + w; t > recvReady {
+						recvReady = t
+					}
 				}
 				unpackT := 2 * bytes / st.rt.taskBWRaw
 				if nonblocking {
-					posted := sendAt[r] + 2*sw
-					ready := posted
+					ready := sendAt[r] + nmsg*sw
 					if recvReady > ready {
 						ready = recvReady
 					}
 					st.comm[r] += (ready - sendAt[r]) + unpackT
 					st.clock[r] = ready + unpackT
 				} else {
-					sendDone := sendAt[r] + 2*sw + wire
+					sendDone := sendAt[r] + nmsg*sw
+					if nmsg > 0 {
+						sendDone += wire
+					}
 					ready := sendDone
 					if recvReady > ready {
 						ready = recvReady

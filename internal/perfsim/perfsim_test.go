@@ -390,3 +390,75 @@ func TestDecompValidation(t *testing.T) {
 		t.Error("axis overcommit accepted")
 	}
 }
+
+// TestBoundedAxesReduceCommunication: with bounded (non-periodic) axes,
+// edge ranks skip the wraparound messages, so the simulated schedule must
+// be no slower than the periodic one, strictly cheaper in exposed
+// communication, and report a smaller per-axis surface when every rank of
+// an axis is an edge rank (P = 2).
+func TestBoundedAxesReduceCommunication(t *testing.T) {
+	base := Job{
+		Machine: machine.BGQ(), Spec: machine.SpecD3Q19(), K: 1,
+		Nodes: 8, TasksPerNode: 2, ThreadsPerTask: 1,
+		NX: 64, NY: 64, NZ: 64,
+		Decomp: [3]int{4, 2, 2},
+		Steps:  12, Depth: 1, Opt: core.OptNBC, Seed: 3,
+	}
+	periodic := mustRun(t, base)
+	bounded := base
+	bounded.Bounded = [3]bool{true, true, false}
+	bnd := mustRun(t, bounded)
+
+	sum := func(cs []float64) float64 {
+		var s float64
+		for _, c := range cs {
+			s += c
+		}
+		return s
+	}
+	if sum(bnd.CommSeconds) >= sum(periodic.CommSeconds) {
+		t.Errorf("bounded comm %g not below periodic %g", sum(bnd.CommSeconds), sum(periodic.CommSeconds))
+	}
+	if bnd.Seconds > periodic.Seconds*1.0001 {
+		t.Errorf("bounded run slower than periodic: %g vs %g", bnd.Seconds, periodic.Seconds)
+	}
+	// y and z have P=2: every rank is an edge rank on y, so the bounded y
+	// surface halves; the periodic z axis is untouched.
+	if got, want := bnd.AxisBytes[1], periodic.AxisBytes[1]/2; got != want {
+		t.Errorf("bounded y-axis bytes = %g, want %g", got, want)
+	}
+	if bnd.AxisBytes[2] != periodic.AxisBytes[2] {
+		t.Errorf("periodic z-axis bytes changed: %g vs %g", bnd.AxisBytes[2], periodic.AxisBytes[2])
+	}
+	// x has P=4: interior x ranks still message both ways, so the busiest
+	// rank's x surface is unchanged.
+	if bnd.AxisBytes[0] != periodic.AxisBytes[0] {
+		t.Errorf("x-axis busiest-rank bytes changed: %g vs %g", bnd.AxisBytes[0], periodic.AxisBytes[0])
+	}
+
+	// The bounded slab schedule: a 2-rank slab with a bounded x axis
+	// exchanges one face per rank instead of two.
+	slab := Job{
+		Machine: machine.BGQ(), Spec: machine.SpecD3Q19(), K: 1,
+		Nodes: 2, TasksPerNode: 1, ThreadsPerTask: 1,
+		NX: 64, NY: 32, NZ: 32,
+		Steps: 10, Depth: 1, Opt: core.OptGC, Seed: 5,
+	}
+	slabP := mustRun(t, slab)
+	slabB := slab
+	slabB.Bounded = [3]bool{true, false, false}
+	slabBnd := mustRun(t, slabB)
+	if got, want := slabBnd.AxisBytes[0], slabP.AxisBytes[0]/2; got != want {
+		t.Errorf("bounded slab x bytes = %g, want %g", got, want)
+	}
+	if sum(slabBnd.CommSeconds) >= sum(slabP.CommSeconds) {
+		t.Errorf("bounded slab comm %g not below periodic %g", sum(slabBnd.CommSeconds), sum(slabP.CommSeconds))
+	}
+
+	// Orig cannot run bounded (no ghost layer to fill).
+	bad := slabB
+	bad.Opt = core.OptOrig
+	if _, err := Run(bad); err == nil {
+		t.Error("bounded Orig accepted")
+	}
+}

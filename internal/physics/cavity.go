@@ -1,0 +1,265 @@
+package physics
+
+// Lid-driven cavity validation (Hou, Zou, Chen, Doolen & Cogley,
+// "Simulation of Cavity Flow by the Lattice Boltzmann Method", J. Comput.
+// Phys. 118 (1995)): the canonical bounded-domain benchmark. The solver
+// runs a square cavity whose top wall slides tangentially; at steady
+// state the u- and v-velocity profiles along the two centerlines are
+// compared against the reference solutions Hou et al. validate against
+// (the multigrid Navier-Stokes tables of Ghia, Ghia & Shin, J. Comput.
+// Phys. 48 (1982), Tables I-II) at Re = 100 and 400.
+//
+// Geometry and normalization: with halfway bounce-back the walls sit half
+// a link outside the outermost cell layer, so an L-cell cavity spans
+// exactly L lattice units and cell i sits at (i + 1/2)/L in wall units.
+// Velocities are reported in lid units. Deviations are measured in lid
+// units too (a relative measure against the only velocity scale of the
+// problem, which stays meaningful at the profiles' zero crossings).
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/lattice"
+)
+
+// RefPoint is one tabulated reference value: a wall-unit coordinate along
+// a centerline and the normalized velocity there.
+type RefPoint struct {
+	Coord, Value float64
+}
+
+// cavityRefU tabulates u/U along the vertical centerline (coordinate y)
+// and cavityRefV tabulates v/U along the horizontal centerline
+// (coordinate x), per Reynolds number: the tabulated points of the
+// Ghia/Hou comparison used for validation here.
+var cavityRefU = map[int][]RefPoint{
+	100: {
+		{0.0000, 0.00000}, {0.0547, -0.03717}, {0.0625, -0.04192}, {0.0703, -0.04775},
+		{0.1016, -0.06434}, {0.1719, -0.10150}, {0.2813, -0.15662}, {0.4531, -0.21090},
+		{0.5000, -0.20581}, {0.6172, -0.13641}, {0.7344, 0.00332}, {0.8516, 0.23151},
+		{0.9531, 0.68717}, {0.9609, 0.73722}, {0.9688, 0.78871}, {0.9766, 0.84123},
+		{1.0000, 1.00000},
+	},
+	400: {
+		{0.0000, 0.00000}, {0.0547, -0.08186}, {0.0625, -0.09266}, {0.0703, -0.10338},
+		{0.1016, -0.14612}, {0.1719, -0.24299}, {0.2813, -0.32726}, {0.4531, -0.17119},
+		{0.5000, -0.11477}, {0.6172, 0.02135}, {0.7344, 0.16256}, {0.8516, 0.29093},
+		{0.9531, 0.55892}, {0.9609, 0.61756}, {0.9688, 0.68439}, {0.9766, 0.75837},
+		{1.0000, 1.00000},
+	},
+}
+
+var cavityRefV = map[int][]RefPoint{
+	100: {
+		{0.0000, 0.00000}, {0.0625, 0.09233}, {0.0703, 0.10091}, {0.0781, 0.10890},
+		{0.0938, 0.12317}, {0.1563, 0.16077}, {0.2266, 0.17507}, {0.2344, 0.17527},
+		{0.5000, 0.05454}, {0.8047, -0.24533}, {0.8594, -0.22445}, {0.9063, -0.16914},
+		{0.9453, -0.10313}, {0.9531, -0.08864}, {0.9609, -0.07391}, {0.9688, -0.05906},
+		{1.0000, 0.00000},
+	},
+	400: {
+		{0.0000, 0.00000}, {0.0625, 0.18360}, {0.0703, 0.19713}, {0.0781, 0.20920},
+		{0.0938, 0.22965}, {0.1563, 0.28124}, {0.2266, 0.30203}, {0.2344, 0.30174},
+		{0.5000, 0.05186}, {0.8047, -0.38598}, {0.8594, -0.44993},
+		{0.9453, -0.22847}, {0.9531, -0.19254}, {0.9609, -0.15663}, {0.9688, -0.12146},
+		{1.0000, 0.00000},
+	},
+}
+
+// CavityRefU returns the reference u/U profile along the vertical
+// centerline for a tabulated Reynolds number (100 or 400), or nil.
+func CavityRefU(re int) []RefPoint { return cavityRefU[re] }
+
+// CavityRefV returns the reference v/U profile along the horizontal
+// centerline for a tabulated Reynolds number (100 or 400), or nil.
+func CavityRefV(re int) []RefPoint { return cavityRefV[re] }
+
+// CavityConfig describes one lid-driven cavity run.
+type CavityConfig struct {
+	Model *lattice.Model // nil = D3Q19
+	// L is the cavity size in cells (the domain is L×L×NZ with the
+	// spanwise z axis periodic).
+	L  int
+	NZ int // spanwise extent, default 2
+	// Re is the Reynolds number U·L/ν; it sets tau from LidU and L.
+	Re float64
+	// LidU is the lid speed in lattice units (default 0.1, Hou et al.).
+	LidU float64
+	// Steps overrides the default run length of 16 convective times.
+	Steps int
+	// Ranks/Decomp/Threads/Opt/GhostDepth mirror core.Config; zero values
+	// mean a single-rank SIMD depth-1 run.
+	Ranks      int
+	Decomp     [3]int
+	Threads    int
+	Opt        core.OptLevel
+	GhostDepth int
+}
+
+// CavityResult reports the steady-state centerline profiles.
+type CavityResult struct {
+	// U is u/LidU along the vertical centerline at cell centers
+	// YU[i] = (i+1/2)/L; V is v/LidU along the horizontal centerline at
+	// XV[i] = (i+1/2)/L.
+	U, YU, V, XV []float64
+	// Tau is the relaxation time implied by Re, L and LidU.
+	Tau float64
+	// Steps actually run.
+	Steps int
+	// Res is the underlying solver result (mass, MFlups, comm stats).
+	Res *core.Result
+}
+
+// RunCavity executes a lid-driven cavity to (approximate) steady state
+// and extracts the centerline profiles.
+func RunCavity(c CavityConfig) (*CavityResult, error) {
+	m := c.Model
+	if m == nil {
+		m = lattice.D3Q19()
+	}
+	if c.L < 4 {
+		return nil, fmt.Errorf("physics: cavity L = %d too small", c.L)
+	}
+	if c.NZ == 0 {
+		c.NZ = 2 * m.MaxSpeed
+	}
+	if c.LidU == 0 {
+		c.LidU = 0.1
+	}
+	if c.Re <= 0 {
+		return nil, fmt.Errorf("physics: cavity Re = %g, want > 0", c.Re)
+	}
+	if c.Ranks < 1 {
+		c.Ranks = 1
+	}
+	if c.Opt == core.OptOrig {
+		c.Opt = core.OptSIMD
+	}
+	if c.GhostDepth < 1 {
+		c.GhostDepth = 1
+	}
+	nu := c.LidU * float64(c.L) / c.Re
+	tau := m.TauForViscosity(nu)
+	steps := c.Steps
+	if steps == 0 {
+		steps = int(16 * float64(c.L) / c.LidU)
+	}
+	n := grid.Dims{NX: c.L, NY: c.L, NZ: c.NZ}
+	res, err := core.Run(core.Config{
+		Model: m, N: n, Tau: tau, Steps: steps,
+		Opt: c.Opt, Ranks: c.Ranks, Decomp: c.Decomp, Threads: c.Threads,
+		GhostDepth: c.GhostDepth,
+		Boundary:   core.CavitySpec(c.LidU),
+		KeepField:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := CavityProfiles(m, res.Field, c.LidU)
+	out.Tau, out.Steps, out.Res = tau, steps, res
+	return out, nil
+}
+
+// CavityProfiles extracts the normalized centerline profiles from a
+// gathered cavity field (lid along +x on the high-y face): u/lidU along
+// the vertical centerline and v/lidU along the horizontal one, averaged
+// over the spanwise z axis.
+func CavityProfiles(m *lattice.Model, f *grid.Field, lidU float64) *CavityResult {
+	out := &CavityResult{}
+	out.U, out.YU = centerlineU(m, f, lidU)
+	out.V, out.XV = centerlineV(m, f, lidU)
+	return out
+}
+
+// centerAvg averages a per-cell sampler over the spanwise z axis and the
+// one or two cell columns straddling the centerline of axis extent l.
+func centerCols(l int) []int {
+	if l%2 == 0 {
+		return []int{l/2 - 1, l / 2}
+	}
+	return []int{l / 2}
+}
+
+func centerlineU(m *lattice.Model, f *grid.Field, lid float64) (u, y []float64) {
+	n := f.D
+	fc := make([]float64, m.Q)
+	cols := centerCols(n.NX)
+	u = make([]float64, n.NY)
+	y = make([]float64, n.NY)
+	for iy := 0; iy < n.NY; iy++ {
+		var sum float64
+		for _, ix := range cols {
+			for iz := 0; iz < n.NZ; iz++ {
+				f.Cell(ix, iy, iz, fc)
+				rho, jx, _, _ := m.Moments(fc)
+				sum += jx / rho
+			}
+		}
+		u[iy] = sum / float64(len(cols)*n.NZ) / lid
+		y[iy] = (float64(iy) + 0.5) / float64(n.NY)
+	}
+	return u, y
+}
+
+func centerlineV(m *lattice.Model, f *grid.Field, lid float64) (v, x []float64) {
+	n := f.D
+	fc := make([]float64, m.Q)
+	rows := centerCols(n.NY)
+	v = make([]float64, n.NX)
+	x = make([]float64, n.NX)
+	for ix := 0; ix < n.NX; ix++ {
+		var sum float64
+		for _, iy := range rows {
+			for iz := 0; iz < n.NZ; iz++ {
+				f.Cell(ix, iy, iz, fc)
+				rho, _, jy, _ := m.Moments(fc)
+				sum += jy / rho
+			}
+		}
+		v[ix] = sum / float64(len(rows)*n.NZ) / lid
+		x[ix] = (float64(ix) + 0.5) / float64(n.NX)
+	}
+	return v, x
+}
+
+// InterpProfile linearly interpolates a cell-center profile at a wall
+// coordinate in [0,1], using the known boundary values at the walls
+// (coordinates 0 and 1) as end anchors.
+func InterpProfile(coords, vals []float64, lo, hi, at float64) float64 {
+	xs := append(append([]float64{0}, coords...), 1)
+	ys := append(append([]float64{lo}, vals...), hi)
+	for i := 1; i < len(xs); i++ {
+		if at <= xs[i] {
+			t := (at - xs[i-1]) / (xs[i] - xs[i-1])
+			return ys[i-1] + t*(ys[i]-ys[i-1])
+		}
+	}
+	return ys[len(ys)-1]
+}
+
+// CompareCavity measures the worst deviation (in lid units) of the
+// simulated centerline profiles from the tabulated reference at the given
+// Reynolds number. The u-profile anchors at u(0) = 0 (bottom wall) and
+// u(1) = 1 (lid); the v-profile at v(0) = v(1) = 0 (side walls).
+func (r *CavityResult) CompareCavity(re int) (maxErrU, maxErrV float64, err error) {
+	refU, refV := CavityRefU(re), CavityRefV(re)
+	if refU == nil || refV == nil {
+		return 0, 0, fmt.Errorf("physics: no cavity reference data for Re = %d", re)
+	}
+	for _, p := range refU {
+		got := InterpProfile(r.YU, r.U, 0, 1, p.Coord)
+		if d := math.Abs(got - p.Value); d > maxErrU {
+			maxErrU = d
+		}
+	}
+	for _, p := range refV {
+		got := InterpProfile(r.XV, r.V, 0, 0, p.Coord)
+		if d := math.Abs(got - p.Value); d > maxErrV {
+			maxErrV = d
+		}
+	}
+	return maxErrU, maxErrV, nil
+}

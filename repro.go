@@ -71,6 +71,33 @@ const (
 	AoS = grid.AoS
 )
 
+// Global boundary conditions (non-periodic domains).
+type (
+	// BoundarySpec assigns a condition to each of the six global faces;
+	// see core.BoundarySpec for semantics.
+	BoundarySpec = core.BoundarySpec
+	// BoundaryFace is the condition on one global face.
+	BoundaryFace = core.Face
+	// BCKind identifies a face condition.
+	BCKind = core.BCKind
+)
+
+// Boundary face kinds.
+const (
+	BCPeriodic   = core.BCPeriodic
+	BCWall       = core.BCWall
+	BCMovingWall = core.BCMovingWall
+	BCOutflow    = core.BCOutflow
+)
+
+// CavitySpec returns the lid-driven cavity boundary (walls on x and y,
+// the high-y lid moving with speed u along +x, periodic z).
+func CavitySpec(u float64) *BoundarySpec { return core.CavitySpec(u) }
+
+// ChannelSpec returns a wall-bounded channel (no-slip y faces, the rest
+// periodic); drive it with Config.Accel for Poiseuille flow.
+func ChannelSpec() *BoundarySpec { return core.ChannelSpec() }
+
 // D3Q19 returns the standard 19-velocity lattice (Navier-Stokes regime).
 func D3Q19() *Model { return lattice.D3Q19() }
 
