@@ -1,5 +1,5 @@
 // Benchmarks regenerating the paper's evaluation with the real kernels,
-// one benchmark family per table/figure (DESIGN.md §5 maps each to its
+// one benchmark family per table/figure (DESIGN.md §6 maps each to its
 // experiment id). Each reports MFlup/s — the paper's metric (Eq. 4) — as a
 // custom benchmark metric alongside ns/op.
 //

@@ -10,6 +10,8 @@
 //	lbmbench -exp table2
 //	lbmbench -exp fig8 -machine bgq
 //	lbmbench -exp fig8 -real -model d3q39
+//	lbmbench -exp fig8 -real -collision trt
+//	lbmbench -exp collision
 //	lbmbench -exp all
 package main
 
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/collision"
 	"repro/internal/experiments"
 )
 
@@ -26,18 +29,53 @@ func main() {
 	log.SetPrefix("lbmbench: ")
 
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1, table2, fig8, fig9, fig10, table3, table4, fig11, decomp, or all")
-		machine = flag.String("machine", "bgp", "machine for fig8/fig9/fig11/decomp: bgp or bgq")
-		real    = flag.Bool("real", false, "run the real kernels locally instead of the paper-scale simulator")
-		model   = flag.String("model", "D3Q19", "model for -real experiments")
-		ranks   = flag.Int("ranks", 4, "ranks for -real experiments")
-		steps   = flag.Int("steps", 30, "steps for -real experiments")
-		decomp  = flag.String("decomp", "1d", "decomposition for -real experiments: 1d, 2d, 3d or PxxPyxPz")
+		exp      = flag.String("exp", "all", "experiment: table1, table2, fig8, fig9, fig10, table3, table4, fig11, decomp, collision, or all")
+		machine  = flag.String("machine", "bgp", "machine for fig8/fig9/fig11/decomp: bgp or bgq")
+		real     = flag.Bool("real", false, "run the real kernels locally instead of the paper-scale simulator")
+		model    = flag.String("model", "D3Q19", "model for -real and collision experiments")
+		ranks    = flag.Int("ranks", 4, "ranks for -real experiments")
+		steps    = flag.Int("steps", 30, "steps for -real experiments")
+		decomp   = flag.String("decomp", "1d", "decomposition for -real experiments: 1d, 2d, 3d or PxxPyxPz")
+		collide  = flag.String("collision", "bgk", "collision operator for -real experiments: bgk, trt or mrt")
+		magic    = flag.Float64("magic", 0, "TRT magic parameter Lambda for -real experiments (0 = 1/4)")
+		mrtRates = flag.String("mrt-rates", "", "MRT ghost rates by order for -real experiments (comma-separated from order 3)")
 	)
 	flag.Parse()
 
+	kind, err := collision.ParseKind(*collide)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rates, err := collision.ParseRates(*mrtRates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Validate eagerly so flag misuse (e.g. -magic with bgk) fails with a
+	// message instead of being silently dropped.
+	colSpec := collision.Spec{Kind: kind, Magic: *magic, GhostRates: rates}
+	if err := colSpec.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	// The perfsim experiments model BGK kernels and the collision table
+	// sweeps its own operator list: a non-default collision spec only
+	// applies to -real runs, so reject it elsewhere rather than silently
+	// producing output that ignores the flags.
+	if !*real && (!colSpec.IsBGK() || *magic != 0 || rates != nil) {
+		log.Fatalf("-collision/-magic/-mrt-rates apply to -real experiments only (got -exp %s without -real)", *exp)
+	}
+
 	if *real {
-		tb, err := realExperiment(*exp, *model, *ranks, *steps, *decomp)
+		tb, err := realExperiment(*exp, *model, *ranks, *steps, *decomp, colSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tb.Render())
+		return
+	}
+	if *exp == "collision" {
+		// The collision comparison always runs the real kernels; honor the
+		// -model flag directly.
+		tb, err := experiments.CollisionTable(*model)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,7 +84,6 @@ func main() {
 	}
 
 	var tables []*experiments.Table
-	var err error
 	if *exp == "all" {
 		tables, err = experiments.GenerateAll()
 	} else {
@@ -60,16 +97,18 @@ func main() {
 	}
 }
 
-func realExperiment(exp, model string, ranks, steps int, decomp string) (*experiments.Table, error) {
+func realExperiment(exp, model string, ranks, steps int, decomp string, colSpec collision.Spec) (*experiments.Table, error) {
 	switch exp {
 	case "fig8":
-		return experiments.RealFig8(model, ranks, steps, decomp)
+		return experiments.RealFig8(model, ranks, steps, decomp, colSpec)
 	case "fig9":
-		return experiments.RealFig9(model, ranks, steps, decomp)
+		return experiments.RealFig9(model, ranks, steps, decomp, colSpec)
 	case "fig10":
-		return experiments.RealFig10(model, ranks, steps, decomp)
+		return experiments.RealFig10(model, ranks, steps, decomp, colSpec)
 	case "fig11":
-		return experiments.RealFig11(model, steps, decomp)
+		return experiments.RealFig11(model, steps, decomp, colSpec)
+	case "collision":
+		return experiments.CollisionTable(model)
 	}
-	return nil, fmt.Errorf("-real supports fig8, fig9, fig10, fig11 (got %q)", exp)
+	return nil, fmt.Errorf("-real supports fig8, fig9, fig10, fig11, collision (got %q)", exp)
 }

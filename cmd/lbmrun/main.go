@@ -6,6 +6,7 @@
 //
 //	lbmrun -model d3q39 -nx 48 -ny 24 -nz 24 -steps 100 -ranks 4 -threads 2 -opt SIMD -depth 2
 //	lbmrun -scenario cavity -nx 48 -ny 48 -nz 2 -re 100 -steps 8000 -decomp 2d -ranks 4
+//	lbmrun -scenario cavity -nx 64 -ny 64 -nz 2 -re 1000 -collision trt -threads 4
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/collision"
 	"repro/internal/core"
 	"repro/internal/decomp"
 	"repro/internal/grid"
@@ -47,6 +49,9 @@ func main() {
 		scenario  = flag.String("scenario", "wave", "flow scenario: wave (periodic) or cavity (bounded lid-driven)")
 		re        = flag.Float64("re", 100, "cavity scenario: Reynolds number lidU*NY/nu (sets tau)")
 		lidU      = flag.Float64("lidu", 0.1, "cavity scenario: lid speed in lattice units")
+		collide   = flag.String("collision", "bgk", "collision operator: bgk (the paper's kernels), trt or mrt (stable toward tau=0.5 / high Re)")
+		magic     = flag.Float64("magic", 0, "TRT magic parameter Lambda (0 = the default 1/4)")
+		mrtRates  = flag.String("mrt-rates", "", "MRT ghost-moment rates by order, comma-separated from order 3 (empty = magic-paired defaults)")
 		out       = flag.String("out", "", "write the final macroscopic fields to this file (.vtk or .csv)")
 	)
 	flag.Parse()
@@ -68,6 +73,22 @@ func main() {
 		log.Fatalf("unknown layout %q", *layout)
 	}
 
+	kind, err := collision.ParseKind(*collide)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rates, err := collision.ParseRates(*mrtRates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Pass the parameters through unconditionally: Spec.Validate rejects
+	// e.g. -magic on bgk/mrt or -mrt-rates on bgk/trt with a real message
+	// instead of silently ignoring the flag.
+	colSpec := collision.Spec{Kind: kind, Magic: *magic, GhostRates: rates}
+	if err := colSpec.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
 	n := grid.Dims{NX: *nx, NY: *ny, NZ: *nz}
 	dec, err := decomp.ParseShape(*decompF, *ranks, [3]int{n.NX, n.NY, n.NZ})
 	if err != nil {
@@ -77,7 +98,7 @@ func main() {
 	cfg := core.Config{
 		Model: model, N: n, Tau: *tau, Steps: *steps,
 		Opt: opt, Ranks: *ranks, Decomp: dec.P, Threads: *threads, GhostDepth: *depth,
-		Layout: lay, Fused: *fused, KeepField: *out != "",
+		Layout: lay, Fused: *fused, Collision: colSpec, KeepField: *out != "",
 		Init: func(ix, iy, iz int) (rho, ux, uy, uz float64) {
 			x := 2 * math.Pi * float64(ix) / float64(n.NX)
 			y := 2 * math.Pi * float64(iy) / float64(n.NY)
@@ -93,6 +114,14 @@ func main() {
 		cfg.Boundary = core.CavitySpec(*lidU)
 		cfg.Init = nil // start from rest
 		cfg.KeepField = true
+		// Unless the user pinned -steps, run to steady state (the spin-up
+		// lengthens with Re; the centerline comparison is meaningless on a
+		// transient).
+		stepsSet := false
+		flag.Visit(func(f *flag.Flag) { stepsSet = stepsSet || f.Name == "steps" })
+		if !stepsSet {
+			cfg.Steps = physics.CavitySteadySteps(*re, n.NY, *lidU)
+		}
 	default:
 		log.Fatalf("unknown scenario %q (want wave or cavity)", *scenario)
 	}
@@ -107,8 +136,8 @@ func main() {
 		fmt.Printf("cavity       Re=%g lidU=%g tau=%.4f (walls x/y, lid +x at high y, periodic z)\n", *re, *lidU, cfg.Tau)
 	}
 	fmt.Printf("domain       %s  (%d fluid cells)\n", n, n.Cells())
-	fmt.Printf("config       opt=%s ranks=%d decomp=%s threads=%d depth=%d layout=%s fused=%v\n", opt, *ranks, dec, *threads, *depth, lay, *fused)
-	fmt.Printf("steps        %d\n", *steps)
+	fmt.Printf("config       opt=%s ranks=%d decomp=%s threads=%d depth=%d layout=%s fused=%v collision=%s\n", opt, *ranks, dec, *threads, *depth, lay, *fused, cfg.Collision)
+	fmt.Printf("steps        %d\n", cfg.Steps)
 	if hb := res.HaloAxisBytes; hb != [3]int64{} {
 		fmt.Printf("halo surface %.1f KB/rank/exchange (x %.1f, y %.1f, z %.1f)\n",
 			float64(hb[0]+hb[1]+hb[2])/1024, float64(hb[0])/1024, float64(hb[1])/1024, float64(hb[2])/1024)

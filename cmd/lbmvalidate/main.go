@@ -19,6 +19,7 @@ import (
 	"math"
 	"os"
 
+	"repro/internal/collision"
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/lattice"
@@ -92,7 +93,7 @@ func suite(quick bool) []check {
 			name: m.Name + " Taylor-Green viscosity (tau=0.8)",
 			tol:  0.07,
 			run: func() (float64, error) {
-				res, err := physics.TaylorGreenViscosity(m, tgN, 0.8, steps)
+				res, err := physics.TaylorGreenViscosity(m, tgN, 0.8, steps, nil)
 				if err != nil {
 					return 0, err
 				}
@@ -122,7 +123,7 @@ func suite(quick bool) []check {
 		name: "D3Q19 Poiseuille channel vs parabola (global walls, H=16)",
 		tol:  0.02,
 		run: func() (float64, error) {
-			res, err := physics.PoiseuilleChannel(lattice.D3Q19(), 16, 1.0, 1e-6, 0)
+			res, err := physics.PoiseuilleChannel(lattice.D3Q19(), 16, 1.0, 1e-6, 0, nil)
 			if err != nil {
 				return 0, err
 			}
@@ -133,7 +134,7 @@ func suite(quick bool) []check {
 		name: "D3Q39 Poiseuille channel vs parabola (global walls, H=18)",
 		tol:  0.02,
 		run: func() (float64, error) {
-			res, err := physics.PoiseuilleChannel(lattice.D3Q39(), 18, 1.0, 1e-6, 0)
+			res, err := physics.PoiseuilleChannel(lattice.D3Q39(), 18, 1.0, 1e-6, 0, nil)
 			if err != nil {
 				return 0, err
 			}
@@ -143,13 +144,42 @@ func suite(quick bool) []check {
 	cs = append(cs, check{
 		name: fmt.Sprintf("lid-driven cavity Re=100 centerlines vs Hou et al. (L=%d)", cavityL),
 		tol:  0.03,
-		run:  func() (float64, error) { return cavityErr(100, cavityL, 0) },
+		run:  func() (float64, error) { return cavityErr(100, cavityL, 0, collision.Spec{}) },
+	})
+	// Collision-operator checks: TRT must reproduce the BGK viscosity
+	// (the even/shear rate alone sets ν), for both lattices.
+	cs = append(cs, check{
+		name: "trt-viscosity: D3Q19+D3Q39 shear wave (tau=0.7, magic 1/4)",
+		tol:  0.05,
+		run: func() (float64, error) {
+			worst := 0.0
+			for _, m := range []*lattice.Model{lattice.D3Q19(), lattice.D3Q39()} {
+				res, err := physics.ShearWaveViscosity(m, shearN, 0.7, steps, func(c *core.Config) {
+					c.Collision = collision.Spec{Kind: collision.TRT}
+				})
+				if err != nil {
+					return 0, err
+				}
+				worst = math.Max(worst, res.RelError)
+			}
+			return worst, nil
+		},
 	})
 	if !quick {
 		cs = append(cs, check{
 			name: "lid-driven cavity Re=400 centerlines vs Hou et al. (L=48)",
 			tol:  0.03,
-			run:  func() (float64, error) { return cavityErr(400, 48, 16000) },
+			run:  func() (float64, error) { return cavityErr(400, 48, 16000, collision.Spec{}) },
+		})
+		// The workload the collision subsystem unlocks: Re=1000 needs TRT
+		// (tau = 0.538 at L=64 diverges under BGK) and ~48 convective
+		// times of spin-up.
+		cs = append(cs, check{
+			name: "cavity-re1000: TRT centerlines vs Ghia et al. (L=64)",
+			tol:  0.03,
+			run: func() (float64, error) {
+				return cavityErr(1000, 64, 30720, collision.Spec{Kind: collision.TRT})
+			},
 		})
 	}
 	return cs
@@ -157,8 +187,10 @@ func suite(quick bool) []check {
 
 // cavityErr runs a cavity and returns the worst centerline deviation from
 // the tabulated reference, in lid units.
-func cavityErr(re, l, steps int) (float64, error) {
-	res, err := physics.RunCavity(physics.CavityConfig{L: l, Re: float64(re), Steps: steps})
+func cavityErr(re, l, steps int, spec collision.Spec) (float64, error) {
+	res, err := physics.RunCavity(physics.CavityConfig{
+		L: l, Re: float64(re), Steps: steps, Collision: spec, Threads: 4,
+	})
 	if err != nil {
 		return 0, err
 	}

@@ -22,6 +22,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/collision"
 	"repro/internal/comm"
 	"repro/internal/decomp"
 	"repro/internal/grid"
@@ -71,6 +72,7 @@ type cartStepper struct {
 	ghostUpdates int64
 	coef         eqCoefs
 	pairs        []velPair
+	op           collision.Operator // non-nil routes collisions through the generic operator kernel
 	jit          *metrics.RNG
 
 	mask                   []bool
@@ -91,6 +93,11 @@ func newCartStepper(cfg *Config, dec decomp.Cartesian, r *comm.Rank) (*cartStepp
 		spec:    cfg.Boundary,
 	}
 	cs.w = cfg.GhostDepth * cs.k
+	op, err := buildOperator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cs.op = op
 	for a := 0; a < 3; a++ {
 		cs.start[a], cs.own[a] = dec.Own(r.ID, a)
 	}
@@ -119,9 +126,15 @@ func newCartStepper(cfg *Config, dec decomp.Cartesian, r *comm.Rank) (*cartStepp
 	if cfg.StepJitter > 0 {
 		cs.jit = metrics.NewRNG(uint64(r.ID)*0x9e3779b9 + 1)
 	}
-	cs.shiftX = cfg.Tau * cfg.Accel[0]
-	cs.shiftY = cfg.Tau * cfg.Accel[1]
-	cs.shiftZ = cfg.Tau * cfg.Accel[2]
+	// Forcing shift scaled by the operator's momentum relaxation time
+	// (see the slab stepper).
+	shiftTau := cfg.Tau
+	if cs.op != nil {
+		shiftTau = cs.op.ShiftTau()
+	}
+	cs.shiftX = shiftTau * cfg.Accel[0]
+	cs.shiftY = shiftTau * cfg.Accel[1]
+	cs.shiftZ = shiftTau * cfg.Accel[2]
 	cs.buildMask()
 	return cs, nil
 }
@@ -327,10 +340,12 @@ func (cs *cartStepper) streamBoxRange(b box, x0, x1 int) {
 	}
 }
 
-// collideBox applies BGK collision to box b with the kernel matching the
-// configured optimization level.
+// collideBox applies the configured collision to box b with the kernel
+// matching the optimization level.
 func (cs *cartStepper) collideBox(b box) {
 	switch {
+	case cs.op != nil:
+		parallel.For(cs.threads, b.lo[0], b.hi[0], func(x0, x1 int) { cs.collideBoxOperator(b, x0, x1) })
 	case cs.cfg.Opt <= OptGC:
 		parallel.For(cs.threads, b.lo[0], b.hi[0], func(x0, x1 int) { cs.collideBoxNaive(b, x0, x1) })
 	case cs.cfg.Opt == OptDH:

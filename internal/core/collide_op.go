@@ -1,0 +1,81 @@
+package core
+
+// Generic operator-driven collision kernel. The paper's BGK relaxation
+// keeps its specialized kernels (collide.go, fused.go) — when
+// Config.Collision is the zero (BGK) spec those paths are dispatched
+// exactly as before, bit-for-bit. Any other collision operator (TRT, MRT)
+// runs through this kernel instead: per-cell gather, macroscopic moments,
+// one Operator.Relax call, scatter. The indirection costs roughly the
+// naive kernel's memory behaviour plus the operator arithmetic, which is
+// the deliberate trade — the operator axis buys stability (τ → ½, high
+// Reynolds numbers) rather than speed, and only the runs that ask for it
+// pay for it.
+
+import (
+	"repro/internal/collision"
+	"repro/internal/grid"
+	"repro/internal/lattice"
+)
+
+// collideOpBox applies op to every cell of box b with x restricted to
+// [x0,x1), reading src (post-streaming) and writing dst. op must be
+// private to the calling goroutine (Clone per worker).
+func collideOpBox(op collision.Operator, m *lattice.Model, src, dst *grid.Field,
+	b box, x0, x1 int, shiftX, shiftY, shiftZ float64) {
+	fc := make([]float64, m.Q)
+	d := src.D
+	if src.Layout == grid.SoA {
+		// Hoist the per-velocity blocks so the inner gather/scatter is
+		// direct indexing rather than Idx arithmetic.
+		sv := make([][]float64, m.Q)
+		dv := make([][]float64, m.Q)
+		for v := 0; v < m.Q; v++ {
+			sv[v] = src.V(v)
+			dv[v] = dst.V(v)
+		}
+		for ix := x0; ix < x1; ix++ {
+			for iy := b.lo[1]; iy < b.hi[1]; iy++ {
+				base := d.Index(ix, iy, 0)
+				for iz := b.lo[2]; iz < b.hi[2]; iz++ {
+					cell := base + iz
+					for v := 0; v < m.Q; v++ {
+						fc[v] = sv[v][cell]
+					}
+					rho, jx, jy, jz := m.Moments(fc)
+					op.Relax(fc, rho, jx/rho+shiftX, jy/rho+shiftY, jz/rho+shiftZ)
+					for v := 0; v < m.Q; v++ {
+						dv[v][cell] = fc[v]
+					}
+				}
+			}
+		}
+		return
+	}
+	for ix := x0; ix < x1; ix++ {
+		for iy := b.lo[1]; iy < b.hi[1]; iy++ {
+			for iz := b.lo[2]; iz < b.hi[2]; iz++ {
+				cell := d.Index(ix, iy, iz)
+				for v := 0; v < m.Q; v++ {
+					fc[v] = src.Data[src.Idx(v, cell)]
+				}
+				rho, jx, jy, jz := m.Moments(fc)
+				op.Relax(fc, rho, jx/rho+shiftX, jy/rho+shiftY, jz/rho+shiftZ)
+				for v := 0; v < m.Q; v++ {
+					dst.Data[dst.Idx(v, cell)] = fc[v]
+				}
+			}
+		}
+	}
+}
+
+// collideOperator is the slab stepper's operator kernel over destination
+// planes [x0,x1) (full y/z extent, like the BGK kernels of collide.go).
+func (s *stepper) collideOperator(x0, x1 int) {
+	b := box{hi: [3]int{s.d.NX, s.d.NY, s.d.NZ}}
+	collideOpBox(s.op.Clone(), s.model, s.fadv, s.f, b, x0, x1, s.shiftX, s.shiftY, s.shiftZ)
+}
+
+// collideBoxOperator is the cart stepper's operator kernel over box b.
+func (cs *cartStepper) collideBoxOperator(b box, x0, x1 int) {
+	collideOpBox(cs.op.Clone(), cs.model, cs.fadv, cs.f, b, x0, x1, cs.shiftX, cs.shiftY, cs.shiftZ)
+}

@@ -1,0 +1,271 @@
+package core
+
+// Regression guards for the collision-operator subsystem.
+//
+// The paper-reproduction perf path is the BGK fast path: a Config whose
+// Collision spec is (the zero-value) BGK must dispatch to the direct
+// legacy kernels — the same code objects as before the operator axis
+// existed — at every optimization level and every decomposition, so its
+// results are 0-ULP identical by identity. Two guards enforce that:
+//
+//   - TestBGKKeepsLegacyKernels asserts, white-box, that BGK configs build
+//     steppers with no operator attached (op == nil is the dispatch
+//     condition for the legacy kernels).
+//
+//   - TestOperatorPathBGKBitForBit flips the test-only force flag so the
+//     same BGK math runs through the generic operator kernel and asserts
+//     the fields are bitwise equal to the legacy naive kernel (whose
+//     arithmetic the BGK operator reproduces exactly) — proving the
+//     indirection machinery (regions, clones, threading, decompositions)
+//     is transparent.
+
+import (
+	"testing"
+
+	"repro/internal/collision"
+	"repro/internal/comm"
+	"repro/internal/decomp"
+	"repro/internal/grid"
+	"repro/internal/lattice"
+)
+
+// buildSteppers constructs the rank-0 stepper of a config white-box.
+func buildSlabStepper(t *testing.T, cfg Config) *stepper {
+	t.Helper()
+	if err := cfg.init(); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := decomp.NewCartesian([3]int{cfg.N.NX, cfg.N.NY, cfg.N.NZ}, [3]int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st *stepper
+	fab := comm.NewFabric(1)
+	if err := fab.Run(func(r *comm.Rank) error {
+		st, err = newStepper(&cfg, dec, r)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func buildCartStepper(t *testing.T, cfg Config) *cartStepper {
+	t.Helper()
+	if err := cfg.init(); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := decomp.NewCartesianBounded([3]int{cfg.N.NX, cfg.N.NY, cfg.N.NZ}, [3]int{1, 1, 1}, cfg.Boundary.BoundedAxes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs *cartStepper
+	fab := comm.NewFabric(1)
+	if err := fab.Run(func(r *comm.Rank) error {
+		cs, err = newCartStepper(&cfg, dec, r)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+// TestBGKKeepsLegacyKernels: the zero-value (and explicit) BGK spec never
+// attaches an operator, at every opt level, on both stepper families — the
+// dispatch condition that keeps the paper's kernels bit-for-bit.
+func TestBGKKeepsLegacyKernels(t *testing.T) {
+	n := grid.Dims{NX: 12, NY: 6, NZ: 6}
+	for _, opt := range Levels() {
+		cfg := Config{
+			Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 1,
+			Opt: opt, Ranks: 1, Threads: 1, GhostDepth: 1,
+			Collision: collision.Spec{Kind: collision.BGK},
+		}
+		if st := buildSlabStepper(t, cfg); st.op != nil {
+			t.Errorf("%s: BGK slab stepper carries operator %s", opt, st.op.Name())
+		}
+	}
+	cav := Config{
+		Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 1,
+		Opt: OptSIMD, Ranks: 1, Threads: 1, GhostDepth: 1,
+		Boundary: CavitySpec(0.05),
+	}
+	if cs := buildCartStepper(t, cav); cs.op != nil {
+		t.Errorf("BGK cart stepper carries operator %s", cs.op.Name())
+	}
+	trt := cav
+	trt.Collision = collision.Spec{Kind: collision.TRT}
+	if cs := buildCartStepper(t, trt); cs.op == nil {
+		t.Error("TRT cart stepper has no operator")
+	}
+}
+
+// runField executes cfg and returns the gathered field.
+func runField(t *testing.T, cfg Config) *grid.Field {
+	t.Helper()
+	cfg.KeepField = true
+	if cfg.Init == nil {
+		cfg.Init = waveInit(cfg.N)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("%s ranks=%d decomp=%v: %v", cfg.Opt, cfg.Ranks, cfg.Decomp, err)
+	}
+	return res.Field
+}
+
+// TestOperatorPathBGKBitForBit: the generic operator kernel running BGK
+// arithmetic is bitwise identical to the legacy naive collide (the kernel
+// of the Orig/GC levels) across ranks, threads and decompositions, and
+// within reassociation tolerance of the specialized kernels of the higher
+// levels.
+func TestOperatorPathBGKBitForBit(t *testing.T) {
+	n := grid.Dims{NX: 12, NY: 6, NZ: 6}
+	force := func(cfg Config) *grid.Field {
+		testForceOperatorPath = true
+		defer func() { testForceOperatorPath = false }()
+		return runField(t, cfg)
+	}
+	cases := []Config{
+		{Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 4, Opt: OptOrig, Ranks: 2, Threads: 1, GhostDepth: 1},
+		{Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 4, Opt: OptGC, Ranks: 2, Threads: 2, GhostDepth: 2},
+		{Model: lattice.D3Q39(), N: grid.Dims{NX: 12, NY: 6, NZ: 6}, Tau: 0.8, Steps: 2, Opt: OptGC, Ranks: 1, Threads: 1, GhostDepth: 1},
+		// Multi-axis (cart) path: ≤ GC levels use the box naive kernel.
+		{Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 4, Opt: OptGC, Ranks: 4, Decomp: [3]int{2, 2, 1}, Threads: 1, GhostDepth: 1},
+		// Bounded path (cavity walls) on the box stepper.
+		{Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 4, Opt: OptGC, Ranks: 2, Decomp: [3]int{2, 1, 1}, Threads: 1, GhostDepth: 1, Boundary: CavitySpec(0.05)},
+	}
+	for _, cfg := range cases {
+		legacy := runField(t, cfg)
+		viaOp := force(cfg)
+		if d := grid.MaxAbsDiff(legacy, viaOp); d != 0 {
+			t.Errorf("%s %s ranks=%d decomp=%v bounded=%v: operator path differs from naive kernel by %g (want 0 ULP)",
+				cfg.Model.Name, cfg.Opt, cfg.Ranks, cfg.Decomp, cfg.Boundary != nil, d)
+		}
+	}
+	// Specialized-kernel levels reassociate the same math; the operator
+	// path must stay within the suite's equivalence tolerance.
+	for _, opt := range []OptLevel{OptDH, OptCF, OptNBC, OptGCC, OptSIMD} {
+		cfg := Config{Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 4, Opt: opt, Ranks: 2, Threads: 1, GhostDepth: 1}
+		legacy := runField(t, cfg)
+		viaOp := force(cfg)
+		if d := grid.MaxAbsDiff(legacy, viaOp); d > eqTol {
+			t.Errorf("%s: operator path vs specialized kernels: max |Δf| = %g (tol %g)", opt, d, eqTol)
+		}
+	}
+}
+
+// TestTRTDegeneratesToBGK: with Λ = (τ−½)² both TRT rates equal 1/τ and a
+// TRT run must match the BGK fast path within reassociation tolerance —
+// the end-to-end version of the operator-level identity.
+func TestTRTDegeneratesToBGK(t *testing.T) {
+	n := grid.Dims{NX: 12, NY: 6, NZ: 6}
+	tau := 0.8
+	magic := (tau - 0.5) * (tau - 0.5)
+	base := Config{Model: lattice.D3Q19(), N: n, Tau: tau, Steps: 5, Opt: OptSIMD, Ranks: 2, Threads: 1, GhostDepth: 1}
+	bgk := runField(t, base)
+	trtCfg := base
+	trtCfg.Collision = collision.Spec{Kind: collision.TRT, Magic: magic}
+	trt := runField(t, trtCfg)
+	if d := grid.MaxAbsDiff(bgk, trt); d > eqTol {
+		t.Errorf("TRT(Λ=(τ-½)²) vs BGK: max |Δf| = %g (tol %g)", d, eqTol)
+	}
+}
+
+// TestMRTDegeneratesToBGK: ghost rates pinned to 1/τ collapse the MRT
+// collision matrix to ω·I; a run must match BGK within the (slightly
+// looser) tolerance of the Q×Q matrix arithmetic.
+func TestMRTDegeneratesToBGK(t *testing.T) {
+	n := grid.Dims{NX: 12, NY: 6, NZ: 6}
+	tau := 0.8
+	base := Config{Model: lattice.D3Q19(), N: n, Tau: tau, Steps: 5, Opt: OptSIMD, Ranks: 1, Threads: 1, GhostDepth: 1}
+	bgk := runField(t, base)
+	mrtCfg := base
+	mrtCfg.Collision = collision.Spec{Kind: collision.MRT, GhostRates: []float64{1 / tau}}
+	mrt := runField(t, mrtCfg)
+	if d := grid.MaxAbsDiff(bgk, mrt); d > 1e-10 {
+		t.Errorf("MRT(ω,...,ω) vs BGK: max |Δf| = %g (tol 1e-10)", d)
+	}
+}
+
+// TestCollisionCrossDecomposition: TRT and MRT runs are decomposition-
+// invariant like BGK — slab, multi-rank slab and 2-D/3-D box runs agree
+// within reassociation tolerance, periodic and bounded.
+func TestCollisionCrossDecomposition(t *testing.T) {
+	n := grid.Dims{NX: 12, NY: 6, NZ: 6}
+	specs := []collision.Spec{
+		{Kind: collision.TRT},
+		{Kind: collision.MRT},
+		{Kind: collision.MRT, GhostRates: []float64{1.3, 1.1}},
+	}
+	for _, spec := range specs {
+		for _, boundary := range []*BoundarySpec{nil, CavitySpec(0.05)} {
+			base := Config{
+				Model: lattice.D3Q19(), N: n, Tau: 0.6, Steps: 6,
+				Opt: OptSIMD, Ranks: 1, Threads: 1, GhostDepth: 1,
+				Collision: spec, Boundary: boundary,
+			}
+			ref := runField(t, base)
+			variants := []Config{base, base, base}
+			variants[0].Ranks, variants[0].Decomp = 2, [3]int{2, 1, 1}
+			variants[0].Threads = 2
+			variants[1].Ranks, variants[1].Decomp = 4, [3]int{2, 2, 1}
+			variants[2].Ranks, variants[2].Decomp = 8, [3]int{2, 2, 2}
+			for _, cfg := range variants {
+				got := runField(t, cfg)
+				if d := grid.MaxAbsDiff(ref, got); d > eqTol {
+					t.Errorf("%s decomp=%v bounded=%v: max |Δf| = %g (tol %g)",
+						spec, cfg.Decomp, boundary != nil, d, eqTol)
+				}
+			}
+		}
+	}
+}
+
+// TestCollisionDeepHaloAndLadder: the operator path is exact under the
+// deep-halo schedule and identical at every ladder level (streaming and
+// exchange protocols change; the operator collide does not).
+func TestCollisionDeepHaloAndLadder(t *testing.T) {
+	n := grid.Dims{NX: 16, NY: 6, NZ: 6}
+	base := Config{
+		Model: lattice.D3Q19(), N: n, Tau: 0.7, Steps: 6,
+		Opt: OptGC, Ranks: 2, Threads: 1, GhostDepth: 1,
+		Collision: collision.Spec{Kind: collision.TRT},
+	}
+	ref := runField(t, base)
+	for _, opt := range []OptLevel{OptDH, OptLoBr, OptNBC, OptGCC, OptSIMD} {
+		for _, depth := range []int{1, 2} {
+			cfg := base
+			cfg.Opt, cfg.GhostDepth = opt, depth
+			got := runField(t, cfg)
+			if d := grid.MaxAbsDiff(ref, got); d > eqTol {
+				t.Errorf("TRT %s depth=%d: max |Δf| = %g (tol %g)", opt, depth, d, eqTol)
+			}
+		}
+	}
+}
+
+// TestCollisionValidation: spec errors and the Fused exclusion surface as
+// config errors.
+func TestCollisionValidation(t *testing.T) {
+	n := grid.Dims{NX: 12, NY: 6, NZ: 6}
+	base := Config{Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 1, Opt: OptSIMD, Ranks: 1, GhostDepth: 1}
+	bad := []func(*Config){
+		func(c *Config) { c.Collision = collision.Spec{Kind: collision.TRT}; c.Fused = true },
+		func(c *Config) { c.Collision = collision.Spec{Kind: collision.MRT, GhostRates: []float64{3}} },
+		func(c *Config) { c.Collision = collision.Spec{Kind: collision.BGK, Magic: 0.25} },
+	}
+	for i, mod := range bad {
+		cfg := base
+		mod(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("bad collision config %d accepted", i)
+		}
+	}
+	// The BGK + Fused combination stays legal.
+	cfg := base
+	cfg.Fused = true
+	if _, err := Run(cfg); err != nil {
+		t.Errorf("BGK fused run rejected: %v", err)
+	}
+}

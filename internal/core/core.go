@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/collision"
 	"repro/internal/comm"
 	"repro/internal/decomp"
 	"repro/internal/grid"
@@ -106,8 +107,15 @@ type Config struct {
 	Model *lattice.Model
 	// N is the global interior size (periodic in all directions).
 	N grid.Dims
-	// Tau is the BGK relaxation time (must exceed 0.5 for stability).
+	// Tau is the relaxation time of the hydrodynamic (shear) moments; the
+	// kinematic viscosity is ν = c_s²(τ−½) for every collision operator.
+	// Must exceed 0.5.
 	Tau float64
+	// Collision selects the collision operator. The zero value is the
+	// paper's BGK, which dispatches to the specialized legacy kernels
+	// bit-for-bit at every optimization level; TRT and MRT run through the
+	// generic operator kernel (and therefore exclude the Fused path).
+	Collision collision.Spec
 	// Steps is the number of time steps.
 	Steps int
 	// Opt selects the optimization level.
@@ -186,6 +194,12 @@ func (c *Config) init() error {
 	}
 	if c.Tau <= 0.5 {
 		return fmt.Errorf("core: Tau %g <= 0.5 is unstable", c.Tau)
+	}
+	if err := c.Collision.Validate(); err != nil {
+		return err
+	}
+	if !c.Collision.IsBGK() && c.Fused {
+		return fmt.Errorf("core: the fused kernel is specialized for BGK; %s needs the split operator path (disable Fused)", c.Collision)
 	}
 	k := c.Model.MaxSpeed
 	if c.Opt == OptOrig && c.GhostDepth != 1 {

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/collision"
 	"repro/internal/comm"
 	"repro/internal/decomp"
 	"repro/internal/lattice"
@@ -169,5 +170,31 @@ func BenchmarkHaloLocalExchange(b *testing.B) {
 				st.ex.ExchangeLocal(st.f)
 			}
 		})
+	}
+}
+
+// Operator-driven collision kernels (the generic path TRT and MRT run
+// through; BGK stays on the specialized kernels above).
+func BenchmarkCollideOperator(b *testing.B) {
+	for _, m := range []*lattice.Model{lattice.D3Q19(), lattice.D3Q39()} {
+		k := m.MaxSpeed
+		lo, hi := k, k+benchDims.NX-2*k
+		cells := (hi - lo) * benchDims.PlaneCells()
+		for _, spec := range []collision.Spec{{Kind: collision.BGK}, {Kind: collision.TRT}, {Kind: collision.MRT}} {
+			b.Run(m.Name+"/"+spec.String(), func(b *testing.B) {
+				st := benchStepper(b, m, benchDims, OptSIMD)
+				op, err := spec.New(m, 0.8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st.op = op
+				st.streamRegion(lo, hi)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					st.collideOperator(lo, hi)
+				}
+				reportCellRate(b, cells)
+			})
+		}
 	}
 }

@@ -69,7 +69,7 @@ func (p *origProto) step() {
 	parallel.For(s.threads, s.w, s.w+s.own, func(a, b int) { s.streamPushScalar(a, b) })
 	p.exchange()
 	s.applyBounceBack(s.w, s.w+s.own)
-	parallel.For(s.threads, s.w, s.w+s.own, func(a, b int) { s.collideNaive(a, b) })
+	s.collideRegion(s.w, s.w+s.own)
 }
 
 // exchange ships the egress margins of fadv to the neighbors, which merge

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/collision"
 	"repro/internal/comm"
 	"repro/internal/decomp"
 	"repro/internal/grid"
@@ -11,6 +12,20 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/parallel"
 )
+
+// testForceOperatorPath, when set by a test in this package, routes BGK
+// configurations through the generic operator kernel instead of the
+// specialized legacy kernels (the equivalence guard for the indirection).
+var testForceOperatorPath bool
+
+// buildOperator resolves a config's collision operator: nil for plain BGK
+// (the legacy kernels), a collision.Operator otherwise.
+func buildOperator(cfg *Config) (collision.Operator, error) {
+	if cfg.Collision.IsBGK() && !testForceOperatorPath {
+		return nil, nil
+	}
+	return cfg.Collision.New(cfg.Model, cfg.Tau)
+}
 
 // stepper holds one rank's state for the stepping loop.
 //
@@ -38,7 +53,8 @@ type stepper struct {
 	ghostUpdates int64
 	coef         eqCoefs
 	pairs        []velPair
-	srcY         [][]int32 // per velocity: pull-stream source row per dst row (LoBr+)
+	srcY         [][]int32          // per velocity: pull-stream source row per dst row (LoBr+)
+	op           collision.Operator // non-nil routes collisions through the generic operator kernel
 	jit          *metrics.RNG
 
 	// Obstacles and forcing (see boundary.go).
@@ -61,6 +77,11 @@ func newStepper(cfg *Config, dec decomp.Cartesian, r *comm.Rank) (*stepper, erro
 		coef:    newEqCoefs(cfg.Model),
 		pairs:   velocityPairs(cfg.Model),
 	}
+	op, err := buildOperator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.op = op
 	s.d = grid.Dims{NX: own + 2*w, NY: cfg.N.NY, NZ: cfg.N.NZ}
 	s.f = grid.NewField(cfg.Model.Q, s.d, cfg.Layout)
 	s.fadv = grid.NewField(cfg.Model.Q, s.d, cfg.Layout)
@@ -79,10 +100,17 @@ func newStepper(cfg *Config, dec decomp.Cartesian, r *comm.Rank) (*stepper, erro
 	if cfg.StepJitter > 0 {
 		s.jit = metrics.NewRNG(uint64(r.ID)*0x9e3779b9 + 1)
 	}
-	// Velocity-shift forcing: equilibrium evaluated at u + τ·a.
-	s.shiftX = cfg.Tau * cfg.Accel[0]
-	s.shiftY = cfg.Tau * cfg.Accel[1]
-	s.shiftZ = cfg.Tau * cfg.Accel[2]
+	// Velocity-shift forcing: equilibrium evaluated at u + τ_j·a, where
+	// τ_j is the relaxation time the operator applies to momentum (τ for
+	// BGK/MRT, τ⁻ for TRT) — that is what makes the injected momentum
+	// exactly ρ·a per step for every operator.
+	shiftTau := cfg.Tau
+	if s.op != nil {
+		shiftTau = s.op.ShiftTau()
+	}
+	s.shiftX = shiftTau * cfg.Accel[0]
+	s.shiftY = shiftTau * cfg.Accel[1]
+	s.shiftZ = shiftTau * cfg.Accel[2]
 	s.buildMask()
 	return s, nil
 }
@@ -271,12 +299,14 @@ func (s *stepper) streamRegionPair(lo1, hi1, lo2, hi2 int) {
 	parallel.ForTwo(s.threads, lo1, hi1, lo2, hi2, body)
 }
 
-// collideRegion applies BGK collision to planes [lo,hi).
+// collideRegion applies the configured collision to planes [lo,hi).
 func (s *stepper) collideRegion(lo, hi int) {
 	if hi <= lo {
 		return
 	}
 	switch {
+	case s.op != nil:
+		parallel.For(s.threads, lo, hi, func(a, b int) { s.collideOperator(a, b) })
 	case s.cfg.Opt <= OptGC:
 		parallel.For(s.threads, lo, hi, func(a, b int) { s.collideNaive(a, b) })
 	case s.cfg.Opt == OptDH:
@@ -292,6 +322,8 @@ func (s *stepper) collideRegion(lo, hi int) {
 func (s *stepper) collideRegionPair(lo1, hi1, lo2, hi2 int) {
 	body := s.collideNaive
 	switch {
+	case s.op != nil:
+		body = s.collideOperator
 	case s.cfg.Opt <= OptGC:
 	case s.cfg.Opt == OptDH:
 		body = s.collideRowGeneric

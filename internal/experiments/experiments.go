@@ -1,5 +1,5 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (see DESIGN.md §5 for the experiment index). Paper-scale
+// evaluation (see DESIGN.md §6 for the experiment index). Paper-scale
 // results come from the perfsim discrete-event simulator over the Blue
 // Gene machine models; the Real* variants execute the actual Go kernels on
 // the local machine at laptop scale. Each generator returns a Table that
@@ -62,7 +62,7 @@ func (t *Table) Render() string {
 
 // Names lists the experiment identifiers accepted by Generate.
 func Names() []string {
-	return []string{"table1", "table2", "fig8", "fig9", "fig10", "table3", "table4", "fig11", "decomp"}
+	return []string{"table1", "table2", "fig8", "fig9", "fig10", "table3", "table4", "fig11", "decomp", "collision"}
 }
 
 // Generate runs one experiment by name. The machine argument applies to
@@ -122,6 +122,14 @@ func Generate(name, machineName string) ([]*Table, error) {
 			return nil, err
 		}
 		return []*Table{t}, nil
+	case "collision":
+		// Real kernels at laptop scale (the operator axis is a capability
+		// experiment, not a machine-model projection).
+		t, err := CollisionTable("D3Q19")
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (want one of %s)", name, strings.Join(Names(), ", "))
 }
@@ -165,6 +173,9 @@ func GenerateAll() ([]*Table, error) {
 		}
 	}
 	if err := add(Generate("decomp", "bgq")); err != nil {
+		return nil, err
+	}
+	if err := add(Generate("collision", "")); err != nil {
 		return nil, err
 	}
 	return out, nil

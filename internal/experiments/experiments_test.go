@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/collision"
 )
 
 func TestTable1Shapes(t *testing.T) {
@@ -254,7 +256,7 @@ func TestRealFig8SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-kernel experiment in -short mode")
 	}
-	tb, err := RealFig8("D3Q19", 2, 3, "1d")
+	tb, err := RealFig8("D3Q19", 2, 3, "1d", collision.Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +269,7 @@ func TestRealFig11SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-kernel experiment in -short mode")
 	}
-	tb, err := RealFig11("D3Q19", 3, "1d")
+	tb, err := RealFig11("D3Q19", 3, "1d", collision.Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +282,7 @@ func TestRealFig9SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-kernel experiment in -short mode")
 	}
-	tb, err := RealFig9("D3Q19", 2, 4, "1d")
+	tb, err := RealFig9("D3Q19", 2, 4, "1d", collision.Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +295,7 @@ func TestRealFig10SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-kernel experiment in -short mode")
 	}
-	tb, err := RealFig10("D3Q19", 2, 4, "2d")
+	tb, err := RealFig10("D3Q19", 2, 4, "2d", collision.Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,10 +311,36 @@ func TestRealFig10SmallRun(t *testing.T) {
 }
 
 func TestRealExperimentsRejectBadModel(t *testing.T) {
-	if _, err := RealFig8("D2Q9", 1, 1, "1d"); err == nil {
+	if _, err := RealFig8("D2Q9", 1, 1, "1d", collision.Spec{}); err == nil {
 		t.Error("unknown model accepted")
 	}
-	if _, err := RealFig10("D2Q9", 1, 1, "1d"); err == nil {
+	if _, err := RealFig10("D2Q9", 1, 1, "1d", collision.Spec{}); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestCollisionTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-kernel experiment in -short mode")
+	}
+	tb, err := CollisionTable("D3Q19")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(tb.Rows))
+	}
+	// The capability story: BGK diverges at tau=0.51, the split-rate
+	// operators survive.
+	if tb.Rows[0][0] != "bgk" || tb.Rows[0][3] != "DIVERGED" {
+		t.Errorf("BGK row = %v, want a tau=0.51 divergence", tb.Rows[0])
+	}
+	for _, r := range tb.Rows[1:] {
+		if r[3] != "stable" {
+			t.Errorf("%s unstable at tau=0.51 (%v)", r[0], r)
+		}
+	}
+	if _, err := CollisionTable("D2Q9"); err == nil {
 		t.Error("unknown model accepted")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/collision"
 	"repro/internal/core"
 	"repro/internal/decomp"
 	"repro/internal/grid"
@@ -37,8 +38,10 @@ func realShape(spec string, ranks int, n grid.Dims) ([3]int, error) {
 // RealFig8 measures MFlup/s for each optimization level with the real
 // kernels (the local analog of Fig. 8). Orig always runs the 1-D slab
 // (the no-ghost protocol is slab-only); the other levels use the
-// requested decomposition shape.
-func RealFig8(modelName string, ranks, steps int, decompSpec string) (*Table, error) {
+// requested decomposition shape. colSpec selects the collision operator
+// (TRT/MRT show the ladder with the generic operator kernel in place of
+// the specialized BGK collide).
+func RealFig8(modelName string, ranks, steps int, decompSpec string, colSpec collision.Spec) (*Table, error) {
 	m, err := lattice.ByName(modelName)
 	if err != nil {
 		return nil, err
@@ -49,7 +52,7 @@ func RealFig8(modelName string, ranks, steps int, decompSpec string) (*Table, er
 		return nil, err
 	}
 	t := &Table{
-		Title:  fmt.Sprintf("Fig. 8 (real kernels) — %s, %s, %d ranks (%dx%dx%d), local machine (MFlup/s)", m.Name, n, ranks, shape[0], shape[1], shape[2]),
+		Title:  fmt.Sprintf("Fig. 8 (real kernels) — %s, %s, %d ranks (%dx%dx%d), %s, local machine (MFlup/s)", m.Name, n, ranks, shape[0], shape[1], shape[2], colSpec),
 		Header: []string{"level", "MFlup/s", "speedup vs Orig"},
 	}
 	var first float64
@@ -61,6 +64,7 @@ func RealFig8(modelName string, ranks, steps int, decompSpec string) (*Table, er
 		res, err := core.Run(core.Config{
 			Model: m, N: n, Tau: 0.8, Steps: steps,
 			Opt: opt, Ranks: ranks, Decomp: sh, Threads: 1, GhostDepth: 1,
+			Collision: colSpec,
 		})
 		if err != nil {
 			return nil, err
@@ -79,7 +83,7 @@ func RealFig8(modelName string, ranks, steps int, decompSpec string) (*Table, er
 
 // RealFig9 measures the per-rank communication-time balance with injected
 // per-step jitter (the local analog of Fig. 9).
-func RealFig9(modelName string, ranks, steps int, decompSpec string) (*Table, error) {
+func RealFig9(modelName string, ranks, steps int, decompSpec string, colSpec collision.Spec) (*Table, error) {
 	m, err := lattice.ByName(modelName)
 	if err != nil {
 		return nil, err
@@ -109,6 +113,7 @@ func RealFig9(modelName string, ranks, steps int, decompSpec string) (*Table, er
 		res, err := core.Run(core.Config{
 			Model: m, N: n, Tau: 0.8, Steps: steps,
 			Opt: c.opt, Ranks: ranks, Decomp: sh, Threads: 1, GhostDepth: 1,
+			Collision:  colSpec,
 			StepJitter: 2 * time.Millisecond,
 		})
 		if err != nil {
@@ -128,7 +133,7 @@ func RealFig9(modelName string, ranks, steps int, decompSpec string) (*Table, er
 
 // RealFig10 sweeps ghost depth × domain size with the real kernels (the
 // local analog of Fig. 10), reporting runtimes normalized to depth 1.
-func RealFig10(modelName string, ranks, steps int, decompSpec string) (*Table, error) {
+func RealFig10(modelName string, ranks, steps int, decompSpec string, colSpec collision.Spec) (*Table, error) {
 	m, err := lattice.ByName(modelName)
 	if err != nil {
 		return nil, err
@@ -158,6 +163,7 @@ func RealFig10(modelName string, ranks, steps int, decompSpec string) (*Table, e
 				Model: m, N: dims,
 				Tau: 0.8, Steps: steps,
 				Opt: core.OptSIMD, Ranks: ranks, Decomp: sh, Threads: 1, GhostDepth: depth,
+				Collision:  colSpec,
 				StepJitter: time.Millisecond,
 			})
 			if err != nil {
@@ -176,7 +182,7 @@ func RealFig10(modelName string, ranks, steps int, decompSpec string) (*Table, e
 
 // RealFig11 sweeps ranks×threads at a fixed total worker count (the local
 // analog of Fig. 11).
-func RealFig11(modelName string, steps int, decompSpec string) (*Table, error) {
+func RealFig11(modelName string, steps int, decompSpec string, colSpec collision.Spec) (*Table, error) {
 	m, err := lattice.ByName(modelName)
 	if err != nil {
 		return nil, err
@@ -194,6 +200,7 @@ func RealFig11(modelName string, steps int, decompSpec string) (*Table, error) {
 		res, err := core.Run(core.Config{
 			Model: m, N: n, Tau: 0.8, Steps: steps,
 			Opt: core.OptSIMD, Ranks: c[0], Decomp: sh, Threads: c[1], GhostDepth: 1,
+			Collision: colSpec,
 		})
 		if err != nil {
 			return nil, err

@@ -11,7 +11,7 @@ import (
 // ascend through [0,1], wall anchors are exact, and the well-known
 // extrema of the two Reynolds numbers are present.
 func TestCavityRefTables(t *testing.T) {
-	for _, re := range []int{100, 400} {
+	for _, re := range []int{100, 400, 1000} {
 		for name, tab := range map[string][]RefPoint{"u": CavityRefU(re), "v": CavityRefV(re)} {
 			if tab == nil {
 				t.Fatalf("Re=%d: missing %s table", re, name)
@@ -29,10 +29,11 @@ func TestCavityRefTables(t *testing.T) {
 			t.Errorf("Re=%d: lid anchor != 1", re)
 		}
 	}
-	if CavityRefU(1000) != nil || CavityRefV(7) != nil {
+	if CavityRefU(3200) != nil || CavityRefV(7) != nil {
 		t.Error("untabulated Reynolds numbers must return nil")
 	}
-	// Extrema (lid units): Re=100 min u ≈ −0.211, Re=400 min v ≈ −0.450.
+	// Extrema (lid units): Re=100 min u ≈ −0.211, Re=400 min v ≈ −0.450,
+	// Re=1000 min v ≈ −0.516 (the Ghia et al. near-wall jet).
 	minOf := func(tab []RefPoint) float64 {
 		m := tab[0].Value
 		for _, p := range tab {
@@ -47,6 +48,9 @@ func TestCavityRefTables(t *testing.T) {
 	}
 	if m := minOf(CavityRefV(400)); math.Abs(m+0.44993) > 1e-9 {
 		t.Errorf("Re=400 v minimum = %g", m)
+	}
+	if m := minOf(CavityRefV(1000)); math.Abs(m+0.51550) > 1e-9 {
+		t.Errorf("Re=1000 v minimum = %g", m)
 	}
 }
 
@@ -143,7 +147,7 @@ func TestPoiseuilleChannelBC(t *testing.T) {
 		// inside the shared tolerance.
 		{lattice.D3Q39(), 18, 1.0},
 	} {
-		res, err := PoiseuilleChannel(tc.m, tc.h, tc.tau, 1e-6, 0)
+		res, err := PoiseuilleChannel(tc.m, tc.h, tc.tau, 1e-6, 0, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", tc.m.Name, err)
 		}

@@ -145,8 +145,10 @@ type TaylorGreenResult struct {
 
 // TaylorGreenViscosity initializes the 2-D Taylor-Green vortex
 // u = U0(cos kx·sin ky, −sin kx·cos ky, 0) and measures ν from the kinetic
-// energy decay E(t) = E(0)·exp(−2ν(kx²+ky²)t).
-func TaylorGreenViscosity(m *lattice.Model, n grid.Dims, tau float64, steps int) (*TaylorGreenResult, error) {
+// energy decay E(t) = E(0)·exp(−2ν(kx²+ky²)t). cfgMod, when non-nil, may
+// adjust the solver configuration (ranks, collision operator, ...) before
+// each run.
+func TaylorGreenViscosity(m *lattice.Model, n grid.Dims, tau float64, steps int, cfgMod func(*core.Config)) (*TaylorGreenResult, error) {
 	const u0 = 0.01
 	kx := 2 * math.Pi / float64(n.NX)
 	ky := 2 * math.Pi / float64(n.NY)
@@ -169,11 +171,15 @@ func TaylorGreenViscosity(m *lattice.Model, n grid.Dims, tau float64, steps int)
 		return e
 	}
 	run := func(steps int) (*grid.Field, error) {
-		res, err := core.Run(core.Config{
+		cfg := core.Config{
 			Model: m, N: n, Tau: tau, Steps: steps,
 			Opt: core.OptSIMD, Ranks: 1, Threads: 1, GhostDepth: 1,
 			Init: init, KeepField: true,
-		})
+		}
+		if cfgMod != nil {
+			cfgMod(&cfg)
+		}
+		res, err := core.Run(cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -49,7 +49,7 @@ func TestShearWaveViscosityMultiRank(t *testing.T) {
 func TestTaylorGreenViscosity(t *testing.T) {
 	n := grid.Dims{NX: 24, NY: 24, NZ: 6}
 	for _, m := range []*lattice.Model{lattice.D3Q19(), lattice.D3Q39()} {
-		res, err := TaylorGreenViscosity(m, n, 0.8, 60)
+		res, err := TaylorGreenViscosity(m, n, 0.8, 60, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", m.Name, err)
 		}

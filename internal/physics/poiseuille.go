@@ -31,7 +31,9 @@ type PoiseuilleResult struct {
 // PoiseuilleChannel runs a channel of height h cells driven by a constant
 // acceleration along x and compares the converged profile against the
 // analytic solution. steps = 0 chooses ~2.5 momentum diffusion times.
-func PoiseuilleChannel(m *lattice.Model, h int, tau, accel float64, steps int) (*PoiseuilleResult, error) {
+// cfgMod, when non-nil, may adjust the solver configuration (collision
+// operator, ranks, ...) before the run.
+func PoiseuilleChannel(m *lattice.Model, h int, tau, accel float64, steps int, cfgMod func(*core.Config)) (*PoiseuilleResult, error) {
 	if m == nil {
 		m = lattice.D3Q19()
 	}
@@ -45,13 +47,17 @@ func PoiseuilleChannel(m *lattice.Model, h int, tau, accel float64, steps int) (
 		nx = 4
 	}
 	n := grid.Dims{NX: nx, NY: h, NZ: 2 * k}
-	res, err := core.Run(core.Config{
+	cfg := core.Config{
 		Model: m, N: n, Tau: tau, Steps: steps,
 		Opt: core.OptSIMD, Ranks: 1, Threads: 1, GhostDepth: 1,
 		Boundary:  core.ChannelSpec(),
 		Accel:     [3]float64{accel, 0, 0},
 		KeepField: true,
-	})
+	}
+	if cfgMod != nil {
+		cfgMod(&cfg)
+	}
+	res, err := core.Run(cfg)
 	if err != nil {
 		return nil, err
 	}

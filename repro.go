@@ -27,6 +27,7 @@
 package repro
 
 import (
+	"repro/internal/collision"
 	"repro/internal/core"
 	"repro/internal/decomp"
 	"repro/internal/grid"
@@ -89,6 +90,27 @@ const (
 	BCMovingWall = core.BCMovingWall
 	BCOutflow    = core.BCOutflow
 )
+
+// Collision operators (Config.Collision). The zero CollisionSpec is the
+// paper's BGK and keeps the specialized kernels bit-for-bit; TRT and MRT
+// trade a generic per-cell kernel for stability at low viscosity (high
+// Reynolds numbers).
+type (
+	// CollisionSpec selects and parameterizes the collision operator.
+	CollisionSpec = collision.Spec
+	// CollisionKind enumerates the operator families.
+	CollisionKind = collision.Kind
+)
+
+// Collision operator kinds.
+const (
+	CollisionBGK = collision.BGK
+	CollisionTRT = collision.TRT
+	CollisionMRT = collision.MRT
+)
+
+// ParseCollision resolves an operator name ("bgk", "trt", "mrt").
+func ParseCollision(name string) (CollisionKind, error) { return collision.ParseKind(name) }
 
 // CavitySpec returns the lid-driven cavity boundary (walls on x and y,
 // the high-y lid moving with speed u along +x, periodic z).
