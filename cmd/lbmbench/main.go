@@ -36,6 +36,7 @@ func main() {
 		ranks    = flag.Int("ranks", 4, "ranks for -real experiments")
 		steps    = flag.Int("steps", 30, "steps for -real experiments")
 		decomp   = flag.String("decomp", "1d", "decomposition for -real experiments: 1d, 2d, 3d or PxxPyxPz")
+		depth    = flag.String("depth", "1", "ghost-cell depth for -real fig8/fig9/fig11: one value or per-axis dx,dy,dz (fig10 sweeps depth itself)")
 		collide  = flag.String("collision", "bgk", "collision operator for -real experiments: bgk, trt or mrt")
 		magic    = flag.Float64("magic", 0, "TRT magic parameter Lambda for -real experiments (0 = 1/4)")
 		mrtRates = flag.String("mrt-rates", "", "MRT ghost rates by order for -real experiments (comma-separated from order 3)")
@@ -64,8 +65,11 @@ func main() {
 		log.Fatalf("-collision/-magic/-mrt-rates apply to -real experiments only (got -exp %s without -real)", *exp)
 	}
 
+	if !*real && *depth != "1" {
+		log.Fatalf("-depth applies to -real experiments only (got -exp %s without -real)", *exp)
+	}
 	if *real {
-		tb, err := realExperiment(*exp, *model, *ranks, *steps, *decomp, colSpec)
+		tb, err := realExperiment(*exp, *model, *ranks, *steps, *decomp, *depth, colSpec)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -97,16 +101,19 @@ func main() {
 	}
 }
 
-func realExperiment(exp, model string, ranks, steps int, decomp string, colSpec collision.Spec) (*experiments.Table, error) {
+func realExperiment(exp, model string, ranks, steps int, decomp, depth string, colSpec collision.Spec) (*experiments.Table, error) {
 	switch exp {
 	case "fig8":
-		return experiments.RealFig8(model, ranks, steps, decomp, colSpec)
+		return experiments.RealFig8(model, ranks, steps, decomp, depth, colSpec)
 	case "fig9":
-		return experiments.RealFig9(model, ranks, steps, decomp, colSpec)
+		return experiments.RealFig9(model, ranks, steps, decomp, depth, colSpec)
 	case "fig10":
+		if depth != "1" {
+			return nil, fmt.Errorf("fig10 sweeps ghost depth itself; drop -depth")
+		}
 		return experiments.RealFig10(model, ranks, steps, decomp, colSpec)
 	case "fig11":
-		return experiments.RealFig11(model, steps, decomp, colSpec)
+		return experiments.RealFig11(model, steps, decomp, depth, colSpec)
 	case "collision":
 		return experiments.CollisionTable(model)
 	}

@@ -42,7 +42,7 @@ func main() {
 		ranks     = flag.Int("ranks", 1, "message-passing ranks")
 		decompF   = flag.String("decomp", "1d", "domain decomposition: 1d (slab), 2d (pencil), 3d (block), or explicit PxxPyxPz (e.g. 2x2x2)")
 		threads   = flag.Int("threads", 1, "worker threads per rank")
-		depth     = flag.Int("depth", 1, "ghost-cell depth (exchange every depth steps)")
+		depth     = flag.String("depth", "1", "ghost-cell depth: one value (exchange every depth steps) or per-axis dx,dy,dz (e.g. 2,1,1)")
 		layout    = flag.String("layout", "soa", "memory layout: soa or aos")
 		fused     = flag.Bool("fused", false, "fused stream-collide kernel (§VII future work; needs SoA and a GC level)")
 		amplitude = flag.Float64("amplitude", 0.02, "initial perturbation amplitude")
@@ -94,10 +94,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	depthUniform, depthAxes, err := core.ParseGhostDepth(*depth)
+	if err != nil {
+		log.Fatal(err)
+	}
 	a := *amplitude
 	cfg := core.Config{
 		Model: model, N: n, Tau: *tau, Steps: *steps,
-		Opt: opt, Ranks: *ranks, Decomp: dec.P, Threads: *threads, GhostDepth: *depth,
+		Opt: opt, Ranks: *ranks, Decomp: dec.P, Threads: *threads,
+		GhostDepth: depthUniform, GhostDepthAxes: depthAxes,
 		Layout: lay, Fused: *fused, Collision: colSpec, KeepField: *out != "",
 		Init: func(ix, iy, iz int) (rho, ux, uy, uz float64) {
 			x := 2 * math.Pi * float64(ix) / float64(n.NX)
@@ -136,7 +141,7 @@ func main() {
 		fmt.Printf("cavity       Re=%g lidU=%g tau=%.4f (walls x/y, lid +x at high y, periodic z)\n", *re, *lidU, cfg.Tau)
 	}
 	fmt.Printf("domain       %s  (%d fluid cells)\n", n, n.Cells())
-	fmt.Printf("config       opt=%s ranks=%d decomp=%s threads=%d depth=%d layout=%s fused=%v collision=%s\n", opt, *ranks, dec, *threads, *depth, lay, *fused, cfg.Collision)
+	fmt.Printf("config       opt=%s ranks=%d decomp=%s threads=%d depth=%s layout=%s fused=%v collision=%s\n", opt, *ranks, dec, *threads, *depth, lay, *fused, cfg.Collision)
 	fmt.Printf("steps        %d\n", cfg.Steps)
 	if hb := res.HaloAxisBytes; hb != [3]int64{} {
 		fmt.Printf("halo surface %.1f KB/rank/exchange (x %.1f, y %.1f, z %.1f)\n",

@@ -146,6 +146,14 @@ func suite(quick bool) []check {
 		tol:  0.03,
 		run:  func() (float64, error) { return cavityErr(100, cavityL, 0, collision.Spec{}) },
 	})
+	// Overlap schedule check: the per-axis GC-C overlap on the box stepper
+	// (pencil shape, split and fused kernels) must agree with the slab
+	// GC-C reference field to reassociation level.
+	cs = append(cs, check{
+		name: "overlap-box: pencil GC-C + fused vs slab GC-C (1e-12)",
+		tol:  1e-12,
+		run:  overlapBox,
+	})
 	// Collision-operator checks: TRT must reproduce the BGK viscosity
 	// (the even/shear rate alone sets ν), for both lattices.
 	cs = append(cs, check{
@@ -199,6 +207,42 @@ func cavityErr(re, l, steps int, spec collision.Spec) (float64, error) {
 		return 0, err
 	}
 	return math.Max(errU, errV), nil
+}
+
+// overlapBox runs one problem three ways — slab GC-C (the paper's
+// overlapped schedule), box GC-C on a 2-D pencil (the per-axis phased
+// schedule) and the fused kernel on the same pencil — and returns the
+// worst field deviation from the slab reference.
+func overlapBox() (float64, error) {
+	n := grid.Dims{NX: 24, NY: 16, NZ: 16}
+	init := func(ix, iy, iz int) (rho, ux, uy, uz float64) {
+		x := 2 * math.Pi * float64(ix) / float64(n.NX)
+		y := 2 * math.Pi * float64(iy) / float64(n.NY)
+		return 1 + 0.03*math.Sin(x)*math.Cos(y), 0.01 * math.Sin(y), -0.01 * math.Cos(x), 0
+	}
+	base := core.Config{
+		Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 12,
+		Opt: core.OptGCC, Ranks: 4, Threads: 2, GhostDepth: 2,
+		Init: init, KeepField: true,
+	}
+	slab := base
+	slab.Decomp = [3]int{4, 1, 1}
+	ref, err := core.Run(slab)
+	if err != nil {
+		return 0, err
+	}
+	worst := 0.0
+	for _, fused := range []bool{false, true} {
+		cfg := base
+		cfg.Decomp = [3]int{2, 2, 1}
+		cfg.Fused = fused
+		res, err := core.Run(cfg)
+		if err != nil {
+			return 0, err
+		}
+		worst = math.Max(worst, grid.MaxAbsDiff(ref.Field, res.Field))
+	}
+	return worst, nil
 }
 
 // conservation measures the relative drift of total mass over a short run.

@@ -68,6 +68,23 @@ type Operator interface {
 	Clone() Operator
 }
 
+// RowRelaxer is an optional fast-path interface: an Operator that can
+// relax whole SoA z-runs at once. dst[v], src[v] and feq[v] are the
+// velocity-v rows of the run (first n entries valid): src the
+// post-streaming populations, feq their equilibria (computed by the
+// caller, which has them as a by-product of the moment pass), dst the
+// post-collision output. dst and src may alias row-for-row. Like Relax,
+// RelaxRows is not safe for concurrent use — Clone per goroutine.
+//
+// TRT and MRT implement it; the solver's z-run-blocked operator kernel
+// dispatches on it and falls back to per-cell Relax otherwise. BGK
+// deliberately does not: its production path is the specialized legacy
+// kernels, and keeping the forced-operator regression route per-cell
+// preserves the 0-ULP guard against the naive kernel.
+type RowRelaxer interface {
+	RelaxRows(dst, src, feq [][]float64, n int)
+}
+
 // Kind enumerates the provided operator families.
 type Kind int
 
@@ -303,5 +320,32 @@ func (o *trtOp) Relax(f []float64, rho, ux, uy, uz float64) {
 	for _, i := range o.rest {
 		// Self-opposite velocities are purely even.
 		f[i] -= o.omegaP * (f[i] - o.feq[i])
+	}
+}
+
+// RelaxRows is the z-run-blocked form of Relax: the same even/odd pair
+// arithmetic applied to whole SoA rows, which turns the per-cell gather,
+// equilibrium method call and scatter into straight-line loops over
+// contiguous slices (the shape of the solver's paired BGK kernel).
+func (o *trtOp) RelaxRows(dst, src, feq [][]float64, n int) {
+	for _, p := range o.pairs {
+		i, j := p[0], p[1]
+		si, sj := src[i][:n], src[j][:n]
+		ei, ej := feq[i][:n], feq[j][:n]
+		di, dj := dst[i][:n], dst[j][:n]
+		for z := 0; z < n; z++ {
+			neqP := 0.5 * ((si[z] + sj[z]) - (ei[z] + ej[z]))
+			neqM := 0.5 * ((si[z] - sj[z]) - (ei[z] - ej[z]))
+			dP, dM := o.omegaP*neqP, o.omegaM*neqM
+			vi, vj := si[z], sj[z]
+			di[z] = vi - (dP + dM)
+			dj[z] = vj - (dP - dM)
+		}
+	}
+	for _, i := range o.rest {
+		si, ei, di := src[i][:n], feq[i][:n], dst[i][:n]
+		for z := 0; z < n; z++ {
+			di[z] = si[z] - o.omegaP*(si[z]-ei[z])
+		}
 	}
 }

@@ -133,6 +133,9 @@ type mrtOp struct {
 	label string
 	feq   []float64
 	fneq  []float64
+	// RelaxRows scratch: Q non-equilibrium rows, grown on demand.
+	neqStore []float64
+	neqRows  [][]float64
 }
 
 // ghostRateFor resolves the relaxation rate of a ghost moment order.
@@ -267,6 +270,7 @@ func (o *mrtOp) Clone() Operator {
 	c := *o
 	c.feq = make([]float64, o.m.Q)
 	c.fneq = make([]float64, o.m.Q)
+	c.neqStore, c.neqRows = nil, nil
 	return &c
 }
 
@@ -289,5 +293,44 @@ func (o *mrtOp) Relax(f []float64, rho, ux, uy, uz float64) {
 			d += row[j] * n
 		}
 		f[i] -= d
+	}
+}
+
+// RelaxRows is the z-run-blocked form of Relax: the non-equilibrium rows
+// are formed once, then the Q×Q collision matrix is applied as a blocked
+// row multiply — dst_i −= C[i][j]·neq_j over whole runs — which trades
+// the per-cell gather/matvec/scatter for long contiguous multiply-add
+// loops. The summation order per cell differs from Relax's (moments
+// accumulate across rows instead of along one), a reassociation at the
+// usual 1e-15 level.
+func (o *mrtOp) RelaxRows(dst, src, feq [][]float64, n int) {
+	q := o.m.Q
+	if len(o.neqStore) < q*n {
+		o.neqStore = make([]float64, q*n)
+		o.neqRows = make([][]float64, q)
+	}
+	for v := 0; v < q; v++ {
+		o.neqRows[v] = o.neqStore[v*n : (v+1)*n]
+	}
+	for v := 0; v < q; v++ {
+		sv, ev, nv := src[v][:n], feq[v][:n], o.neqRows[v]
+		for z := 0; z < n; z++ {
+			nv[z] = sv[z] - ev[z]
+		}
+	}
+	for i := 0; i < q; i++ {
+		row := o.c[i*q : (i+1)*q]
+		di, si := dst[i][:n], src[i][:n]
+		copy(di, si) // alias-safe: neq rows are private copies
+		for j := 0; j < q; j++ {
+			cij := row[j]
+			if cij == 0 {
+				continue
+			}
+			nj := o.neqRows[j]
+			for z := 0; z < n; z++ {
+				di[z] -= cij * nj[z]
+			}
+		}
 	}
 }

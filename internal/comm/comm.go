@@ -28,11 +28,18 @@ const chanCap = 256
 type message struct {
 	tag  int
 	data []float64
+	// ready is the simulated wire arrival time (zero when no delay model
+	// is installed): the send stamps it, and a receive matching the
+	// message blocks until it has passed.
+	ready time.Time
 }
 
-// DelayFunc models per-message wire time. When non-nil, the receiving rank
-// sleeps for the returned duration before a message is delivered, so
-// wall-clock measurements feel the simulated network. Bytes is the payload
+// DelayFunc models per-message wire time. When non-nil, a message sent at
+// time t is delivered no earlier than t plus the returned duration, so
+// wall-clock measurements feel the simulated network. The clock starts at
+// the send: a receiver that computes while the message is in flight —
+// the GC-C overlap — genuinely hides the wire time, and only a receive
+// issued before arrival blocks for the remainder. Bytes is the payload
 // size in bytes (8 per float64).
 type DelayFunc func(src, dst, bytes int) time.Duration
 
@@ -155,7 +162,11 @@ func (r *Rank) CommTime() time.Duration { return r.commTime }
 func (r *Rank) Send(dst, tag int, data []float64) {
 	t0 := time.Now()
 	cp := append([]float64(nil), data...)
-	r.f.chans[r.ID][dst] <- message{tag: tag, data: cp}
+	m := message{tag: tag, data: cp}
+	if r.f.delay != nil {
+		m.ready = t0.Add(r.f.delay(r.ID, dst, 8*len(data)))
+	}
+	r.f.chans[r.ID][dst] <- m
 	r.bytesSent += int64(8 * len(data))
 	r.msgsSent++
 	r.commTime += time.Since(t0)
@@ -183,19 +194,30 @@ func (r *Rank) match(src, tag int) message {
 	if q := r.pending[key]; len(q) > 0 {
 		m := q[0]
 		r.pending[key] = q[1:]
+		waitWire(m)
 		return m
 	}
 	ch := r.f.chans[src][r.ID]
 	for {
 		m := <-ch
-		if r.f.delay != nil {
-			time.Sleep(r.f.delay(src, r.ID, 8*len(m.data)))
-		}
 		if m.tag == tag {
+			waitWire(m)
 			return m
 		}
 		k := pendKey{src, m.tag}
 		r.pending[k] = append(r.pending[k], m)
+	}
+}
+
+// waitWire blocks until the message's simulated wire arrival time. Only
+// the matched receive waits — buffering an out-of-order message does not
+// charge its wire time to the wrong call.
+func waitWire(m message) {
+	if m.ready.IsZero() {
+		return
+	}
+	if d := time.Until(m.ready); d > 0 {
+		time.Sleep(d)
 	}
 }
 
@@ -254,17 +276,25 @@ func (r *Rank) Wait(reqs ...*Request) {
 }
 
 // Probe reports whether a message with the given tag from src is already
-// available without blocking.
+// available without blocking. Under a delay model a message counts as
+// available only once its simulated wire arrival time has passed — the
+// same clock match() enforces — so polling Probe to decide between
+// computing and receiving sees the simulated network, not the channel.
 func (r *Rank) Probe(src, tag int) bool {
-	if len(r.pending[pendKey{src, tag}]) > 0 {
-		return true
+	arrived := func(m message) bool {
+		return m.ready.IsZero() || !m.ready.After(time.Now())
+	}
+	for _, m := range r.pending[pendKey{src, tag}] {
+		if arrived(m) {
+			return true
+		}
 	}
 	for {
 		select {
 		case m := <-r.f.chans[src][r.ID]:
 			k := pendKey{src, m.tag}
 			r.pending[k] = append(r.pending[k], m)
-			if m.tag == tag {
+			if m.tag == tag && arrived(m) {
 				return true
 			}
 		default:

@@ -296,6 +296,35 @@ func TestDelayModelSlowsDelivery(t *testing.T) {
 	}
 }
 
+// TestProbeRespectsWireTime: under a delay model, Probe must not report
+// a message before its simulated arrival (the clock match() enforces),
+// and must report it once the wire time has passed.
+func TestProbeRespectsWireTime(t *testing.T) {
+	const wire = 30 * time.Millisecond
+	f := NewFabric(2).WithDelay(func(src, dst, bytes int) time.Duration { return wire })
+	err := f.Run(func(r *Rank) error {
+		if r.ID == 0 {
+			r.Send(1, 7, []float64{1})
+			r.Barrier()
+			return nil
+		}
+		r.Barrier() // the send has happened by now
+		if r.Probe(0, 7) {
+			t.Error("Probe reported a message still on the wire")
+		}
+		time.Sleep(wire + 10*time.Millisecond)
+		if !r.Probe(0, 7) {
+			t.Error("Probe missed a message past its wire time")
+		}
+		buf := make([]float64, 1)
+		r.Recv(0, 7, buf)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestProbe(t *testing.T) {
 	f := NewFabric(2)
 	err := f.Run(func(r *Rank) error {

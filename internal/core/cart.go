@@ -4,20 +4,23 @@ package core
 // slab keeps its specialized stepper (stepper.go) and full optimization
 // ladder bit-for-bit; this file generalizes the owned-region/ghost-width
 // bookkeeping from (startX, own, w) scalars to per-axis extents. Ghost
-// layers of width w = depth·k exist on all three axes (axes with one rank
-// wrap locally), which removes every modulo from the kernels: streaming
-// becomes pure offset block copies and the deep-halo cycle shrinks an
-// axis-aligned box instead of an x interval.
+// layers of width w[a] = depth[a]·k exist on all three axes (axes with one
+// rank wrap locally), which removes every modulo from the kernels:
+// streaming becomes pure offset block copies and the deep-halo schedule
+// shrinks an axis-aligned box instead of an x interval. Depth is per axis
+// (Config.GhostDepthAxes): axis a's ghosts are refreshed every depth[a]
+// steps, so a pencil can spend halo width where its surface is largest.
 //
 // The ladder maps onto the box kernels as follows: levels through GC use
 // the per-cell naive collide, DH the row-accumulating generic collide,
 // and CF upward the pair-symmetric collide (whose per-cell arithmetic is
 // identical to the slab path's paired/blocked kernels, keeping 1-D and
 // 3-D runs within float reassociation of each other). NB-C and above
-// switch the per-axis exchange to the posted-receive protocol. The
-// compute/communication overlap of GC-C and the fused kernel remain
-// slab-only (see DESIGN.md); the no-ghost Orig protocol is slab-only by
-// construction.
+// switch the per-axis exchange to the posted-receive protocol; GC-C and
+// above run the phased overlapped schedule of schedule.go (interior box
+// while messages fly, per-axis rims after each WaitUnpackAxis), and the
+// fused kernel has a box form with no wrap arithmetic at all. Only the
+// no-ghost Orig protocol remains slab-only, by construction.
 
 import (
 	"time"
@@ -50,8 +53,8 @@ func (b box) cells() int {
 }
 
 // cartStepper holds one rank's state for the multi-axis stepping loop.
-// Local coordinates on axis a: [w, w+own[a]) is owned, [0, w) the low
-// ghost and [w+own[a], own[a]+2w) the high ghost.
+// Local coordinates on axis a: [w[a], w[a]+own[a]) is owned, [0, w[a]) the
+// low ghost and [w[a]+own[a], own[a]+2w[a]) the high ghost.
 type cartStepper struct {
 	cfg   *Config
 	model *lattice.Model
@@ -61,8 +64,8 @@ type cartStepper struct {
 	start [3]int // first owned global cell per axis
 	own   [3]int // owned extents
 	k     int    // lattice max speed
-	depth int    // deep-halo depth
-	w     int    // ghost width per side on every axis (depth·k)
+	depth [3]int // deep-halo depth per axis
+	w     [3]int // ghost width per side per axis (depth[a]·k)
 
 	d       grid.Dims
 	f, fadv *grid.Field
@@ -86,13 +89,15 @@ type cartStepper struct {
 func newCartStepper(cfg *Config, dec decomp.Cartesian, r *comm.Rank) (*cartStepper, error) {
 	cs := &cartStepper{
 		cfg: cfg, model: cfg.Model, r: r, dec: dec,
-		k: cfg.Model.MaxSpeed, depth: cfg.GhostDepth,
+		k: cfg.Model.MaxSpeed, depth: cfg.ghostDepths(),
 		threads: cfg.Threads,
 		coef:    newEqCoefs(cfg.Model),
 		pairs:   velocityPairs(cfg.Model),
 		spec:    cfg.Boundary,
 	}
-	cs.w = cfg.GhostDepth * cs.k
+	for a := 0; a < 3; a++ {
+		cs.w[a] = cs.depth[a] * cs.k
+	}
 	op, err := buildOperator(cfg)
 	if err != nil {
 		return nil, err
@@ -101,7 +106,7 @@ func newCartStepper(cfg *Config, dec decomp.Cartesian, r *comm.Rank) (*cartStepp
 	for a := 0; a < 3; a++ {
 		cs.start[a], cs.own[a] = dec.Own(r.ID, a)
 	}
-	cs.d = grid.Dims{NX: cs.own[0] + 2*cs.w, NY: cs.own[1] + 2*cs.w, NZ: cs.own[2] + 2*cs.w}
+	cs.d = grid.Dims{NX: cs.own[0] + 2*cs.w[0], NY: cs.own[1] + 2*cs.w[1], NZ: cs.own[2] + 2*cs.w[2]}
 	cs.f = grid.NewField(cfg.Model.Q, cs.d, cfg.Layout)
 	cs.fadv = grid.NewField(cfg.Model.Q, cs.d, cfg.Layout)
 	cs.rest = make([]float64, cfg.Model.Q)
@@ -117,8 +122,7 @@ func newCartStepper(cfg *Config, dec decomp.Cartesian, r *comm.Rank) (*cartStepp
 		return nil, err
 	}
 	neighbors := top.Neighbors(r.ID)
-	ww := [3]int{cs.w, cs.w, cs.w}
-	ex, err := halo.NewCartExchanger(cfg.Model.Q, cs.d, cs.own, ww, r.ID, neighbors)
+	ex, err := halo.NewCartExchanger(cfg.Model.Q, cs.d, cs.own, cs.w, r.ID, neighbors)
 	if err != nil {
 		return nil, err
 	}
@@ -149,27 +153,45 @@ func (cs *cartStepper) initField() {
 	for ix := 0; ix < cs.own[0]; ix++ {
 		for iy := 0; iy < cs.own[1]; iy++ {
 			for iz := 0; iz < cs.own[2]; iz++ {
-				if cs.mask != nil && cs.mask[cs.d.Index(w+ix, w+iy, w+iz)] {
-					cs.f.SetCell(w+ix, w+iy, w+iz, rest)
+				if cs.mask != nil && cs.mask[cs.d.Index(w[0]+ix, w[1]+iy, w[2]+iz)] {
+					cs.f.SetCell(w[0]+ix, w[1]+iy, w[2]+iz, rest)
 					continue
 				}
 				rho, ux, uy, uz := cs.cfg.Init(cs.start[0]+ix, cs.start[1]+iy, cs.start[2]+iz)
 				cs.model.Equilibrium(rho, ux, uy, uz, feq)
-				cs.f.SetCell(w+ix, w+iy, w+iz, feq)
+				cs.f.SetCell(w[0]+ix, w[1]+iy, w[2]+iz, feq)
 			}
 		}
 	}
 }
 
-// run advances the configured number of steps in deep-halo cycles.
+// run advances the configured number of steps. Each axis runs its own
+// deep-halo cycle: axis a's ghosts are refreshed every depth[a] steps and
+// its valid extent shrinks by k per step in between, so the computed
+// destination box is the intersection of the per-axis validity intervals.
 func (cs *cartStepper) run() {
-	for done := 0; done < cs.cfg.Steps; {
-		runLen := cs.depth
-		if rest := cs.cfg.Steps - done; rest < runLen {
-			runLen = rest
+	var since [3]int // steps since each axis's refresh; due when == depth[a]
+	for a := range since {
+		since[a] = cs.depth[a] // every axis due at step 0
+	}
+	for step := 0; step < cs.cfg.Steps; step++ {
+		var stale [3]bool
+		for a := 0; a < 3; a++ {
+			if since[a] >= cs.depth[a] {
+				stale[a], since[a] = true, 0
+			}
 		}
-		cs.cycle(runLen)
-		done += runLen
+		var ext [3]int
+		for a := 0; a < 3; a++ {
+			ext[a] = (cs.depth[a] - since[a]) * cs.k
+		}
+		b := cs.boxFor(ext)
+		cs.step(b, stale)
+		cs.countUpdates(b)
+		cs.jitter()
+		for a := range since {
+			since[a]++
+		}
 	}
 }
 
@@ -180,23 +202,42 @@ func (cs *cartStepper) jitter() {
 	time.Sleep(time.Duration(cs.jit.Float64() * float64(cs.cfg.StepJitter)))
 }
 
-// cycle performs one deep-halo cycle: a sequential-axis ghost refresh
-// (halo exchanges plus boundary fills) followed by runLen (≤ depth)
-// stream+collide steps on a shrinking box.
-func (cs *cartStepper) cycle(runLen int) {
-	cs.refreshGhosts()
-	exts := halo.CycleExtents(cs.depth, cs.k)
-	for s := 0; s < runLen; s++ {
-		b := cs.boxFor(exts[s])
-		cs.streamBox(b)
-		cs.applyBounceBackBox(b)
-		cs.collideBox(b)
-		cs.countUpdates(b)
-		cs.jitter()
+// step advances one time step on destination box b, refreshing the stale
+// axes' ghosts first — overlapped with the compute under the GC-C
+// schedule when messages are in play, synchronously otherwise.
+func (cs *cartStepper) step(b box, stale [3]bool) {
+	if cs.cfg.Opt >= OptGCC && cs.hasMessagingStale(stale) {
+		cs.overlappedStep(b, stale)
+	} else {
+		if stale != ([3]bool{}) {
+			cs.refreshAxes(stale)
+		}
+		if cs.cfg.Fused {
+			cs.fusedBox(b)
+		} else {
+			cs.streamBox(b)
+			cs.applyBounceBackBox(b)
+			cs.collideBox(b)
+		}
+	}
+	if cs.cfg.Fused {
+		cs.swap()
 	}
 }
 
-// refreshGhosts makes every ghost layer valid for one deep-halo cycle.
+// hasMessagingStale reports whether any stale axis exchanges real
+// messages (the precondition for the overlapped schedule to hide
+// anything).
+func (cs *cartStepper) hasMessagingStale(stale [3]bool) bool {
+	for a := 0; a < 3; a++ {
+		if stale[a] && cs.ex.Messaging(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// refreshAxes makes the stale axes' ghost layers valid, synchronously.
 // Axes are processed in x, y, z order, and within an axis the boundary
 // fill runs before the exchange: the fill of axis a spans the full local
 // extent of the other axes, so the already-refreshed earlier axes give it
@@ -204,30 +245,135 @@ func (cs *cartStepper) cycle(runLen int) {
 // filled faces to neighboring ranks — the same sequential ride-along that
 // covers periodic edges and corners, extended to boundary data. Interior
 // ranks of a bounded axis only exchange; edge ranks additionally fill
-// their NoNeighbor faces.
-func (cs *cartStepper) refreshGhosts() {
+// their NoNeighbor faces. Axes that are not stale still hold a valid
+// (shrunken) ghost extent and are skipped; the data a later axis's
+// payload carries from their ghost regions is exact within that extent,
+// which is all the receiver's shrinking box ever reads.
+func (cs *cartStepper) refreshAxes(stale [3]bool) {
 	nonblocking := cs.cfg.Opt >= OptNBC
 	for axis := 0; axis < 3; axis++ {
-		if cs.spec != nil {
-			for side := 0; side < 2; side++ {
-				if cs.ex.Neighbors[axis][side] == halo.NoNeighbor {
-					cs.fillFace(axis, side)
-				}
-			}
+		if !stale[axis] {
+			continue
 		}
+		cs.fillAxisFaces(axis)
 		cs.ex.ExchangeAxis(cs.r, cs.f, axis, nonblocking)
 	}
 }
 
-// faceBox returns the ghost box of one global boundary face: the full w
-// ghost layers on the given side of axis, spanning the full local extent
-// of the other axes.
+// fillAxisFaces fills the boundary ghost faces (NoNeighbor sides) of one
+// axis, if any.
+func (cs *cartStepper) fillAxisFaces(axis int) {
+	if cs.spec == nil {
+		return
+	}
+	for side := 0; side < 2; side++ {
+		if cs.ex.Neighbors[axis][side] == halo.NoNeighbor {
+			cs.fillFace(axis, side)
+		}
+	}
+}
+
+// overlappedStep is the per-axis GC-C schedule (§V.F generalized to every
+// decomposition): ghost receives for the messaging stale axes are posted
+// up front, then each stale axis is refreshed at its slot in x→y→z order
+// — boundary fills and border sends (or the local wraparound) first,
+// WaitUnpackAxis to complete — with the compute interleaved so every wire
+// window hides work: the interior box overlaps the first messaging axis's
+// messages, and each later axis's messages overlap the previous axis's
+// rim compute. Packing an axis only at its slot, after the previous
+// axis's unpack, is what preserves the sequential ride-along corner
+// coverage: every payload spans the full local extent — fresh ghosts
+// included — of the axes already exchanged.
+func (cs *cartStepper) overlappedStep(b box, stale [3]bool) {
+	// Stale axes that exchange no messages — local wraps and boundary
+	// fills — refresh synchronously before any compute. The ride-along
+	// corner argument needs a consistent axis order across ranks, not the
+	// x→y→z order specifically (whether an axis messages is a property of
+	// the rank grid, so every rank agrees on this split), and keeping
+	// them out of the phase chain leaves the largest possible interior
+	// box overlapping the first messages and no message-free rim phases.
+	var chain, packLate [3]bool
+	var axes []int
+	for a := 0; a < 3; a++ {
+		if stale[a] && !cs.ex.Messaging(a) {
+			cs.beginAxis(a) // completes synchronously
+		}
+	}
+	for a := 0; a < 3; a++ {
+		if !stale[a] || !cs.ex.Messaging(a) {
+			continue
+		}
+		chain[a] = true
+		packLate[a] = len(axes) > 0
+		axes = append(axes, a)
+	}
+	plan := planStep(b, cs.own, cs.w, cs.k, chain, packLate)
+	for _, a := range axes {
+		cs.ex.PostRecvsAxis(cs.r, a)
+	}
+	cs.beginAxis(axes[0])
+	cs.computeInterior(plan)
+	for i, a := range axes {
+		if i > 0 {
+			// The previous axis completed below; this axis's pack now
+			// reads its fresh ghosts, and the previous axis's rims
+			// compute while this axis's messages fly.
+			cs.beginAxis(a)
+			cs.computeRims(plan, axes[i-1])
+		}
+		cs.ex.WaitUnpackAxis(cs.r, cs.f, a)
+	}
+	cs.computeRims(plan, axes[len(axes)-1])
+}
+
+// beginAxis starts one axis's ghost refresh at its slot: boundary faces
+// are filled first (they ride along on this and later axes' payloads),
+// then the borders go out — as messages on a messaging axis (completed
+// later by WaitUnpackAxis), or synchronously as the local periodic wrap.
+func (cs *cartStepper) beginAxis(axis int) {
+	cs.fillAxisFaces(axis)
+	if cs.ex.Messaging(axis) {
+		cs.ex.SendBordersAxis(cs.r, cs.f, axis)
+		return
+	}
+	cs.ex.ExchangeAxis(cs.r, cs.f, axis, false) // local wrap or boundary no-op
+}
+
+// computeInterior runs the overlap-safe part of a step: the stream-ahead
+// box (and, for the split kernels, the collide-ahead box) of the plan.
+func (cs *cartStepper) computeInterior(p stepPlan) {
+	if cs.cfg.Fused {
+		cs.fusedBox(p.interiorS)
+		return
+	}
+	cs.streamBox(p.interiorS)
+	cs.applyBounceBackBoxIn(p.interiorS)
+	cs.collideBox(p.interiorC)
+}
+
+// computeRims finishes one stale axis's rim slabs after its ghosts became
+// valid.
+func (cs *cartStepper) computeRims(p stepPlan, axis int) {
+	ph := p.phases[axis]
+	if cs.cfg.Fused {
+		cs.fusedBoxPair(ph.streamRims[0], ph.streamRims[1])
+		return
+	}
+	cs.streamBoxPair(ph.streamRims[0], ph.streamRims[1])
+	cs.applyBounceBackBoxIn(ph.streamRims[0])
+	cs.applyBounceBackBoxIn(ph.streamRims[1])
+	cs.collideBoxPair(ph.collideRims[0], ph.collideRims[1])
+}
+
+// faceBox returns the ghost box of one global boundary face: the full
+// w[axis] ghost layers on the given side of axis, spanning the full local
+// extent of the other axes.
 func (cs *cartStepper) faceBox(axis, side int) box {
 	b := box{hi: [3]int{cs.d.NX, cs.d.NY, cs.d.NZ}}
 	if side == 0 {
-		b.lo[axis], b.hi[axis] = 0, cs.w
+		b.lo[axis], b.hi[axis] = 0, cs.w[axis]
 	} else {
-		b.lo[axis], b.hi[axis] = cs.w+cs.own[axis], cs.own[axis]+2*cs.w
+		b.lo[axis], b.hi[axis] = cs.w[axis]+cs.own[axis], cs.own[axis]+2*cs.w[axis]
 	}
 	return b
 }
@@ -258,9 +404,9 @@ func (cs *cartStepper) fillFace(axis, side int) {
 			}
 		}
 	case BCOutflow:
-		src := cs.w // first owned layer
+		src := cs.w[axis] // first owned layer
 		if side == 1 {
-			src = cs.w + cs.own[axis] - 1 // last owned layer
+			src = cs.w[axis] + cs.own[axis] - 1 // last owned layer
 		}
 		b := cs.faceBox(axis, side)
 		for l := b.lo[axis]; l < b.hi[axis]; l++ {
@@ -297,12 +443,12 @@ func (cs *cartStepper) copyAxisLayer(axis, dst, src int) {
 }
 
 // boxFor returns the destination box computable in a step whose inputs
-// are valid on owned ± ext cells per axis: owned ± (ext − k).
-func (cs *cartStepper) boxFor(ext int) box {
+// are valid on owned ± ext[a] cells per axis: owned ± (ext[a] − k).
+func (cs *cartStepper) boxFor(ext [3]int) box {
 	var b box
 	for a := 0; a < 3; a++ {
-		b.lo[a] = cs.w - (ext - cs.k)
-		b.hi[a] = cs.w + cs.own[a] + (ext - cs.k)
+		b.lo[a] = cs.w[a] - (ext[a] - cs.k)
+		b.hi[a] = cs.w[a] + cs.own[a] + (ext[a] - cs.k)
 	}
 	return b
 }
@@ -323,9 +469,32 @@ func (cs *cartStepper) streamBox(b box) {
 	parallel.For(cs.threads, b.lo[0], b.hi[0], func(x0, x1 int) { cs.streamBoxRange(b, x0, x1) })
 }
 
+// streamBoxPair streams two disjoint boxes as one logical loop when they
+// share a cross-section (the axis-0 rim pair), sequentially otherwise.
+func (cs *cartStepper) streamBoxPair(b1, b2 box) {
+	cs.forBoxPair(b1, b2, func(b box, x0, x1 int) { cs.streamBoxRange(b, x0, x1) })
+}
+
+// forBoxPair runs a box-range kernel over two disjoint boxes. Boxes with
+// identical y/z extents (axis-0 rims) share one balanced static
+// partition; otherwise each box is partitioned on its own.
+func (cs *cartStepper) forBoxPair(b1, b2 box, body func(b box, x0, x1 int)) {
+	if b1.lo[1] == b2.lo[1] && b1.hi[1] == b2.hi[1] && b1.lo[2] == b2.lo[2] && b1.hi[2] == b2.hi[2] {
+		parallel.ForTwo(cs.threads, b1.lo[0], b1.hi[0], b2.lo[0], b2.hi[0], func(x0, x1 int) {
+			body(b1, x0, x1)
+		})
+		return
+	}
+	parallel.For(cs.threads, b1.lo[0], b1.hi[0], func(x0, x1 int) { body(b1, x0, x1) })
+	parallel.For(cs.threads, b2.lo[0], b2.hi[0], func(x0, x1 int) { body(b2, x0, x1) })
+}
+
 func (cs *cartStepper) streamBoxRange(b box, x0, x1 int) {
 	m := cs.model
 	zn := b.hi[2] - b.lo[2]
+	if zn <= 0 || b.hi[1] <= b.lo[1] {
+		return
+	}
 	for v := 0; v < m.Q; v++ {
 		src := cs.f.V(v)
 		dst := cs.fadv.V(v)
@@ -340,19 +509,30 @@ func (cs *cartStepper) streamBoxRange(b box, x0, x1 int) {
 	}
 }
 
-// collideBox applies the configured collision to box b with the kernel
-// matching the optimization level.
-func (cs *cartStepper) collideBox(b box) {
+// collideKernel resolves the collision kernel matching the configured
+// operator and optimization level.
+func (cs *cartStepper) collideKernel() func(b box, x0, x1 int) {
 	switch {
 	case cs.op != nil:
-		parallel.For(cs.threads, b.lo[0], b.hi[0], func(x0, x1 int) { cs.collideBoxOperator(b, x0, x1) })
+		return cs.collideBoxOperator
 	case cs.cfg.Opt <= OptGC:
-		parallel.For(cs.threads, b.lo[0], b.hi[0], func(x0, x1 int) { cs.collideBoxNaive(b, x0, x1) })
+		return cs.collideBoxNaive
 	case cs.cfg.Opt == OptDH:
-		parallel.For(cs.threads, b.lo[0], b.hi[0], func(x0, x1 int) { cs.collideBoxGeneric(b, x0, x1) })
+		return cs.collideBoxGeneric
 	default:
-		parallel.For(cs.threads, b.lo[0], b.hi[0], func(x0, x1 int) { cs.collideBoxPaired(b, x0, x1) })
+		return cs.collideBoxPaired
 	}
+}
+
+// collideBox applies the configured collision to box b.
+func (cs *cartStepper) collideBox(b box) {
+	body := cs.collideKernel()
+	parallel.For(cs.threads, b.lo[0], b.hi[0], func(x0, x1 int) { body(b, x0, x1) })
+}
+
+// collideBoxPair collides two disjoint boxes.
+func (cs *cartStepper) collideBoxPair(b1, b2 box) {
+	cs.forBoxPair(b1, b2, cs.collideKernel())
 }
 
 // collideBoxNaive mirrors collideNaive over a box: per-cell gather,
@@ -386,6 +566,9 @@ func (cs *cartStepper) collideBoxNaive(b box, x0, x1 int) {
 func (cs *cartStepper) collideBoxGeneric(b box, x0, x1 int) {
 	m := cs.model
 	zn := b.hi[2] - b.lo[2]
+	if zn <= 0 || b.hi[1] <= b.lo[1] {
+		return
+	}
 	omega := 1 / cs.cfg.Tau
 	c := cs.coef
 	rb := newRowBufs(zn)
@@ -437,6 +620,9 @@ func (cs *cartStepper) collideBoxGeneric(b box, x0, x1 int) {
 // tolerance of each other.
 func (cs *cartStepper) collideBoxPaired(b box, x0, x1 int) {
 	zn := b.hi[2] - b.lo[2]
+	if zn <= 0 || b.hi[1] <= b.lo[1] {
+		return
+	}
 	omega := 1 / cs.cfg.Tau
 	c := cs.coef
 	rb := newRowBufs(zn)
@@ -519,7 +705,7 @@ func (cs *cartStepper) classifyAxis(a, n int) []axisClass {
 	g := [3]int{cs.cfg.N.NX, cs.cfg.N.NY, cs.cfg.N.NZ}[a]
 	out := make([]axisClass, n)
 	for i := 0; i < n; i++ {
-		gi := cs.start[a] + i - cs.w
+		gi := cs.start[a] + i - cs.w[a]
 		c := axisClass{side: -1}
 		switch {
 		case cs.spec.AxisPeriodic(a):
@@ -620,7 +806,8 @@ func (cs *cartStepper) buildMask() {
 // the x-planes of box b. Fixups at cells outside the box's y/z range
 // touch only cells whose state is already stale this step and is never
 // read again before the next exchange, so the per-x-plane lists need no
-// further filtering.
+// further filtering. The phased overlapped schedule, whose regions are
+// streamed at different times, needs the strict variant below instead.
 func (cs *cartStepper) applyBounceBackBox(b box) {
 	if cs.fix == nil {
 		return
@@ -634,6 +821,31 @@ func (cs *cartStepper) applyBounceBackBox(b box) {
 	}
 }
 
+// applyBounceBackBoxIn is applyBounceBackBox restricted to exactly box b:
+// fixups whose cell lies outside b's y/z range are skipped. The phased
+// schedule requires the strict form — a fixup applied to a cell before
+// that cell's rim stream would be overwritten by it, so each fixup must
+// run in the phase that streams its cell, and only there.
+func (cs *cartStepper) applyBounceBackBoxIn(b box) {
+	if cs.fix == nil {
+		return
+	}
+	cells := cs.d.Cells()
+	ny, nz := cs.d.NY, cs.d.NZ
+	f, fadv := cs.f, cs.fadv
+	for ix := b.lo[0]; ix < b.hi[0]; ix++ {
+		for _, fx := range cs.fix[ix] {
+			c := int(fx.cell)
+			iz := c % nz
+			iy := (c / nz) % ny
+			if iy < b.lo[1] || iy >= b.hi[1] || iz < b.lo[2] || iz >= b.hi[2] {
+				continue
+			}
+			fadv.Data[int(fx.v)*cells+c] = f.Data[int(fx.opp)*cells+c] + fx.delta
+		}
+	}
+}
+
 // ownedSums returns mass and momentum summed over the owned fluid cells.
 func (cs *cartStepper) ownedSums() (mass, mx, my, mz float64) {
 	fc := make([]float64, cs.model.Q)
@@ -641,10 +853,10 @@ func (cs *cartStepper) ownedSums() (mass, mx, my, mz float64) {
 	for ix := 0; ix < cs.own[0]; ix++ {
 		for iy := 0; iy < cs.own[1]; iy++ {
 			for iz := 0; iz < cs.own[2]; iz++ {
-				if cs.mask != nil && cs.mask[cs.d.Index(w+ix, w+iy, w+iz)] {
+				if cs.mask != nil && cs.mask[cs.d.Index(w[0]+ix, w[1]+iy, w[2]+iz)] {
 					continue
 				}
-				cs.f.Cell(w+ix, w+iy, w+iz, fc)
+				cs.f.Cell(w[0]+ix, w[1]+iy, w[2]+iz, fc)
 				rho, jx, jy, jz := cs.model.Moments(fc)
 				mass += rho
 				mx += jx
@@ -668,7 +880,7 @@ func (cs *cartStepper) ownedBlock() []float64 {
 		blk := cs.f.V(v)
 		for ix := 0; ix < cs.own[0]; ix++ {
 			for iy := 0; iy < cs.own[1]; iy++ {
-				off := cs.d.Index(w+ix, w+iy, w)
+				off := cs.d.Index(w[0]+ix, w[1]+iy, w[2])
 				pos += copy(out[pos:pos+zn], blk[off:off+zn])
 			}
 		}

@@ -204,6 +204,118 @@ func TestCartGhostUpdatesAccounting(t *testing.T) {
 	}
 }
 
+// TestCartFusedEquivalence: the fused kernel on pencil and block
+// decompositions — the box form with no wrap arithmetic — must match the
+// oracle at every exchange protocol, including the overlapped schedule.
+func TestCartFusedEquivalence(t *testing.T) {
+	n := grid.Dims{NX: 12, NY: 8, NZ: 7}
+	for _, opt := range []OptLevel{OptGC, OptNBC, OptGCC, OptSIMD} {
+		for _, p := range [][3]int{{2, 2, 1}, {1, 2, 2}, {2, 2, 2}} {
+			runAndCompare(t, Config{
+				Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 5,
+				Opt: opt, Ranks: p[0] * p[1] * p[2], Decomp: p, Threads: 1, GhostDepth: 1,
+				Fused: true,
+			})
+		}
+	}
+	// D3Q39 (k = 3) on a pencil.
+	n39 := grid.Dims{NX: 8, NY: 8, NZ: 6}
+	runAndCompare(t, Config{
+		Model: lattice.D3Q39(), N: n39, Tau: 0.9, Steps: 4,
+		Opt: OptGCC, Ranks: 4, Decomp: [3]int{2, 2, 1}, Threads: 1, GhostDepth: 1,
+		Fused: true,
+	})
+}
+
+// TestCartFusedDeepHalo: the fused box kernel under the deep-halo
+// schedule, overlapped and threaded.
+func TestCartFusedDeepHalo(t *testing.T) {
+	n := grid.Dims{NX: 12, NY: 12, NZ: 8}
+	for _, depth := range []int{2, 3} {
+		for _, threads := range []int{1, 4} {
+			runAndCompare(t, Config{
+				Model: lattice.D3Q19(), N: n, Tau: 0.75, Steps: 7,
+				Opt: OptGCC, Ranks: 4, Decomp: [3]int{2, 2, 1}, Threads: threads, GhostDepth: depth,
+				Fused: true,
+			})
+		}
+	}
+}
+
+// TestCartPerAxisDepth: per-axis ghost depths — each axis refreshed on
+// its own cadence with its own halo width — must match the oracle on
+// every path that supports them, split and fused, overlapped or not.
+func TestCartPerAxisDepth(t *testing.T) {
+	n := grid.Dims{NX: 12, NY: 10, NZ: 8}
+	for _, opt := range []OptLevel{OptGC, OptNBC, OptGCC, OptSIMD} {
+		for _, depths := range [][3]int{{2, 1, 1}, {1, 2, 1}, {1, 2, 3}} {
+			for _, p := range [][3]int{{2, 2, 1}, {2, 1, 2}} {
+				runAndCompare(t, Config{
+					Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 7,
+					Opt: opt, Ranks: p[0] * p[1] * p[2], Decomp: p, Threads: 1,
+					GhostDepthAxes: depths,
+				})
+			}
+		}
+	}
+	// Slab-shaped rank grids route to the box stepper under per-axis
+	// depths; fused rides along.
+	for _, fused := range []bool{false, true} {
+		runAndCompare(t, Config{
+			Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 6,
+			Opt: OptGCC, Ranks: 2, Decomp: [3]int{2, 1, 1}, Threads: 2,
+			GhostDepthAxes: [3]int{2, 1, 1}, Fused: fused,
+		})
+	}
+}
+
+// TestCartPerAxisDepthBounded: per-axis depths against the bounded
+// oracle (walls fix up every step, so any refresh cadence must agree).
+func TestCartPerAxisDepthBounded(t *testing.T) {
+	n := grid.Dims{NX: 12, NY: 12, NZ: 6}
+	for _, opt := range []OptLevel{OptNBC, OptGCC} {
+		runAndCompareBounded(t, Config{
+			Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 7,
+			Opt: opt, Ranks: 4, Decomp: [3]int{2, 2, 1}, Threads: 1,
+			GhostDepthAxes: [3]int{2, 2, 1}, Boundary: CavitySpec(0.08),
+		})
+	}
+}
+
+// TestCartOverlapLadderDepthSweep pins the overlapped box schedule per
+// ladder level × depth against the slab reference on the same problem:
+// GC-C and Fused now run on every decomposition, and their fields must
+// stay within reassociation of the 1-D slab path.
+func TestCartOverlapLadderDepthSweep(t *testing.T) {
+	n := grid.Dims{NX: 16, NY: 8, NZ: 8}
+	for _, fused := range []bool{false, true} {
+		for _, depth := range []int{1, 2} {
+			base := Config{
+				Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 6,
+				Opt: OptGCC, Ranks: 4, Threads: 1, GhostDepth: depth,
+				Fused: fused, Init: waveInit(n), KeepField: true,
+			}
+			slab := base
+			slab.Decomp = [3]int{4, 1, 1}
+			want, err := Run(slab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range [][3]int{{2, 2, 1}, {1, 2, 2}} {
+				cfg := base
+				cfg.Decomp = p
+				got, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("fused=%v depth=%d decomp=%v: %v", fused, depth, p, err)
+				}
+				if d := grid.MaxAbsDiff(want.Field, got.Field); d > 1e-12 {
+					t.Errorf("fused=%v depth=%d decomp=%v: max |Δf| vs slab = %g", fused, depth, p, d)
+				}
+			}
+		}
+	}
+}
+
 func TestCartValidation(t *testing.T) {
 	base := Config{
 		Model: lattice.D3Q19(), N: grid.Dims{NX: 8, NY: 8, NZ: 8},
@@ -215,9 +327,16 @@ func TestCartValidation(t *testing.T) {
 	}{
 		{"orig multi-axis", func(c *Config) { c.Opt = OptOrig }},
 		{"AoS multi-axis", func(c *Config) { c.Layout = grid.AoS }},
-		{"fused multi-axis", func(c *Config) { c.Fused = true }},
+		{"fused bounded", func(c *Config) { c.Fused = true; c.Boundary = CavitySpec(0.05) }},
 		{"shape/ranks mismatch", func(c *Config) { c.Ranks = 4 }},
 		{"block smaller than halo", func(c *Config) { c.GhostDepth = 5 }},
+		{"per-axis depth zero entry", func(c *Config) { c.GhostDepthAxes = [3]int{2, 0, 1} }},
+		{"per-axis depth too deep", func(c *Config) { c.GhostDepthAxes = [3]int{1, 5, 1} }},
+		{"per-axis depth with AoS slab", func(c *Config) {
+			c.Ranks, c.Decomp = 1, [3]int{1, 1, 1}
+			c.Layout = grid.AoS
+			c.GhostDepthAxes = [3]int{2, 1, 1}
+		}},
 		{"axis overcommit", func(c *Config) { c.Decomp = [3]int{1, 1, 8}; c.N.NZ = 4; c.N.NY = 16 }},
 	}
 	for _, tc := range cases {

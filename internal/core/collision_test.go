@@ -245,6 +245,81 @@ func TestCollisionDeepHaloAndLadder(t *testing.T) {
 	}
 }
 
+// TestOperatorRowKernelMatchesPerCell: the z-run-blocked operator kernel
+// (collideOpRows, the RowRelaxer fast path) must agree with the per-cell
+// kernel (collideOpBox) to reassociation level — same moments, same
+// relaxation, different loop order and equilibrium inlining.
+func TestOperatorRowKernelMatchesPerCell(t *testing.T) {
+	for _, m := range []*lattice.Model{lattice.D3Q19(), lattice.D3Q39()} {
+		for _, spec := range []collision.Spec{
+			{Kind: collision.TRT},
+			{Kind: collision.MRT},
+			{Kind: collision.MRT, GhostRates: []float64{1.4, 1.1}},
+		} {
+			n := grid.Dims{NX: 7, NY: 6, NZ: 9}
+			src := grid.NewField(m.Q, n, grid.SoA)
+			init := waveInit(n)
+			feq := make([]float64, m.Q)
+			for ix := 0; ix < n.NX; ix++ {
+				for iy := 0; iy < n.NY; iy++ {
+					for iz := 0; iz < n.NZ; iz++ {
+						rho, ux, uy, uz := init(ix, iy, iz)
+						m.Equilibrium(rho, ux, uy, uz, feq)
+						// Perturb off equilibrium so the ghost rates matter.
+						for v := range feq {
+							feq[v] *= 1 + 0.05*float64(v%5)
+						}
+						src.SetCell(ix, iy, iz, feq)
+					}
+				}
+			}
+			op, err := spec.New(m, 0.6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rr, ok := op.(collision.RowRelaxer)
+			if !ok {
+				t.Fatalf("%s %s: operator does not implement RowRelaxer", m.Name, spec)
+			}
+			b := box{hi: [3]int{n.NX, n.NY, n.NZ}}
+			perCell := grid.NewField(m.Q, n, grid.SoA)
+			rows := grid.NewField(m.Q, n, grid.SoA)
+			collideOpBox(op.Clone(), m, src, perCell, b, 0, n.NX, 1e-4, 0, 0)
+			collideOpRows(rr, velocityPairs(m), newEqCoefs(m), m.Q, src, rows, b, 0, n.NX, 1e-4, 0, 0)
+			if d := grid.MaxAbsDiff(perCell, rows); d > 1e-13 {
+				t.Errorf("%s %s: row kernel vs per-cell kernel max |Δf| = %g", m.Name, spec, d)
+			}
+		}
+	}
+}
+
+// TestCollisionOverlapAndPerAxisDepth: TRT and MRT on the overlapped box
+// schedule (GC-C pencils/blocks, the path the blocked kernel unlocks) and
+// under per-axis ghost depths, against the single-rank reference.
+func TestCollisionOverlapAndPerAxisDepth(t *testing.T) {
+	n := grid.Dims{NX: 12, NY: 8, NZ: 6}
+	for _, spec := range []collision.Spec{{Kind: collision.TRT}, {Kind: collision.MRT}} {
+		base := Config{
+			Model: lattice.D3Q19(), N: n, Tau: 0.6, Steps: 6,
+			Opt: OptGCC, Ranks: 1, Threads: 1, GhostDepth: 1,
+			Collision: spec,
+		}
+		ref := runField(t, base)
+		variants := []Config{base, base, base}
+		variants[0].Ranks, variants[0].Decomp = 4, [3]int{2, 2, 1}
+		variants[1].Ranks, variants[1].Decomp, variants[1].GhostDepth = 8, [3]int{2, 2, 2}, 2
+		variants[2].Ranks, variants[2].Decomp = 4, [3]int{2, 2, 1}
+		variants[2].GhostDepthAxes = [3]int{2, 1, 2}
+		for _, cfg := range variants {
+			got := runField(t, cfg)
+			if d := grid.MaxAbsDiff(ref, got); d > eqTol {
+				t.Errorf("%s decomp=%v depth=%d axes=%v: max |Δf| = %g (tol %g)",
+					spec, cfg.Decomp, cfg.GhostDepth, cfg.GhostDepthAxes, d, eqTol)
+			}
+		}
+	}
+}
+
 // TestCollisionValidation: spec errors and the Fused exclusion surface as
 // config errors.
 func TestCollisionValidation(t *testing.T) {

@@ -13,6 +13,8 @@ package core
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/collision"
@@ -96,6 +98,39 @@ func ParseOptLevel(s string) (OptLevel, error) {
 	return 0, fmt.Errorf("core: unknown optimization level %q", s)
 }
 
+// ParseGhostDepth parses a CLI ghost-depth argument: a single integer
+// ("2") is the uniform deep-halo depth; a comma-separated triple
+// ("2,1,1") sets per-axis depths (returned in axes, zero for the uniform
+// form), which run on the multi-axis box stepper.
+func ParseGhostDepth(s string) (uniform int, axes [3]int, err error) {
+	parts := strings.Split(s, ",")
+	switch len(parts) {
+	case 1:
+		uniform, err = strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err == nil && uniform < 1 {
+			err = fmt.Errorf("depth %d < 1", uniform)
+		}
+		if err != nil {
+			return 0, axes, fmt.Errorf("core: bad ghost depth %q: %v", s, err)
+		}
+		return uniform, axes, nil
+	case 3:
+		for a, p := range parts {
+			axes[a], err = strconv.Atoi(strings.TrimSpace(p))
+			if err == nil && axes[a] < 1 {
+				err = fmt.Errorf("axis %d depth %d < 1", a, axes[a])
+			}
+			if err != nil {
+				return 0, [3]int{}, fmt.Errorf("core: bad ghost depth %q: %v", s, err)
+			}
+		}
+		// The uniform depth is the fallback for paths that take one value
+		// (the slab stepper normalizes a uniform triple back to it).
+		return axes[0], axes, nil
+	}
+	return 0, axes, fmt.Errorf("core: bad ghost depth %q (want d or dx,dy,dz)", s)
+}
+
 // InitFunc returns the initial macroscopic state at a global lattice point.
 type InitFunc func(ix, iy, iz int) (rho, ux, uy, uz float64)
 
@@ -123,15 +158,24 @@ type Config struct {
 	// GhostDepth is the deep-halo depth d: halo width d·k planes, exchanged
 	// every d steps. Must be 1 for OptOrig (which has no ghost cells).
 	GhostDepth int
+	// GhostDepthAxes optionally sets the deep-halo depth per axis: axis a
+	// keeps a halo of depth[a]·k cells per side, refreshed every depth[a]
+	// steps, so a decomposition can spend halo width where its surface is
+	// largest. The zero value applies GhostDepth to every axis; a uniform
+	// non-zero value is normalized to GhostDepth. Any non-uniform setting
+	// runs on the multi-axis box stepper (slab shapes included) and
+	// therefore requires the SoA layout and a ghost-cell level.
+	GhostDepthAxes [3]int
 	// Ranks is the number of message-passing ranks ("MPI tasks").
 	Ranks int
 	// Decomp is the rank-grid shape (Px, Py, Pz) of the Cartesian domain
 	// decomposition; its product must equal Ranks. The zero value selects
 	// the paper's 1-D slab (Ranks, 1, 1), which keeps the specialized
 	// slab stepper and its full optimization ladder. Multi-axis shapes
-	// (pencil/block) require the SoA layout, a ghost-cell level (not
-	// Orig) and the split kernels (no Fused); their GC-C level falls back
-	// to the NB-C exchange protocol (no compute overlap yet).
+	// (pencil/block) require the SoA layout and a ghost-cell level (not
+	// Orig); every other rung — the NB-C posted receives, the GC-C
+	// per-axis compute/communication overlap, the fused kernel — runs on
+	// them through the box schedule of schedule.go.
 	Decomp [3]int
 	// Threads is the number of worker threads per rank ("OpenMP threads").
 	Threads int
@@ -142,7 +186,10 @@ type Config struct {
 	// Fused selects the fused stream-collide kernel (one read + one write
 	// of the field per step instead of three accesses) — the paper's §VII
 	// future-work direction, implemented here as an extension. Requires
-	// the SoA layout and a ghost-cell level (OptGC or above).
+	// the SoA layout and a ghost-cell level (OptGC or above); runs on
+	// every decomposition (the box form needs no wrap arithmetic at all)
+	// but not with bounce-back walls or solids (no stream/collide split
+	// for the fixups to run between).
 	Fused bool
 	// Boundary assigns conditions to the six global faces (walls, moving
 	// walls, outflow, periodic — see BoundarySpec). Nil, and any spec
@@ -185,6 +232,19 @@ func (c *Config) init() error {
 	}
 	if c.GhostDepth < 1 {
 		c.GhostDepth = 1
+	}
+	if c.GhostDepthAxes != ([3]int{}) {
+		for a, d := range c.GhostDepthAxes {
+			if d < 1 {
+				return fmt.Errorf("core: GhostDepthAxes[%d] = %d, want >= 1 on every axis (or the zero value)", a, d)
+			}
+		}
+		if d := c.GhostDepthAxes; d[0] == d[1] && d[1] == d[2] {
+			// Uniform per-axis depths are the scalar case: normalize so
+			// slab shapes keep the specialized slab stepper.
+			c.GhostDepth = d[0]
+			c.GhostDepthAxes = [3]int{}
+		}
 	}
 	if c.Init == nil {
 		c.Init = UniformInit
@@ -241,26 +301,28 @@ func (c *Config) init() error {
 	if err != nil {
 		return err
 	}
-	w := c.GhostDepth * k
-	if dec.IsSlab() && c.Boundary == nil {
+	if c.slabPath(dec) {
+		w := c.GhostDepth * k
 		if minOwn := dec.MinOwn(0); minOwn < w {
 			return fmt.Errorf("core: smallest slab (%d planes) < halo width %d (depth %d × k %d)", minOwn, w, c.GhostDepth, k)
 		}
 	} else {
-		// Multi-axis decompositions and all bounded domains use the box
-		// stepper of cart.go.
+		// Multi-axis decompositions, all bounded domains and per-axis
+		// ghost depths use the box stepper of cart.go.
 		if c.Opt == OptOrig {
 			return fmt.Errorf("core: the no-ghost Orig protocol is periodic-slab-only; use a ghost-cell level")
 		}
 		if c.Layout != grid.SoA {
-			return fmt.Errorf("core: the box stepper (multi-axis or bounded runs) requires the SoA layout")
+			return fmt.Errorf("core: the box stepper (multi-axis, bounded or per-axis-depth runs) requires the SoA layout")
 		}
-		if c.Fused {
-			return fmt.Errorf("core: the fused kernel is periodic-slab-only; disable Fused")
+		if c.Fused && c.Boundary != nil {
+			return fmt.Errorf("core: bounce-back boundaries need the split stream/collide path; disable Fused")
 		}
+		depths := c.ghostDepths()
 		for a := 0; a < 3; a++ {
+			w := depths[a] * k
 			if mo := dec.MinOwn(a); mo < w {
-				return fmt.Errorf("core: axis %d smallest block (%d cells) < halo width %d (depth %d × k %d)", a, mo, w, c.GhostDepth, k)
+				return fmt.Errorf("core: axis %d smallest block (%d cells) < halo width %d (depth %d × k %d)", a, mo, w, depths[a], k)
 			}
 		}
 	}
@@ -268,6 +330,22 @@ func (c *Config) init() error {
 		return fmt.Errorf("core: supplied fabric has %d ranks, config wants %d", c.Fabric.N(), c.Ranks)
 	}
 	return nil
+}
+
+// ghostDepths resolves the per-axis deep-halo depths (after init's
+// normalization a non-zero GhostDepthAxes is non-uniform).
+func (c *Config) ghostDepths() [3]int {
+	if c.GhostDepthAxes != ([3]int{}) {
+		return c.GhostDepthAxes
+	}
+	return [3]int{c.GhostDepth, c.GhostDepth, c.GhostDepth}
+}
+
+// slabPath reports whether the run uses the specialized periodic slab
+// stepper: a 1-D shape with a fully periodic domain and one uniform ghost
+// depth. Everything else is the box stepper.
+func (c *Config) slabPath(dec decomp.Cartesian) bool {
+	return dec.IsSlab() && c.Boundary == nil && c.GhostDepthAxes == ([3]int{})
 }
 
 // RankStats reports per-rank communication behaviour.
@@ -338,7 +416,7 @@ func Run(cfg Config) (*Result, error) {
 	sums := make([][5]float64, cfg.Ranks) // mass, momx, momy, momz, ghost updates
 	blocks := make([][]float64, cfg.Ranks)
 	axisB := make([][3]int64, cfg.Ranks)
-	slab := dec.IsSlab() && cfg.Boundary == nil
+	slab := cfg.slabPath(dec)
 
 	runErr := fab.Run(func(r *comm.Rank) error {
 		var st interface {

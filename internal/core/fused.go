@@ -180,18 +180,15 @@ func (s *stepper) fusedCycle(runLen int) {
 	}
 }
 
-// fusedOverlappedFirstStep is the GC-C schedule for the fused kernel.
-// Since the previous state is read-only during the step, the only
-// constraint is input validity: the interior may run while messages fly;
-// the ghost-dependent rim follows WaitUnpack.
+// fusedOverlappedFirstStep is the GC-C schedule for the fused kernel,
+// with the interior/rim split taken from the box schedule planner (stale
+// axis x). Since the previous state is read-only during the step, the
+// only constraint is input validity: the interior may run while messages
+// fly; the ghost-dependent rim follows WaitUnpack.
 func (s *stepper) fusedOverlappedFirstStep(ext int) {
-	w, k, own := s.w, s.k, s.own
 	lo, hi := s.regionFor(ext)
-	isLo := w + k
-	isHi := w + own - k
-	if isHi < isLo {
-		isHi = isLo
-	}
+	plan := s.planFirstStep(lo, hi)
+	isLo, isHi := plan.interiorS.lo[0], plan.interiorS.hi[0]
 	s.ex.PostRecvs(s.r)
 	s.ex.SendBorders(s.r, s.f)
 	s.fusedRegion(isLo, isHi)
@@ -199,4 +196,109 @@ func (s *stepper) fusedOverlappedFirstStep(ext int) {
 	s.fusedRegionPair(lo, isLo, isHi, hi)
 	s.swap()
 	s.countUpdates(lo, hi)
+}
+
+// Box (multi-axis) fused kernel: the same one-read-one-write cell update
+// over the cart stepper's ghost-on-every-axis geometry. With ghosts on
+// all axes the gather loses even the y wrap and z rotation of the slab
+// form — every velocity's source row is one contiguous offset copy.
+
+// swap exchanges the cart stepper's state and scratch fields after a
+// fused step.
+func (cs *cartStepper) swap() { cs.f, cs.fadv = cs.fadv, cs.f }
+
+// fusedBox computes one fused step for destination box b, reading cs.f
+// and writing cs.fadv. The caller swaps after the step completes.
+func (cs *cartStepper) fusedBox(b box) {
+	parallel.For(cs.threads, b.lo[0], b.hi[0], func(x0, x1 int) { cs.fusedBoxRows(b, x0, x1) })
+}
+
+// fusedBoxPair computes a fused step over two disjoint boxes (rim slabs).
+func (cs *cartStepper) fusedBoxPair(b1, b2 box) {
+	cs.forBoxPair(b1, b2, func(b box, x0, x1 int) { cs.fusedBoxRows(b, x0, x1) })
+}
+
+// fusedBoxRows is the kernel body: for each destination row it gathers
+// the streamed values of every velocity into a row buffer (plain offset
+// copies — no wraps) and applies the pair-symmetric collision, writing
+// the next state.
+func (cs *cartStepper) fusedBoxRows(bx box, x0, x1 int) {
+	m := cs.model
+	zn := bx.hi[2] - bx.lo[2]
+	if x1 <= x0 || zn <= 0 || bx.hi[1] <= bx.lo[1] {
+		return
+	}
+	omega := 1 / cs.cfg.Tau
+	c := cs.coef
+	b := newRowBufs(zn)
+	rows := make([][]float64, m.Q)
+	rowStore := make([]float64, m.Q*zn)
+	for v := range rows {
+		rows[v] = rowStore[v*zn : (v+1)*zn]
+	}
+	for ix := x0; ix < x1; ix++ {
+		for iy := bx.lo[1]; iy < bx.hi[1]; iy++ {
+			for v := 0; v < m.Q; v++ {
+				off := cs.d.Index(ix-m.Cx[v], iy-m.Cy[v], bx.lo[2]-m.Cz[v])
+				copy(rows[v], cs.f.V(v)[off:off+zn])
+			}
+			for z := 0; z < zn; z++ {
+				b.rho[z], b.jx[z], b.jy[z], b.jz[z] = 0, 0, 0, 0
+			}
+			for _, p := range cs.pairs {
+				if p.i == p.j {
+					for z, val := range rows[p.i] {
+						b.rho[z] += val
+					}
+					continue
+				}
+				si, sj := rows[p.i], rows[p.j]
+				cx, cy, cz := c.cx[p.i], c.cy[p.i], c.cz[p.i]
+				for z := 0; z < zn; z++ {
+					vi, vj := si[z], sj[z]
+					sum, diff := vi+vj, vi-vj
+					b.rho[z] += sum
+					b.jx[z] += cx * diff
+					b.jy[z] += cy * diff
+					b.jz[z] += cz * diff
+				}
+			}
+			for z := 0; z < zn; z++ {
+				inv := 1 / b.rho[z]
+				b.ux[z] = b.jx[z]*inv + cs.shiftX
+				b.uy[z] = b.jy[z]*inv + cs.shiftY
+				b.uz[z] = b.jz[z]*inv + cs.shiftZ
+				b.u2[z] = b.ux[z]*b.ux[z] + b.uy[z]*b.uy[z] + b.uz[z]*b.uz[z]
+			}
+			base := cs.d.Index(ix, iy, bx.lo[2])
+			for _, p := range cs.pairs {
+				if p.i == p.j {
+					sv := rows[p.i]
+					dv := cs.fadv.V(p.i)[base : base+zn]
+					w := c.w[p.i]
+					for z := 0; z < zn; z++ {
+						feq := w * b.rho[z] * (1 - b.u2[z]*c.invCs2h)
+						dv[z] = sv[z] - omega*(sv[z]-feq)
+					}
+					continue
+				}
+				si, sj := rows[p.i], rows[p.j]
+				di := cs.fadv.V(p.i)[base : base+zn]
+				dj := cs.fadv.V(p.j)[base : base+zn]
+				cx, cy, cz, w := c.cx[p.i], c.cy[p.i], c.cz[p.i], c.w[p.i]
+				for z := 0; z < zn; z++ {
+					cu := cx*b.ux[z] + cy*b.uy[z] + cz*b.uz[z]
+					cu2 := cu * cu
+					even := 1 + cu2*c.invCs4h - b.u2[z]*c.invCs2h
+					odd := cu * c.invCs2
+					if c.third {
+						odd += cu2*cu*c.thA - cu*b.u2[z]*c.thB
+					}
+					wr := w * b.rho[z]
+					di[z] = si[z] - omega*(si[z]-wr*(even+odd))
+					dj[z] = sj[z] - omega*(sj[z]-wr*(even-odd))
+				}
+			}
+		}
+	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/collision"
 	"repro/internal/comm"
@@ -169,6 +170,186 @@ func BenchmarkHaloLocalExchange(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				st.ex.ExchangeLocal(st.f)
 			}
+		})
+	}
+}
+
+// benchCartStepper builds a single-rank box stepper for white-box kernel
+// benchmarking of the multi-axis path.
+func benchCartStepper(b *testing.B, m *lattice.Model, n grid.Dims, opt OptLevel, fused bool) *cartStepper {
+	b.Helper()
+	cfg := &Config{
+		Model: m, N: n, Tau: 0.8, Steps: 1,
+		Opt: opt, Ranks: 1, Threads: 1, GhostDepth: 1, Fused: fused,
+		Init: waveInit(n),
+	}
+	if err := cfg.init(); err != nil {
+		b.Fatal(err)
+	}
+	dec, err := decomp.NewCartesian([3]int{n.NX, n.NY, n.NZ}, [3]int{1, 1, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cs *cartStepper
+	fab := comm.NewFabric(1)
+	if err := fab.Run(func(r *comm.Rank) error {
+		cs, err = newCartStepper(cfg, dec, r)
+		if err != nil {
+			return err
+		}
+		cs.initField()
+		cs.refreshAxes([3]bool{true, true, true})
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return cs
+}
+
+// ownedBox returns the stepper's owned region (the depth-1 destination
+// box of a steady step).
+func (cs *cartStepper) ownedBox() box {
+	var b box
+	for a := 0; a < 3; a++ {
+		b.lo[a] = cs.w[a]
+		b.hi[a] = cs.w[a] + cs.own[a]
+	}
+	return b
+}
+
+// Box-stepper kernels: interior box and per-axis rim slabs of the GC-C
+// schedule, and the full owned box, for the stream and paired-collide
+// kernels (the regression baseline the overlapped schedule rides on).
+func BenchmarkBoxKernels(b *testing.B) {
+	m := lattice.D3Q19()
+	cs := benchCartStepper(b, m, benchDims, OptSIMD, false)
+	owned := cs.ownedBox()
+	plan := planStep(owned, cs.own, cs.w, cs.k, [3]bool{true, true, true}, [3]bool{false, true, true})
+	cases := []struct {
+		name string
+		run  func()
+		box  box
+	}{
+		{"stream/full", func() { cs.streamBox(owned) }, owned},
+		{"stream/interior", func() { cs.streamBox(plan.interiorS) }, plan.interiorS},
+		{"collide/full", func() { cs.collideBox(owned) }, owned},
+		{"collide/interior", func() { cs.collideBox(plan.interiorC) }, plan.interiorC},
+		{"rims/x", func() {
+			cs.streamBoxPair(plan.phases[0].streamRims[0], plan.phases[0].streamRims[1])
+			cs.collideBoxPair(plan.phases[0].collideRims[0], plan.phases[0].collideRims[1])
+		}, plan.phases[0].streamRims[0]},
+	}
+	for _, c := range cases {
+		b.Run(m.Name+"/"+c.name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.run()
+			}
+			reportCellRate(b, c.box.cells())
+		})
+	}
+}
+
+// Fused kernel on the box path vs the split stream+collide over the same
+// owned box.
+func BenchmarkBoxFusedKernel(b *testing.B) {
+	for _, m := range []*lattice.Model{lattice.D3Q19(), lattice.D3Q39()} {
+		b.Run(m.Name+"/split", func(b *testing.B) {
+			cs := benchCartStepper(b, m, benchDims, OptSIMD, false)
+			owned := cs.ownedBox()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cs.streamBox(owned)
+				cs.collideBox(owned)
+			}
+			reportCellRate(b, owned.cells())
+		})
+		b.Run(m.Name+"/fused", func(b *testing.B) {
+			cs := benchCartStepper(b, m, benchDims, OptSIMD, true)
+			owned := cs.ownedBox()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cs.fusedBox(owned)
+				cs.swap()
+			}
+			reportCellRate(b, owned.cells())
+		})
+	}
+}
+
+// Box operator kernels: the per-cell path vs the z-run-blocked RowRelaxer
+// path, against the BGK fast path (collideBoxPaired) as the yardstick —
+// the blocked kernel is what carries TRT/MRT within ~1.5× of it.
+func BenchmarkBoxCollideOperator(b *testing.B) {
+	for _, m := range []*lattice.Model{lattice.D3Q19(), lattice.D3Q39()} {
+		cs := benchCartStepper(b, m, benchDims, OptSIMD, false)
+		owned := cs.ownedBox()
+		cs.streamBox(owned) // populate fadv
+		b.Run(m.Name+"/bgk-fastpath", func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cs.collideBoxPaired(owned, owned.lo[0], owned.hi[0])
+			}
+			reportCellRate(b, owned.cells())
+		})
+		for _, spec := range []collision.Spec{{Kind: collision.TRT}, {Kind: collision.MRT}} {
+			op, err := spec.New(m, 0.8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(m.Name+"/"+spec.String()+"/percell", func(b *testing.B) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					collideOpBox(op.Clone(), m, cs.fadv, cs.f, owned, owned.lo[0], owned.hi[0], 0, 0, 0)
+				}
+				reportCellRate(b, owned.cells())
+			})
+			b.Run(m.Name+"/"+spec.String()+"/rows", func(b *testing.B) {
+				rr := op.Clone().(collision.RowRelaxer)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					collideOpRows(rr, cs.pairs, cs.coef, m.Q, cs.fadv, cs.f, owned, owned.lo[0], owned.hi[0], 0, 0, 0)
+				}
+				reportCellRate(b, owned.cells())
+			})
+		}
+	}
+}
+
+// End-to-end box exchange protocols on a pencil with a simulated wire
+// delay: the GC-C overlap must not be slower than NB-C once messages
+// cost real time (the acceptance bar of the per-axis schedule). The wire
+// time is milliseconds because time.Sleep resolves no finer (~1 ms on
+// typical kernels), with the domain sized so one rank's interior compute
+// is of the same order and can genuinely hide it.
+func BenchmarkBoxExchangeProtocols(b *testing.B) {
+	n := grid.Dims{NX: 64, NY: 64, NZ: 64}
+	delay := func(src, dst, bytes int) time.Duration { return 2 * time.Millisecond }
+	cases := []struct {
+		name  string
+		opt   OptLevel
+		fused bool
+	}{
+		{"nbc", OptNBC, false},
+		{"gcc", OptGCC, false},
+		{"gcc-fused", OptGCC, true},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var mflups float64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(Config{
+					Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 10,
+					Opt: c.opt, Ranks: 4, Decomp: [3]int{2, 2, 1}, Threads: 1, GhostDepth: 1,
+					Fused: c.fused, Init: waveInit(n),
+					Fabric: comm.NewFabric(4).WithDelay(delay),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mflups += res.MFlups
+			}
+			b.ReportMetric(mflups/float64(b.N), "MFlup/s")
 		})
 	}
 }

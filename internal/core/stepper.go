@@ -224,30 +224,28 @@ func (s *stepper) regionFor(ext int) (lo, hi int) {
 	return s.w - (ext - s.k), s.w + s.own + (ext - s.k)
 }
 
+// planFirstStep runs the box schedule planner for the slab's overlapped
+// first step: the slab is the one-stale-axis (x) degenerate case, with
+// full y/z extents and borders packed before any compute (no late packs).
+func (s *stepper) planFirstStep(lo, hi int) stepPlan {
+	dest := box{lo: [3]int{lo, 0, 0}, hi: [3]int{hi, s.d.NY, s.d.NZ}}
+	return planStep(dest, [3]int{s.own, s.d.NY, s.d.NZ}, [3]int{s.w, 0, 0}, s.k,
+		[3]bool{true, false, false}, [3]bool{})
+}
+
 // overlappedFirstStep implements the GC-C schedule (§V.F, Fig. 7) for the
 // first step of a cycle: receives posted, borders of the previous state
 // sent, interior streamed and partially collided while messages fly, then
-// the ghost-dependent rim finished after WaitUnpack. The phase split is
-// chosen so no collide overwrites state an edge stream still needs.
+// the ghost-dependent rim finished after WaitUnpack. The interior/rim
+// split comes from the box schedule planner (schedule.go), which chooses
+// it so no collide overwrites state an edge stream still needs.
 func (s *stepper) overlappedFirstStep(ext int) {
-	w, k, own := s.w, s.k, s.own
 	lo, hi := s.regionFor(ext) // [k, own+2w−k)
-
-	// Stream may run ahead wherever its inputs avoid the ghost planes.
-	isLo := w + k
-	isHi := w + own - k
-	if isHi < isLo {
-		isHi = isLo
-	}
-	// Collide may run ahead only where edge streams will not re-read f.
-	icLo := w + 2*k
-	if icLo > hi {
-		icLo = hi
-	}
-	icHi := w + own - 2*k
-	if icHi < icLo {
-		icHi = icLo
-	}
+	plan := s.planFirstStep(lo, hi)
+	// Stream may run ahead wherever its inputs avoid the ghost planes;
+	// collide only where edge streams will not re-read f.
+	isLo, isHi := plan.interiorS.lo[0], plan.interiorS.hi[0]
+	icLo, icHi := plan.interiorC.lo[0], plan.interiorC.hi[0]
 
 	s.ex.PostRecvs(s.r)
 	s.ex.SendBorders(s.r, s.f)

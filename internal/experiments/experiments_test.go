@@ -256,7 +256,7 @@ func TestRealFig8SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-kernel experiment in -short mode")
 	}
-	tb, err := RealFig8("D3Q19", 2, 3, "1d", collision.Spec{})
+	tb, err := RealFig8("D3Q19", 2, 3, "1d", "2,1,1", collision.Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +269,7 @@ func TestRealFig11SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-kernel experiment in -short mode")
 	}
-	tb, err := RealFig11("D3Q19", 3, "1d", collision.Spec{})
+	tb, err := RealFig11("D3Q19", 3, "1d", "1", collision.Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +282,7 @@ func TestRealFig9SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-kernel experiment in -short mode")
 	}
-	tb, err := RealFig9("D3Q19", 2, 4, "1d", collision.Spec{})
+	tb, err := RealFig9("D3Q19", 2, 4, "1d", "1", collision.Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +311,7 @@ func TestRealFig10SmallRun(t *testing.T) {
 }
 
 func TestRealExperimentsRejectBadModel(t *testing.T) {
-	if _, err := RealFig8("D2Q9", 1, 1, "1d", collision.Spec{}); err == nil {
+	if _, err := RealFig8("D2Q9", 1, 1, "1d", "1", collision.Spec{}); err == nil {
 		t.Error("unknown model accepted")
 	}
 	if _, err := RealFig10("D2Q9", 1, 1, "1d", collision.Spec{}); err == nil {

@@ -35,19 +35,32 @@ func realShape(spec string, ranks int, n grid.Dims) ([3]int, error) {
 	return d.P, nil
 }
 
+// realDepth parses the -depth argument of the Real* experiments ("2" or
+// per-axis "2,1,1").
+func realDepth(spec string) (int, [3]int, error) {
+	if spec == "" {
+		return 1, [3]int{}, nil
+	}
+	return core.ParseGhostDepth(spec)
+}
+
 // RealFig8 measures MFlup/s for each optimization level with the real
 // kernels (the local analog of Fig. 8). Orig always runs the 1-D slab
 // (the no-ghost protocol is slab-only); the other levels use the
 // requested decomposition shape. colSpec selects the collision operator
 // (TRT/MRT show the ladder with the generic operator kernel in place of
 // the specialized BGK collide).
-func RealFig8(modelName string, ranks, steps int, decompSpec string, colSpec collision.Spec) (*Table, error) {
+func RealFig8(modelName string, ranks, steps int, decompSpec, depthSpec string, colSpec collision.Spec) (*Table, error) {
 	m, err := lattice.ByName(modelName)
 	if err != nil {
 		return nil, err
 	}
 	n := realDims(m)
 	shape, err := realShape(decompSpec, ranks, n)
+	if err != nil {
+		return nil, err
+	}
+	depth, depthAxes, err := realDepth(depthSpec)
 	if err != nil {
 		return nil, err
 	}
@@ -58,12 +71,16 @@ func RealFig8(modelName string, ranks, steps int, decompSpec string, colSpec col
 	var first float64
 	for _, opt := range core.Levels() {
 		sh := shape
+		da := depthAxes
+		d := depth
 		if opt == core.OptOrig {
-			sh = [3]int{ranks, 1, 1}
+			// The no-ghost protocol is slab-only and depth-1-only.
+			sh, d, da = [3]int{ranks, 1, 1}, 1, [3]int{}
 		}
 		res, err := core.Run(core.Config{
 			Model: m, N: n, Tau: 0.8, Steps: steps,
-			Opt: opt, Ranks: ranks, Decomp: sh, Threads: 1, GhostDepth: 1,
+			Opt: opt, Ranks: ranks, Decomp: sh, Threads: 1,
+			GhostDepth: d, GhostDepthAxes: da,
 			Collision: colSpec,
 		})
 		if err != nil {
@@ -83,13 +100,17 @@ func RealFig8(modelName string, ranks, steps int, decompSpec string, colSpec col
 
 // RealFig9 measures the per-rank communication-time balance with injected
 // per-step jitter (the local analog of Fig. 9).
-func RealFig9(modelName string, ranks, steps int, decompSpec string, colSpec collision.Spec) (*Table, error) {
+func RealFig9(modelName string, ranks, steps int, decompSpec, depthSpec string, colSpec collision.Spec) (*Table, error) {
 	m, err := lattice.ByName(modelName)
 	if err != nil {
 		return nil, err
 	}
 	n := realDims(m)
 	shape, err := realShape(decompSpec, ranks, n)
+	if err != nil {
+		return nil, err
+	}
+	depth, depthAxes, err := realDepth(depthSpec)
 	if err != nil {
 		return nil, err
 	}
@@ -107,12 +128,15 @@ func RealFig9(modelName string, ranks, steps int, decompSpec string, colSpec col
 	}
 	for _, c := range configs {
 		sh := shape
+		da := depthAxes
+		d := depth
 		if c.opt == core.OptOrig {
-			sh = [3]int{ranks, 1, 1}
+			sh, d, da = [3]int{ranks, 1, 1}, 1, [3]int{}
 		}
 		res, err := core.Run(core.Config{
 			Model: m, N: n, Tau: 0.8, Steps: steps,
-			Opt: c.opt, Ranks: ranks, Decomp: sh, Threads: 1, GhostDepth: 1,
+			Opt: c.opt, Ranks: ranks, Decomp: sh, Threads: 1,
+			GhostDepth: d, GhostDepthAxes: da,
 			Collision:  colSpec,
 			StepJitter: 2 * time.Millisecond,
 		})
@@ -182,12 +206,16 @@ func RealFig10(modelName string, ranks, steps int, decompSpec string, colSpec co
 
 // RealFig11 sweeps ranks×threads at a fixed total worker count (the local
 // analog of Fig. 11).
-func RealFig11(modelName string, steps int, decompSpec string, colSpec collision.Spec) (*Table, error) {
+func RealFig11(modelName string, steps int, decompSpec, depthSpec string, colSpec collision.Spec) (*Table, error) {
 	m, err := lattice.ByName(modelName)
 	if err != nil {
 		return nil, err
 	}
 	n := realDims(m)
+	depth, depthAxes, err := realDepth(depthSpec)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:  fmt.Sprintf("Fig. 11 (real kernels) — %s, %s tasks×threads on the local machine", m.Name, n),
 		Header: []string{"tasks-threads", "time (ms)", "MFlup/s"},
@@ -199,7 +227,8 @@ func RealFig11(modelName string, steps int, decompSpec string, colSpec collision
 		}
 		res, err := core.Run(core.Config{
 			Model: m, N: n, Tau: 0.8, Steps: steps,
-			Opt: core.OptSIMD, Ranks: c[0], Decomp: sh, Threads: c[1], GhostDepth: 1,
+			Opt: core.OptSIMD, Ranks: c[0], Decomp: sh, Threads: c[1],
+			GhostDepth: depth, GhostDepthAxes: depthAxes,
 			Collision: colSpec,
 		})
 		if err != nil {

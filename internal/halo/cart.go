@@ -180,6 +180,20 @@ func (e *CartExchanger) face(axis, region int) (lo, hi [3]int) {
 	return lo, hi
 }
 
+// Messaging reports whether the axis exchanges real messages: any side
+// with a neighbor that is neither this rank (local periodic wrap) nor a
+// global boundary face. The overlapped schedule only shrinks its interior
+// on messaging axes' account — wraps and boundary fills complete
+// synchronously at their slot.
+func (e *CartExchanger) Messaging(axis int) bool {
+	for s := 0; s < 2; s++ {
+		if n := e.Neighbors[axis][s]; n != NoNeighbor && n != e.Self {
+			return true
+		}
+	}
+	return false
+}
+
 // BytesPerExchange returns the payload bytes this rank sends along axis
 // per full exchange: one face payload per side that has a real neighbor —
 // zero for self-neighbor (locally wrapped) axes and for boundary faces.

@@ -122,6 +122,104 @@ func TestCartExchangeFillsAllGhosts(t *testing.T) {
 	}
 }
 
+// TestCartExchangePerAxisWidths: the exchanger's W [3]int is genuinely
+// per-axis — every ghost cell is filled with the right global value when
+// each axis carries a different halo width (the per-axis ghost-depth
+// feature of the box stepper).
+func TestCartExchangePerAxisWidths(t *testing.T) {
+	global := [3]int{8, 8, 12}
+	p := [3]int{2, 2, 2}
+	const q = 2
+	for _, w := range [][3]int{{2, 1, 1}, {1, 2, 3}} {
+		dec, err := decomp.NewCartesian(global, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fab := comm.NewFabric(dec.Ranks())
+		top, err := fab.Cart(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runErr := fab.Run(func(r *comm.Rank) error {
+			var start, own [3]int
+			for a := 0; a < 3; a++ {
+				start[a], own[a] = dec.Own(r.ID, a)
+			}
+			d := grid.Dims{NX: own[0] + 2*w[0], NY: own[1] + 2*w[1], NZ: own[2] + 2*w[2]}
+			f := grid.NewField(q, d, grid.SoA)
+			for i := range f.Data {
+				f.Data[i] = -1 // poison: ghosts must all be overwritten
+			}
+			for v := 0; v < q; v++ {
+				for ix := 0; ix < own[0]; ix++ {
+					for iy := 0; iy < own[1]; iy++ {
+						for iz := 0; iz < own[2]; iz++ {
+							f.Set(v, w[0]+ix, w[1]+iy, w[2]+iz,
+								encode(v, start[0]+ix, start[1]+iy, start[2]+iz))
+						}
+					}
+				}
+			}
+			ex, err := NewCartExchanger(q, d, own, w, r.ID, top.Neighbors(r.ID))
+			if err != nil {
+				return err
+			}
+			for a := 0; a < 3; a++ {
+				if !ex.Messaging(a) {
+					t.Errorf("w=%v rank %d: axis %d not messaging on a 2x2x2 grid", w, r.ID, a)
+				}
+			}
+			ex.ExchangeAll(r, f, true)
+			wrap := func(g, n int) int { return ((g % n) + n) % n }
+			for v := 0; v < q; v++ {
+				for ix := 0; ix < d.NX; ix++ {
+					for iy := 0; iy < d.NY; iy++ {
+						for iz := 0; iz < d.NZ; iz++ {
+							gx := wrap(start[0]+ix-w[0], global[0])
+							gy := wrap(start[1]+iy-w[1], global[1])
+							gz := wrap(start[2]+iz-w[2], global[2])
+							if got, want := f.At(v, ix, iy, iz), encode(v, gx, gy, gz); got != want {
+								t.Errorf("w=%v rank %d: cell (%d,%d,%d,%d) = %v, want %v",
+									w, r.ID, v, ix, iy, iz, got, want)
+								return nil
+							}
+						}
+					}
+				}
+			}
+			return nil
+		})
+		if runErr != nil {
+			t.Fatalf("w=%v: %v", w, runErr)
+		}
+	}
+}
+
+// TestMessaging pins the axis classification the overlapped schedule
+// dispatches on: self-neighbor axes wrap locally, NoNeighbor-only axes
+// are boundary fills, anything with a real neighbor messages.
+func TestMessaging(t *testing.T) {
+	d := grid.Dims{NX: 6, NY: 6, NZ: 6}
+	own, w := [3]int{4, 4, 4}, [3]int{1, 1, 1}
+	ex, err := NewCartExchanger(2, d, own, w, 0, [3][2]int{
+		{1, 1},                   // real neighbor both sides
+		{0, 0},                   // self: local wrap
+		{NoNeighbor, NoNeighbor}, // bounded, undecomposed
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a, want := range []bool{true, false, false} {
+		if got := ex.Messaging(a); got != want {
+			t.Errorf("Messaging(%d) = %v, want %v", a, got, want)
+		}
+	}
+	ex.Neighbors[2] = [2]int{NoNeighbor, 1} // bounded edge with one neighbor
+	if !ex.Messaging(2) {
+		t.Error("bounded edge with a real neighbor must message")
+	}
+}
+
 // TestCartExchangeDeepHalo repeats the ghost check with width-2 halos
 // (ghost depth 2 on a k=1 lattice).
 func TestCartExchangeDeepHalo(t *testing.T) {

@@ -615,23 +615,76 @@ func (st *simState) ghostExtraMulti(r, runLen int) float64 {
 	return extra
 }
 
+// overlapWindows returns, for rank r, the compute seconds the GC-C
+// phased schedule can hide under each decomposed axis's messages: the
+// interior box computes while the first messaging axis's data flies, and
+// each later axis's wire time hides the previous axis's rim slabs —
+// shares of the first step's compute time t0, in proportion to the box
+// schedule's cell counts (exposed comm per axis is then max(0, wire −
+// hidden compute)).
+func (st *simState) overlapWindows(r int, t0 float64) [3]float64 {
+	p := st.dec.Shape()
+	own := st.ownBlock(r)
+	e := float64(2 * (st.j.Depth - 1) * st.j.K)
+	var full, cur [3]float64
+	total := 1.0
+	for a := 0; a < 3; a++ {
+		full[a] = float64(own[a]) + e
+		cur[a] = full[a]
+		if p[a] > 1 {
+			v := float64(own[a]) - 2*float64(st.j.K)
+			if v < 0 {
+				v = 0
+			}
+			cur[a] = v
+		}
+		total *= full[a]
+	}
+	cells := func(x [3]float64) float64 { return x[0] * x[1] * x[2] }
+	var out [3]float64
+	prev := cells(cur) // the interior box, hidden under the first axis
+	for a := 0; a < 3; a++ {
+		if p[a] == 1 {
+			continue
+		}
+		out[a] = t0 * prev / total
+		before := cells(cur)
+		cur[a] = full[a]
+		prev = cells(cur) - before // axis a's rim, hidden under the next
+	}
+	return out
+}
+
 // runMulti simulates the multi-axis deep-halo schedule: one sequential
 // per-axis exchange per cycle (undecomposed axes wrap with local copies,
 // decomposed axes message their ring neighbors), then runLen compute
-// steps on the shrinking box. NB-C and above post receives early; the
-// GC-C compute overlap is slab-only, so those levels use the NB-C
-// protocol here, mirroring internal/core's cart path.
+// steps on the shrinking box. NB-C and above post receives early; GC-C
+// and above additionally overlap each axis's wire time with the box
+// schedule's compute (interior box for the first messaging axis, the
+// previous axis's rims for the rest), mirroring internal/core's phased
+// cart stepper.
 func (st *simState) runMulti() float64 {
 	j := st.j
 	p := st.dec.Shape()
 	sw := st.rt.msgSW
 	nonblocking := j.Opt >= core.OptNBC
+	overlap := j.Opt >= core.OptGCC
 	var ghost float64
 	sendAt := make([]float64, st.ranks)
+	t0 := make([]float64, st.ranks)
+	used := make([]float64, st.ranks)
+	wins := make([][3]float64, st.ranks)
 	for done := 0; done < j.Steps; {
 		runLen := j.Depth
 		if rest := j.Steps - done; rest < runLen {
 			runLen = rest
+		}
+		if overlap {
+			for r := 0; r < st.ranks; r++ {
+				t0[r] = st.stepTimeMulti(r, 0)
+				used[r] = 0
+				wins[r] = st.overlapWindows(r, t0[r])
+			}
 		}
 		for axis := 0; axis < 3; axis++ {
 			if p[axis] == 1 {
@@ -678,7 +731,20 @@ func (st *simState) runMulti() float64 {
 					}
 				}
 				unpackT := 2 * bytes / st.rt.taskBWRaw
-				if nonblocking {
+				if overlap {
+					// The axis's wire time is (partially) hidden behind the
+					// schedule's compute window; only the remainder — and the
+					// unhideable posting cost and unpack — is exposed.
+					hide := wins[r][axis]
+					hidden := sendAt[r] + nmsg*sw + hide
+					wait := recvReady - hidden
+					if wait < 0 || math.IsInf(wait, -1) {
+						wait = 0
+					}
+					st.comm[r] += nmsg*sw + wait + unpackT
+					st.clock[r] = hidden + wait + unpackT
+					used[r] += hide
+				} else if nonblocking {
 					ready := sendAt[r] + nmsg*sw
 					if recvReady > ready {
 						ready = recvReady
@@ -702,8 +768,19 @@ func (st *simState) runMulti() float64 {
 			}
 		}
 		for r := 0; r < st.ranks; r++ {
-			for s := 0; s < runLen; s++ {
-				st.clock[r] += st.stepTimeMulti(r, s)
+			if overlap {
+				// The first step's compute already ran inside the overlap
+				// windows; add only what remains of it.
+				if rest := t0[r] - used[r]; rest > 0 {
+					st.clock[r] += rest
+				}
+				for s := 1; s < runLen; s++ {
+					st.clock[r] += st.stepTimeMulti(r, s)
+				}
+			} else {
+				for s := 0; s < runLen; s++ {
+					st.clock[r] += st.stepTimeMulti(r, s)
+				}
 			}
 			ghost += st.ghostExtraMulti(r, runLen)
 		}

@@ -391,6 +391,32 @@ func TestDecompValidation(t *testing.T) {
 	}
 }
 
+// TestMultiAxisOverlap: with the per-axis GC-C overlap modeled, a
+// multi-axis GC-C run must expose less communication — and finish no
+// later — than the same job at NB-C, on both pencil and block shapes.
+func TestMultiAxisOverlap(t *testing.T) {
+	for _, shape := range [][3]int{{8, 8, 1}, {4, 4, 4}} {
+		base := Job{
+			Machine: machine.BGP(), Spec: machine.SpecD3Q19(), K: 1,
+			Nodes: 64, TasksPerNode: 1, ThreadsPerTask: 4,
+			NX: 256, NY: 256, NZ: 256, Decomp: shape,
+			Steps: 20, Depth: 1, Opt: core.OptNBC,
+			Imbalance: 0.05, Seed: 11,
+		}
+		nbc := mustRun(t, base)
+		gcc := base
+		gcc.Opt = core.OptGCC
+		over := mustRun(t, gcc)
+		if over.Seconds > nbc.Seconds*1.001 {
+			t.Errorf("shape %v: GC-C %.4fs slower than NB-C %.4fs", shape, over.Seconds, nbc.Seconds)
+		}
+		if over.CommSummary().Max >= nbc.CommSummary().Max {
+			t.Errorf("shape %v: GC-C exposed comm %.4fs not below NB-C %.4fs",
+				shape, over.CommSummary().Max, nbc.CommSummary().Max)
+		}
+	}
+}
+
 // TestBoundedAxesReduceCommunication: with bounded (non-periodic) axes,
 // edge ranks skip the wraparound messages, so the simulated schedule must
 // be no slower than the periodic one, strictly cheaper in exposed
