@@ -29,9 +29,9 @@ func main() {
 	log.SetPrefix("lbmbench: ")
 
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, table2, fig8, fig9, fig10, table3, table4, fig11, decomp, collision, or all")
+		exp      = flag.String("exp", "all", "experiment: table1, table2, fig8, fig9, fig10, table3, table4, fig11, decomp, collision, fixup, or all")
 		machine  = flag.String("machine", "bgp", "machine for fig8/fig9/fig11/decomp: bgp or bgq")
-		real     = flag.Bool("real", false, "run the real kernels locally instead of the paper-scale simulator")
+		real     = flag.Bool("real", false, "run the real kernels locally instead of the paper-scale simulator (fixup is real-only)")
 		model    = flag.String("model", "D3Q19", "model for -real and collision experiments")
 		ranks    = flag.Int("ranks", 4, "ranks for -real experiments")
 		steps    = flag.Int("steps", 30, "steps for -real experiments")
@@ -116,6 +116,8 @@ func realExperiment(exp, model string, ranks, steps int, decomp, depth string, c
 		return experiments.RealFig11(model, steps, decomp, depth, colSpec)
 	case "collision":
 		return experiments.CollisionTable(model)
+	case "fixup":
+		return experiments.RealFixup(model, ranks, steps, decomp, depth)
 	}
-	return nil, fmt.Errorf("-real supports fig8, fig9, fig10, fig11, collision (got %q)", exp)
+	return nil, fmt.Errorf("-real supports fig8, fig9, fig10, fig11, collision, fixup (got %q)", exp)
 }

@@ -1,12 +1,16 @@
 // Command lbmrun executes one lattice Boltzmann simulation with the real
 // kernels on the local machine and reports the paper's metrics: MFlup/s,
 // wall time, per-rank communication balance and conservation checksums.
+// The flow setup comes from the scenario registry (internal/scenario):
+// wave, cavity, channel — plus voxel geometry files via -geom.
 //
 // Examples:
 //
 //	lbmrun -model d3q39 -nx 48 -ny 24 -nz 24 -steps 100 -ranks 4 -threads 2 -opt SIMD -depth 2
 //	lbmrun -scenario cavity -nx 48 -ny 48 -nz 2 -re 100 -steps 8000 -decomp 2d -ranks 4
 //	lbmrun -scenario cavity -nx 64 -ny 64 -nz 2 -re 1000 -collision trt -threads 4
+//	lbmrun -scenario channel -d 16 -re 100 -ranks 2
+//	lbmrun -scenario wave -geom mask.csv -steps 500
 package main
 
 import (
@@ -24,7 +28,7 @@ import (
 	"repro/internal/lattice"
 	"repro/internal/macro"
 	"repro/internal/output"
-	"repro/internal/physics"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -46,9 +50,12 @@ func main() {
 		layout    = flag.String("layout", "soa", "memory layout: soa or aos")
 		fused     = flag.Bool("fused", false, "fused stream-collide kernel (§VII future work; needs SoA and a GC level)")
 		amplitude = flag.Float64("amplitude", 0.02, "initial perturbation amplitude")
-		scenario  = flag.String("scenario", "wave", "flow scenario: wave (periodic) or cavity (bounded lid-driven)")
-		re        = flag.Float64("re", 100, "cavity scenario: Reynolds number lidU*NY/nu (sets tau)")
+		scen      = flag.String("scenario", "wave", scenario.Usage())
+		re        = flag.Float64("re", 100, "Reynolds number (cavity: lidU*NY/nu; channel: Umean*D/nu)")
 		lidU      = flag.Float64("lidu", 0.1, "cavity scenario: lid speed in lattice units")
+		uMean     = flag.Float64("umean", 0.08, "channel scenario: mean inflow speed in lattice units")
+		diam      = flag.Int("d", 16, "channel scenario: cylinder diameter in cells (sets the domain 22Dx4.1D; the Re=100 wake needs >= 16)")
+		geomPath  = flag.String("geom", "", "voxel mask file (.csv or .raw): obstacles for wave, replaces the cylinder for channel")
 		collide   = flag.String("collision", "bgk", "collision operator: bgk (the paper's kernels), trt or mrt (stable toward tau=0.5 / high Re)")
 		magic     = flag.Float64("magic", 0, "TRT magic parameter Lambda (0 = the default 1/4)")
 		mrtRates  = flag.String("mrt-rates", "", "MRT ghost-moment rates by order, comma-separated from order 3 (empty = magic-paired defaults)")
@@ -98,50 +105,46 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	a := *amplitude
+
+	sc, err := scenario.Get(*scen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := scenario.Params{
+		Model: model, N: n, Amplitude: *amplitude,
+		Re: *re, LidU: *lidU, UMean: *uMean, D: *diam,
+		GeomPath: *geomPath,
+	}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "steps":
+			params.StepsSet = true
+		case "collision":
+			params.CollisionSet = true
+		}
+	})
+
 	cfg := core.Config{
 		Model: model, N: n, Tau: *tau, Steps: *steps,
 		Opt: opt, Ranks: *ranks, Decomp: dec.P, Threads: *threads,
 		GhostDepth: depthUniform, GhostDepthAxes: depthAxes,
 		Layout: lay, Fused: *fused, Collision: colSpec, KeepField: *out != "",
-		Init: func(ix, iy, iz int) (rho, ux, uy, uz float64) {
-			x := 2 * math.Pi * float64(ix) / float64(n.NX)
-			y := 2 * math.Pi * float64(iy) / float64(n.NY)
-			return 1 + a*math.Sin(x)*math.Cos(y), a * math.Sin(y), -a * math.Cos(x), 0
-		},
 	}
-	switch *scenario {
-	case "wave":
-	case "cavity":
-		// Lid-driven cavity: walls everywhere except the high-y lid moving
-		// along +x; z stays periodic (quasi-2-D). Re = lidU·NY/ν sets tau.
-		cfg.Tau = model.TauForViscosity(*lidU * float64(n.NY) / *re)
-		cfg.Boundary = core.CavitySpec(*lidU)
-		cfg.Init = nil // start from rest
-		cfg.KeepField = true
-		// Unless the user pinned -steps, run to steady state (the spin-up
-		// lengthens with Re; the centerline comparison is meaningless on a
-		// transient).
-		stepsSet := false
-		flag.Visit(func(f *flag.Flag) { stepsSet = stepsSet || f.Name == "steps" })
-		if !stepsSet {
-			cfg.Steps = physics.CavitySteadySteps(*re, n.NY, *lidU)
-		}
-	default:
-		log.Fatalf("unknown scenario %q (want wave or cavity)", *scenario)
+	if err := sc.Configure(&params, &cfg); err != nil {
+		log.Fatal(err)
 	}
 	res, err := core.Run(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	n = cfg.N // scenarios with intrinsic geometry override the domain
+	fluid := core.FluidCells(n, cfg.Solid)
 	fmt.Printf("model        %s (Q=%d, c_s^2=%.4f, k=%d)\n", model.Name, model.Q, model.CsSq, model.MaxSpeed)
-	fmt.Printf("scenario     %s\n", *scenario)
-	if *scenario == "cavity" {
-		fmt.Printf("cavity       Re=%g lidU=%g tau=%.4f (walls x/y, lid +x at high y, periodic z)\n", *re, *lidU, cfg.Tau)
-	}
-	fmt.Printf("domain       %s  (%d fluid cells)\n", n, n.Cells())
-	fmt.Printf("config       opt=%s ranks=%d decomp=%s threads=%d depth=%s layout=%s fused=%v collision=%s\n", opt, *ranks, dec, *threads, *depth, lay, *fused, cfg.Collision)
+	fmt.Printf("scenario     %s\n", sc.Name)
+	fmt.Printf("domain       %s  (%d fluid cells)\n", n, fluid)
+	fmt.Printf("config       opt=%s ranks=%d decomp=%dx%dx%d threads=%d depth=%s layout=%s fused=%v collision=%s tau=%.4f\n",
+		cfg.Opt, cfg.Ranks, cfg.Decomp[0], cfg.Decomp[1], cfg.Decomp[2], cfg.Threads, *depth, lay, cfg.Fused, cfg.Collision, cfg.Tau)
 	fmt.Printf("steps        %d\n", cfg.Steps)
 	if hb := res.HaloAxisBytes; hb != [3]int64{} {
 		fmt.Printf("halo surface %.1f KB/rank/exchange (x %.1f, y %.1f, z %.1f)\n",
@@ -153,7 +156,7 @@ func main() {
 		res.GhostUpdates, 100*float64(res.GhostUpdates)/float64(res.InteriorUpdates))
 	s := res.CommSummary()
 	fmt.Printf("comm (s)     min %.4f  median %.4f  max %.4f\n", s.Min, s.Median, s.Max)
-	fmt.Printf("mass         %.10f (per cell %.10f)\n", res.Mass, res.Mass/float64(n.Cells()))
+	fmt.Printf("mass         %.10f (per cell %.10f)\n", res.Mass, res.Mass/float64(fluid))
 	fmt.Printf("momentum     (%.3e, %.3e, %.3e)\n", res.MomX, res.MomY, res.MomZ)
 
 	if math.IsNaN(res.Mass) {
@@ -161,10 +164,9 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *scenario == "cavity" && n.NX == n.NY {
-		prof := physics.CavityProfiles(model, res.Field, *lidU)
-		if eu, ev, err := prof.CompareCavity(int(*re)); err == nil {
-			fmt.Printf("centerline   max |Δu| %.4f, |Δv| %.4f of lid speed vs Hou et al. Re=%d\n", eu, ev, int(*re))
+	if sc.Report != nil {
+		for _, line := range sc.Report(&params, &cfg, res) {
+			fmt.Println(line)
 		}
 	}
 

@@ -173,7 +173,25 @@ func suite(quick bool) []check {
 			return worst, nil
 		},
 	})
+	// Cylinder-channel checks (the geometry subsystem end to end:
+	// voxel mask, Zou-He inlet, pressure outlet, momentum-exchange
+	// forces). Quick mode validates the steady 2D-1 drag at a coarser
+	// cylinder; the full suite adds the vortex-shedding 2D-2 Strouhal.
+	cylD := 10
+	if quick {
+		cylD = 8
+	}
+	cs = append(cs, check{
+		name: "channel-cylinder: Re=20 steady drag vs Schaefer-Turek 2D-1",
+		tol:  0.05,
+		run:  func() (float64, error) { return cylinderSteadyErr(cylD) },
+	})
 	if !quick {
+		cs = append(cs, check{
+			name: "channel-cylinder: Re=100 Strouhal vs Schaefer-Turek 2D-2",
+			tol:  0.05,
+			run:  cylinderSheddingErr,
+		})
 		cs = append(cs, check{
 			name: "lid-driven cavity Re=400 centerlines vs Hou et al. (L=48)",
 			tol:  0.03,
@@ -191,6 +209,52 @@ func suite(quick bool) []check {
 		})
 	}
 	return cs
+}
+
+// cylinderSteadyErr runs the Schäfer-Turek 2D-1 case (Re = 20, steady)
+// and returns the drag coefficient's relative deviation from the
+// reference interval midpoint; a detected shedding frequency in the
+// steady regime is an error.
+func cylinderSteadyErr(d int) (float64, error) {
+	res, err := physics.RunCylinderChannel(physics.CylinderChannelConfig{
+		D: d, Re: 20, UMean: 0.08,
+		Collision: collision.Spec{Kind: collision.TRT},
+		Threads:   4,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if res.St != 0 {
+		return 0, fmt.Errorf("steady Re=20 wake reported shedding (St = %.3f)", res.St)
+	}
+	ref, _ := physics.CylinderRefFor(20)
+	mid := (ref.CdLo + ref.CdHi) / 2
+	return math.Abs(res.Cd-mid) / mid, nil
+}
+
+// cylinderSheddingErr runs the 2D-2 vortex-shedding case (Re = 100) and
+// returns the Strouhal number's relative deviation from the reference
+// midpoint; no established shedding, or a maximum drag coefficient
+// outside 10% of the reference, is an error.
+func cylinderSheddingErr() (float64, error) {
+	res, err := physics.RunCylinderChannel(physics.CylinderChannelConfig{
+		D: 16, Re: 100, UMean: 0.08,
+		Collision: collision.Spec{Kind: collision.TRT},
+		Threads:   4,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if res.St == 0 || res.Periods < 3 {
+		return 0, fmt.Errorf("no vortex shedding detected at Re=100 (|Cl|max = %.4f)", res.ClMax)
+	}
+	ref, _ := physics.CylinderRefFor(100)
+	cdMid := (ref.CdLo + ref.CdHi) / 2
+	if d := math.Abs(res.CdMax-cdMid) / cdMid; d > 0.10 {
+		return 0, fmt.Errorf("max drag coefficient %.3f deviates %.1f%% from the reference %.2f (tol 10%%)", res.CdMax, 100*d, cdMid)
+	}
+	stMid := (ref.StLo + ref.StHi) / 2
+	return math.Abs(res.St-stMid) / stMid, nil
 }
 
 // cavityErr runs a cavity and returns the worst centerline deviation from

@@ -1,8 +1,11 @@
-// Channel: a body-force-driven channel flow with solid walls and a plate
-// obstacle — the irregular-geometry use case (microfluidic devices,
-// arterial flow) that motivates the paper's application. Demonstrates the
-// obstacle mask with halfway bounce-back, velocity-shift forcing, and the
-// MFlup/s metric counting only fluid cells (the paper's N_fl).
+// Channel: vortex shedding past a voxelized cylinder — the geometry
+// subsystem end to end. A parabolic Zou-He velocity inlet drives flow
+// down a walled channel (the Schäfer-Turek benchmark geometry), the flow
+// separates around a voxel-mask cylinder, and the wake rolls up into the
+// Kármán vortex street; the momentum-exchange force series on the
+// cylinder yields the drag/lift coefficients and the Strouhal number that
+// the paper-scale references pin. The run uses a 2-rank slab
+// decomposition so the obstacle's fixup links straddle a rank boundary.
 package main
 
 import (
@@ -11,76 +14,60 @@ import (
 	"math"
 	"strings"
 
-	"repro"
+	"repro/internal/collision"
+	"repro/internal/physics"
 )
 
 func main() {
 	log.SetFlags(0)
 
-	model := repro.D3Q19()
-	n := repro.Dims{NX: 48, NY: 24, NZ: 11}
-	tau := 1.0
-	accel := 2e-6
-
-	// Channel walls at z extremes plus a plate partly blocking the duct.
-	solid := func(ix, iy, iz int) bool {
-		if iz == 0 || iz == n.NZ-1 {
-			return true
-		}
-		return ix == n.NX/3 && iy < n.NY/2
-	}
-
-	res, err := repro.Run(repro.Config{
-		Model: model, N: n, Tau: tau, Steps: 3000,
-		Opt: repro.OptSIMD, Ranks: 2, Threads: 2, GhostDepth: 1,
-		Solid: solid, Accel: [3]float64{accel, 0, 0},
-		KeepField: true,
+	const (
+		d  = 16  // cylinder diameter in cells (D=16 resolves the Re=100 wake)
+		re = 100 // vortex-shedding regime (2D-2 benchmark)
+	)
+	res, err := physics.RunCylinderChannel(physics.CylinderChannelConfig{
+		D: d, Re: re,
+		Collision: collision.Spec{Kind: collision.TRT},
+		Ranks:     2, Decomp: [3]int{2, 1, 1}, Threads: 2,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	fmt.Printf("Channel with plate: %s on %s, tau=%.1f, a=%.1e\n", model.Name, n, tau, accel)
+	fmt.Printf("Cylinder channel: %v (D=%d, Re=%d, tau=%.4f), %d steps on a 2-rank slab\n",
+		res.N, d, re, res.Tau, res.Steps)
 	fmt.Printf("  %.2f MFlup/s over %d fluid cells (solids excluded from N_fl)\n\n",
-		res.MFlups, res.InteriorUpdates/3000)
+		res.Res.MFlups, res.Res.InteriorUpdates/int64(res.Steps))
 
-	// Velocity magnitude map at mid-height, rendered as ASCII.
-	fc := make([]float64, model.Q)
-	var umax float64
-	u := make([][]float64, n.NX)
-	for ix := 0; ix < n.NX; ix++ {
-		u[ix] = make([]float64, n.NY)
-		for iy := 0; iy < n.NY; iy++ {
-			if solid(ix, iy, n.NZ/2) {
-				u[ix][iy] = -1
-				continue
-			}
-			res.Field.Cell(ix, iy, n.NZ/2, fc)
-			rho, jx, jy, jz := model.Moments(fc)
-			ux, uy, uz := jx/rho+accel/2, jy/rho, jz/rho
-			u[ix][iy] = math.Sqrt(ux*ux + uy*uy + uz*uz)
-			if u[ix][iy] > umax {
-				umax = u[ix][iy]
-			}
+	// The lift trace over the last shedding periods, rendered as a strip.
+	fmt.Println("  lift coefficient (each row ~40 steps; the oscillation IS the vortex street):")
+	stride := 40
+	for s := res.Steps - 18*stride; s < res.Steps; s += stride {
+		cl := res.Lift[s]
+		pos := int((cl + 1.2) / 2.4 * 48)
+		if pos < 0 {
+			pos = 0
+		}
+		if pos > 47 {
+			pos = 47
+		}
+		line := []byte(strings.Repeat(" ", 48))
+		line[24] = '|'
+		line[pos] = '*'
+		fmt.Printf("  step %6d %s cL=%+.3f\n", s, line, cl)
+	}
+
+	fmt.Printf("\n  mean Cd %.3f (max %.3f), max |Cl| %.3f, St %.4f over %d periods\n",
+		res.Cd, res.CdMax, res.ClMax, res.St, res.Periods)
+	if ref, ok := physics.CylinderRefFor(re); ok {
+		fmt.Printf("  Schaefer-Turek 2D-2 references: Cd(max) in [%.2f, %.2f], St in [%.3f, %.3f]\n",
+			ref.CdLo, ref.CdHi, ref.StLo, ref.StHi)
+		if ref.StLo > 0 && res.St > 0 {
+			mid := (ref.StLo + ref.StHi) / 2
+			fmt.Printf("  St deviation from the reference midpoint: %.1f%%\n", 100*math.Abs(res.St-mid)/mid)
 		}
 	}
-	shades := " .:-=+*#%@"
-	fmt.Println("  |u| at mid-height (X solid, flow left to right, periodic):")
-	for iy := n.NY - 1; iy >= 0; iy-- {
-		var b strings.Builder
-		b.WriteString("  ")
-		for ix := 0; ix < n.NX; ix++ {
-			if u[ix][iy] < 0 {
-				b.WriteByte('X')
-				continue
-			}
-			lvl := int(u[ix][iy] / umax * float64(len(shades)-1))
-			b.WriteByte(shades[lvl])
-		}
-		fmt.Println(b.String())
-	}
-	fmt.Printf("\n  peak |u| = %.5f (lattice units); mass/cell = %.9f\n",
-		umax, res.Mass/float64(res.InteriorUpdates/3000))
-	fmt.Println("  The flow accelerates through the open half of the duct and")
-	fmt.Println("  recovers downstream — the clogging-device scenario of §I.")
+	fmt.Println("\n  The cylinder sheds opposite-signed vortices at a single frequency —")
+	fmt.Println("  the lift oscillation above — while the drag oscillates at twice it:")
+	fmt.Println("  the classic Karman-street signature, measured entirely through the")
+	fmt.Println("  momentum-exchange links of the voxel mask.")
 }

@@ -38,12 +38,43 @@ const (
 	// with momentum correction.
 	BCMovingWall
 	// BCOutflow is a zero-gradient open face: ghost layers copy the
-	// outermost interior layer.
+	// outermost interior layer. It imposes nothing on the pressure, so a
+	// domain driven by a velocity inlet should close with BCPressureOutlet
+	// instead — with both ends prescribing fluxes that ignore the local
+	// density, the mean density drifts without bound.
 	BCOutflow
+	// BCPressureOutlet is an open face anchored at unit density: ghost
+	// layers hold the non-equilibrium extrapolation of the outermost
+	// interior layer (Guo et al.) — the layer's populations with their
+	// equilibrium part re-evaluated at ρ0 = 1 and the local velocity,
+	//
+	//	f_ghost = f + f_eq(ρ0, u) − f_eq(ρ, u),
+	//
+	// which keeps the zero-gradient velocity behaviour of BCOutflow while
+	// pinning the outlet pressure, the closure a velocity-inlet channel
+	// needs for a steady mass balance.
+	BCPressureOutlet
+	// BCInlet is a Zou-He velocity inlet: the face prescribes the full flow
+	// velocity (normal component included, pointing into the domain),
+	// either uniformly (Face.U) or per lattice point (Face.Profile). The
+	// unknown populations entering the domain are reconstructed by the
+	// non-equilibrium bounce-back inversion: split each opposite-velocity
+	// pair into its even and odd parts — exactly the TRT pair algebra of
+	// the collision subsystem — bounce the even (non-equilibrium) part
+	// like a wall, and prescribe the odd part from the wall equilibrium:
+	//
+	//	f_v = f_opp + (f_eq_v − f_eq_opp)|(ρ0=1, u_w)
+	//
+	// which rides the standard bounce-back fixup machinery with a per-link
+	// delta (the parenthesized odd part, third-order equilibrium terms
+	// included for the D3Q39 lattice). Ghost layers behind the face hold
+	// the inlet equilibrium so extended deep-halo collisions stay stable.
+	BCInlet
 )
 
 var bcNames = map[BCKind]string{
-	BCPeriodic: "periodic", BCWall: "wall", BCMovingWall: "moving-wall", BCOutflow: "outflow",
+	BCPeriodic: "periodic", BCWall: "wall", BCMovingWall: "moving-wall",
+	BCOutflow: "outflow", BCInlet: "velocity-inlet", BCPressureOutlet: "pressure-outlet",
 }
 
 func (k BCKind) String() string {
@@ -56,9 +87,27 @@ func (k BCKind) String() string {
 // Face is the condition on one global boundary face.
 type Face struct {
 	Kind BCKind
-	// U is the wall velocity of a BCMovingWall face; it must be tangential
-	// (zero component along the face normal). Ignored for other kinds.
+	// U is the wall velocity of a BCMovingWall face (tangential only — zero
+	// component along the face normal) or the uniform inflow velocity of a
+	// BCInlet face (normal component required, pointing into the domain).
+	// Ignored for other kinds.
 	U [3]float64
+	// Profile, for a BCInlet face, prescribes a spatially varying inflow
+	// velocity: it is evaluated at global lattice coordinates with the
+	// face-normal coordinate clamped to the outermost in-domain layer (the
+	// wall itself sits half a link beyond). Non-nil Profile overrides U.
+	// The returned velocity must point into the domain. Must be nil for
+	// every other kind.
+	Profile func(gx, gy, gz int) [3]float64
+}
+
+// velocityAt resolves the face's prescribed velocity at a global lattice
+// point (Profile when set, the uniform U otherwise).
+func (f *Face) velocityAt(gx, gy, gz int) [3]float64 {
+	if f.Profile != nil {
+		return f.Profile(gx, gy, gz)
+	}
+	return f.U
 }
 
 // BoundarySpec assigns a condition to each global face:
@@ -92,6 +141,22 @@ func ChannelSpec() *BoundarySpec {
 	return &b
 }
 
+// InletChannelSpec returns an open flow-through channel: a Zou-He
+// velocity inlet on the low-x face (uniform u along +x, or the given
+// profile), a unit-density zero-gradient outlet on the high-x face (the
+// pressure anchor a velocity-driven channel needs — see BCPressureOutlet),
+// no-slip walls on the y faces and a periodic (quasi-2-D spanwise) z
+// axis — the inlet → obstacle → outflow geometry of the vortex-shedding
+// scenario.
+func InletChannelSpec(u float64, profile func(gx, gy, gz int) [3]float64) *BoundarySpec {
+	var b BoundarySpec
+	b.Faces[0][0] = Face{Kind: BCInlet, U: [3]float64{u, 0, 0}, Profile: profile}
+	b.Faces[0][1] = Face{Kind: BCPressureOutlet}
+	b.Faces[1][0] = Face{Kind: BCWall}
+	b.Faces[1][1] = Face{Kind: BCWall}
+	return &b
+}
+
 // AxisPeriodic reports whether axis keeps periodic wrap semantics. A nil
 // spec is fully periodic.
 func (b *BoundarySpec) AxisPeriodic(axis int) bool {
@@ -118,25 +183,48 @@ func (b *BoundarySpec) validate() error {
 			return fmt.Errorf("core: axis %d mixes %s and %s faces (periodicity is an axis property)", a, lo.Kind, hi.Kind)
 		}
 		for s, f := range [2]Face{lo, hi} {
-			if f.Kind == BCMovingWall && f.U[a] != 0 {
-				return fmt.Errorf("core: axis %d side %d moving wall has normal velocity %g (tangential only)", a, s, f.U[a])
+			switch f.Kind {
+			case BCMovingWall:
+				if f.U[a] != 0 {
+					return fmt.Errorf("core: axis %d side %d moving wall has normal velocity %g (tangential only)", a, s, f.U[a])
+				}
+			case BCInlet:
+				// The inflow must point into the domain: positive normal
+				// component on the low face, negative on the high one.
+				// A Profile is trusted to do the same (not checkable here).
+				if f.Profile == nil {
+					inward := f.U[a]
+					if s == 1 {
+						inward = -inward
+					}
+					if inward <= 0 {
+						return fmt.Errorf("core: axis %d side %d velocity inlet must flow into the domain (normal velocity %g)", a, s, f.U[a])
+					}
+				}
+			default:
+				if f.U != ([3]float64{}) {
+					return fmt.Errorf("core: axis %d side %d %s face carries a wall velocity (only moving walls and inlets move)", a, s, f.Kind)
+				}
 			}
-			if f.Kind != BCMovingWall && f.U != ([3]float64{}) {
-				return fmt.Errorf("core: axis %d side %d %s face carries a wall velocity (only moving walls move)", a, s, f.Kind)
+			if f.Kind != BCInlet && f.Profile != nil {
+				return fmt.Errorf("core: axis %d side %d %s face carries a velocity profile (inlet-only)", a, s, f.Kind)
 			}
 		}
 	}
 	return nil
 }
 
-// hasWallFaces reports whether any face is a (possibly moving) wall.
+// hasWallFaces reports whether any face uses the bounce-back fixup
+// machinery: walls, moving walls and velocity inlets (whose Zou-He
+// inversion is a bounce-back with a prescribed odd part).
 func (b *BoundarySpec) hasWallFaces() bool {
 	if b == nil {
 		return false
 	}
 	for a := 0; a < 3; a++ {
 		for s := 0; s < 2; s++ {
-			if k := b.Faces[a][s].Kind; k == BCWall || k == BCMovingWall {
+			switch b.Faces[a][s].Kind {
+			case BCWall, BCMovingWall, BCInlet:
 				return true
 			}
 		}

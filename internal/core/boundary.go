@@ -7,10 +7,10 @@ package core
 // boundary conditions" (§II); this file supplies those two ingredients for
 // the periodic benchmark solver:
 //
-//   - a solid mask with halfway bounce-back walls, implemented as a
-//     post-streaming fixup so every optimization level's kernels stay
-//     untouched: any population that streamed out of a solid cell is
-//     replaced by the reflection of the fluid cell's own pre-stream
+//   - a voxel solid mask (geom.Mask) with halfway bounce-back walls,
+//     implemented as a post-streaming fixup so every optimization level's
+//     kernels stay untouched: any population that streamed out of a solid
+//     cell is replaced by the reflection of the fluid cell's own pre-stream
 //     population, which places the no-slip wall half a link beyond the
 //     fluid cell and conserves fluid mass exactly;
 //
@@ -18,29 +18,21 @@ package core
 //     the equilibrium is evaluated at u + τ·a, which adds ρ·a of momentum
 //     per cell per step (the standard driving for channel flows).
 //
-// The bounce-back fixup runs between stream and collide, so it is
-// incompatible with the fused kernel (which has no such point); the
-// configuration validator enforces that.
+// The fixup links live in the per-box fixup index of fixindex.go, which
+// also supplies the momentum-exchange force measurement. The bounce-back
+// fixup runs between stream and collide, so it is incompatible with the
+// fused kernel (which has no such point); the configuration validator
+// enforces that.
 
-import "repro/internal/grid"
+import (
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
 
-// fixup is one bounce-back link: population v of (fluid) cell was streamed
-// from a solid neighbor and must be replaced by the cell's own opposite
-// pre-stream population, plus delta — zero for stationary walls, the
-// 2·w_v·ρ0·(c_v·u_w)/c_s² momentum correction for a moving global
-// boundary face (see bc.go). The fixup reads only the fluid cell's own
-// populations, never the solid neighbor's, which is what keeps bounded
-// runs bit-comparable across decompositions and ghost depths.
-type fixup struct {
-	cell  int32
-	v     uint8
-	opp   uint8
-	delta float64
-}
-
-// buildMask evaluates the global solid mask over the local field
-// (including ghost/margin planes, with periodic wrap in x) and precomputes
-// the per-plane bounce-back fixup lists.
+// buildMask evaluates the global voxel mask over the local field
+// (including ghost/margin planes, with periodic wrap in x) and builds the
+// bounce-back fixup index. The slab stepper handles only fully periodic
+// domains, so every link is an obstacle link with zero delta.
 func (s *stepper) buildMask() {
 	if s.cfg.Solid == nil {
 		return
@@ -52,13 +44,14 @@ func (s *stepper) buildMask() {
 		gx := ((s.startX+ix-s.w)%gnx + gnx) % gnx
 		for iy := 0; iy < ny; iy++ {
 			for iz := 0; iz < nz; iz++ {
-				s.mask[s.d.Index(ix, iy, iz)] = s.cfg.Solid(gx, iy, iz)
+				s.mask[s.d.Index(ix, iy, iz)] = s.cfg.Solid.At(gx, iy, iz)
 			}
 		}
 	}
 	m := s.model
-	s.fix = make([][]fixup, nx)
+	s.fix = newFixIndex(s.d, m)
 	for ix := 0; ix < nx; ix++ {
+		owned := ix >= s.w && ix < s.w+s.own
 		for iy := 0; iy < ny; iy++ {
 			for iz := 0; iz < nz; iz++ {
 				cell := s.d.Index(ix, iy, iz)
@@ -73,62 +66,60 @@ func (s *stepper) buildMask() {
 					sy := ((iy-m.Cy[v])%ny + ny) % ny
 					sz := ((iz-m.Cz[v])%nz + nz) % nz
 					if s.mask[s.d.Index(sx, sy, sz)] {
-						s.fix[ix] = append(s.fix[ix], fixup{
-							cell: int32(cell), v: uint8(v), opp: uint8(m.Opp[v]),
-						})
+						flags := fixObstacle
+						if owned {
+							flags |= fixOwned
+						}
+						s.fix.add(ix, iy, iz, v, m.Opp[v], 0, flags)
 					}
 				}
 			}
 		}
 	}
+	s.fix.finish()
 }
 
-// applyBounceBack replaces, for destination planes [lo,hi), every
-// population streamed out of a solid cell with the reflected pre-stream
-// population of the receiving fluid cell: f_adv[v][x] = f[opp(v)][x].
+// applyBounceBack applies the fixup links of destination planes [lo,hi)
+// (full y/z extent): through the per-box index, or the legacy plane scan
+// under Config.FixupScan, accumulating momentum-exchange forces when the
+// run measures them.
 func (s *stepper) applyBounceBack(lo, hi int) {
-	if s.fix == nil || hi <= lo {
+	if s.fix.empty() || hi <= lo {
 		return
 	}
-	if lo < 0 {
-		lo = 0
-	}
-	if hi > len(s.fix) {
-		hi = len(s.fix)
-	}
-	f, fadv := s.f, s.fadv
-	if f.Layout == grid.SoA {
-		cells := s.d.Cells()
-		for ix := lo; ix < hi; ix++ {
-			for _, fx := range s.fix[ix] {
-				fadv.Data[int(fx.v)*cells+int(fx.cell)] = f.Data[int(fx.opp)*cells+int(fx.cell)] + fx.delta
-			}
-		}
-		return
-	}
-	q := f.Q
-	for ix := lo; ix < hi; ix++ {
-		for _, fx := range s.fix[ix] {
-			fadv.Data[int(fx.cell)*q+int(fx.v)] = f.Data[int(fx.cell)*q+int(fx.opp)] + fx.delta
-		}
+	b := box{lo: [3]int{lo, 0, 0}, hi: [3]int{hi, s.d.NY, s.d.NZ}}
+	switch {
+	case s.cfg.MeasureForces:
+		s.fix.applyBoxForce(s.f, s.fadv, b, &s.stepForce)
+	case s.cfg.FixupScan:
+		s.fix.applyPlanes(s.f, s.fadv, lo, hi)
+	default:
+		s.fix.applyBox(s.f, s.fadv, b)
 	}
 }
 
-// FluidCells counts the non-solid cells of a global domain under a mask
-// (the paper's N_fl in Eq. 4); a nil mask means every cell is fluid.
-func FluidCells(n grid.Dims, solid func(ix, iy, iz int) bool) int {
+// endForceStep closes one time step's force accumulation: the step's
+// owned-link sums join the per-step series that Run reduces across ranks.
+func appendForceStep(series []float64, acc *[numBodies][3]float64) []float64 {
+	for b := 0; b < numBodies; b++ {
+		series = append(series, acc[b][0], acc[b][1], acc[b][2])
+		acc[b] = [3]float64{}
+	}
+	return series
+}
+
+func (s *stepper) endForceStep() {
+	if !s.cfg.MeasureForces {
+		return
+	}
+	s.forceSer = appendForceStep(s.forceSer, &s.stepForce)
+}
+
+// FluidCells counts the non-solid cells of a global domain under a voxel
+// mask (the paper's N_fl in Eq. 4); a nil mask means every cell is fluid.
+func FluidCells(n grid.Dims, solid *geom.Mask) int {
 	if solid == nil {
 		return n.Cells()
 	}
-	count := 0
-	for ix := 0; ix < n.NX; ix++ {
-		for iy := 0; iy < n.NY; iy++ {
-			for iz := 0; iz < n.NZ; iz++ {
-				if !solid(ix, iy, iz) {
-					count++
-				}
-			}
-		}
-	}
-	return count
+	return solid.Fluids()
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/lattice"
 )
@@ -67,6 +68,14 @@ func refSolverMask(m *lattice.Model, n grid.Dims, tau float64, steps int, init I
 	return f
 }
 
+// maskAtFn adapts a voxel mask to the closure form the oracles take.
+func maskAtFn(m *geom.Mask) func(ix, iy, iz int) bool {
+	if m == nil {
+		return nil
+	}
+	return m.At
+}
+
 // maxDiffFluid compares two fields over fluid cells only (solid cells are
 // implementation-defined scratch).
 func maxDiffFluid(a, b *grid.Field, solid func(ix, iy, iz int) bool) float64 {
@@ -108,7 +117,7 @@ func TestBounceBackEquivalence(t *testing.T) {
 			cfg := Config{
 				Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 6,
 				Opt: opt, Ranks: ranks, Threads: 1, GhostDepth: depthFor(opt, 1),
-				Init: init, Solid: solid, KeepField: true,
+				Init: init, Solid: geom.FromFunc(n, solid), KeepField: true,
 			}
 			res, err := Run(cfg)
 			if err != nil {
@@ -138,7 +147,7 @@ func TestBounceBackDeepHaloAndThreads(t *testing.T) {
 		cfg.Tau = 0.8
 		cfg.Steps = 6
 		cfg.Init = init
-		cfg.Solid = solid
+		cfg.Solid = geom.FromFunc(n, solid)
 		cfg.KeepField = true
 		res, err := Run(cfg)
 		if err != nil {
@@ -174,7 +183,7 @@ func TestBounceBackMassConservation(t *testing.T) {
 		res, err := Run(Config{
 			Model: m, N: n, Tau: 0.8, Steps: 25,
 			Opt: OptNBC, Ranks: 2, Threads: 1, GhostDepth: 1,
-			Init: init, Solid: solid,
+			Init: init, Solid: geom.FromFunc(n, solid),
 		})
 		if err != nil {
 			t.Fatalf("%s: %v", m.Name, err)
@@ -229,7 +238,7 @@ func TestPoiseuilleProfile(t *testing.T) {
 	res, err := Run(Config{
 		Model: m, N: n, Tau: tau, Steps: 6000,
 		Opt: OptSIMD, Ranks: 2, Threads: 1, GhostDepth: 1,
-		Solid: solid, Accel: [3]float64{a, 0, 0}, KeepField: true,
+		Solid: geom.FromFunc(n, solid), Accel: [3]float64{a, 0, 0}, KeepField: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -266,7 +275,7 @@ func TestNoSlipWall(t *testing.T) {
 		Init: func(ix, iy, iz int) (rho, ux, uy, uz float64) {
 			return 1, 0.02, 0, 0
 		},
-		Solid: solid, KeepField: true,
+		Solid: geom.FromFunc(n, solid), KeepField: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -290,19 +299,19 @@ func TestSolidValidation(t *testing.T) {
 	solid := func(ix, iy, iz int) bool { return ix == 2 }
 	if _, err := Run(Config{
 		Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 1,
-		Opt: OptGC, Fused: true, Solid: solid,
+		Opt: OptGC, Fused: true, Solid: geom.FromFunc(n, solid),
 	}); err == nil {
 		t.Error("fused + solid accepted")
 	}
 	res, err := Run(Config{
 		Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 2,
-		Opt: OptGC, Solid: solid,
+		Opt: OptGC, Solid: geom.FromFunc(n, solid),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	wantFluid := n.Cells() - 16 // one plane of 4×4 solid
-	if got := FluidCells(n, solid); got != wantFluid {
+	if got := FluidCells(n, geom.FromFunc(n, solid)); got != wantFluid {
 		t.Errorf("FluidCells = %d, want %d", got, wantFluid)
 	}
 	if res.InteriorUpdates != int64(2*wantFluid) {

@@ -79,11 +79,14 @@ type cartStepper struct {
 	jit          *metrics.RNG
 
 	mask                   []bool
-	fix                    [][]fixup
+	fix                    *fixIndex
+	stepForce              [numBodies][3]float64
+	forceSer               []float64
 	shiftX, shiftY, shiftZ float64
 
-	spec *BoundarySpec // global-face boundary conditions (nil = periodic)
-	rest []float64     // rest-state equilibrium, the wall ghost filler
+	spec  *BoundarySpec  // global-face boundary conditions (nil = periodic)
+	rest  []float64      // rest-state equilibrium, the wall ghost filler
+	class [3][]axisClass // per-axis local-index classification (set when spec or mask present)
 }
 
 func newCartStepper(cfg *Config, dec decomp.Cartesian, r *comm.Rank) (*cartStepper, error) {
@@ -206,6 +209,7 @@ func (cs *cartStepper) jitter() {
 // axes' ghosts first — overlapped with the compute under the GC-C
 // schedule when messages are in play, synchronously otherwise.
 func (cs *cartStepper) step(b box, stale [3]bool) {
+	cs.fillOpenFaces()
 	if cs.cfg.Opt >= OptGCC && cs.hasMessagingStale(stale) {
 		cs.overlappedStep(b, stale)
 	} else {
@@ -223,6 +227,7 @@ func (cs *cartStepper) step(b box, stale [3]bool) {
 	if cs.cfg.Fused {
 		cs.swap()
 	}
+	cs.endForceStep()
 }
 
 // hasMessagingStale reports whether any stale axis exchanges real
@@ -261,13 +266,14 @@ func (cs *cartStepper) refreshAxes(stale [3]bool) {
 }
 
 // fillAxisFaces fills the boundary ghost faces (NoNeighbor sides) of one
-// axis, if any.
+// axis, if any. Open faces are skipped: fillOpenFaces refreshed them at
+// the start of the step (every step, not just refresh steps).
 func (cs *cartStepper) fillAxisFaces(axis int) {
 	if cs.spec == nil {
 		return
 	}
 	for side := 0; side < 2; side++ {
-		if cs.ex.Neighbors[axis][side] == halo.NoNeighbor {
+		if cs.ex.Neighbors[axis][side] == halo.NoNeighbor && !openFace(cs.spec.Faces[axis][side].Kind) {
 			cs.fillFace(axis, side)
 		}
 	}
@@ -383,11 +389,26 @@ func (cs *cartStepper) faceBox(axis, side int) box {
 // values are never consumed by fluid cells — the bounce-back fixups
 // replace every population streamed out of a solid ghost — but a valid
 // distribution keeps the extended-box collisions of deep-halo cycles
-// stable and the ride-along exchange payloads deterministic. Outflow
-// faces are zero-gradient: every ghost layer copies the outermost owned
-// layer.
+// stable and the ride-along exchange payloads deterministic. Velocity
+// inlets hold the inlet equilibrium (ρ0 = 1 at the prescribed velocity)
+// for the same reason, per lattice point when the face has a profile.
+// Outflow faces are zero-gradient: every ghost layer copies the
+// outermost owned layer.
 func (cs *cartStepper) fillFace(axis, side int) {
-	switch cs.spec.Faces[axis][side].Kind {
+	switch face := &cs.spec.Faces[axis][side]; face.Kind {
+	case BCInlet:
+		b := cs.faceBox(axis, side)
+		feq := make([]float64, cs.model.Q)
+		for ix := b.lo[0]; ix < b.hi[0]; ix++ {
+			for iy := b.lo[1]; iy < b.hi[1]; iy++ {
+				for iz := b.lo[2]; iz < b.hi[2]; iz++ {
+					c := [3]axisClass{cs.class[0][ix], cs.class[1][iy], cs.class[2][iz]}
+					u := face.velocityAt(c[0].g, c[1].g, c[2].g)
+					cs.model.Equilibrium(1, u[0], u[1], u[2], feq)
+					cs.f.SetCell(ix, iy, iz, feq)
+				}
+			}
+		}
 	case BCWall, BCMovingWall:
 		b := cs.faceBox(axis, side)
 		zn := b.hi[2] - b.lo[2]
@@ -411,6 +432,71 @@ func (cs *cartStepper) fillFace(axis, side int) {
 		b := cs.faceBox(axis, side)
 		for l := b.lo[axis]; l < b.hi[axis]; l++ {
 			cs.copyAxisLayer(axis, l, src)
+		}
+	case BCPressureOutlet:
+		src := cs.w[axis]
+		if side == 1 {
+			src = cs.w[axis] + cs.own[axis] - 1
+		}
+		cs.fillPressureLayer(axis, side, src)
+	}
+}
+
+// fillPressureLayer writes the non-equilibrium extrapolation of the
+// outermost owned layer (axis position src) into every ghost layer of
+// the face: each cell's populations with their equilibrium re-anchored
+// at unit density, f + f_eq(1, u) − f_eq(ρ, u).
+func (cs *cartStepper) fillPressureLayer(axis, side, src int) {
+	b := cs.faceBox(axis, side)
+	m := cs.model
+	fc := make([]float64, m.Q)
+	feqR := make([]float64, m.Q)
+	feq1 := make([]float64, m.Q)
+	// Iterate the transverse cross-section: project the face box onto the
+	// src layer, transform once per column, write all w ghost layers.
+	lo, hi := b.lo, b.hi
+	lo[axis], hi[axis] = src, src+1
+	for ix := lo[0]; ix < hi[0]; ix++ {
+		for iy := lo[1]; iy < hi[1]; iy++ {
+			for iz := lo[2]; iz < hi[2]; iz++ {
+				cs.f.Cell(ix, iy, iz, fc)
+				rho, jx, jy, jz := m.Moments(fc)
+				ux, uy, uz := jx/rho, jy/rho, jz/rho
+				m.Equilibrium(rho, ux, uy, uz, feqR)
+				m.Equilibrium(1, ux, uy, uz, feq1)
+				for v := 0; v < m.Q; v++ {
+					fc[v] += feq1[v] - feqR[v]
+				}
+				p := [3]int{ix, iy, iz}
+				for l := b.lo[axis]; l < b.hi[axis]; l++ {
+					p[axis] = l
+					cs.f.SetCell(p[0], p[1], p[2], fc)
+				}
+			}
+		}
+	}
+}
+
+// openFace reports whether a face kind is an open (non-solid) boundary
+// whose ghost fill is a function of the current interior state — the
+// faces refilled at the start of every step rather than only at refresh,
+// which keeps them zero-gradient against the *current* layer under deep
+// halos (and is what the link-by-link oracle of the tests assumes).
+func openFace(k BCKind) bool { return k == BCOutflow || k == BCPressureOutlet }
+
+// fillOpenFaces refreshes the open-face ghosts of every bounded axis
+// from the pre-stream state; called at the start of each step, before
+// any exchange packs, so the fills also ride along on this step's
+// payloads exactly as a refresh-time fill would.
+func (cs *cartStepper) fillOpenFaces() {
+	if cs.spec == nil {
+		return
+	}
+	for axis := 0; axis < 3; axis++ {
+		for side := 0; side < 2; side++ {
+			if cs.ex.Neighbors[axis][side] == halo.NoNeighbor && openFace(cs.spec.Faces[axis][side].Kind) {
+				cs.fillFace(axis, side)
+			}
 		}
 	}
 }
@@ -722,128 +808,169 @@ func (cs *cartStepper) classifyAxis(a, n int) []axisClass {
 	return out
 }
 
+// solidAt classifies one local point: whether it is solid, and whether
+// the solidity comes from a global boundary face (walls, moving walls,
+// velocity inlets) rather than the user's voxel mask. Mask coordinates
+// wrap on periodic axes and clamp beyond non-wall bounded faces (the
+// mask analog of zero gradient).
+func (cs *cartStepper) solidAt(c [3]axisClass) (solid, face bool) {
+	for a := 0; a < 3; a++ {
+		if c[a].side >= 0 {
+			switch cs.spec.Faces[a][c[a].side].Kind {
+			case BCWall, BCMovingWall, BCInlet:
+				return true, true
+			}
+		}
+	}
+	return cs.cfg.Solid != nil && cs.cfg.Solid.At(c[0].g, c[1].g, c[2].g), false
+}
+
+// faceDelta returns the bounce-back correction for a link whose solid
+// endpoint has the given classification. Endpoints beyond exactly one
+// bounded face pick up the face's term:
+//
+//   - moving wall: the standard 2·w_v·ρ0·(c_v·u_w)/c_s² momentum
+//     correction (the second-order odd part of the wall equilibrium);
+//
+//   - velocity inlet: the full Zou-He odd part
+//     f_eq_v(1, u_w) − f_eq_opp(1, u_w) — the even/odd pair split of the
+//     collision subsystem applied to the wall equilibrium, third-order
+//     terms included, with u_w from the face's profile at the endpoint.
+//
+// Endpoints beyond two or three faces (edge and corner ghosts) bounce as
+// stationary walls, the corner convention of the cavity literature — no
+// inlet or lid data reaches a corner link.
+func (cs *cartStepper) faceDelta(v int, c [3]axisClass) float64 {
+	outside, axis := 0, -1
+	for a := 0; a < 3; a++ {
+		if c[a].side >= 0 {
+			outside++
+			axis = a
+		}
+	}
+	if outside != 1 {
+		return 0
+	}
+	m := cs.model
+	face := &cs.spec.Faces[axis][c[axis].side]
+	switch face.Kind {
+	case BCMovingWall:
+		cu := float64(m.Cx[v])*face.U[0] + float64(m.Cy[v])*face.U[1] + float64(m.Cz[v])*face.U[2]
+		return 2 * m.W[v] * cu / m.CsSq
+	case BCInlet:
+		u := face.velocityAt(c[0].g, c[1].g, c[2].g)
+		return m.EquilibriumAt(v, 1, u[0], u[1], u[2]) - m.EquilibriumAt(m.Opp[v], 1, u[0], u[1], u[2])
+	}
+	return 0
+}
+
 // buildMask evaluates the solid geometry over the local box (ghosts
-// included) and precomputes the per-x-plane bounce-back fixup lists. Two
-// sources make a cell solid: the user's Solid mask over the global domain
-// (periodic axes wrap; coordinates beyond a non-wall bounded face clamp,
-// the mask analog of zero gradient), and the region beyond a wall or
-// moving-wall global face. A link whose solid endpoint lies beyond
-// exactly one bounded face, and that face is a moving wall, carries the
-// 2·w_v·ρ0·(c_v·u_w)/c_s² momentum correction; endpoints beyond two or
-// three faces (edge and corner ghosts) bounce as stationary walls, the
-// corner convention of the cavity literature.
+// included) and builds the per-box bounce-back fixup index. Two sources
+// make a cell solid: the user's voxel mask over the global domain and the
+// region beyond a wall, moving-wall or velocity-inlet global face; the
+// per-link corrections come from faceDelta. Links are tagged with their
+// body (mask vs faces) and with ownership, the force-measurement filter.
 func (cs *cartStepper) buildMask() {
 	if cs.cfg.Solid == nil && !cs.spec.hasWallFaces() {
 		return
 	}
 	nx, ny, nz := cs.d.NX, cs.d.NY, cs.d.NZ
-	class := [3][]axisClass{
+	cs.class = [3][]axisClass{
 		cs.classifyAxis(0, nx), cs.classifyAxis(1, ny), cs.classifyAxis(2, nz),
 	}
-	solidAt := func(c [3]axisClass) bool {
-		for a := 0; a < 3; a++ {
-			if c[a].side >= 0 {
-				if k := cs.spec.Faces[a][c[a].side].Kind; k == BCWall || k == BCMovingWall {
-					return true
-				}
-			}
-		}
-		return cs.cfg.Solid != nil && cs.cfg.Solid(c[0].g, c[1].g, c[2].g)
-	}
+	class := cs.class
 	m := cs.model
-	lidDelta := func(v int, c [3]axisClass) float64 {
-		outside, axis := 0, -1
-		for a := 0; a < 3; a++ {
-			if c[a].side >= 0 {
-				outside++
-				axis = a
-			}
-		}
-		if outside != 1 {
-			return 0
-		}
-		face := cs.spec.Faces[axis][c[axis].side]
-		if face.Kind != BCMovingWall {
-			return 0
-		}
-		cu := float64(m.Cx[v])*face.U[0] + float64(m.Cy[v])*face.U[1] + float64(m.Cz[v])*face.U[2]
-		return 2 * m.W[v] * cu / m.CsSq
-	}
 	cs.mask = make([]bool, cs.d.Cells())
+	obstacle := make([]bool, cs.d.Cells())
 	for ix := 0; ix < nx; ix++ {
 		for iy := 0; iy < ny; iy++ {
 			for iz := 0; iz < nz; iz++ {
-				cs.mask[cs.d.Index(ix, iy, iz)] = solidAt([3]axisClass{class[0][ix], class[1][iy], class[2][iz]})
+				solid, face := cs.solidAt([3]axisClass{class[0][ix], class[1][iy], class[2][iz]})
+				cs.mask[cs.d.Index(ix, iy, iz)] = solid
+				obstacle[cs.d.Index(ix, iy, iz)] = solid && !face
 			}
 		}
 	}
-	cs.fix = make([][]fixup, nx)
+	ownedAt := func(a, i int) bool { return i >= cs.w[a] && i < cs.w[a]+cs.own[a] }
+	cs.fix = newFixIndex(cs.d, m)
 	for ix := 0; ix < nx; ix++ {
 		for iy := 0; iy < ny; iy++ {
+			owned2 := ownedAt(0, ix) && ownedAt(1, iy)
 			for iz := 0; iz < nz; iz++ {
 				cell := cs.d.Index(ix, iy, iz)
 				if cs.mask[cell] {
 					continue
 				}
+				owned := owned2 && ownedAt(2, iz)
 				for v := 0; v < m.Q; v++ {
 					sx, sy, sz := ix-m.Cx[v], iy-m.Cy[v], iz-m.Cz[v]
 					if sx < 0 || sx >= nx || sy < 0 || sy >= ny || sz < 0 || sz >= nz {
 						continue // outside the allocation; never streamed
 					}
-					if cs.mask[cs.d.Index(sx, sy, sz)] {
-						cs.fix[ix] = append(cs.fix[ix], fixup{
-							cell: int32(cell), v: uint8(v), opp: uint8(m.Opp[v]),
-							delta: lidDelta(v, [3]axisClass{class[0][sx], class[1][sy], class[2][sz]}),
-						})
+					src := cs.d.Index(sx, sy, sz)
+					if !cs.mask[src] {
+						continue
 					}
+					var flags uint8
+					if owned {
+						flags |= fixOwned
+					}
+					if obstacle[src] {
+						flags |= fixObstacle
+					}
+					cs.fix.add(ix, iy, iz, v, m.Opp[v],
+						cs.faceDelta(v, [3]axisClass{class[0][sx], class[1][sy], class[2][sz]}), flags)
 				}
 			}
 		}
 	}
+	cs.fix.finish()
 }
 
-// applyBounceBackBox replaces populations streamed out of solid cells for
-// the x-planes of box b. Fixups at cells outside the box's y/z range
-// touch only cells whose state is already stale this step and is never
-// read again before the next exchange, so the per-x-plane lists need no
-// further filtering. The phased overlapped schedule, whose regions are
-// streamed at different times, needs the strict variant below instead.
+// applyBounceBackBox applies the fixup links of destination box b through
+// the per-box index (or the legacy lenient whole-plane scan under
+// Config.FixupScan), accumulating momentum-exchange forces when the run
+// measures them. Restricting to exactly b is always safe: cells outside b
+// were not streamed this step, hold stale state, and are rewritten by a
+// wider stream before ever being read again.
 func (cs *cartStepper) applyBounceBackBox(b box) {
-	if cs.fix == nil {
+	if cs.fix.empty() {
 		return
 	}
-	cells := cs.d.Cells()
-	f, fadv := cs.f, cs.fadv
-	for ix := b.lo[0]; ix < b.hi[0]; ix++ {
-		for _, fx := range cs.fix[ix] {
-			fadv.Data[int(fx.v)*cells+int(fx.cell)] = f.Data[int(fx.opp)*cells+int(fx.cell)] + fx.delta
-		}
+	switch {
+	case cs.cfg.MeasureForces:
+		cs.fix.applyBoxForce(cs.f, cs.fadv, b, &cs.stepForce)
+	case cs.cfg.FixupScan:
+		cs.fix.applyPlanes(cs.f, cs.fadv, b.lo[0], b.hi[0])
+	default:
+		cs.fix.applyBox(cs.f, cs.fadv, b)
 	}
 }
 
-// applyBounceBackBoxIn is applyBounceBackBox restricted to exactly box b:
-// fixups whose cell lies outside b's y/z range are skipped. The phased
-// schedule requires the strict form — a fixup applied to a cell before
-// that cell's rim stream would be overwritten by it, so each fixup must
-// run in the phase that streams its cell, and only there.
+// applyBounceBackBoxIn applies exactly the links of box b — the form the
+// phased schedule requires (a fixup applied to a cell before that cell's
+// rim stream would be overwritten by it, so each fixup must run in the
+// phase that streams its cell, and only there).
 func (cs *cartStepper) applyBounceBackBoxIn(b box) {
-	if cs.fix == nil {
+	if cs.fix.empty() {
 		return
 	}
-	cells := cs.d.Cells()
-	ny, nz := cs.d.NY, cs.d.NZ
-	f, fadv := cs.f, cs.fadv
-	for ix := b.lo[0]; ix < b.hi[0]; ix++ {
-		for _, fx := range cs.fix[ix] {
-			c := int(fx.cell)
-			iz := c % nz
-			iy := (c / nz) % ny
-			if iy < b.lo[1] || iy >= b.hi[1] || iz < b.lo[2] || iz >= b.hi[2] {
-				continue
-			}
-			fadv.Data[int(fx.v)*cells+c] = f.Data[int(fx.opp)*cells+c] + fx.delta
-		}
+	switch {
+	case cs.cfg.MeasureForces:
+		cs.fix.applyBoxForce(cs.f, cs.fadv, b, &cs.stepForce)
+	case cs.cfg.FixupScan:
+		cs.fix.applyPlanesStrict(cs.f, cs.fadv, b)
+	default:
+		cs.fix.applyBox(cs.f, cs.fadv, b)
 	}
+}
+
+// endForceStep closes one step's force accumulation (see boundary.go).
+func (cs *cartStepper) endForceStep() {
+	if !cs.cfg.MeasureForces {
+		return
+	}
+	cs.forceSer = appendForceStep(cs.forceSer, &cs.stepForce)
 }
 
 // ownedSums returns mass and momentum summed over the owned fluid cells.
@@ -888,11 +1015,12 @@ func (cs *cartStepper) ownedBlock() []float64 {
 	return out
 }
 
-// ghosts, gather and axisBytes adapt the cart stepper to the shared Run
-// harness. axisBytes comes from the exchanger that does the sending, so
-// it stays truthful to the actual pack shapes.
-func (cs *cartStepper) ghosts() int64     { return cs.ghostUpdates }
-func (cs *cartStepper) gather() []float64 { return cs.ownedBlock() }
+// ghosts, gather, axisBytes and forceSeries adapt the cart stepper to the
+// shared Run harness. axisBytes comes from the exchanger that does the
+// sending, so it stays truthful to the actual pack shapes.
+func (cs *cartStepper) ghosts() int64          { return cs.ghostUpdates }
+func (cs *cartStepper) gather() []float64      { return cs.ownedBlock() }
+func (cs *cartStepper) forceSeries() []float64 { return cs.forceSer }
 func (cs *cartStepper) axisBytes() [3]int64 {
 	return [3]int64{cs.ex.BytesPerExchange(0), cs.ex.BytesPerExchange(1), cs.ex.BytesPerExchange(2)}
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/lattice"
 )
@@ -136,7 +137,7 @@ func TestCartSolidObstacles(t *testing.T) {
 	base := Config{
 		Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 8,
 		Opt: OptSIMD, Ranks: 4, Threads: 1, GhostDepth: 2,
-		Solid: solid, Init: waveInit(n), KeepField: true,
+		Solid: geom.FromFunc(n, solid), Init: waveInit(n), KeepField: true,
 	}
 	slabCfg := base
 	slabCfg.Decomp = [3]int{4, 1, 1}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/collision"
 	"repro/internal/comm"
 	"repro/internal/decomp"
+	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/lattice"
 	"repro/internal/metrics"
@@ -200,9 +201,25 @@ type Config struct {
 	// so the periodic slab ladder stays untouched.
 	Boundary *BoundarySpec
 	// Solid marks lattice points as solid walls (halfway bounce-back,
-	// no-slip). Applies to every optimization level except the fused
-	// kernel. Nil means fully periodic fluid.
-	Solid func(ix, iy, iz int) bool
+	// no-slip): a voxel mask over the global domain — built
+	// programmatically (geom.FromFunc, geom.CylinderZ, ...) or loaded from
+	// a voxel file (geom.Load). Its dims must equal N. Each rank slices
+	// the global mask into its local bounce-back fixup index (periodic
+	// axes wrap, coordinates beyond a non-wall bounded face clamp).
+	// Applies to every optimization level except the fused kernel. Nil
+	// means fully periodic fluid.
+	Solid *geom.Mask
+	// MeasureForces records the momentum-exchange force on the solid
+	// geometry at every step: Result.ObstacleForce holds the per-step
+	// force the fluid exerts on the voxel mask (drag/lift), FaceForce the
+	// aggregate on the global boundary faces, both reduced across ranks.
+	// Requires the split kernels (no Fused) and the per-box fixup index
+	// (no FixupScan).
+	MeasureForces bool
+	// FixupScan selects the legacy whole-x-plane bounce-back fixup scan
+	// instead of the per-box fixup index — the reference path the
+	// equivalence tests and the lbmbench fixup experiment compare against.
+	FixupScan bool
 	// Accel is a constant body acceleration driving the flow (velocity-
 	// shift forcing); zero means unforced.
 	Accel [3]float64
@@ -278,6 +295,20 @@ func (c *Config) init() error {
 		if c.Solid != nil {
 			return fmt.Errorf("core: solid obstacles need the split stream/collide path (bounce-back runs between them); disable Fused")
 		}
+		if c.MeasureForces {
+			return fmt.Errorf("core: momentum-exchange forces live on the bounce-back links; disable Fused")
+		}
+	}
+	if c.Solid != nil {
+		if d := c.Solid.D; d != c.N {
+			return fmt.Errorf("core: solid mask dims %v != domain %v", d, c.N)
+		}
+	}
+	if c.MeasureForces && c.FixupScan {
+		return fmt.Errorf("core: force measurement requires the per-box fixup index (disable FixupScan)")
+	}
+	if c.MeasureForces && c.Layout != grid.SoA {
+		return fmt.Errorf("core: force measurement requires the SoA layout")
 	}
 	if c.N.NY < 2*k || c.N.NZ < 2*k {
 		return fmt.Errorf("core: NY/NZ (%d/%d) must be >= 2k = %d for %s", c.N.NY, c.N.NZ, 2*k, c.Model.Name)
@@ -377,6 +408,15 @@ type Result struct {
 	// that distinguishes slab, pencil and block decompositions. Zero on
 	// undecomposed axes and for the no-ghost Orig protocol.
 	HaloAxisBytes [3]int64
+	// ObstacleForce is the per-step momentum-exchange force the fluid
+	// exerts on the voxel mask (Config.Solid), summed over the mask's
+	// links and reduced across ranks; length Steps when
+	// Config.MeasureForces is set, else nil. Drag is the component along
+	// the mean flow, lift the transverse one.
+	ObstacleForce [][3]float64
+	// FaceForce is the same measurement aggregated over the global
+	// boundary faces (walls, moving walls, inlets).
+	FaceForce [][3]float64
 	// PerRank holds communication statistics per rank.
 	PerRank []RankStats
 	// Field is the gathered global distribution (layout SoA) when
@@ -417,6 +457,7 @@ func Run(cfg Config) (*Result, error) {
 	blocks := make([][]float64, cfg.Ranks)
 	axisB := make([][3]int64, cfg.Ranks)
 	slab := cfg.slabPath(dec)
+	var forceTotals []float64
 
 	runErr := fab.Run(func(r *comm.Rank) error {
 		var st interface {
@@ -426,6 +467,7 @@ func Run(cfg Config) (*Result, error) {
 			ghosts() int64
 			gather() []float64
 			axisBytes() [3]int64
+			forceSeries() []float64
 		}
 		var err error
 		if slab {
@@ -446,6 +488,16 @@ func Run(cfg Config) (*Result, error) {
 		mass, mx, my, mz := st.ownedSums()
 		sums[r.ID] = [5]float64{mass, mx, my, mz, float64(st.ghosts())}
 		axisB[r.ID] = st.axisBytes()
+		if cfg.MeasureForces {
+			// Each rank holds the partial force of its owned links; the
+			// fabric reduction makes every step's total
+			// decomposition-independent (the per-step entries differ only
+			// by float summation order across shapes).
+			tot := r.AllReduceSum(st.forceSeries())
+			if r.ID == 0 {
+				forceTotals = tot
+			}
+		}
 		if cfg.KeepField {
 			blocks[r.ID] = st.gather()
 		}
@@ -480,6 +532,15 @@ func Run(cfg Config) (*Result, error) {
 			if ab[a] > res.HaloAxisBytes[a] {
 				res.HaloAxisBytes[a] = ab[a]
 			}
+		}
+	}
+	if cfg.MeasureForces {
+		res.ObstacleForce = make([][3]float64, cfg.Steps)
+		res.FaceForce = make([][3]float64, cfg.Steps)
+		for s := 0; s < cfg.Steps && (s+1)*2*3 <= len(forceTotals); s++ {
+			o := forceTotals[s*6:]
+			res.ObstacleForce[s] = [3]float64{o[0], o[1], o[2]}
+			res.FaceForce[s] = [3]float64{o[3], o[4], o[5]}
 		}
 	}
 	fluid := FluidCells(cfg.N, cfg.Solid)

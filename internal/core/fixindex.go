@@ -1,0 +1,301 @@
+package core
+
+// The per-box bounce-back fixup index. Fixup links used to live in
+// per-x-plane lists: applying them to a sub-box meant scanning every link
+// of every plane in range and filtering by y/z — O(plane) per phase, which
+// the phased overlapped schedule pays once per rim and which dominates for
+// boundary-heavy geometries (arterial masks, dense obstacle fields). The
+// index stores the links CSR-style: sorted by cell (z-fastest, matching
+// the build order), with one span per (ix,iy) row. Applying to a box is
+// then a walk of exactly the rows the box covers, with the z range of each
+// row located by binary search — O(links in box + rows in box), on both
+// steppers at every optimization level.
+//
+// The same link inventory doubles as the momentum-exchange force
+// measurement (Ladd's method): a link that bounces population v at fluid
+// cell x transferred the momentum of the incoming population c_opp·f_opp
+// to the body and received back c_v·(f_opp + delta), so the body gains
+//
+//	ΔF = c_opp · (2·f_opp + delta)
+//
+// per link per step. Links are tagged with their body (the user's voxel
+// mask, or the global boundary faces) and with whether their cell is
+// owned — only owned links are counted, which is what makes the per-rank
+// partial sums reduce to decomposition-independent totals.
+//
+// The legacy whole-plane scan survives as applyPlanes/applyPlanesStrict
+// (Config.FixupScan), the reference path the equivalence tests and the
+// lbmbench fixup experiment compare against.
+
+import (
+	"sort"
+
+	"repro/internal/grid"
+	"repro/internal/lattice"
+)
+
+// fixup is one bounce-back link: population v of (fluid) cell was streamed
+// from a solid neighbor and must be replaced by the cell's own opposite
+// pre-stream population, plus delta — zero for stationary walls, the
+// Zou-He odd-part term for moving walls and velocity inlets (see bc.go).
+// The fixup reads only the fluid cell's own populations, never the solid
+// neighbor's, which is what keeps bounded runs bit-comparable across
+// decompositions and ghost depths.
+type fixup struct {
+	cell  int32
+	v     uint8
+	opp   uint8
+	flags uint8
+	delta float64
+}
+
+// fixup flags.
+const (
+	// fixOwned marks links whose fluid cell lies in the rank's owned box:
+	// exactly the links counted by the force accumulation (ghost-region
+	// copies of the same physical link are someone else's to count).
+	fixOwned uint8 = 1 << iota
+	// fixObstacle marks links whose solid endpoint comes from the user's
+	// voxel mask; links without it bounce off a global boundary face.
+	fixObstacle
+)
+
+// Force-accumulation bodies.
+const (
+	bodyObstacle = iota // the voxel mask (drag/lift target)
+	bodyFaces           // the global boundary faces, aggregated
+	numBodies
+)
+
+// fixIndex is the CSR-ordered link inventory of one rank's local box.
+type fixIndex struct {
+	d     grid.Dims
+	links []fixup // sorted by (ix, iy, iz, v) — the build order
+	rows  []int32 // len NX·NY+1; row (ix,iy) spans links[rows[ix·NY+iy] : rows[ix·NY+iy+1]]
+	// nextRow is the CSR build cursor (rows below it have their start set).
+	nextRow int
+	// cxo/cyo/czo are c_opp per link velocity v (i.e. −c_v), the
+	// momentum-exchange direction of a link bouncing v.
+	cxo, cyo, czo []float64
+}
+
+func newFixIndex(d grid.Dims, m *lattice.Model) *fixIndex {
+	fi := &fixIndex{
+		d:    d,
+		rows: make([]int32, d.NX*d.NY+1),
+		cxo:  make([]float64, m.Q),
+		cyo:  make([]float64, m.Q),
+		czo:  make([]float64, m.Q),
+	}
+	for v := 0; v < m.Q; v++ {
+		fi.cxo[v] = -float64(m.Cx[v])
+		fi.cyo[v] = -float64(m.Cy[v])
+		fi.czo[v] = -float64(m.Cz[v])
+	}
+	return fi
+}
+
+// add appends one link. Calls must come in (ix, iy, iz, v) lexicographic
+// order — the natural order of the build loops — so the CSR rows stay
+// sorted and the per-row z binary search works.
+func (fi *fixIndex) add(ix, iy, iz, v, opp int, delta float64, flags uint8) {
+	row := ix*fi.d.NY + iy
+	for fi.nextRow <= row {
+		fi.rows[fi.nextRow] = int32(len(fi.links))
+		fi.nextRow++
+	}
+	fi.links = append(fi.links, fixup{
+		cell: int32(fi.d.Index(ix, iy, iz)), v: uint8(v), opp: uint8(opp),
+		delta: delta, flags: flags,
+	})
+}
+
+// finish seals the CSR row table after the last add.
+func (fi *fixIndex) finish() {
+	for fi.nextRow <= fi.d.NX*fi.d.NY {
+		fi.rows[fi.nextRow] = int32(len(fi.links))
+		fi.nextRow++
+	}
+}
+
+// empty reports whether the index holds no links (nil-safe).
+func (fi *fixIndex) empty() bool { return fi == nil || len(fi.links) == 0 }
+
+// clampTo clips box b to the index's local dims.
+func (fi *fixIndex) clampTo(b box) box {
+	hi := [3]int{fi.d.NX, fi.d.NY, fi.d.NZ}
+	for a := 0; a < 3; a++ {
+		if b.lo[a] < 0 {
+			b.lo[a] = 0
+		}
+		if b.hi[a] > hi[a] {
+			b.hi[a] = hi[a]
+		}
+	}
+	return b
+}
+
+// zSlice narrows one row's links to those with iz in [zlo, zhi). Links in
+// a row are sorted by cell, and cell mod NZ is iz, so both bounds are
+// binary searches.
+func zSlice(seg []fixup, nz, zlo, zhi int) []fixup {
+	lo := sort.Search(len(seg), func(i int) bool { return int(seg[i].cell)%nz >= zlo })
+	hi := lo + sort.Search(len(seg[lo:]), func(i int) bool { return int(seg[lo+i].cell)%nz >= zhi })
+	return seg[lo:hi]
+}
+
+// applyBox replaces, for every link whose cell lies in box b, the
+// population streamed out of the solid neighbor with the reflected
+// pre-stream population of the receiving fluid cell:
+// f_adv[v][x] = f[opp(v)][x] + delta. Exactly the links of b are applied,
+// which is what the phased overlapped schedule requires (a fixup applied
+// before its cell's rim stream would be overwritten by it).
+func (fi *fixIndex) applyBox(f, fadv *grid.Field, b box) {
+	if fi.empty() {
+		return
+	}
+	b = fi.clampTo(b)
+	nz := fi.d.NZ
+	fullZ := b.lo[2] == 0 && b.hi[2] == nz
+	if fullZ && b.lo[1] == 0 && b.hi[1] == fi.d.NY {
+		// Full cross-section: the links of the covered planes are one
+		// contiguous CSR span — skip the per-row walk entirely.
+		fi.applyPlanes(f, fadv, b.lo[0], b.hi[0])
+		return
+	}
+	if f.Layout == grid.SoA {
+		cells := fi.d.Cells()
+		fd, ad := f.Data, fadv.Data
+		for ix := b.lo[0]; ix < b.hi[0]; ix++ {
+			rowBase := ix * fi.d.NY
+			for iy := b.lo[1]; iy < b.hi[1]; iy++ {
+				seg := fi.links[fi.rows[rowBase+iy]:fi.rows[rowBase+iy+1]]
+				if !fullZ {
+					seg = zSlice(seg, nz, b.lo[2], b.hi[2])
+				}
+				for _, fx := range seg {
+					ad[int(fx.v)*cells+int(fx.cell)] = fd[int(fx.opp)*cells+int(fx.cell)] + fx.delta
+				}
+			}
+		}
+		return
+	}
+	q := f.Q
+	for ix := b.lo[0]; ix < b.hi[0]; ix++ {
+		rowBase := ix * fi.d.NY
+		for iy := b.lo[1]; iy < b.hi[1]; iy++ {
+			seg := fi.links[fi.rows[rowBase+iy]:fi.rows[rowBase+iy+1]]
+			if !fullZ {
+				seg = zSlice(seg, nz, b.lo[2], b.hi[2])
+			}
+			for _, fx := range seg {
+				fadv.Data[int(fx.cell)*q+int(fx.v)] = f.Data[int(fx.cell)*q+int(fx.opp)] + fx.delta
+			}
+		}
+	}
+}
+
+// applyBoxForce is applyBox with momentum-exchange accumulation: every
+// owned link adds c_opp·(2·f_opp + delta) to its body's force (SoA only —
+// the force path always runs on the SoA steppers).
+func (fi *fixIndex) applyBoxForce(f, fadv *grid.Field, b box, acc *[numBodies][3]float64) {
+	if fi.empty() {
+		return
+	}
+	b = fi.clampTo(b)
+	nz := fi.d.NZ
+	cells := fi.d.Cells()
+	fullZ := b.lo[2] == 0 && b.hi[2] == nz
+	fd, ad := f.Data, fadv.Data
+	apply := func(seg []fixup) {
+		for _, fx := range seg {
+			fo := fd[int(fx.opp)*cells+int(fx.cell)]
+			ad[int(fx.v)*cells+int(fx.cell)] = fo + fx.delta
+			if fx.flags&fixOwned == 0 {
+				continue
+			}
+			body := bodyFaces
+			if fx.flags&fixObstacle != 0 {
+				body = bodyObstacle
+			}
+			p := 2*fo + fx.delta
+			acc[body][0] += fi.cxo[fx.v] * p
+			acc[body][1] += fi.cyo[fx.v] * p
+			acc[body][2] += fi.czo[fx.v] * p
+		}
+	}
+	if fullZ && b.lo[1] == 0 && b.hi[1] == fi.d.NY {
+		apply(fi.links[fi.rows[b.lo[0]*fi.d.NY]:fi.rows[b.hi[0]*fi.d.NY]])
+		return
+	}
+	for ix := b.lo[0]; ix < b.hi[0]; ix++ {
+		rowBase := ix * fi.d.NY
+		for iy := b.lo[1]; iy < b.hi[1]; iy++ {
+			seg := fi.links[fi.rows[rowBase+iy]:fi.rows[rowBase+iy+1]]
+			if !fullZ {
+				seg = zSlice(seg, nz, b.lo[2], b.hi[2])
+			}
+			apply(seg)
+		}
+	}
+}
+
+// applyPlanes is the legacy lenient whole-plane scan: every link whose
+// cell lies in x-planes [lo, hi) is applied regardless of its y/z
+// position. Links at cells outside a step's destination box touch only
+// state that is already stale and never read before the next refresh, so
+// the unsynchronized stepping paths may use this form; the phased
+// schedule may not (see applyPlanesStrict). Reference path for the
+// fixup-index equivalence tests and benchmarks.
+func (fi *fixIndex) applyPlanes(f, fadv *grid.Field, lo, hi int) {
+	if fi.empty() {
+		return
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > fi.d.NX {
+		hi = fi.d.NX
+	}
+	if hi <= lo {
+		return
+	}
+	seg := fi.links[fi.rows[lo*fi.d.NY]:fi.rows[hi*fi.d.NY]]
+	if f.Layout == grid.SoA {
+		cells := fi.d.Cells()
+		fd, ad := f.Data, fadv.Data
+		for _, fx := range seg {
+			ad[int(fx.v)*cells+int(fx.cell)] = fd[int(fx.opp)*cells+int(fx.cell)] + fx.delta
+		}
+		return
+	}
+	q := f.Q
+	for _, fx := range seg {
+		fadv.Data[int(fx.cell)*q+int(fx.v)] = f.Data[int(fx.cell)*q+int(fx.opp)] + fx.delta
+	}
+}
+
+// applyPlanesStrict is the legacy strict scan: the whole-plane lists are
+// walked and every link filtered by the box's y/z range — the O(plane)
+// cost per phase the per-box index removes. Reference path only.
+func (fi *fixIndex) applyPlanesStrict(f, fadv *grid.Field, b box) {
+	if fi.empty() {
+		return
+	}
+	b = fi.clampTo(b)
+	nz, ny := fi.d.NZ, fi.d.NY
+	cells := fi.d.Cells()
+	fd, ad := f.Data, fadv.Data
+	for ix := b.lo[0]; ix < b.hi[0]; ix++ {
+		seg := fi.links[fi.rows[ix*ny]:fi.rows[(ix+1)*ny]]
+		for _, fx := range seg {
+			c := int(fx.cell)
+			iz := c % nz
+			iy := (c / nz) % ny
+			if iy < b.lo[1] || iy >= b.hi[1] || iz < b.lo[2] || iz >= b.hi[2] {
+				continue
+			}
+			ad[int(fx.v)*cells+c] = fd[int(fx.opp)*cells+c] + fx.delta
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/lattice"
+)
+
+// parabola returns the analytic Poiseuille inflow profile across the y
+// walls of an H-cell channel: u_x(ŷ) = 4·umax·ŷ(1−ŷ) with ŷ = (y+½)/H in
+// wall units (halfway walls at −½ and H−½).
+func parabola(umax float64, h int) func(gx, gy, gz int) [3]float64 {
+	return func(gx, gy, gz int) [3]float64 {
+		y := (float64(gy) + 0.5) / float64(h)
+		return [3]float64{4 * umax * y * (1 - y), 0, 0}
+	}
+}
+
+// TestInletAgainstOracle holds the Zou-He velocity inlet to the
+// link-by-link bounded oracle: uniform and parabolic inflow, with and
+// without an interior obstacle, across decompositions, ghost depths and
+// the overlapped schedule, for both lattices (the D3Q39 case exercises
+// the third-order terms of the odd-part inversion).
+func TestInletAgainstOracle(t *testing.T) {
+	n := grid.Dims{NX: 16, NY: 10, NZ: 6}
+	plate := geom.FromFunc(n, func(ix, iy, iz int) bool {
+		return ix == 6 && iy >= 3 && iy < 7
+	})
+	uniform := InletChannelSpec(0.04, nil)
+	parab := InletChannelSpec(0, parabola(0.06, n.NY))
+	cases := []struct {
+		name   string
+		model  *lattice.Model
+		spec   *BoundarySpec
+		solid  *geom.Mask
+		decomp [3]int
+		opt    OptLevel
+		depth  int
+	}{
+		{"uniform-1rank", lattice.D3Q19(), uniform, nil, [3]int{1, 1, 1}, OptSIMD, 1},
+		{"uniform-slabshape", lattice.D3Q19(), uniform, nil, [3]int{2, 1, 1}, OptSIMD, 1},
+		{"uniform-pencil-deep", lattice.D3Q19(), uniform, nil, [3]int{2, 2, 1}, OptSIMD, 2},
+		{"uniform-plate-gcc", lattice.D3Q19(), uniform, plate, [3]int{2, 2, 1}, OptGCC, 2},
+		{"parabola-pencil", lattice.D3Q19(), parab, nil, [3]int{2, 2, 1}, OptSIMD, 1},
+		{"parabola-plate-block", lattice.D3Q19(), parab, plate, [3]int{2, 2, 2}, OptNBC, 1},
+		{"uniform-q39", lattice.D3Q39(), uniform, nil, [3]int{2, 1, 1}, OptSIMD, 1},
+	}
+	for _, tc := range cases {
+		n := n
+		if tc.model.MaxSpeed > 1 {
+			n = grid.Dims{NX: 16, NY: 10, NZ: 8}
+		}
+		runAndCompareBounded(t, Config{
+			Model: tc.model, N: n, Tau: 0.8, Steps: 6,
+			Opt: tc.opt, Ranks: tc.decomp[0] * tc.decomp[1] * tc.decomp[2],
+			Decomp: tc.decomp, Threads: 1, GhostDepth: tc.depth,
+			Boundary: tc.spec, Solid: tc.solid,
+		})
+	}
+}
+
+// TestInletOutflowNoLeakThroughSolids is the poison test of the open
+// boundaries: a channel whose cross-section is completely blocked by a
+// solid barrier, started from rest. Bounce-back seals every link through
+// the barrier and the corner links between the inlet and the walls bounce
+// as stationary walls, so the fluid downstream of the barrier must stay
+// at the rest equilibrium — any inlet or outflow data reaching it (through
+// solid cells, or riding around a corner on the exchange payloads) would
+// show up as a velocity. Run across decompositions so the ghost corners
+// of every shape are exercised.
+func TestInletOutflowNoLeakThroughSolids(t *testing.T) {
+	n := grid.Dims{NX: 24, NY: 10, NZ: 6}
+	barrier := 12
+	wall := geom.FromFunc(n, func(ix, iy, iz int) bool { return ix == barrier })
+	m := lattice.D3Q19()
+	rest := make([]float64, m.Q)
+	m.Equilibrium(1, 0, 0, 0, rest)
+	for _, shape := range [][3]int{{1, 1, 1}, {4, 1, 1}, {2, 2, 1}} {
+		res, err := Run(Config{
+			Model: m, N: n, Tau: 0.9, Steps: 150,
+			Opt: OptGCC, Ranks: shape[0] * shape[1] * shape[2], Decomp: shape,
+			Threads: 1, GhostDepth: 2,
+			Boundary: InletChannelSpec(0.02, nil), Solid: wall,
+			KeepField: true,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", shape, err)
+		}
+		if math.IsNaN(res.Mass) {
+			t.Fatalf("%v: diverged", shape)
+		}
+		var worst float64
+		for v := 0; v < m.Q; v++ {
+			for ix := barrier + 1; ix < n.NX; ix++ {
+				for iy := 0; iy < n.NY; iy++ {
+					for iz := 0; iz < n.NZ; iz++ {
+						if d := math.Abs(res.Field.At(v, ix, iy, iz) - rest[v]); d > worst {
+							worst = d
+						}
+					}
+				}
+			}
+		}
+		if worst > 1e-12 {
+			t.Errorf("%v: inlet/outflow data leaked past the solid barrier: max |f − rest| = %g", shape, worst)
+		}
+	}
+}
+
+// TestInletMassFluxPoiseuille: with the analytic Poiseuille parabola
+// prescribed at the inlet of a straight channel, the steady state must
+// carry the analytic mass flux through every cross-section (flux
+// conservation along the channel) and reproduce the inflow profile at
+// mid-channel.
+func TestInletMassFluxPoiseuille(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state transient in -short mode")
+	}
+	m := lattice.D3Q19()
+	n := grid.Dims{NX: 24, NY: 16, NZ: 2}
+	umax := 0.05
+	prof := parabola(umax, n.NY)
+	res, err := Run(Config{
+		Model: m, N: n, Tau: 0.8, Steps: 4000,
+		Opt: OptSIMD, Ranks: 2, Decomp: [3]int{2, 1, 1}, Threads: 2, GhostDepth: 1,
+		Boundary:  InletChannelSpec(0, prof),
+		KeepField: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The prescribed flux: the discrete sum of the parabola over the inlet
+	// cross-section at ρ0 = 1.
+	var want float64
+	for iy := 0; iy < n.NY; iy++ {
+		want += prof(0, iy, 0)[0] * float64(n.NZ)
+	}
+	fc := make([]float64, m.Q)
+	flux := func(ix int) float64 {
+		var fl float64
+		for iy := 0; iy < n.NY; iy++ {
+			for iz := 0; iz < n.NZ; iz++ {
+				res.Field.Cell(ix, iy, iz, fc)
+				_, jx, _, _ := m.Moments(fc)
+				fl += jx
+			}
+		}
+		return fl
+	}
+	for _, ix := range []int{0, n.NX / 2, n.NX - 2} {
+		got := flux(ix)
+		if d := math.Abs(got-want) / want; d > 0.02 {
+			t.Errorf("mass flux at x=%d: %g, want %g (rel err %.3f)", ix, got, want, d)
+		}
+	}
+	// Mid-channel profile vs the analytic parabola, in umax units.
+	var worst float64
+	for iy := 0; iy < n.NY; iy++ {
+		var sum float64
+		for iz := 0; iz < n.NZ; iz++ {
+			res.Field.Cell(n.NX/2, iy, iz, fc)
+			rho, jx, _, _ := m.Moments(fc)
+			sum += jx / rho
+		}
+		got := sum / float64(n.NZ)
+		if d := math.Abs(got-prof(0, iy, 0)[0]) / umax; d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.03 {
+		t.Errorf("mid-channel profile deviates from the inlet parabola by %.1f%% of umax", 100*worst)
+	}
+}
+
+// TestInletValidation pins the inlet-spec configuration errors.
+func TestInletValidation(t *testing.T) {
+	n := grid.Dims{NX: 12, NY: 8, NZ: 6}
+	run := func(spec *BoundarySpec) error {
+		_, err := Run(Config{
+			Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 1,
+			Opt: OptSIMD, Boundary: spec,
+		})
+		return err
+	}
+	outward := InletChannelSpec(0.05, nil)
+	outward.Faces[0][0].U[0] = -0.05
+	if run(outward) == nil {
+		t.Error("outward-flowing inlet accepted")
+	}
+	zero := InletChannelSpec(0.05, nil)
+	zero.Faces[0][0].U = [3]float64{}
+	if run(zero) == nil {
+		t.Error("zero-velocity inlet accepted")
+	}
+	wallProfile := CavitySpec(0.05)
+	wallProfile.Faces[0][0].Profile = func(gx, gy, gz int) [3]float64 { return [3]float64{} }
+	if run(wallProfile) == nil {
+		t.Error("velocity profile on a wall face accepted")
+	}
+	if run(InletChannelSpec(0.05, nil)) != nil {
+		t.Error("valid inlet channel rejected")
+	}
+}

@@ -57,9 +57,11 @@ type stepper struct {
 	op           collision.Operator // non-nil routes collisions through the generic operator kernel
 	jit          *metrics.RNG
 
-	// Obstacles and forcing (see boundary.go).
+	// Obstacles and forcing (see boundary.go, fixindex.go).
 	mask                   []bool
-	fix                    [][]fixup
+	fix                    *fixIndex
+	stepForce              [numBodies][3]float64
+	forceSer               []float64
 	shiftX, shiftY, shiftZ float64
 }
 
@@ -160,6 +162,7 @@ func (s *stepper) run() {
 	if s.orig != nil {
 		for n := 0; n < s.cfg.Steps; n++ {
 			s.orig.step()
+			s.endForceStep()
 			s.jitter()
 		}
 		return
@@ -214,6 +217,7 @@ func (s *stepper) cycle(runLen int) {
 		s.applyBounceBack(lo, hi)
 		s.collideRegion(lo, hi)
 		s.countUpdates(lo, hi)
+		s.endForceStep()
 		s.jitter()
 	}
 }
@@ -258,6 +262,7 @@ func (s *stepper) overlappedFirstStep(ext int) {
 	s.applyBounceBack(isHi, hi)
 	s.collideRegionPair(lo, icLo, icHi, hi)
 	s.countUpdates(lo, hi)
+	s.endForceStep()
 }
 
 // countUpdates accumulates the ghost-region overhead metric.
@@ -375,10 +380,11 @@ func (s *stepper) ownedSlab() []float64 {
 	return out
 }
 
-// ghosts, gather and axisBytes adapt the stepper to the shared Run
-// harness (the cart stepper implements the same trio).
-func (s *stepper) ghosts() int64     { return s.ghostUpdates }
-func (s *stepper) gather() []float64 { return s.ownedSlab() }
+// ghosts, gather, axisBytes and forceSeries adapt the stepper to the
+// shared Run harness (the cart stepper implements the same quartet).
+func (s *stepper) ghosts() int64          { return s.ghostUpdates }
+func (s *stepper) gather() []float64      { return s.ownedSlab() }
+func (s *stepper) forceSeries() []float64 { return s.forceSer }
 
 // axisBytes reports this rank's halo payload per full exchange: the
 // exchanger's own accounting (x only — the slab has no y/z halo). Zero

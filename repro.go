@@ -30,6 +30,7 @@ import (
 	"repro/internal/collision"
 	"repro/internal/core"
 	"repro/internal/decomp"
+	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/lattice"
 	"repro/internal/machine"
@@ -85,11 +86,33 @@ type (
 
 // Boundary face kinds.
 const (
-	BCPeriodic   = core.BCPeriodic
-	BCWall       = core.BCWall
-	BCMovingWall = core.BCMovingWall
-	BCOutflow    = core.BCOutflow
+	BCPeriodic       = core.BCPeriodic
+	BCWall           = core.BCWall
+	BCMovingWall     = core.BCMovingWall
+	BCOutflow        = core.BCOutflow
+	BCInlet          = core.BCInlet
+	BCPressureOutlet = core.BCPressureOutlet
 )
+
+// Geometry subsystem (Config.Solid): voxelized solid masks over the
+// global lattice, built programmatically or loaded from voxel files.
+type Mask = geom.Mask
+
+// MaskFromFunc builds a voxel mask by evaluating solid at every global
+// lattice point.
+func MaskFromFunc(d Dims, solid func(ix, iy, iz int) bool) *Mask {
+	return geom.FromFunc(d, solid)
+}
+
+// CylinderZ returns a mask with a z-aligned circular cylinder (center
+// (cx, cy), radius r) marked solid — the vortex-shedding obstacle.
+func CylinderZ(d Dims, cx, cy, r float64) *Mask { return geom.CylinderZ(d, cx, cy, r) }
+
+// LoadMask reads a voxel mask from a .csv or .raw file (see geom.Load).
+func LoadMask(path string) (*Mask, error) { return geom.Load(path) }
+
+// SaveMask writes a voxel mask to a .csv or .raw file.
+func SaveMask(path string, m *Mask) error { return geom.Save(path, m) }
 
 // Collision operators (Config.Collision). The zero CollisionSpec is the
 // paper's BGK and keeps the specialized kernels bit-for-bit; TRT and MRT
@@ -119,6 +142,14 @@ func CavitySpec(u float64) *BoundarySpec { return core.CavitySpec(u) }
 // ChannelSpec returns a wall-bounded channel (no-slip y faces, the rest
 // periodic); drive it with Config.Accel for Poiseuille flow.
 func ChannelSpec() *BoundarySpec { return core.ChannelSpec() }
+
+// InletChannelSpec returns an open flow-through channel: Zou-He velocity
+// inlet at low x, unit-density zero-gradient outlet at high x (see
+// BCPressureOutlet — a velocity-driven channel needs the pressure
+// anchor), no-slip y walls, periodic z.
+func InletChannelSpec(u float64, profile func(gx, gy, gz int) [3]float64) *BoundarySpec {
+	return core.InletChannelSpec(u, profile)
+}
 
 // D3Q19 returns the standard 19-velocity lattice (Navier-Stokes regime).
 func D3Q19() *Model { return lattice.D3Q19() }
