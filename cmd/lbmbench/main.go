@@ -21,6 +21,7 @@ import (
 	"log"
 
 	"repro/internal/collision"
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
@@ -29,11 +30,12 @@ func main() {
 	log.SetPrefix("lbmbench: ")
 
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, table2, fig8, fig9, fig10, table3, table4, fig11, decomp, collision, fixup, or all")
+		exp      = flag.String("exp", "all", "experiment: table1, table2, fig8, fig9, fig10, table3, table4, fig11, decomp, collision, fixup, threads, or all")
 		machine  = flag.String("machine", "bgp", "machine for fig8/fig9/fig11/decomp: bgp or bgq")
-		real     = flag.Bool("real", false, "run the real kernels locally instead of the paper-scale simulator (fixup is real-only)")
+		real     = flag.Bool("real", false, "run the real kernels locally instead of the paper-scale simulator (fixup and threads are real-only)")
 		model    = flag.String("model", "D3Q19", "model for -real and collision experiments")
 		ranks    = flag.Int("ranks", 4, "ranks for -real experiments")
+		threads  = flag.Int("threads", 1, "worker threads per rank for -real experiments; for -exp threads the top of the sweep (0 = runtime.NumCPU()/ranks, floor 1)")
 		steps    = flag.Int("steps", 30, "steps for -real experiments")
 		decomp   = flag.String("decomp", "1d", "decomposition for -real experiments: 1d, 2d, 3d or PxxPyxPz")
 		depth    = flag.String("depth", "1", "ghost-cell depth for -real fig8/fig9/fig11: one value or per-axis dx,dy,dz (fig10 sweeps depth itself)")
@@ -69,12 +71,19 @@ func main() {
 		log.Fatalf("-depth applies to -real experiments only (got -exp %s without -real)", *exp)
 	}
 	if *real {
-		tb, err := realExperiment(*exp, *model, *ranks, *steps, *decomp, *depth, colSpec)
+		nthreads, err := core.ResolveThreads(*threads, *ranks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb, err := realExperiment(*exp, *model, *ranks, nthreads, *steps, *decomp, *depth, colSpec)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(tb.Render())
 		return
+	}
+	if *threads != 1 {
+		log.Fatalf("-threads applies to -real experiments only (got -exp %s without -real)", *exp)
 	}
 	if *exp == "collision" {
 		// The collision comparison always runs the real kernels; honor the
@@ -101,23 +110,25 @@ func main() {
 	}
 }
 
-func realExperiment(exp, model string, ranks, steps int, decomp, depth string, colSpec collision.Spec) (*experiments.Table, error) {
+func realExperiment(exp, model string, ranks, threads, steps int, decomp, depth string, colSpec collision.Spec) (*experiments.Table, error) {
 	switch exp {
 	case "fig8":
-		return experiments.RealFig8(model, ranks, steps, decomp, depth, colSpec)
+		return experiments.RealFig8(model, ranks, threads, steps, decomp, depth, colSpec)
 	case "fig9":
-		return experiments.RealFig9(model, ranks, steps, decomp, depth, colSpec)
+		return experiments.RealFig9(model, ranks, threads, steps, decomp, depth, colSpec)
 	case "fig10":
 		if depth != "1" {
 			return nil, fmt.Errorf("fig10 sweeps ghost depth itself; drop -depth")
 		}
-		return experiments.RealFig10(model, ranks, steps, decomp, colSpec)
+		return experiments.RealFig10(model, ranks, threads, steps, decomp, colSpec)
 	case "fig11":
 		return experiments.RealFig11(model, steps, decomp, depth, colSpec)
 	case "collision":
 		return experiments.CollisionTable(model)
 	case "fixup":
 		return experiments.RealFixup(model, ranks, steps, decomp, depth)
+	case "threads":
+		return experiments.RealThreads(model, threads, steps, colSpec)
 	}
-	return nil, fmt.Errorf("-real supports fig8, fig9, fig10, fig11, collision, fixup (got %q)", exp)
+	return nil, fmt.Errorf("-real supports fig8, fig9, fig10, fig11, collision, fixup, threads (got %q)", exp)
 }

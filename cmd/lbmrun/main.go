@@ -45,7 +45,7 @@ func main() {
 		optName   = flag.String("opt", "SIMD", "optimization level: Orig, GC, DH, CF, LoBr, NB-C, GC-C, SIMD")
 		ranks     = flag.Int("ranks", 1, "message-passing ranks")
 		decompF   = flag.String("decomp", "1d", "domain decomposition: 1d (slab), 2d (pencil), 3d (block), or explicit PxxPyxPz (e.g. 2x2x2)")
-		threads   = flag.Int("threads", 1, "worker threads per rank")
+		threads   = flag.Int("threads", 1, "worker threads per rank (0 = runtime.NumCPU()/ranks, floor 1)")
 		depth     = flag.String("depth", "1", "ghost-cell depth: one value (exchange every depth steps) or per-axis dx,dy,dz (e.g. 2,1,1)")
 		layout    = flag.String("layout", "soa", "memory layout: soa or aos")
 		fused     = flag.Bool("fused", false, "fused stream-collide kernel (§VII future work; needs SoA and a GC level)")
@@ -101,6 +101,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	nthreads, err := core.ResolveThreads(*threads, *ranks)
+	if err != nil {
+		log.Fatal(err)
+	}
 	depthUniform, depthAxes, err := core.ParseGhostDepth(*depth)
 	if err != nil {
 		log.Fatal(err)
@@ -126,7 +130,7 @@ func main() {
 
 	cfg := core.Config{
 		Model: model, N: n, Tau: *tau, Steps: *steps,
-		Opt: opt, Ranks: *ranks, Decomp: dec.P, Threads: *threads,
+		Opt: opt, Ranks: *ranks, Decomp: dec.P, Threads: nthreads,
 		GhostDepth: depthUniform, GhostDepthAxes: depthAxes,
 		Layout: lay, Fused: *fused, Collision: colSpec, KeepField: *out != "",
 	}

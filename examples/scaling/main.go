@@ -19,6 +19,43 @@ func main() {
 	log.SetFlags(0)
 	deepHaloSweep()
 	decompositionCrossover()
+	threadSweep()
+}
+
+// threadSweep scales worker threads inside one rank: the persistent
+// pool's chunk queue partitions each box along its longest axis, so both
+// the split BGK path and the generic TRT operator path ride the whole
+// team. The sweep tops out at runtime.NumCPU() (ResolveThreads(0, 1)).
+func threadSweep() {
+	model := repro.D3Q19()
+	n := repro.Dims{NX: 48, NY: 32, NZ: 32}
+	maxT, err := repro.ResolveThreads(0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nIn-rank thread sweep: %s, %s, 1 rank, up to %d threads\n\n", model.Name, n, maxT)
+	fmt.Printf("%-8s %-12s %-12s %-10s\n", "threads", "bgk MFlup/s", "trt MFlup/s", "op gap")
+	for t := 1; t <= maxT; t *= 2 {
+		var rates [2]float64
+		for i, spec := range []repro.CollisionSpec{{}, {Kind: repro.CollisionTRT}} {
+			res, err := repro.Run(repro.Config{
+				Model: model, N: n, Tau: 0.7, Steps: 40,
+				Opt: repro.OptSIMD, Ranks: 1, Threads: t, GhostDepth: 1,
+				Collision: spec,
+				Init: func(ix, iy, iz int) (rho, ux, uy, uz float64) {
+					return 1 + 0.02*math.Sin(2*math.Pi*float64(ix)/float64(n.NX)), 0, 0, 0
+				},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			rates[i] = res.MFlups
+		}
+		fmt.Printf("%-8d %-12.2f %-12.2f %.2fx\n", t, rates[0], rates[1], rates[0]/rates[1])
+	}
+	fmt.Println("\nAll workers drain one chunk queue, so thin rim slabs and full boxes")
+	fmt.Println("alike use the whole team; the z-run-blocked operator kernel keeps the")
+	fmt.Println("TRT gap near 1x at every thread count.")
 }
 
 // decompositionCrossover runs the same problem under 1-D, 2-D and 3-D

@@ -87,14 +87,17 @@ func (s *stepper) applyBounceBack(lo, hi int) {
 	if s.fix.empty() || hi <= lo {
 		return
 	}
-	b := box{lo: [3]int{lo, 0, 0}, hi: [3]int{hi, s.d.NY, s.d.NZ}}
+	b := s.slabBox(lo, hi)
 	switch {
 	case s.cfg.MeasureForces:
+		// Serial: force sums must keep one accumulation order.
 		s.fix.applyBoxForce(s.f, s.fadv, b, &s.stepForce)
 	case s.cfg.FixupScan:
 		s.fix.applyPlanes(s.f, s.fadv, lo, hi)
 	default:
-		s.fix.applyBox(s.f, s.fadv, b)
+		s.br.run(func(worker int, sub box) {
+			s.fix.applyBox(s.f, s.fadv, sub)
+		}, b)
 	}
 }
 

@@ -71,7 +71,8 @@ type cartStepper struct {
 	f, fadv *grid.Field
 	ex      *halo.CartExchanger
 
-	threads      int
+	br           boxRunner
+	scratch      []*workerScratch
 	ghostUpdates int64
 	coef         eqCoefs
 	pairs        []velPair
@@ -93,10 +94,9 @@ func newCartStepper(cfg *Config, dec decomp.Cartesian, r *comm.Rank) (*cartStepp
 	cs := &cartStepper{
 		cfg: cfg, model: cfg.Model, r: r, dec: dec,
 		k: cfg.Model.MaxSpeed, depth: cfg.ghostDepths(),
-		threads: cfg.Threads,
-		coef:    newEqCoefs(cfg.Model),
-		pairs:   velocityPairs(cfg.Model),
-		spec:    cfg.Boundary,
+		coef:  newEqCoefs(cfg.Model),
+		pairs: velocityPairs(cfg.Model),
+		spec:  cfg.Boundary,
 	}
 	for a := 0; a < 3; a++ {
 		cs.w[a] = cs.depth[a] * cs.k
@@ -110,6 +110,8 @@ func newCartStepper(cfg *Config, dec decomp.Cartesian, r *comm.Rank) (*cartStepp
 		cs.start[a], cs.own[a] = dec.Own(r.ID, a)
 	}
 	cs.d = grid.Dims{NX: cs.own[0] + 2*cs.w[0], NY: cs.own[1] + 2*cs.w[1], NZ: cs.own[2] + 2*cs.w[2]}
+	cs.br = boxRunner{pool: parallel.NewPool(cfg.Threads)}
+	cs.scratch = newScratches(cs.br.threads(), cfg.Model.Q, cs.d.NZ, cs.op)
 	cs.f = grid.NewField(cfg.Model.Q, cs.d, cfg.Layout)
 	cs.fadv = grid.NewField(cfg.Model.Q, cs.d, cfg.Layout)
 	cs.rest = make([]float64, cfg.Model.Q)
@@ -397,33 +399,9 @@ func (cs *cartStepper) faceBox(axis, side int) box {
 func (cs *cartStepper) fillFace(axis, side int) {
 	switch face := &cs.spec.Faces[axis][side]; face.Kind {
 	case BCInlet:
-		b := cs.faceBox(axis, side)
-		feq := make([]float64, cs.model.Q)
-		for ix := b.lo[0]; ix < b.hi[0]; ix++ {
-			for iy := b.lo[1]; iy < b.hi[1]; iy++ {
-				for iz := b.lo[2]; iz < b.hi[2]; iz++ {
-					c := [3]axisClass{cs.class[0][ix], cs.class[1][iy], cs.class[2][iz]}
-					u := face.velocityAt(c[0].g, c[1].g, c[2].g)
-					cs.model.Equilibrium(1, u[0], u[1], u[2], feq)
-					cs.f.SetCell(ix, iy, iz, feq)
-				}
-			}
-		}
+		cs.fillInletFace(face, cs.faceBox(axis, side))
 	case BCWall, BCMovingWall:
-		b := cs.faceBox(axis, side)
-		zn := b.hi[2] - b.lo[2]
-		for v := 0; v < cs.model.Q; v++ {
-			blk := cs.f.V(v)
-			val := cs.rest[v]
-			for ix := b.lo[0]; ix < b.hi[0]; ix++ {
-				for iy := b.lo[1]; iy < b.hi[1]; iy++ {
-					run := blk[cs.d.Index(ix, iy, b.lo[2]) : cs.d.Index(ix, iy, b.lo[2])+zn]
-					for z := range run {
-						run[z] = val
-					}
-				}
-			}
-		}
+		cs.fillRestFace(cs.faceBox(axis, side))
 	case BCOutflow:
 		src := cs.w[axis] // first owned layer
 		if side == 1 {
@@ -440,6 +418,81 @@ func (cs *cartStepper) fillFace(axis, side int) {
 		}
 		cs.fillPressureLayer(axis, side, src)
 	}
+}
+
+// fillInletFace writes the inlet equilibrium into the ghost box of a
+// velocity-inlet face, row-blocked over z-runs and chunked across the
+// team. A uniform face computes the Q equilibrium values once per chunk
+// and fills per-velocity runs; a profiled face makes exactly the same
+// per-point Equilibrium calls as the old per-cell loop, staged through
+// the worker's row buffers so the writes become contiguous per-velocity
+// copies — same values either way, bit for bit.
+func (cs *cartStepper) fillInletFace(face *Face, fb box) {
+	m := cs.model
+	cs.br.run(func(worker int, b box) {
+		sc := cs.scratch[worker]
+		zn := b.hi[2] - b.lo[2]
+		if zn <= 0 {
+			return
+		}
+		feq := sc.feqR
+		if face.Profile == nil {
+			m.Equilibrium(1, face.U[0], face.U[1], face.U[2], feq)
+			for v := 0; v < m.Q; v++ {
+				blk := cs.f.V(v)
+				val := feq[v]
+				for ix := b.lo[0]; ix < b.hi[0]; ix++ {
+					for iy := b.lo[1]; iy < b.hi[1]; iy++ {
+						run := blk[cs.d.Index(ix, iy, b.lo[2]) : cs.d.Index(ix, iy, b.lo[2])+zn]
+						for z := range run {
+							run[z] = val
+						}
+					}
+				}
+			}
+			return
+		}
+		rows := sc.rows(zn)
+		for ix := b.lo[0]; ix < b.hi[0]; ix++ {
+			for iy := b.lo[1]; iy < b.hi[1]; iy++ {
+				for iz := b.lo[2]; iz < b.hi[2]; iz++ {
+					c := [3]axisClass{cs.class[0][ix], cs.class[1][iy], cs.class[2][iz]}
+					u := face.velocityAt(c[0].g, c[1].g, c[2].g)
+					m.Equilibrium(1, u[0], u[1], u[2], feq)
+					for v := 0; v < m.Q; v++ {
+						rows[v][iz-b.lo[2]] = feq[v]
+					}
+				}
+				base := cs.d.Index(ix, iy, b.lo[2])
+				for v := 0; v < m.Q; v++ {
+					copy(cs.f.V(v)[base:base+zn], rows[v])
+				}
+			}
+		}
+	}, fb)
+}
+
+// fillRestFace writes the rest-state equilibrium into a wall face's ghost
+// box as per-velocity z-run fills, chunked across the team.
+func (cs *cartStepper) fillRestFace(fb box) {
+	cs.br.run(func(worker int, b box) {
+		zn := b.hi[2] - b.lo[2]
+		if zn <= 0 {
+			return
+		}
+		for v := 0; v < cs.model.Q; v++ {
+			blk := cs.f.V(v)
+			val := cs.rest[v]
+			for ix := b.lo[0]; ix < b.hi[0]; ix++ {
+				for iy := b.lo[1]; iy < b.hi[1]; iy++ {
+					run := blk[cs.d.Index(ix, iy, b.lo[2]) : cs.d.Index(ix, iy, b.lo[2])+zn]
+					for z := range run {
+						run[z] = val
+					}
+				}
+			}
+		}
+	}, fb)
 }
 
 // fillPressureLayer writes the non-equilibrium extrapolation of the
@@ -552,30 +605,16 @@ func (cs *cartStepper) countUpdates(b box) {
 // which every optimization level shares on this path — streaming only
 // moves values, so the level's arithmetic is untouched).
 func (cs *cartStepper) streamBox(b box) {
-	parallel.For(cs.threads, b.lo[0], b.hi[0], func(x0, x1 int) { cs.streamBoxRange(b, x0, x1) })
+	cs.br.run(cs.streamBoxRange, b)
 }
 
-// streamBoxPair streams two disjoint boxes as one logical loop when they
-// share a cross-section (the axis-0 rim pair), sequentially otherwise.
+// streamBoxPair streams two disjoint boxes as one chunk batch, so a thin
+// rim pair load-balances across the whole team.
 func (cs *cartStepper) streamBoxPair(b1, b2 box) {
-	cs.forBoxPair(b1, b2, func(b box, x0, x1 int) { cs.streamBoxRange(b, x0, x1) })
+	cs.br.run(cs.streamBoxRange, b1, b2)
 }
 
-// forBoxPair runs a box-range kernel over two disjoint boxes. Boxes with
-// identical y/z extents (axis-0 rims) share one balanced static
-// partition; otherwise each box is partitioned on its own.
-func (cs *cartStepper) forBoxPair(b1, b2 box, body func(b box, x0, x1 int)) {
-	if b1.lo[1] == b2.lo[1] && b1.hi[1] == b2.hi[1] && b1.lo[2] == b2.lo[2] && b1.hi[2] == b2.hi[2] {
-		parallel.ForTwo(cs.threads, b1.lo[0], b1.hi[0], b2.lo[0], b2.hi[0], func(x0, x1 int) {
-			body(b1, x0, x1)
-		})
-		return
-	}
-	parallel.For(cs.threads, b1.lo[0], b1.hi[0], func(x0, x1 int) { body(b1, x0, x1) })
-	parallel.For(cs.threads, b2.lo[0], b2.hi[0], func(x0, x1 int) { body(b2, x0, x1) })
-}
-
-func (cs *cartStepper) streamBoxRange(b box, x0, x1 int) {
+func (cs *cartStepper) streamBoxRange(worker int, b box) {
 	m := cs.model
 	zn := b.hi[2] - b.lo[2]
 	if zn <= 0 || b.hi[1] <= b.lo[1] {
@@ -585,7 +624,7 @@ func (cs *cartStepper) streamBoxRange(b box, x0, x1 int) {
 		src := cs.f.V(v)
 		dst := cs.fadv.V(v)
 		cx, cy, cz := m.Cx[v], m.Cy[v], m.Cz[v]
-		for ix := x0; ix < x1; ix++ {
+		for ix := b.lo[0]; ix < b.hi[0]; ix++ {
 			for iy := b.lo[1]; iy < b.hi[1]; iy++ {
 				sOff := cs.d.Index(ix-cx, iy-cy, b.lo[2]-cz)
 				dOff := cs.d.Index(ix, iy, b.lo[2])
@@ -597,7 +636,7 @@ func (cs *cartStepper) streamBoxRange(b box, x0, x1 int) {
 
 // collideKernel resolves the collision kernel matching the configured
 // operator and optimization level.
-func (cs *cartStepper) collideKernel() func(b box, x0, x1 int) {
+func (cs *cartStepper) collideKernel() func(worker int, b box) {
 	switch {
 	case cs.op != nil:
 		return cs.collideBoxOperator
@@ -612,21 +651,21 @@ func (cs *cartStepper) collideKernel() func(b box, x0, x1 int) {
 
 // collideBox applies the configured collision to box b.
 func (cs *cartStepper) collideBox(b box) {
-	body := cs.collideKernel()
-	parallel.For(cs.threads, b.lo[0], b.hi[0], func(x0, x1 int) { body(b, x0, x1) })
+	cs.br.run(cs.collideKernel(), b)
 }
 
-// collideBoxPair collides two disjoint boxes.
+// collideBoxPair collides two disjoint boxes as one chunk batch.
 func (cs *cartStepper) collideBoxPair(b1, b2 box) {
-	cs.forBoxPair(b1, b2, cs.collideKernel())
+	cs.br.run(cs.collideKernel(), b1, b2)
 }
 
 // collideBoxNaive mirrors collideNaive over a box: per-cell gather,
-// divisions, equilibria by method call.
-func (cs *cartStepper) collideBoxNaive(b box, x0, x1 int) {
+// divisions, equilibria by method call. The gather buffer comes from the
+// worker's scratch slot; the arithmetic is untouched.
+func (cs *cartStepper) collideBoxNaive(worker int, b box) {
 	m := cs.model
-	fc := make([]float64, m.Q)
-	for ix := x0; ix < x1; ix++ {
+	fc := cs.scratch[worker].fc
+	for ix := b.lo[0]; ix < b.hi[0]; ix++ {
 		for iy := b.lo[1]; iy < b.hi[1]; iy++ {
 			for iz := b.lo[2]; iz < b.hi[2]; iz++ {
 				cell := cs.d.Index(ix, iy, iz)
@@ -649,7 +688,7 @@ func (cs *cartStepper) collideBoxNaive(b box, x0, x1 int) {
 // collideBoxGeneric mirrors collideRowGeneric over a box: moments
 // accumulated one velocity block at a time over z-runs, reciprocals,
 // inlined equilibria.
-func (cs *cartStepper) collideBoxGeneric(b box, x0, x1 int) {
+func (cs *cartStepper) collideBoxGeneric(worker int, b box) {
 	m := cs.model
 	zn := b.hi[2] - b.lo[2]
 	if zn <= 0 || b.hi[1] <= b.lo[1] {
@@ -657,8 +696,8 @@ func (cs *cartStepper) collideBoxGeneric(b box, x0, x1 int) {
 	}
 	omega := 1 / cs.cfg.Tau
 	c := cs.coef
-	rb := newRowBufs(zn)
-	for ix := x0; ix < x1; ix++ {
+	rb := cs.scratch[worker].rb
+	for ix := b.lo[0]; ix < b.hi[0]; ix++ {
 		for iy := b.lo[1]; iy < b.hi[1]; iy++ {
 			base := cs.d.Index(ix, iy, b.lo[2])
 			for z := 0; z < zn; z++ {
@@ -704,15 +743,15 @@ func (cs *cartStepper) collideBoxGeneric(b box, x0, x1 int) {
 // arithmetic is identical to the slab path's paired and blocked kernels,
 // which is what keeps cross-decomposition runs within reassociation
 // tolerance of each other.
-func (cs *cartStepper) collideBoxPaired(b box, x0, x1 int) {
+func (cs *cartStepper) collideBoxPaired(worker int, b box) {
 	zn := b.hi[2] - b.lo[2]
 	if zn <= 0 || b.hi[1] <= b.lo[1] {
 		return
 	}
 	omega := 1 / cs.cfg.Tau
 	c := cs.coef
-	rb := newRowBufs(zn)
-	for ix := x0; ix < x1; ix++ {
+	rb := cs.scratch[worker].rb
+	for ix := b.lo[0]; ix < b.hi[0]; ix++ {
 		for iy := b.lo[1]; iy < b.hi[1]; iy++ {
 			base := cs.d.Index(ix, iy, b.lo[2])
 			for z := 0; z < zn; z++ {
@@ -939,12 +978,24 @@ func (cs *cartStepper) applyBounceBackBox(b box) {
 	}
 	switch {
 	case cs.cfg.MeasureForces:
+		// Serial: the momentum-exchange sums must keep one accumulation
+		// order to stay decomposition- and thread-count-independent.
 		cs.fix.applyBoxForce(cs.f, cs.fadv, b, &cs.stepForce)
 	case cs.cfg.FixupScan:
 		cs.fix.applyPlanes(cs.f, cs.fadv, b.lo[0], b.hi[0])
 	default:
-		cs.fix.applyBox(cs.f, cs.fadv, b)
+		cs.runFixupBox(b)
 	}
+}
+
+// runFixupBox applies the fixup links of box b through the CSR index,
+// chunked across the team by row spans. Each link writes one (velocity,
+// cell) slot of fadv and reads only f; links partition by their cell's
+// (x, y) row, so chunks never touch the same memory.
+func (cs *cartStepper) runFixupBox(b box) {
+	cs.br.run(func(worker int, sub box) {
+		cs.fix.applyBox(cs.f, cs.fadv, sub)
+	}, b)
 }
 
 // applyBounceBackBoxIn applies exactly the links of box b — the form the
@@ -961,7 +1012,7 @@ func (cs *cartStepper) applyBounceBackBoxIn(b box) {
 	case cs.cfg.FixupScan:
 		cs.fix.applyPlanesStrict(cs.f, cs.fadv, b)
 	default:
-		cs.fix.applyBox(cs.f, cs.fadv, b)
+		cs.runFixupBox(b)
 	}
 }
 
@@ -1019,6 +1070,7 @@ func (cs *cartStepper) ownedBlock() []float64 {
 // shared Run harness. axisBytes comes from the exchanger that does the
 // sending, so it stays truthful to the actual pack shapes.
 func (cs *cartStepper) ghosts() int64          { return cs.ghostUpdates }
+func (cs *cartStepper) close()                 { cs.br.close() }
 func (cs *cartStepper) gather() []float64      { return cs.ownedBlock() }
 func (cs *cartStepper) forceSeries() []float64 { return cs.forceSer }
 func (cs *cartStepper) axisBytes() [3]int64 {

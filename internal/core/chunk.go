@@ -1,0 +1,173 @@
+package core
+
+// In-rank threading substrate shared by both steppers: a per-stepper
+// persistent worker pool, longest-axis box chunking, and per-worker kernel
+// scratch. Every parallel loop of a step — stream, collide, fused, face
+// fills, fixup applies, on interiors and rim slabs alike — is expressed as
+// a batch of (box, chunk) items drained by the pool, so the thin rim
+// phases of the overlapped schedule get the full team instead of a static
+// x partition that collapses on a 1–2-plane slab.
+//
+// Chunks split a box along the longer of its x and y extents. The z axis
+// is deliberately never split: the slab kernels move whole z-lines as
+// cyclic rotations (a sub-range of a rotation is not a rotation), and the
+// row-structured kernels amortize their setup over full z-runs. Every rim
+// shape is thin on at most one axis, so x/y chunking always leaves a long
+// axis to cut. Chunking is bit-exact at any thread count: all kernels
+// compute each (x, y) row independently, so partitioning rows changes only
+// which worker computes them, never the arithmetic.
+
+import (
+	"repro/internal/collision"
+	"repro/internal/parallel"
+)
+
+// chunksPerWorker over-partitions each batch for load balance: boundary
+// rows with bounce-back fixups and face columns cost more than bulk rows,
+// and the queue evens that out when chunks outnumber workers.
+const chunksPerWorker = 4
+
+// minChunkCells keeps chunks coarse enough that claim overhead stays
+// negligible against kernel work.
+const minChunkCells = 4096
+
+// boxRunner executes box kernels on a worker pool, chunking each box
+// along its longest splittable axis. It is owned and driven by a single
+// stepper goroutine; the chunk buffer is reused across batches.
+type boxRunner struct {
+	pool   *parallel.Pool
+	chunks []box
+}
+
+// threads returns the team size.
+func (br *boxRunner) threads() int { return br.pool.Threads() }
+
+// close releases the pool's workers.
+func (br *boxRunner) close() { br.pool.Close() }
+
+// run executes kernel over every cell of the given boxes exactly once.
+// All boxes of a call form one batch: their chunks share the pool's queue,
+// so disjoint regions of one schedule phase (the two rim slabs of an axis)
+// balance across the whole team.
+func (br *boxRunner) run(kernel func(worker int, b box), boxes ...box) {
+	if br.pool.Threads() == 1 {
+		for _, b := range boxes {
+			if b.cells() > 0 {
+				kernel(0, b)
+			}
+		}
+		return
+	}
+	total := 0
+	for _, b := range boxes {
+		total += b.cells()
+	}
+	if total == 0 {
+		return
+	}
+	chunkCells := total / (br.pool.Threads() * chunksPerWorker)
+	if chunkCells < minChunkCells {
+		chunkCells = minChunkCells
+	}
+	br.chunks = br.chunks[:0]
+	for _, b := range boxes {
+		br.chunks = appendBoxChunks(br.chunks, b, chunkCells)
+	}
+	chunks := br.chunks
+	if len(chunks) == 0 {
+		return
+	}
+	if len(chunks) == 1 {
+		kernel(0, chunks[0])
+		return
+	}
+	br.pool.Run(len(chunks), func(worker, i int) { kernel(worker, chunks[i]) })
+}
+
+// appendBoxChunks splits b along the longer of its x and y extents into
+// pieces of roughly chunkCells cells each and appends them to dst. A box
+// too small to split is appended whole.
+func appendBoxChunks(dst []box, b box, chunkCells int) []box {
+	cells := b.cells()
+	if cells == 0 {
+		return dst
+	}
+	axis := 0
+	if b.hi[1]-b.lo[1] > b.hi[0]-b.lo[0] {
+		axis = 1
+	}
+	n := b.hi[axis] - b.lo[axis]
+	want := (cells + chunkCells - 1) / chunkCells
+	if want > n {
+		want = n
+	}
+	if want <= 1 {
+		return append(dst, b)
+	}
+	base, rem := n/want, n%want
+	lo := b.lo[axis]
+	for i := 0; i < want; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		c := b
+		c.lo[axis], c.hi[axis] = lo, lo+size
+		lo += size
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// workerScratch holds one worker's kernel scratch, allocated once per
+// stepper at the local field's dimensions. Worker w owns scratch slot w
+// exclusively for the duration of each chunk, which is what removes the
+// per-call make([]float64, Q) and row-buffer allocations the transient
+// loops paid on every block of every step.
+type workerScratch struct {
+	fc     []float64   // Q-length per-cell gather buffer
+	rb     rowBufs     // z-run moment accumulators (capacity NZ)
+	vrows  [][]float64 // Q z-row buffers: fused gather rows / operator feq rows
+	vstore []float64
+	nzCap  int
+	sv, dv [][]float64        // per-velocity slice headers (operator kernels)
+	op     collision.Operator // per-worker operator clone; nil for plain BGK
+	feqR   []float64          // Q-length equilibrium buffers (face fills)
+	feqW   []float64
+	rowFeq []float64 // Q×NZ feq store for profiled inlet faces
+}
+
+// rows returns the worker's Q row buffers re-sliced to a z-run of length
+// zn (zn ≤ nzCap).
+func (sc *workerScratch) rows(zn int) [][]float64 {
+	for v := range sc.vrows {
+		sc.vrows[v] = sc.vstore[v*sc.nzCap : v*sc.nzCap+zn]
+	}
+	return sc.vrows
+}
+
+// newScratches allocates one scratch slot per pool worker. op, when
+// non-nil, is cloned per worker (operators share read-only tables but
+// carry private relaxation scratch).
+func newScratches(threads, q, nz int, op collision.Operator) []*workerScratch {
+	out := make([]*workerScratch, threads)
+	for w := range out {
+		sc := &workerScratch{
+			fc:     make([]float64, q),
+			rb:     newRowBufs(nz),
+			vrows:  make([][]float64, q),
+			vstore: make([]float64, q*nz),
+			nzCap:  nz,
+			sv:     make([][]float64, q),
+			dv:     make([][]float64, q),
+			feqR:   make([]float64, q),
+			feqW:   make([]float64, q),
+			rowFeq: make([]float64, q*nz),
+		}
+		if op != nil {
+			sc.op = op.Clone()
+		}
+		out[w] = sc
+	}
+	return out
+}

@@ -44,13 +44,14 @@ func newEqCoefs(m *lattice.Model) eqCoefs {
 
 // collideNaive is the unoptimized kernel: per-cell velocity gather through
 // the generic accessors, divisions by ρ and τ, and equilibria computed by
-// method calls (paper Fig. 4 before any tuning).
-func (s *stepper) collideNaive(x0, x1 int) {
+// method calls (paper Fig. 4 before any tuning). The gather buffer comes
+// from the worker's scratch slot; the arithmetic is untouched.
+func (s *stepper) collideNaive(worker int, bx box) {
 	m := s.model
-	ny, nz := s.d.NY, s.d.NZ
-	fc := make([]float64, m.Q)
-	for ix := x0; ix < x1; ix++ {
-		for iy := 0; iy < ny; iy++ {
+	nz := s.d.NZ
+	fc := s.scratch[worker].fc
+	for ix := bx.lo[0]; ix < bx.hi[0]; ix++ {
+		for iy := bx.lo[1]; iy < bx.hi[1]; iy++ {
 			for iz := 0; iz < nz; iz++ {
 				cell := s.d.Index(ix, iy, iz)
 				for v := 0; v < m.Q; v++ {
@@ -69,8 +70,9 @@ func (s *stepper) collideNaive(x0, x1 int) {
 	}
 }
 
-// rowBufs are the per-invocation z-line accumulators used by the
-// row-structured kernels.
+// rowBufs are the z-line accumulators used by the row-structured kernels,
+// allocated once per worker (workerScratch) at the local field's NZ and
+// indexed up to each call's z-run length.
 type rowBufs struct {
 	rho, jx, jy, jz []float64
 	ux, uy, uz, u2  []float64
@@ -87,14 +89,14 @@ func newRowBufs(nz int) rowBufs {
 // one velocity block at a time in memory order (maximizing cache reuse of
 // the contiguous SoA blocks), divisions replaced by reciprocals, equilibria
 // inlined. Still a generic velocity loop.
-func (s *stepper) collideRowGeneric(x0, x1 int) {
+func (s *stepper) collideRowGeneric(worker int, bx box) {
 	m := s.model
-	ny, nz := s.d.NY, s.d.NZ
+	nz := s.d.NZ
 	omega := 1 / s.cfg.Tau
 	c := s.coef
-	b := newRowBufs(nz)
-	for ix := x0; ix < x1; ix++ {
-		for iy := 0; iy < ny; iy++ {
+	b := s.scratch[worker].rb
+	for ix := bx.lo[0]; ix < bx.hi[0]; ix++ {
+		for iy := bx.lo[1]; iy < bx.hi[1]; iy++ {
 			base := s.d.Index(ix, iy, 0)
 			for z := 0; z < nz; z++ {
 				b.rho[z], b.jx[z], b.jy[z], b.jz[z] = 0, 0, 0, 0
@@ -139,13 +141,13 @@ func (s *stepper) collideRowGeneric(x0, x1 int) {
 // (f_eq(+c) and f_eq(−c) differ only in the sign of the odd terms), with
 // all coefficients precomputed and no method calls or branches in the inner
 // loops.
-func (s *stepper) collidePaired(x0, x1 int) {
-	ny, nz := s.d.NY, s.d.NZ
+func (s *stepper) collidePaired(worker int, bx box) {
+	nz := s.d.NZ
 	omega := 1 / s.cfg.Tau
 	c := s.coef
-	b := newRowBufs(nz)
-	for ix := x0; ix < x1; ix++ {
-		for iy := 0; iy < ny; iy++ {
+	b := s.scratch[worker].rb
+	for ix := bx.lo[0]; ix < bx.hi[0]; ix++ {
+		for iy := bx.lo[1]; iy < bx.hi[1]; iy++ {
 			base := s.d.Index(ix, iy, 0)
 			for z := 0; z < nz; z++ {
 				b.rho[z], b.jx[z], b.jy[z], b.jz[z] = 0, 0, 0, 0
@@ -222,13 +224,13 @@ func (s *stepper) collidePaired(x0, x1 int) {
 // explicit multiply-add grouping — the form hand-written double-hummer/QPX
 // intrinsics impose, which also gives the Go compiler maximal instruction-
 // level parallelism and hoisted bounds checks.
-func (s *stepper) collidePairedBlocked(x0, x1 int) {
-	ny, nz := s.d.NY, s.d.NZ
+func (s *stepper) collidePairedBlocked(worker int, bx box) {
+	nz := s.d.NZ
 	omega := 1 / s.cfg.Tau
 	c := s.coef
-	b := newRowBufs(nz)
-	for ix := x0; ix < x1; ix++ {
-		for iy := 0; iy < ny; iy++ {
+	b := s.scratch[worker].rb
+	for ix := bx.lo[0]; ix < bx.hi[0]; ix++ {
+		for iy := bx.lo[1]; iy < bx.hi[1]; iy++ {
 			base := s.d.Index(ix, iy, 0)
 			for z := 0; z < nz; z++ {
 				b.rho[z], b.jx[z], b.jy[z], b.jz[z] = 0, 0, 0, 0

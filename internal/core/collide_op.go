@@ -25,23 +25,22 @@ import (
 	"repro/internal/lattice"
 )
 
-// collideOpBox applies op to every cell of box b with x restricted to
-// [x0,x1), reading src (post-streaming) and writing dst. op must be
-// private to the calling goroutine (Clone per worker).
+// collideOpBox applies op to every cell of box b, reading src
+// (post-streaming) and writing dst. op and sc must be private to the
+// calling worker (the per-worker scratch carries a pre-cloned operator).
 func collideOpBox(op collision.Operator, m *lattice.Model, src, dst *grid.Field,
-	b box, x0, x1 int, shiftX, shiftY, shiftZ float64) {
-	fc := make([]float64, m.Q)
+	b box, shiftX, shiftY, shiftZ float64, sc *workerScratch) {
+	fc := sc.fc
 	d := src.D
 	if src.Layout == grid.SoA {
 		// Hoist the per-velocity blocks so the inner gather/scatter is
 		// direct indexing rather than Idx arithmetic.
-		sv := make([][]float64, m.Q)
-		dv := make([][]float64, m.Q)
+		sv, dv := sc.sv, sc.dv
 		for v := 0; v < m.Q; v++ {
 			sv[v] = src.V(v)
 			dv[v] = dst.V(v)
 		}
-		for ix := x0; ix < x1; ix++ {
+		for ix := b.lo[0]; ix < b.hi[0]; ix++ {
 			for iy := b.lo[1]; iy < b.hi[1]; iy++ {
 				base := d.Index(ix, iy, 0)
 				for iz := b.lo[2]; iz < b.hi[2]; iz++ {
@@ -59,7 +58,7 @@ func collideOpBox(op collision.Operator, m *lattice.Model, src, dst *grid.Field,
 		}
 		return
 	}
-	for ix := x0; ix < x1; ix++ {
+	for ix := b.lo[0]; ix < b.hi[0]; ix++ {
 		for iy := b.lo[1]; iy < b.hi[1]; iy++ {
 			for iz := b.lo[2]; iz < b.hi[2]; iz++ {
 				cell := d.Index(ix, iy, iz)
@@ -81,24 +80,20 @@ func collideOpBox(op collision.Operator, m *lattice.Model, src, dst *grid.Field,
 // differences over contiguous SoA loads and the equilibria are computed
 // once per cell into row buffers with the pair-symmetric inlined form —
 // both exactly the shape of the specialized paired BGK kernel — before
-// the operator relaxes whole rows. rr must be private to the calling
-// goroutine (Clone per worker); the fields must be SoA.
+// the operator relaxes whole rows. rr and sc must be private to the
+// calling worker (the scratch carries the row buffers and headers); the
+// fields must be SoA.
 func collideOpRows(rr collision.RowRelaxer, pairs []velPair, c eqCoefs, q int, src, dst *grid.Field,
-	b box, x0, x1 int, shiftX, shiftY, shiftZ float64) {
+	b box, shiftX, shiftY, shiftZ float64, sc *workerScratch) {
 	zn := b.hi[2] - b.lo[2]
-	if zn <= 0 || b.hi[1] <= b.lo[1] || x1 <= x0 {
+	if zn <= 0 || b.hi[1] <= b.lo[1] || b.hi[0] <= b.lo[0] {
 		return
 	}
-	rb := newRowBufs(zn)
-	feq := make([][]float64, q)
-	feqStore := make([]float64, q*zn)
-	for v := 0; v < q; v++ {
-		feq[v] = feqStore[v*zn : (v+1)*zn]
-	}
-	sv := make([][]float64, q)
-	dv := make([][]float64, q)
+	rb := sc.rb
+	feq := sc.rows(zn)
+	sv, dv := sc.sv, sc.dv
 	d := src.D
-	for ix := x0; ix < x1; ix++ {
+	for ix := b.lo[0]; ix < b.hi[0]; ix++ {
 		for iy := b.lo[1]; iy < b.hi[1]; iy++ {
 			base := d.Index(ix, iy, b.lo[2])
 			for v := 0; v < q; v++ {
@@ -162,24 +157,25 @@ func collideOpRows(rr collision.RowRelaxer, pairs []velPair, c eqCoefs, q int, s
 	}
 }
 
-// collideOperator is the slab stepper's operator kernel over destination
-// planes [x0,x1) (full y/z extent, like the BGK kernels of collide.go).
-func (s *stepper) collideOperator(x0, x1 int) {
-	op := s.op.Clone()
-	b := box{hi: [3]int{s.d.NX, s.d.NY, s.d.NZ}}
-	if rr, ok := op.(collision.RowRelaxer); ok && s.f.Layout == grid.SoA {
-		collideOpRows(rr, s.pairs, s.coef, s.model.Q, s.fadv, s.f, b, x0, x1, s.shiftX, s.shiftY, s.shiftZ)
+// collideOperator is the slab stepper's operator kernel over an x/y
+// sub-box (full z extent, like the BGK kernels of collide.go). The
+// worker's scratch holds its private operator clone.
+func (s *stepper) collideOperator(worker int, b box) {
+	sc := s.scratch[worker]
+	b.lo[2], b.hi[2] = 0, s.d.NZ
+	if rr, ok := sc.op.(collision.RowRelaxer); ok && s.f.Layout == grid.SoA {
+		collideOpRows(rr, s.pairs, s.coef, s.model.Q, s.fadv, s.f, b, s.shiftX, s.shiftY, s.shiftZ, sc)
 		return
 	}
-	collideOpBox(op, s.model, s.fadv, s.f, b, x0, x1, s.shiftX, s.shiftY, s.shiftZ)
+	collideOpBox(sc.op, s.model, s.fadv, s.f, b, s.shiftX, s.shiftY, s.shiftZ, sc)
 }
 
 // collideBoxOperator is the cart stepper's operator kernel over box b.
-func (cs *cartStepper) collideBoxOperator(b box, x0, x1 int) {
-	op := cs.op.Clone()
-	if rr, ok := op.(collision.RowRelaxer); ok && cs.f.Layout == grid.SoA {
-		collideOpRows(rr, cs.pairs, cs.coef, cs.model.Q, cs.fadv, cs.f, b, x0, x1, cs.shiftX, cs.shiftY, cs.shiftZ)
+func (cs *cartStepper) collideBoxOperator(worker int, b box) {
+	sc := cs.scratch[worker]
+	if rr, ok := sc.op.(collision.RowRelaxer); ok && cs.f.Layout == grid.SoA {
+		collideOpRows(rr, cs.pairs, cs.coef, cs.model.Q, cs.fadv, cs.f, b, cs.shiftX, cs.shiftY, cs.shiftZ, sc)
 		return
 	}
-	collideOpBox(op, cs.model, cs.fadv, cs.f, b, x0, x1, cs.shiftX, cs.shiftY, cs.shiftZ)
+	collideOpBox(sc.op, cs.model, cs.fadv, cs.f, b, cs.shiftX, cs.shiftY, cs.shiftZ, sc)
 }

@@ -463,6 +463,7 @@ func Run(cfg Config) (*Result, error) {
 		var st interface {
 			initField()
 			run()
+			close()
 			ownedSums() (mass, mx, my, mz float64)
 			ghosts() int64
 			gather() []float64
@@ -478,6 +479,7 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return err
 		}
+		defer st.close()
 		st.initField()
 		r.Barrier()
 		t0 := time.Now()

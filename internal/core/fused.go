@@ -18,10 +18,7 @@ package core
 // staggering in the overlapped (GC-C) schedule: any plane range may be
 // computed as soon as its inputs are valid.
 
-import (
-	"repro/internal/halo"
-	"repro/internal/parallel"
-)
+import "repro/internal/halo"
 
 // FusedBytesPerCell returns the per-cell main-memory traffic of the fused
 // kernel: 2·Q·8 bytes (one read, one write), versus the split path's
@@ -37,47 +34,30 @@ func (s *stepper) fusedRegion(lo, hi int) {
 	if hi <= lo {
 		return
 	}
-	s.fusedRegionPair(lo, hi, hi, hi)
+	s.br.run(s.fusedRows, s.slabBox(lo, hi))
 }
 
-// fusedRegionPair computes a fused step over two disjoint plane ranges.
+// fusedRegionPair computes a fused step over two disjoint plane ranges,
+// submitted as one chunk batch.
 func (s *stepper) fusedRegionPair(lo1, hi1, lo2, hi2 int) {
-	run := func(a, b int) { s.fusedRows(a, b) }
-	if s.threads > 1 {
-		s.fusedParallelPair(lo1, hi1, lo2, hi2, run)
-		return
-	}
-	run(lo1, hi1)
-	run(lo2, hi2)
-}
-
-// fusedParallelPair distributes the two ranges over the worker threads.
-func (s *stepper) fusedParallelPair(lo1, hi1, lo2, hi2 int, run func(a, b int)) {
-	parallel.ForTwo(s.threads, lo1, hi1, lo2, hi2, run)
+	s.br.run(s.fusedRows, s.slabBox(lo1, hi1), s.slabBox(lo2, hi2))
 }
 
 // fusedRows is the kernel body: for each destination row it gathers the
-// streamed values of every velocity into a row buffer (rotated copies, as
-// in the DH streaming kernel) and applies the pair-symmetric collision,
-// writing the next state.
-func (s *stepper) fusedRows(x0, x1 int) {
-	if x1 <= x0 {
-		return
-	}
+// streamed values of every velocity into the worker's row buffers
+// (rotated copies, as in the DH streaming kernel) and applies the
+// pair-symmetric collision, writing the next state.
+func (s *stepper) fusedRows(worker int, bx box) {
 	m := s.model
 	ny, nz := s.d.NY, s.d.NZ
 	plane := s.d.PlaneCells()
 	omega := 1 / s.cfg.Tau
 	c := s.coef
-	b := newRowBufs(nz)
-	// Row-resident gather buffers, one per velocity.
-	rows := make([][]float64, m.Q)
-	rowStore := make([]float64, m.Q*nz)
-	for v := range rows {
-		rows[v] = rowStore[v*nz : (v+1)*nz]
-	}
-	for ix := x0; ix < x1; ix++ {
-		for iy := 0; iy < ny; iy++ {
+	sc := s.scratch[worker]
+	b := sc.rb
+	rows := sc.rows(nz)
+	for ix := bx.lo[0]; ix < bx.hi[0]; ix++ {
+		for iy := bx.lo[1]; iy < bx.hi[1]; iy++ {
 			// Gather: rows[v][z] = f[v] at (ix−cx, wrap(iy−cy), wrap(z−cz)).
 			for v := 0; v < m.Q; v++ {
 				sx := ix - m.Cx[v]
@@ -210,33 +190,31 @@ func (cs *cartStepper) swap() { cs.f, cs.fadv = cs.fadv, cs.f }
 // fusedBox computes one fused step for destination box b, reading cs.f
 // and writing cs.fadv. The caller swaps after the step completes.
 func (cs *cartStepper) fusedBox(b box) {
-	parallel.For(cs.threads, b.lo[0], b.hi[0], func(x0, x1 int) { cs.fusedBoxRows(b, x0, x1) })
+	cs.br.run(cs.fusedBoxRows, b)
 }
 
-// fusedBoxPair computes a fused step over two disjoint boxes (rim slabs).
+// fusedBoxPair computes a fused step over two disjoint boxes (rim slabs),
+// submitted as one chunk batch.
 func (cs *cartStepper) fusedBoxPair(b1, b2 box) {
-	cs.forBoxPair(b1, b2, func(b box, x0, x1 int) { cs.fusedBoxRows(b, x0, x1) })
+	cs.br.run(cs.fusedBoxRows, b1, b2)
 }
 
 // fusedBoxRows is the kernel body: for each destination row it gathers
 // the streamed values of every velocity into a row buffer (plain offset
 // copies — no wraps) and applies the pair-symmetric collision, writing
 // the next state.
-func (cs *cartStepper) fusedBoxRows(bx box, x0, x1 int) {
+func (cs *cartStepper) fusedBoxRows(worker int, bx box) {
 	m := cs.model
 	zn := bx.hi[2] - bx.lo[2]
-	if x1 <= x0 || zn <= 0 || bx.hi[1] <= bx.lo[1] {
+	if bx.hi[0] <= bx.lo[0] || zn <= 0 || bx.hi[1] <= bx.lo[1] {
 		return
 	}
 	omega := 1 / cs.cfg.Tau
 	c := cs.coef
-	b := newRowBufs(zn)
-	rows := make([][]float64, m.Q)
-	rowStore := make([]float64, m.Q*zn)
-	for v := range rows {
-		rows[v] = rowStore[v*zn : (v+1)*zn]
-	}
-	for ix := x0; ix < x1; ix++ {
+	sc := cs.scratch[worker]
+	b := sc.rb
+	rows := sc.rows(zn)
+	for ix := bx.lo[0]; ix < bx.hi[0]; ix++ {
 		for iy := bx.lo[1]; iy < bx.hi[1]; iy++ {
 			for v := 0; v < m.Q; v++ {
 				off := cs.d.Index(ix-m.Cx[v], iy-m.Cy[v], bx.lo[2]-m.Cz[v])

@@ -60,7 +60,7 @@ func BenchmarkStreamKernels(b *testing.B) {
 			st := benchStepper(b, m, benchDims, OptGC)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				st.streamScalar(lo, hi)
+				st.streamScalar(0, st.slabBox(lo, hi))
 			}
 			reportCellRate(b, cells)
 		})
@@ -68,7 +68,7 @@ func BenchmarkStreamKernels(b *testing.B) {
 			st := benchStepper(b, m, benchDims, OptDH)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				st.streamCopy(lo, hi)
+				st.streamCopy(0, st.slabBox(lo, hi))
 			}
 			reportCellRate(b, cells)
 		})
@@ -76,7 +76,7 @@ func BenchmarkStreamKernels(b *testing.B) {
 			st := benchStepper(b, m, benchDims, OptLoBr)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				st.streamCopyIndexed(lo, hi)
+				st.streamCopyIndexed(0, st.slabBox(lo, hi))
 			}
 			reportCellRate(b, cells)
 		})
@@ -94,10 +94,10 @@ func BenchmarkCollideKernels(b *testing.B) {
 			opt  OptLevel
 			run  func(st *stepper)
 		}{
-			{"naive", OptGC, func(st *stepper) { st.collideNaive(lo, hi) }},
-			{"rowGeneric", OptDH, func(st *stepper) { st.collideRowGeneric(lo, hi) }},
-			{"paired", OptCF, func(st *stepper) { st.collidePaired(lo, hi) }},
-			{"pairedBlocked", OptSIMD, func(st *stepper) { st.collidePairedBlocked(lo, hi) }},
+			{"naive", OptGC, func(st *stepper) { st.collideNaive(0, st.slabBox(lo, hi)) }},
+			{"rowGeneric", OptDH, func(st *stepper) { st.collideRowGeneric(0, st.slabBox(lo, hi)) }},
+			{"paired", OptCF, func(st *stepper) { st.collidePaired(0, st.slabBox(lo, hi)) }},
+			{"pairedBlocked", OptSIMD, func(st *stepper) { st.collidePairedBlocked(0, st.slabBox(lo, hi)) }},
 		}
 		for _, c := range cases {
 			b.Run(m.Name+"/"+c.name, func(b *testing.B) {
@@ -123,8 +123,8 @@ func BenchmarkFusedKernel(b *testing.B) {
 			st := benchStepper(b, m, benchDims, OptSIMD)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				st.streamCopyIndexed(lo, hi)
-				st.collidePairedBlocked(lo, hi)
+				st.streamCopyIndexed(0, st.slabBox(lo, hi))
+				st.collidePairedBlocked(0, st.slabBox(lo, hi))
 			}
 			reportCellRate(b, cells)
 		})
@@ -132,7 +132,7 @@ func BenchmarkFusedKernel(b *testing.B) {
 			st := benchStepper(b, m, benchDims, OptSIMD)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				st.fusedRows(lo, hi)
+				st.fusedRows(0, st.slabBox(lo, hi))
 				st.swap()
 			}
 			reportCellRate(b, cells)
@@ -288,7 +288,7 @@ func BenchmarkBoxCollideOperator(b *testing.B) {
 		b.Run(m.Name+"/bgk-fastpath", func(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				cs.collideBoxPaired(owned, owned.lo[0], owned.hi[0])
+				cs.collideBoxPaired(0, owned)
 			}
 			reportCellRate(b, owned.cells())
 		})
@@ -297,10 +297,12 @@ func BenchmarkBoxCollideOperator(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			sc := newScratches(1, m.Q, cs.d.NZ, nil)[0]
 			b.Run(m.Name+"/"+spec.String()+"/percell", func(b *testing.B) {
+				opc := op.Clone()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					collideOpBox(op.Clone(), m, cs.fadv, cs.f, owned, owned.lo[0], owned.hi[0], 0, 0, 0)
+					collideOpBox(opc, m, cs.fadv, cs.f, owned, 0, 0, 0, sc)
 				}
 				reportCellRate(b, owned.cells())
 			})
@@ -308,7 +310,7 @@ func BenchmarkBoxCollideOperator(b *testing.B) {
 				rr := op.Clone().(collision.RowRelaxer)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					collideOpRows(rr, cs.pairs, cs.coef, m.Q, cs.fadv, cs.f, owned, owned.lo[0], owned.hi[0], 0, 0, 0)
+					collideOpRows(rr, cs.pairs, cs.coef, m.Q, cs.fadv, cs.f, owned, 0, 0, 0, sc)
 				}
 				reportCellRate(b, owned.cells())
 			})
@@ -354,6 +356,48 @@ func BenchmarkBoxExchangeProtocols(b *testing.B) {
 	}
 }
 
+// Whole-step thread scaling: full runs through the persistent worker
+// pool, on the periodic slab fast path and on a TRT lid-driven cavity
+// (box stepper, bounce-back fixups, face fills — every threaded path of
+// a bounded step). On multi-core hosts Mcell/s rises with the thread
+// count; the CI smoke sweep executes one iteration of each case to keep
+// the pool dispatch paths compiling and running.
+func BenchmarkThreadedStep(b *testing.B) {
+	m := lattice.D3Q19()
+	n := grid.Dims{NX: 48, NY: 32, NZ: 32}
+	const steps = 5
+	cases := []struct {
+		name    string
+		threads int
+		spec    collision.Spec
+		cavity  bool
+	}{
+		{"bgk/1t", 1, collision.Spec{}, false},
+		{"bgk/4t", 4, collision.Spec{}, false},
+		{"trt-cavity/1t", 1, collision.Spec{Kind: collision.TRT}, true},
+		{"trt-cavity/4t", 4, collision.Spec{Kind: collision.TRT}, true},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			cfg := Config{
+				Model: m, N: n, Tau: 0.7, Steps: steps,
+				Opt: OptSIMD, Ranks: 1, Threads: c.threads, GhostDepth: 1,
+				Collision: c.spec, Init: waveInit(n),
+			}
+			if c.cavity {
+				cfg.Boundary = CavitySpec(0.05)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportCellRate(b, steps*n.Cells())
+		})
+	}
+}
+
 // Operator-driven collision kernels (the generic path TRT and MRT run
 // through; BGK stays on the specialized kernels above).
 func BenchmarkCollideOperator(b *testing.B) {
@@ -369,10 +413,13 @@ func BenchmarkCollideOperator(b *testing.B) {
 					b.Fatal(err)
 				}
 				st.op = op
+				for _, sc := range st.scratch {
+					sc.op = op.Clone()
+				}
 				st.streamRegion(lo, hi)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					st.collideOperator(lo, hi)
+					st.collideOperator(0, st.slabBox(lo, hi))
 				}
 				reportCellRate(b, cells)
 			})

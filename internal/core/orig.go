@@ -3,7 +3,6 @@ package core
 import (
 	"repro/internal/grid"
 	"repro/internal/halo"
-	"repro/internal/parallel"
 )
 
 // origProto implements the naive distributed protocol of the paper's Fig. 2:
@@ -66,7 +65,7 @@ func newOrigProto(s *stepper, left, right int) *origProto {
 // step advances one time step under the naive protocol.
 func (p *origProto) step() {
 	s := p.s
-	parallel.For(s.threads, s.w, s.w+s.own, func(a, b int) { s.streamPushScalar(a, b) })
+	s.br.run(s.streamPushScalar, s.slabBox(s.w, s.w+s.own))
 	p.exchange()
 	s.applyBounceBack(s.w, s.w+s.own)
 	s.collideRegion(s.w, s.w+s.own)
@@ -116,11 +115,13 @@ func (p *origProto) exchange() {
 // streamPushScalar is the paper's Fig. 3 push kernel: iterate source cells,
 // velocity innermost, scatter to x+c with modulo wrap in y and z. x lands
 // in the owned region or the egress margins, both inside the allocation.
-func (s *stepper) streamPushScalar(x0, x1 int) {
+// Chunking sources is race-free: for a fixed velocity the push map is a
+// bijection on cells, so no two source cells write the same slot.
+func (s *stepper) streamPushScalar(worker int, b box) {
 	m := s.model
 	ny, nz := s.d.NY, s.d.NZ
-	for ix := x0; ix < x1; ix++ {
-		for iy := 0; iy < ny; iy++ {
+	for ix := b.lo[0]; ix < b.hi[0]; ix++ {
+		for iy := b.lo[1]; iy < b.hi[1]; iy++ {
 			for iz := 0; iz < nz; iz++ {
 				src := s.d.Index(ix, iy, iz)
 				for v := 0; v < m.Q; v++ {

@@ -49,7 +49,8 @@ type stepper struct {
 	ex      *halo.Exchanger
 	orig    *origProto
 
-	threads      int
+	br           boxRunner
+	scratch      []*workerScratch
 	ghostUpdates int64
 	coef         eqCoefs
 	pairs        []velPair
@@ -75,9 +76,8 @@ func newStepper(cfg *Config, dec decomp.Cartesian, r *comm.Rank) (*stepper, erro
 		cfg: cfg, model: cfg.Model, r: r,
 		startX: startX, own: own,
 		k: k, depth: cfg.GhostDepth, w: w,
-		threads: cfg.Threads,
-		coef:    newEqCoefs(cfg.Model),
-		pairs:   velocityPairs(cfg.Model),
+		coef:  newEqCoefs(cfg.Model),
+		pairs: velocityPairs(cfg.Model),
 	}
 	op, err := buildOperator(cfg)
 	if err != nil {
@@ -85,6 +85,8 @@ func newStepper(cfg *Config, dec decomp.Cartesian, r *comm.Rank) (*stepper, erro
 	}
 	s.op = op
 	s.d = grid.Dims{NX: own + 2*w, NY: cfg.N.NY, NZ: cfg.N.NZ}
+	s.br = boxRunner{pool: parallel.NewPool(cfg.Threads)}
+	s.scratch = newScratches(s.br.threads(), cfg.Model.Q, s.d.NZ, s.op)
 	s.f = grid.NewField(cfg.Model.Q, s.d, cfg.Layout)
 	s.fadv = grid.NewField(cfg.Model.Q, s.d, cfg.Layout)
 	if cfg.Opt == OptOrig {
@@ -273,33 +275,54 @@ func (s *stepper) countUpdates(lo, hi int) {
 	}
 }
 
+// slabBox is the box form of a destination plane range: planes [lo,hi)
+// with the full y/z cross-section.
+func (s *stepper) slabBox(lo, hi int) box {
+	return box{lo: [3]int{lo, 0, 0}, hi: [3]int{hi, s.d.NY, s.d.NZ}}
+}
+
+// streamKernel resolves the streaming kernel for the configured level.
+func (s *stepper) streamKernel() func(worker int, b box) {
+	switch {
+	case s.cfg.Opt <= OptGC:
+		return s.streamScalar
+	case s.cfg.Opt < OptLoBr:
+		return s.streamCopy
+	default:
+		return s.streamCopyIndexed
+	}
+}
+
 // streamRegion advances the streaming step for destination planes [lo,hi).
 func (s *stepper) streamRegion(lo, hi int) {
 	if hi <= lo {
 		return
 	}
-	switch {
-	case s.cfg.Opt <= OptGC:
-		parallel.For(s.threads, lo, hi, func(a, b int) { s.streamScalar(a, b) })
-	case s.cfg.Opt < OptLoBr:
-		parallel.For(s.threads, lo, hi, func(a, b int) { s.streamCopy(a, b) })
-	default:
-		parallel.For(s.threads, lo, hi, func(a, b int) { s.streamCopyIndexed(a, b) })
-	}
+	s.br.run(s.streamKernel(), s.slabBox(lo, hi))
 }
 
 // streamRegionPair streams two disjoint plane ranges (the separated
-// ghost-region loops of §V.D).
+// ghost-region loops of §V.D) as one chunk batch, so the thin rim pair
+// load-balances across the whole team.
 func (s *stepper) streamRegionPair(lo1, hi1, lo2, hi2 int) {
-	body := s.streamScalar
+	s.br.run(s.streamKernel(), s.slabBox(lo1, hi1), s.slabBox(lo2, hi2))
+}
+
+// collideKernelSlab resolves the collision kernel for the configured
+// operator and level.
+func (s *stepper) collideKernelSlab() func(worker int, b box) {
 	switch {
+	case s.op != nil:
+		return s.collideOperator
 	case s.cfg.Opt <= OptGC:
-	case s.cfg.Opt < OptLoBr:
-		body = s.streamCopy
+		return s.collideNaive
+	case s.cfg.Opt == OptDH:
+		return s.collideRowGeneric
+	case s.cfg.Opt < OptSIMD:
+		return s.collidePaired
 	default:
-		body = s.streamCopyIndexed
+		return s.collidePairedBlocked
 	}
-	parallel.ForTwo(s.threads, lo1, hi1, lo2, hi2, body)
 }
 
 // collideRegion applies the configured collision to planes [lo,hi).
@@ -307,35 +330,12 @@ func (s *stepper) collideRegion(lo, hi int) {
 	if hi <= lo {
 		return
 	}
-	switch {
-	case s.op != nil:
-		parallel.For(s.threads, lo, hi, func(a, b int) { s.collideOperator(a, b) })
-	case s.cfg.Opt <= OptGC:
-		parallel.For(s.threads, lo, hi, func(a, b int) { s.collideNaive(a, b) })
-	case s.cfg.Opt == OptDH:
-		parallel.For(s.threads, lo, hi, func(a, b int) { s.collideRowGeneric(a, b) })
-	case s.cfg.Opt < OptSIMD:
-		parallel.For(s.threads, lo, hi, func(a, b int) { s.collidePaired(a, b) })
-	default:
-		parallel.For(s.threads, lo, hi, func(a, b int) { s.collidePairedBlocked(a, b) })
-	}
+	s.br.run(s.collideKernelSlab(), s.slabBox(lo, hi))
 }
 
 // collideRegionPair collides two disjoint plane ranges.
 func (s *stepper) collideRegionPair(lo1, hi1, lo2, hi2 int) {
-	body := s.collideNaive
-	switch {
-	case s.op != nil:
-		body = s.collideOperator
-	case s.cfg.Opt <= OptGC:
-	case s.cfg.Opt == OptDH:
-		body = s.collideRowGeneric
-	case s.cfg.Opt < OptSIMD:
-		body = s.collidePaired
-	default:
-		body = s.collidePairedBlocked
-	}
-	parallel.ForTwo(s.threads, lo1, hi1, lo2, hi2, body)
+	s.br.run(s.collideKernelSlab(), s.slabBox(lo1, hi1), s.slabBox(lo2, hi2))
 }
 
 // ownedSums returns mass and momentum summed over the owned fluid cells.
@@ -383,6 +383,7 @@ func (s *stepper) ownedSlab() []float64 {
 // ghosts, gather, axisBytes and forceSeries adapt the stepper to the
 // shared Run harness (the cart stepper implements the same quartet).
 func (s *stepper) ghosts() int64          { return s.ghostUpdates }
+func (s *stepper) close()                 { s.br.close() }
 func (s *stepper) gather() []float64      { return s.ownedSlab() }
 func (s *stepper) forceSeries() []float64 { return s.forceSer }
 

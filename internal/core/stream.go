@@ -9,11 +9,13 @@ package core
 
 // streamScalar is the naive pull kernel: velocity-innermost loops with
 // modulo wrap arithmetic on every access, per the paper's Fig. 3 structure.
-func (s *stepper) streamScalar(x0, x1 int) {
+// Like every slab kernel it takes an x/y sub-box with the full z extent
+// (z-lines wrap and are never split by the chunker).
+func (s *stepper) streamScalar(worker int, b box) {
 	m := s.model
 	ny, nz := s.d.NY, s.d.NZ
-	for ix := x0; ix < x1; ix++ {
-		for iy := 0; iy < ny; iy++ {
+	for ix := b.lo[0]; ix < b.hi[0]; ix++ {
+		for iy := b.lo[1]; iy < b.hi[1]; iy++ {
 			for iz := 0; iz < nz; iz++ {
 				dst := s.d.Index(ix, iy, iz)
 				for v := 0; v < m.Q; v++ {
@@ -30,7 +32,7 @@ func (s *stepper) streamScalar(x0, x1 int) {
 // streamCopy is the data-handling kernel (§V.B): velocities outermost so
 // each contiguous velocity block is traversed in memory order, with the
 // z-line movement expressed as bulk rotated copies. Requires SoA layout.
-func (s *stepper) streamCopy(x0, x1 int) {
+func (s *stepper) streamCopy(worker int, b box) {
 	m := s.model
 	ny, nz := s.d.NY, s.d.NZ
 	plane := s.d.PlaneCells()
@@ -38,10 +40,10 @@ func (s *stepper) streamCopy(x0, x1 int) {
 		src := s.f.V(v)
 		dst := s.fadv.V(v)
 		cx, cy, cz := m.Cx[v], m.Cy[v], m.Cz[v]
-		for ix := x0; ix < x1; ix++ {
+		for ix := b.lo[0]; ix < b.hi[0]; ix++ {
 			srcBase := (ix - cx) * plane
 			dstBase := ix * plane
-			for iy := 0; iy < ny; iy++ {
+			for iy := b.lo[1]; iy < b.hi[1]; iy++ {
 				sy := iy - cy
 				if sy < 0 {
 					sy += ny
@@ -59,19 +61,19 @@ func (s *stepper) streamCopy(x0, x1 int) {
 // streamCopyIndexed is streamCopy with the per-row wrap replaced by the
 // precomputed source-row tables (§V.D branch reduction): the loop body
 // contains no conditional at all.
-func (s *stepper) streamCopyIndexed(x0, x1 int) {
+func (s *stepper) streamCopyIndexed(worker int, b box) {
 	m := s.model
-	ny, nz := s.d.NY, s.d.NZ
+	nz := s.d.NZ
 	plane := s.d.PlaneCells()
 	for v := 0; v < m.Q; v++ {
 		src := s.f.V(v)
 		dst := s.fadv.V(v)
 		cx, cz := m.Cx[v], m.Cz[v]
 		rows := s.srcY[v]
-		for ix := x0; ix < x1; ix++ {
+		for ix := b.lo[0]; ix < b.hi[0]; ix++ {
 			srcBase := (ix - cx) * plane
 			dstBase := ix * plane
-			for iy := 0; iy < ny; iy++ {
+			for iy := b.lo[1]; iy < b.hi[1]; iy++ {
 				sOff := srcBase + int(rows[iy])*nz
 				dOff := dstBase + iy*nz
 				rotateCopy(dst[dOff:dOff+nz], src[sOff:sOff+nz], cz)

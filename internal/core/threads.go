@@ -1,0 +1,27 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// ResolveThreads interprets a command-line -threads value. A positive
+// count is taken as-is; 0 means whole-socket ranks — runtime.NumCPU()
+// divided by the rank count, floor one, so ranks × threads fills the
+// machine's cores; negative counts are rejected.
+func ResolveThreads(threads, ranks int) (int, error) {
+	if threads < 0 {
+		return 0, fmt.Errorf("threads must be >= 0 (0 = NumCPU/ranks), got %d", threads)
+	}
+	if threads > 0 {
+		return threads, nil
+	}
+	if ranks < 1 {
+		ranks = 1
+	}
+	t := runtime.NumCPU() / ranks
+	if t < 1 {
+		t = 1
+	}
+	return t, nil
+}

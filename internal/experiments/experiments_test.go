@@ -256,7 +256,7 @@ func TestRealFig8SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-kernel experiment in -short mode")
 	}
-	tb, err := RealFig8("D3Q19", 2, 3, "1d", "2,1,1", collision.Spec{})
+	tb, err := RealFig8("D3Q19", 2, 2, 3, "1d", "2,1,1", collision.Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +282,7 @@ func TestRealFig9SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-kernel experiment in -short mode")
 	}
-	tb, err := RealFig9("D3Q19", 2, 4, "1d", "1", collision.Spec{})
+	tb, err := RealFig9("D3Q19", 2, 1, 4, "1d", "1", collision.Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +295,7 @@ func TestRealFig10SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-kernel experiment in -short mode")
 	}
-	tb, err := RealFig10("D3Q19", 2, 4, "2d", collision.Spec{})
+	tb, err := RealFig10("D3Q19", 2, 2, 4, "2d", collision.Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,11 +310,55 @@ func TestRealFig10SmallRun(t *testing.T) {
 	}
 }
 
+func TestRealThreadsSmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-kernel experiment in -short mode")
+	}
+	tb, err := RealThreads("D3Q19", 2, 2, collision.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 { // threads 1, 2
+		t.Errorf("%d rows, want 2", len(tb.Rows))
+	}
+	// The operator column defaults to TRT when the spec is BGK.
+	if !strings.Contains(tb.Header[4], "trt") {
+		t.Errorf("operator column header %q, want trt", tb.Header[4])
+	}
+}
+
+func TestThreadCounts(t *testing.T) {
+	cases := []struct {
+		max  int
+		want []int
+	}{
+		{1, []int{1}},
+		{2, []int{1, 2}},
+		{3, []int{1, 2, 3}},
+		{8, []int{1, 2, 4, 8}},
+		{6, []int{1, 2, 4, 6}},
+		{0, []int{1}},
+	}
+	for _, c := range cases {
+		got := threadCounts(c.max)
+		if len(got) != len(c.want) {
+			t.Errorf("threadCounts(%d) = %v, want %v", c.max, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("threadCounts(%d) = %v, want %v", c.max, got, c.want)
+				break
+			}
+		}
+	}
+}
+
 func TestRealExperimentsRejectBadModel(t *testing.T) {
-	if _, err := RealFig8("D2Q9", 1, 1, "1d", "1", collision.Spec{}); err == nil {
+	if _, err := RealFig8("D2Q9", 1, 1, 1, "1d", "1", collision.Spec{}); err == nil {
 		t.Error("unknown model accepted")
 	}
-	if _, err := RealFig10("D2Q9", 1, 1, "1d", collision.Spec{}); err == nil {
+	if _, err := RealFig10("D2Q9", 1, 1, 1, "1d", collision.Spec{}); err == nil {
 		t.Error("unknown model accepted")
 	}
 }

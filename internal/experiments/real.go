@@ -50,7 +50,7 @@ func realDepth(spec string) (int, [3]int, error) {
 // requested decomposition shape. colSpec selects the collision operator
 // (TRT/MRT show the ladder with the generic operator kernel in place of
 // the specialized BGK collide).
-func RealFig8(modelName string, ranks, steps int, decompSpec, depthSpec string, colSpec collision.Spec) (*Table, error) {
+func RealFig8(modelName string, ranks, threads, steps int, decompSpec, depthSpec string, colSpec collision.Spec) (*Table, error) {
 	m, err := lattice.ByName(modelName)
 	if err != nil {
 		return nil, err
@@ -79,7 +79,7 @@ func RealFig8(modelName string, ranks, steps int, decompSpec, depthSpec string, 
 		}
 		res, err := core.Run(core.Config{
 			Model: m, N: n, Tau: 0.8, Steps: steps,
-			Opt: opt, Ranks: ranks, Decomp: sh, Threads: 1,
+			Opt: opt, Ranks: ranks, Decomp: sh, Threads: threads,
 			GhostDepth: d, GhostDepthAxes: da,
 			Collision: colSpec,
 		})
@@ -100,7 +100,7 @@ func RealFig8(modelName string, ranks, steps int, decompSpec, depthSpec string, 
 
 // RealFig9 measures the per-rank communication-time balance with injected
 // per-step jitter (the local analog of Fig. 9).
-func RealFig9(modelName string, ranks, steps int, decompSpec, depthSpec string, colSpec collision.Spec) (*Table, error) {
+func RealFig9(modelName string, ranks, threads, steps int, decompSpec, depthSpec string, colSpec collision.Spec) (*Table, error) {
 	m, err := lattice.ByName(modelName)
 	if err != nil {
 		return nil, err
@@ -135,7 +135,7 @@ func RealFig9(modelName string, ranks, steps int, decompSpec, depthSpec string, 
 		}
 		res, err := core.Run(core.Config{
 			Model: m, N: n, Tau: 0.8, Steps: steps,
-			Opt: c.opt, Ranks: ranks, Decomp: sh, Threads: 1,
+			Opt: c.opt, Ranks: ranks, Decomp: sh, Threads: threads,
 			GhostDepth: d, GhostDepthAxes: da,
 			Collision:  colSpec,
 			StepJitter: 2 * time.Millisecond,
@@ -157,7 +157,7 @@ func RealFig9(modelName string, ranks, steps int, decompSpec, depthSpec string, 
 
 // RealFig10 sweeps ghost depth × domain size with the real kernels (the
 // local analog of Fig. 10), reporting runtimes normalized to depth 1.
-func RealFig10(modelName string, ranks, steps int, decompSpec string, colSpec collision.Spec) (*Table, error) {
+func RealFig10(modelName string, ranks, threads, steps int, decompSpec string, colSpec collision.Spec) (*Table, error) {
 	m, err := lattice.ByName(modelName)
 	if err != nil {
 		return nil, err
@@ -186,7 +186,7 @@ func RealFig10(modelName string, ranks, steps int, decompSpec string, colSpec co
 			res, err := core.Run(core.Config{
 				Model: m, N: dims,
 				Tau: 0.8, Steps: steps,
-				Opt: core.OptSIMD, Ranks: ranks, Decomp: sh, Threads: 1, GhostDepth: depth,
+				Opt: core.OptSIMD, Ranks: ranks, Decomp: sh, Threads: threads, GhostDepth: depth,
 				Collision:  colSpec,
 				StepJitter: time.Millisecond,
 			})

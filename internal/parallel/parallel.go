@@ -1,78 +1,175 @@
 // Package parallel provides the intra-rank threading substrate that stands
-// in for OpenMP in the paper's hybrid MPI/OpenMP study (§VI.B): a simple
-// static-partition parallel-for over index ranges, executed by transient
-// goroutines. Work is split into contiguous blocks, one per thread,
-// mirroring an OpenMP "schedule(static)" loop over x-planes.
+// in for OpenMP in the paper's hybrid MPI/OpenMP study (§VI.B): a persistent
+// worker pool executing batches of independent chunks. Unlike the earlier
+// transient-goroutine parallel-for (one goroutine spawn per call, static
+// partition), the pool is created once per stepper and reused for every
+// loop of every step, workers carry stable IDs for per-worker scratch
+// buffers, and each batch is a shared queue that workers drain — so many
+// small disjoint regions (the rim slabs of the overlapped schedule) can be
+// submitted as one batch and load-balance across the whole team.
 package parallel
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
-// For partitions [lo,hi) into at most threads contiguous blocks and invokes
-// body(blockLo, blockHi) for each, concurrently when threads > 1. It
-// returns when every block is done. threads < 1 is treated as 1. The body
-// must not panic across blocks it does not own.
-func For(threads, lo, hi int, body func(lo, hi int)) {
-	n := hi - lo
-	if n <= 0 {
-		return
-	}
+// Pool is a persistent team of workers. The zero of *Pool (nil) and a
+// 1-thread pool both execute batches inline on the caller; a T-thread pool
+// keeps T−1 background workers parked on a condition variable, and the
+// caller participates as worker 0 of every batch. A Pool is driven by one
+// goroutine at a time (Run is not reentrant), matching its per-stepper
+// ownership.
+type Pool struct {
+	threads int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	cur    *batch // batch being executed, nil when idle
+	gen    uint64 // bumped per Run; wakes workers exactly once per batch
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// batch is one Run invocation: n chunks drained from an atomic cursor.
+type batch struct {
+	body func(worker, chunk int)
+	n    int64
+	next atomic.Int64 // next chunk index to claim
+	left atomic.Int64 // chunks not yet finished; 0 closes done
+	done chan struct{}
+
+	aborted  atomic.Bool // a chunk panicked: claim the rest without running
+	panicMu  sync.Mutex
+	panicVal any
+}
+
+// NewPool creates a pool of the given team size. threads < 1 is treated as
+// 1. A 1-thread pool spawns no goroutines.
+func NewPool(threads int) *Pool {
 	if threads < 1 {
 		threads = 1
 	}
-	if threads > n {
-		threads = n
+	p := &Pool{threads: threads}
+	p.cond = sync.NewCond(&p.mu)
+	for w := 1; w < threads; w++ {
+		p.wg.Add(1)
+		go p.worker(w)
 	}
-	if threads == 1 {
-		body(lo, hi)
-		return
-	}
-	var wg sync.WaitGroup
-	base := n / threads
-	rem := n % threads
-	start := lo
-	for t := 0; t < threads; t++ {
-		size := base
-		if t < rem {
-			size++
-		}
-		blo, bhi := start, start+size
-		start = bhi
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			body(blo, bhi)
-		}()
-	}
-	wg.Wait()
+	return p
 }
 
-// ForTwo runs For over two disjoint ranges as one logical loop, keeping the
-// static partition balanced across both (used for the separated ghost-region
-// loops, where the left and right ghost slabs are processed together).
-func ForTwo(threads, lo1, hi1, lo2, hi2 int, body func(lo, hi int)) {
-	n1 := hi1 - lo1
-	if n1 < 0 {
-		n1 = 0
+// Threads returns the team size; 1 for a nil pool.
+func (p *Pool) Threads() int {
+	if p == nil {
+		return 1
 	}
-	n2 := hi2 - lo2
-	if n2 < 0 {
-		n2 = 0
+	return p.threads
+}
+
+// Run executes body(worker, chunk) for every chunk in [0, n) exactly once,
+// distributed over the team, and returns when all chunks are done. worker
+// identifies the executing team member (0 ≤ worker < Threads()) — stable
+// across batches, the key for per-worker scratch. Chunks are claimed from a
+// shared queue in order, so callers should submit more chunks than workers
+// when chunk costs vary. If a chunk panics, the remaining chunks are
+// skipped and the first panic value is re-raised on the caller after the
+// team quiesces. Nil-safe: a nil pool runs everything inline as worker 0.
+func (p *Pool) Run(n int, body func(worker, chunk int)) {
+	if n <= 0 {
+		return
 	}
-	For(threads, 0, n1+n2, func(lo, hi int) {
-		// Map the virtual range back onto the two real ranges.
-		if lo < n1 {
-			end := hi
-			if end > n1 {
-				end = n1
-			}
-			body(lo1+lo, lo1+end)
+	if p == nil || p.threads == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			body(0, i)
 		}
-		if hi > n1 {
-			start := lo
-			if start < n1 {
-				start = n1
-			}
-			body(lo2+start-n1, lo2+hi-n1)
+		return
+	}
+	b := &batch{body: body, n: int64(n), done: make(chan struct{})}
+	b.left.Store(int64(n))
+	p.mu.Lock()
+	p.cur = b
+	p.gen++
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	b.drain(0) // the caller is worker 0
+	<-b.done
+	p.mu.Lock()
+	p.cur = nil
+	p.mu.Unlock()
+	if b.panicVal != nil {
+		panic(b.panicVal)
+	}
+}
+
+// Close shuts the background workers down. Idempotent and nil-safe; the
+// pool must be idle (no Run in flight).
+func (p *Pool) Close() {
+	if p == nil || p.threads == 1 {
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}
+
+// worker is the background loop of team member w: park until a new batch
+// (or shutdown), help drain it, repeat. A worker that wakes after the
+// batch is fully claimed simply finds no chunk and parks again.
+func (p *Pool) worker(w int) {
+	defer p.wg.Done()
+	var seen uint64
+	for {
+		p.mu.Lock()
+		for !p.closed && (p.cur == nil || p.gen == seen) {
+			p.cond.Wait()
 		}
-	})
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		b := p.cur
+		seen = p.gen
+		p.mu.Unlock()
+		b.drain(w)
+	}
+}
+
+// drain claims and executes chunks until the batch's cursor is exhausted.
+// Every claimed chunk is accounted in left — including chunks skipped
+// after an abort — so done always closes.
+func (b *batch) drain(worker int) {
+	for {
+		i := b.next.Add(1) - 1
+		if i >= b.n {
+			return
+		}
+		if !b.aborted.Load() {
+			b.runChunk(worker, int(i))
+		}
+		if b.left.Add(-1) == 0 {
+			close(b.done)
+		}
+	}
+}
+
+// runChunk executes one chunk, converting a panic into batch abortion.
+func (b *batch) runChunk(worker, chunk int) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.panicMu.Lock()
+			if b.panicVal == nil {
+				b.panicVal = r
+			}
+			b.panicMu.Unlock()
+			b.aborted.Store(true)
+		}
+	}()
+	b.body(worker, chunk)
 }

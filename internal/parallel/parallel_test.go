@@ -2,131 +2,157 @@ package parallel
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
 
-// collectRanges runs the loop and returns a coverage bitmap, failing on
-// overlap.
-func collectRanges(t *testing.T, threads, lo, hi int) []bool {
+// runCounts executes an n-chunk batch on a pool of the given size and
+// returns per-chunk execution counts and the worker IDs observed.
+func runCounts(t *testing.T, threads, n int) ([]int32, map[int]bool) {
 	t.Helper()
-	covered := make([]bool, hi)
+	p := NewPool(threads)
+	defer p.Close()
+	counts := make([]int32, n)
 	var mu sync.Mutex
-	For(threads, lo, hi, func(blo, bhi int) {
+	workers := make(map[int]bool)
+	p.Run(n, func(worker, chunk int) {
+		atomic.AddInt32(&counts[chunk], 1)
 		mu.Lock()
-		defer mu.Unlock()
-		for i := blo; i < bhi; i++ {
-			if covered[i] {
-				t.Errorf("index %d covered twice", i)
-			}
-			covered[i] = true
-		}
+		workers[worker] = true
+		mu.Unlock()
 	})
-	return covered
+	return counts, workers
 }
 
-func TestForCoversExactly(t *testing.T) {
-	for _, threads := range []int{1, 2, 3, 7, 100} {
-		covered := collectRanges(t, threads, 0, 23)
-		for i, c := range covered {
-			if !c {
-				t.Errorf("threads=%d: index %d not covered", threads, i)
+func TestRunCoversEveryChunkExactlyOnce(t *testing.T) {
+	for _, threads := range []int{1, 2, 3, 7, 16} {
+		for _, n := range []int{1, 2, 5, 23, 100} {
+			counts, workers := runCounts(t, threads, n)
+			for i, c := range counts {
+				if c != 1 {
+					t.Errorf("threads=%d n=%d: chunk %d executed %d times", threads, n, i, c)
+				}
+			}
+			for w := range workers {
+				if w < 0 || w >= threads {
+					t.Errorf("threads=%d: worker ID %d out of range", threads, w)
+				}
 			}
 		}
 	}
 }
 
-func TestForNonZeroLo(t *testing.T) {
-	covered := collectRanges(t, 3, 5, 17)
-	for i := 0; i < 5; i++ {
-		if covered[i] {
-			t.Errorf("index %d below lo covered", i)
-		}
-	}
-	for i := 5; i < 17; i++ {
-		if !covered[i] {
-			t.Errorf("index %d not covered", i)
-		}
-	}
-}
-
-func TestForEmptyAndDegenerate(t *testing.T) {
-	ran := false
-	For(4, 3, 3, func(lo, hi int) { ran = true })
-	if ran {
-		t.Error("body ran for empty range")
-	}
-	For(4, 5, 2, func(lo, hi int) { ran = true })
-	if ran {
-		t.Error("body ran for inverted range")
-	}
-	// threads < 1 behaves like 1.
-	count := 0
-	For(0, 0, 4, func(lo, hi int) { count += hi - lo })
-	if count != 4 {
-		t.Errorf("threads=0 covered %d, want 4", count)
-	}
-}
-
-func TestForPartitionProperty(t *testing.T) {
+func TestRunExactlyOnceProperty(t *testing.T) {
 	prop := func(threadsRaw, nRaw uint8) bool {
 		threads := int(threadsRaw)%8 + 1
 		n := int(nRaw) % 64
-		var mu sync.Mutex
-		sum := 0
-		blocks := 0
-		For(threads, 0, n, func(lo, hi int) {
-			mu.Lock()
-			sum += hi - lo
-			blocks++
-			mu.Unlock()
+		p := NewPool(threads)
+		defer p.Close()
+		counts := make([]int32, n)
+		p.Run(n, func(worker, chunk int) {
+			atomic.AddInt32(&counts[chunk], 1)
 		})
-		want := threads
-		if n < threads {
-			want = n
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
 		}
-		return sum == n && (n == 0 || blocks == want)
+		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
 	}
 }
 
-func TestForTwoCoversBothRanges(t *testing.T) {
-	for _, threads := range []int{1, 2, 5} {
-		covered := make([]bool, 30)
-		var mu sync.Mutex
-		ForTwo(threads, 2, 7, 20, 28, func(lo, hi int) {
-			mu.Lock()
-			defer mu.Unlock()
-			for i := lo; i < hi; i++ {
-				if covered[i] {
-					t.Errorf("threads=%d: index %d twice", threads, i)
-				}
-				covered[i] = true
-			}
-		})
-		for i := 0; i < 30; i++ {
-			want := (i >= 2 && i < 7) || (i >= 20 && i < 28)
-			if covered[i] != want {
-				t.Errorf("threads=%d: covered[%d]=%v, want %v", threads, i, covered[i], want)
-			}
+func TestPoolReuseAcrossBatches(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for round := 0; round < 50; round++ {
+		var sum atomic.Int64
+		p.Run(13, func(worker, chunk int) { sum.Add(int64(chunk)) })
+		if got := sum.Load(); got != 13*12/2 {
+			t.Fatalf("round %d: sum %d, want %d", round, got, 13*12/2)
 		}
 	}
 }
 
-func TestForTwoEmptyHalves(t *testing.T) {
-	total := 0
-	var mu sync.Mutex
-	ForTwo(3, 0, 0, 10, 14, func(lo, hi int) {
-		mu.Lock()
-		total += hi - lo
-		mu.Unlock()
-	})
-	if total != 4 {
-		t.Errorf("covered %d, want 4", total)
+func TestRunPanicPropagates(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		p := NewPool(threads)
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Errorf("threads=%d: recovered %v, want boom", threads, r)
+				}
+			}()
+			p.Run(20, func(worker, chunk int) {
+				if chunk == 3 {
+					panic("boom")
+				}
+			})
+			t.Errorf("threads=%d: Run returned without panicking", threads)
+		}()
+		// The pool must survive a panicked batch.
+		var n atomic.Int64
+		p.Run(8, func(worker, chunk int) { n.Add(1) })
+		if n.Load() != 8 {
+			t.Errorf("threads=%d: post-panic batch ran %d chunks, want 8", threads, n.Load())
+		}
+		p.Close()
 	}
-	ForTwo(3, 0, 0, 0, 0, func(lo, hi int) {
-		t.Error("body ran for fully empty ForTwo")
+}
+
+func TestRunEmptyAndNil(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	ran := false
+	p.Run(0, func(worker, chunk int) { ran = true })
+	p.Run(-2, func(worker, chunk int) { ran = true })
+	if ran {
+		t.Error("body ran for empty batch")
+	}
+	var nilPool *Pool
+	if nilPool.Threads() != 1 {
+		t.Errorf("nil pool Threads() = %d, want 1", nilPool.Threads())
+	}
+	sum := 0
+	nilPool.Run(4, func(worker, chunk int) {
+		if worker != 0 {
+			t.Errorf("nil pool worker %d, want 0", worker)
+		}
+		sum += chunk
+	})
+	if sum != 6 {
+		t.Errorf("nil pool sum %d, want 6", sum)
+	}
+	nilPool.Close()
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	p := NewPool(4)
+	p.Run(4, func(worker, chunk int) {})
+	p.Close()
+	p.Close()
+	if NewPool(0).Threads() != 1 {
+		t.Error("threads<1 must clamp to 1")
+	}
+}
+
+func TestWorkerScratchDisjoint(t *testing.T) {
+	// Per-worker scratch slots must never be touched concurrently: guard
+	// each with a CAS-held flag for the duration of a chunk.
+	const threads = 4
+	p := NewPool(threads)
+	defer p.Close()
+	var busy [threads]atomic.Bool
+	p.Run(200, func(worker, chunk int) {
+		if !busy[worker].CompareAndSwap(false, true) {
+			t.Errorf("worker %d scratch entered concurrently", worker)
+		}
+		for i := 0; i < 100; i++ {
+			_ = i * i
+		}
+		busy[worker].Store(false)
 	})
 }

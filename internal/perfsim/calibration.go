@@ -20,8 +20,15 @@ type calibration struct {
 	// bwSaturationUnits is the core-equivalents needed to saturate the
 	// node's memory bandwidth.
 	bwSaturationUnits float64
-	// threadSyncLoss is the per-extra-thread team synchronization cost.
-	threadSyncLoss float64
+	// threadSerialFrac is the serial fraction each extra worker thread
+	// adds to a task's compute windows — chunk claims, batch publish and
+	// quiesce, the end-of-batch barrier. The team's parallel efficiency
+	// is the Amdahl-style 1/(1 + threadSerialFrac·(t−1)); see
+	// parallelEff. The coefficient is small because the in-rank runtime
+	// amortizes claim overhead over coarse chunks (minChunkCells in
+	// core's chunk queue), and it is what makes 4 tasks × 16 threads
+	// beat 1 × 64 on BG/Q even though both saturate the node.
+	threadSerialFrac float64
 	// msgSWOverhead is the per-message fixed cost on the critical path, in
 	// seconds: MPI stack and request handling, DMA descriptor setup,
 	// rendezvous handshakes, plus the synchronization-noise absorption the
@@ -38,6 +45,14 @@ func (c calibration) flopEff(opt core.OptLevel) float64 {
 		return c.flopEffSIMD
 	}
 	return c.flopEffScalar
+}
+
+// parallelEff returns the thread-team parallel efficiency at t worker
+// threads per task: 1 at one thread, decaying as 1/(1 + c·(t−1)). It
+// multiplies every per-task compute rate, so ThreadsPerTask scales the
+// simulated compute windows directly.
+func (c calibration) parallelEff(threads int) float64 {
+	return 1 / (1 + c.threadSerialFrac*float64(threads-1))
 }
 
 // bgpCalibration: anchors —
@@ -61,7 +76,7 @@ var bgpCalibration = calibration{
 	flopEffSIMD:       0.40, // 31% of peak measured overall, 43% in collide
 	smtYield:          0.0,  // PowerPC 450: 1 thread per core
 	bwSaturationUnits: 4,    // all 4 cores needed to stream at 13.6 GB/s
-	threadSyncLoss:    0.001,
+	threadSerialFrac:  0.001,
 	msgSWOverhead:     500e-6, // 850 MHz cores: substantial per-message cost
 }
 
@@ -88,7 +103,7 @@ var bgqCalibration = calibration{
 	flopEffSIMD:       0.30,
 	smtYield:          0.45,
 	bwSaturationUnits: 24,
-	threadSyncLoss:    0.001,
+	threadSerialFrac:  0.001,
 	msgSWOverhead:     150e-6,
 }
 
@@ -103,7 +118,7 @@ var genericCalibration = calibration{
 	flopEffSIMD:       0.4,
 	smtYield:          0.3,
 	bwSaturationUnits: 8,
-	threadSyncLoss:    0.001,
+	threadSerialFrac:  0.001,
 	msgSWOverhead:     100e-6,
 }
 

@@ -197,16 +197,17 @@ func (j *Job) deriveRates() rates {
 	if flopFrac > 1 {
 		flopFrac = 1
 	}
-	// Thread-team synchronization loss grows with team size (the reason
-	// 4 tasks × 16 threads beats 1 × 64 on BG/Q even though both saturate
-	// the node).
-	sync := 1 + cal.threadSyncLoss*float64(j.ThreadsPerTask-1)
+	// The thread team's parallel efficiency scales every compute window:
+	// each extra worker adds a serial fraction (chunk claims, batch
+	// barriers), which is the reason 4 tasks × 16 threads beats 1 × 64
+	// on BG/Q even though both saturate the node.
+	eff := cal.parallelEff(j.ThreadsPerTask)
 
 	tpn := float64(j.TasksPerNode)
 	return rates{
-		taskBW:    m.MemBWBytes * memEff * bwFrac / tpn / sync,
-		taskBWRaw: m.MemBWBytes * bwFrac / tpn / sync,
-		taskFlops: m.PeakFlops * flopEff * flopFrac / tpn / sync,
+		taskBW:    m.MemBWBytes * memEff * bwFrac / tpn * eff,
+		taskBWRaw: m.MemBWBytes * bwFrac / tpn * eff,
+		taskFlops: m.PeakFlops * flopEff * flopFrac / tpn * eff,
 		linkBW:    m.TorusLinkBytes,
 		latency:   m.LinkLatency,
 		msgSW:     cal.msgSWOverhead,

@@ -230,6 +230,50 @@ func TestFig11BGQTasksThreads(t *testing.T) {
 	}
 }
 
+// TestThreadsScaleComputeWindow: ThreadsPerTask must scale the simulated
+// compute windows through the parallel-efficiency model — more threads
+// per task shrink wall time monotonically up to core count, one thread is
+// exactly the unthreaded model (eff = 1), and the team never reaches
+// ideal speedup (the serial fraction of chunk claims and batch barriers).
+func TestThreadsScaleComputeWindow(t *testing.T) {
+	if got := bgqCalibration.parallelEff(1); got != 1 {
+		t.Errorf("parallelEff(1) = %g, want exactly 1", got)
+	}
+	prevEff := 1.0
+	for _, th := range []int{2, 4, 16, 64} {
+		eff := bgqCalibration.parallelEff(th)
+		if eff >= prevEff || eff <= 0 {
+			t.Errorf("parallelEff(%d) = %g, want in (0, %g)", th, eff, prevEff)
+		}
+		prevEff = eff
+	}
+	job := func(threads int) Job {
+		return Job{
+			Machine: machine.BGQ(), Spec: machine.SpecD3Q19(), K: 1,
+			Nodes: 8, TasksPerNode: 1, ThreadsPerTask: threads,
+			NX: 8 * 64, NY: 64, NZ: 64,
+			Steps: 10, Depth: 1, Opt: core.OptSIMD, Seed: 1,
+		}
+	}
+	t1 := mustRun(t, job(1)).Seconds
+	prev := t1
+	for _, th := range []int{2, 4, 8, 16} {
+		cur := mustRun(t, job(th)).Seconds
+		if cur >= prev {
+			t.Errorf("%d threads (%.4gs) not faster than fewer (%.4gs)", th, cur, prev)
+		}
+		prev = cur
+	}
+	// Sub-ideal but substantial scaling at 16 threads on 16 cores.
+	speedup := t1 / prev
+	if speedup >= 16 {
+		t.Errorf("speedup %.2fx at 16 threads is at or above ideal", speedup)
+	}
+	if speedup < 4 {
+		t.Errorf("speedup %.2fx at 16 threads, want >= 4x", speedup)
+	}
+}
+
 func TestValidation(t *testing.T) {
 	base := fig8Job(machine.BGP(), machine.SpecD3Q19(), 1, core.OptSIMD)
 	bad := base

@@ -168,6 +168,10 @@ func ModelByName(name string) (*Model, error) { return lattice.ByName(name) }
 // Run executes a simulation.
 func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
 
+// ResolveThreads interprets a -threads style value: positive counts pass
+// through, 0 means runtime.NumCPU()/ranks (floor 1), negatives error.
+func ResolveThreads(threads, ranks int) (int, error) { return core.ResolveThreads(threads, ranks) }
+
 // OptLevels lists all optimization levels in ladder order.
 func OptLevels() []OptLevel { return core.Levels() }
 
