@@ -42,6 +42,7 @@ func main() {
 		collide  = flag.String("collision", "bgk", "collision operator for -real experiments: bgk, trt or mrt")
 		magic    = flag.Float64("magic", 0, "TRT magic parameter Lambda for -real experiments (0 = 1/4)")
 		mrtRates = flag.String("mrt-rates", "", "MRT ghost rates by order for -real experiments (comma-separated from order 3)")
+		stream   = flag.String("stream", "twogrid", "streaming storage for -real fig8/fig9/fig10/fig11: twogrid (separate advected field) or aa (in-place AA pattern, half the f-memory)")
 	)
 	flag.Parse()
 
@@ -70,12 +71,19 @@ func main() {
 	if !*real && *depth != "1" {
 		log.Fatalf("-depth applies to -real experiments only (got -exp %s without -real)", *exp)
 	}
+	scheme, err := core.ParseStreamScheme(*stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*real && scheme != core.StreamTwoGrid {
+		log.Fatalf("-stream applies to -real experiments only (got -exp %s without -real)", *exp)
+	}
 	if *real {
 		nthreads, err := core.ResolveThreads(*threads, *ranks)
 		if err != nil {
 			log.Fatal(err)
 		}
-		tb, err := realExperiment(*exp, *model, *ranks, nthreads, *steps, *decomp, *depth, colSpec)
+		tb, err := realExperiment(*exp, *model, *ranks, nthreads, *steps, *decomp, *depth, colSpec, scheme)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -110,24 +118,30 @@ func main() {
 	}
 }
 
-func realExperiment(exp, model string, ranks, threads, steps int, decomp, depth string, colSpec collision.Spec) (*experiments.Table, error) {
+func realExperiment(exp, model string, ranks, threads, steps int, decomp, depth string, colSpec collision.Spec, stream core.StreamScheme) (*experiments.Table, error) {
 	switch exp {
 	case "fig8":
-		return experiments.RealFig8(model, ranks, threads, steps, decomp, depth, colSpec)
+		return experiments.RealFig8(model, ranks, threads, steps, decomp, depth, colSpec, stream)
 	case "fig9":
-		return experiments.RealFig9(model, ranks, threads, steps, decomp, depth, colSpec)
+		return experiments.RealFig9(model, ranks, threads, steps, decomp, depth, colSpec, stream)
 	case "fig10":
 		if depth != "1" {
 			return nil, fmt.Errorf("fig10 sweeps ghost depth itself; drop -depth")
 		}
-		return experiments.RealFig10(model, ranks, threads, steps, decomp, colSpec)
+		return experiments.RealFig10(model, ranks, threads, steps, decomp, colSpec, stream)
 	case "fig11":
-		return experiments.RealFig11(model, steps, decomp, depth, colSpec)
+		return experiments.RealFig11(model, steps, decomp, depth, colSpec, stream)
 	case "collision":
 		return experiments.CollisionTable(model)
 	case "fixup":
+		if stream != core.StreamTwoGrid {
+			return nil, fmt.Errorf("fixup compares the fixup-scan path, which AA streaming replaces; drop -stream")
+		}
 		return experiments.RealFixup(model, ranks, steps, decomp, depth)
 	case "threads":
+		if stream != core.StreamTwoGrid {
+			return nil, fmt.Errorf("threads sweeps the two-grid kernels; drop -stream")
+		}
 		return experiments.RealThreads(model, threads, steps, colSpec)
 	}
 	return nil, fmt.Errorf("-real supports fig8, fig9, fig10, fig11, collision, fixup, threads (got %q)", exp)

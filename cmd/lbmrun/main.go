@@ -49,6 +49,7 @@ func main() {
 		depth     = flag.String("depth", "1", "ghost-cell depth: one value (exchange every depth steps) or per-axis dx,dy,dz (e.g. 2,1,1)")
 		layout    = flag.String("layout", "soa", "memory layout: soa or aos")
 		fused     = flag.Bool("fused", false, "fused stream-collide kernel (§VII future work; needs SoA and a GC level)")
+		stream    = flag.String("stream", "twogrid", "streaming storage: twogrid (separate advected field) or aa (in-place AA pattern, half the f-memory; needs SoA and a GC level)")
 		amplitude = flag.Float64("amplitude", 0.02, "initial perturbation amplitude")
 		scen      = flag.String("scenario", "wave", scenario.Usage())
 		re        = flag.Float64("re", 100, "Reynolds number (cavity: lidU*NY/nu; channel: Umean*D/nu)")
@@ -78,6 +79,11 @@ func main() {
 		lay = grid.AoS
 	default:
 		log.Fatalf("unknown layout %q", *layout)
+	}
+
+	scheme, err := core.ParseStreamScheme(*stream)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	kind, err := collision.ParseKind(*collide)
@@ -132,7 +138,8 @@ func main() {
 		Model: model, N: n, Tau: *tau, Steps: *steps,
 		Opt: opt, Ranks: *ranks, Decomp: dec.P, Threads: nthreads,
 		GhostDepth: depthUniform, GhostDepthAxes: depthAxes,
-		Layout: lay, Fused: *fused, Collision: colSpec, KeepField: *out != "",
+		Layout: lay, Fused: *fused, Collision: colSpec, Stream: scheme,
+		KeepField: *out != "",
 	}
 	if err := sc.Configure(&params, &cfg); err != nil {
 		log.Fatal(err)
@@ -147,8 +154,8 @@ func main() {
 	fmt.Printf("model        %s (Q=%d, c_s^2=%.4f, k=%d)\n", model.Name, model.Q, model.CsSq, model.MaxSpeed)
 	fmt.Printf("scenario     %s\n", sc.Name)
 	fmt.Printf("domain       %s  (%d fluid cells)\n", n, fluid)
-	fmt.Printf("config       opt=%s ranks=%d decomp=%dx%dx%d threads=%d depth=%s layout=%s fused=%v collision=%s tau=%.4f\n",
-		cfg.Opt, cfg.Ranks, cfg.Decomp[0], cfg.Decomp[1], cfg.Decomp[2], cfg.Threads, *depth, lay, cfg.Fused, cfg.Collision, cfg.Tau)
+	fmt.Printf("config       opt=%s ranks=%d decomp=%dx%dx%d threads=%d depth=%s layout=%s fused=%v stream=%s collision=%s tau=%.4f\n",
+		cfg.Opt, cfg.Ranks, cfg.Decomp[0], cfg.Decomp[1], cfg.Decomp[2], cfg.Threads, *depth, lay, cfg.Fused, cfg.Stream, cfg.Collision, cfg.Tau)
 	fmt.Printf("steps        %d\n", cfg.Steps)
 	if hb := res.HaloAxisBytes; hb != [3]int64{} {
 		fmt.Printf("halo surface %.1f KB/rank/exchange (x %.1f, y %.1f, z %.1f)\n",

@@ -253,6 +253,12 @@ func cylinderSheddingErr() (float64, error) {
 	if d := math.Abs(res.CdMax-cdMid) / cdMid; d > 0.10 {
 		return 0, fmt.Errorf("max drag coefficient %.3f deviates %.1f%% from the reference %.2f (tol 10%%)", res.CdMax, 100*d, cdMid)
 	}
+	// With the outlet sponge in place (the default), the drag envelope must
+	// be flat: reflected pressure waves previously modulated the per-period
+	// Cd maxima well above this bound.
+	if res.Periods >= 3 && res.CdRipple > 0.002 {
+		return 0, fmt.Errorf("drag envelope ripple %.3f%% exceeds 0.2%% — outlet reflection is back", 100*res.CdRipple)
+	}
 	stMid := (ref.StLo + ref.StHi) / 2
 	return math.Abs(res.St-stMid) / stMid, nil
 }

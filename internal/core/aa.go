@@ -1,0 +1,700 @@
+package core
+
+// AA-pattern in-place streaming (Bailey et al., "Accelerating Lattice
+// Boltzmann Fluid Flow Simulations Using Graphics Processors", 2009),
+// DESIGN.md §9. One field instead of two: each step pair reads and writes
+// the array exactly once per sub-step, halving the f-memory traffic and
+// footprint that dominate this bandwidth-bound code.
+//
+// Convention, matched to this codebase's step (pull-stream → collide):
+//
+//   - transport (even sub-step): cell y pulls population v from the
+//     upwind normal slot a[v](y − c_v), collides, and pushes result r_v
+//     into the *reversed* downwind slot a[opp(v)](y + c_v). The read set
+//     {(v, y−c_v)} and write set {(opp(v), y+c_v)} are the same exclusive
+//     slot star — slot (m, u) belongs to cell u + c_m alone — so rows
+//     never race and the worker pool stays bit-exact at any chunking
+//     (the §8 row-independence contract).
+//
+//   - compact (odd sub-step): cell y reads its own slots reversed
+//     (population v from a[opp(v)](y)), collides, writes them back in
+//     normal arrangement. Purely cell-local. After compact the array is
+//     bit-identical to the two-grid f, which is why halo exchanges happen
+//     only at pair boundaries and the existing pack/unpack maps apply
+//     unchanged — no parity-dependent exchanger needed. Per-axis depths
+//     round up to even (aaDepths) to make the refresh cadence land there.
+//
+// Bounce-back folds into the transport kernel through the same CSR fixup
+// index: a link (y, v) (upwind endpoint y − c_v solid) pulls the cell's
+// own reflected slot a[opp(v)](y) + δ instead (conflict-free: that slot's
+// star owner is the solid cell, whose scatter is skipped), and after the
+// collision pushes a[opp(v)](y) = r_opp(v)(y) + δ — the value compact
+// will read as population v. Compact needs no fixup handling at all.
+// Solid cells never scatter (their stars overlap fluid pull-fixup reads
+// and push-bounce slots); their slots hold deterministic garbage, which
+// is why cross-scheme comparisons mask solid cells.
+//
+// Open faces (outflow / pressure outlet) are refilled by fillOpenFaces at
+// every pair start exactly like the two-grid path; the odd step's refill
+// is emulated by aaFixOpenFaces, a serial pass between transport and
+// compact that overwrites the pushed slots of every compact-box consumer
+// whose upwind source lies beyond the face plane with the fill value the
+// two-grid path would have streamed (a function of the source's
+// transverse column only). Limitation: one open-bounded axis at a time —
+// corner fills of two open axes are fill-of-fill in the two-grid path,
+// which the slot algebra cannot reproduce cheaply (config-level check in
+// core.go). The GC-C message overlap is also not scheduled under AA
+// (refreshes are synchronous at pair starts); a follow-on can overlap the
+// pair-start exchange with the previous compact's interior.
+
+import (
+	"repro/internal/collision"
+	"repro/internal/halo"
+)
+
+// runAA advances the configured number of steps with AA streaming. The
+// deep-halo bookkeeping is the same shrinking-box schedule as run(), with
+// refreshes restricted to pair starts by the even per-axis depths.
+func (cs *cartStepper) runAA() {
+	var since [3]int
+	for a := range since {
+		since[a] = cs.depth[a] // every axis due at step 0
+	}
+	for step := 0; step < cs.cfg.Steps; step++ {
+		var ext [3]int
+		for a := 0; a < 3; a++ {
+			if step%2 == 0 && since[a] >= cs.depth[a] {
+				since[a] = 0
+			}
+			ext[a] = (cs.depth[a] - since[a]) * cs.k
+		}
+		b := cs.boxFor(ext)
+		if step%2 == 0 {
+			cs.fillOpenFaces()
+			var stale [3]bool
+			for a := 0; a < 3; a++ {
+				stale[a] = since[a] == 0
+			}
+			if stale != ([3]bool{}) {
+				cs.refreshAxes(stale)
+			}
+			if cs.cfg.MeasureForces {
+				cs.aaForcePre()
+				cs.endForceStep()
+			}
+			cs.aaTransportBox(b)
+			if step+1 < cs.cfg.Steps {
+				var extNext [3]int
+				for a := 0; a < 3; a++ {
+					extNext[a] = ext[a] - cs.k
+				}
+				cs.aaFixOpenFaces(cs.boxFor(extNext))
+			}
+		} else {
+			if cs.cfg.MeasureForces {
+				cs.aaForcePost()
+				cs.endForceStep()
+			}
+			cs.aaCompactBox(b)
+		}
+		cs.countUpdates(b)
+		cs.jitter()
+		for a := range since {
+			since[a]++
+		}
+	}
+	cs.aaStar = cs.cfg.Steps%2 == 1
+}
+
+// aaTransportBox runs the transport sub-step on destination box b.
+func (cs *cartStepper) aaTransportBox(b box) {
+	cs.br.run(cs.aaTransportRange, b)
+}
+
+// aaCompactBox runs the compact sub-step on destination box b.
+func (cs *cartStepper) aaCompactBox(b box) {
+	cs.br.run(cs.aaCompactRange, b)
+}
+
+// aaTransportRange is the transport kernel over one chunk: per (x, y)
+// row, pull the upwind rows into the in buffers, overwrite pulled-solid
+// links from the fixup index, collide into the out buffers, scatter into
+// the reversed downwind slots (skipping solid source cells), and push the
+// bounce-back slots.
+func (cs *cartStepper) aaTransportRange(worker int, b box) {
+	m := cs.model
+	zn := b.hi[2] - b.lo[2]
+	if zn <= 0 || b.hi[1] <= b.lo[1] || b.hi[0] <= b.lo[0] {
+		return
+	}
+	sc := cs.scratch[worker]
+	in, out := sc.aaRows(zn)
+	nz := cs.d.NZ
+	fullZ := b.lo[2] == 0 && b.hi[2] == nz
+	haveFix := !cs.fix.empty()
+	for ix := b.lo[0]; ix < b.hi[0]; ix++ {
+		for iy := b.lo[1]; iy < b.hi[1]; iy++ {
+			var msk []bool
+			if cs.mask != nil {
+				base := cs.d.Index(ix, iy, b.lo[2])
+				row := cs.mask[base : base+zn]
+				for _, s := range row {
+					if s {
+						msk = row
+						break
+					}
+				}
+			}
+			// Masked z positions are skipped in the gather, not just the
+			// scatter: a solid cell's star slots are concurrently written by
+			// its fluid neighbours' push-bounce, and its own pulled values
+			// are discarded anyway.
+			for v := 0; v < m.Q; v++ {
+				off := cs.d.Index(ix-m.Cx[v], iy-m.Cy[v], b.lo[2]-m.Cz[v])
+				src := cs.f.V(v)
+				if msk == nil {
+					copy(in[v], src[off:off+zn])
+					continue
+				}
+				iv := in[v]
+				for z := 0; z < zn; z++ {
+					if msk[z] {
+						iv[z] = 0
+						continue
+					}
+					iv[z] = src[off+z]
+				}
+			}
+			var seg []fixup
+			if haveFix {
+				row := ix*cs.d.NY + iy
+				seg = cs.fix.links[cs.fix.rows[row]:cs.fix.rows[row+1]]
+				if !fullZ && len(seg) > 0 {
+					seg = zSlice(seg, nz, b.lo[2], b.hi[2])
+				}
+				for _, fx := range seg {
+					z := int(fx.cell)%nz - b.lo[2]
+					in[fx.v][z] = cs.f.V(int(fx.opp))[fx.cell] + fx.delta
+				}
+			}
+			cs.aaRelaxRows(sc, in, out, zn)
+			cs.aaSpongeRow(sc, out, ix, iy, b.lo[2], zn)
+			for v := 0; v < m.Q; v++ {
+				dst := cs.f.V(m.Opp[v])
+				off := cs.d.Index(ix+m.Cx[v], iy+m.Cy[v], b.lo[2]+m.Cz[v])
+				if msk == nil {
+					copy(dst[off:off+zn], out[v])
+					continue
+				}
+				ov := out[v]
+				for z := 0; z < zn; z++ {
+					if msk[z] {
+						continue
+					}
+					dst[off+z] = ov[z]
+				}
+			}
+			for _, fx := range seg {
+				z := int(fx.cell)%nz - b.lo[2]
+				cs.f.V(int(fx.opp))[fx.cell] = out[fx.opp][z] + fx.delta
+			}
+		}
+	}
+}
+
+// aaCompactRange is the compact kernel over one chunk: per (x, y) row,
+// read the cell's own slots reversed, collide, write back in normal
+// arrangement (skipping solid cells). Entirely cell-local.
+func (cs *cartStepper) aaCompactRange(worker int, b box) {
+	m := cs.model
+	zn := b.hi[2] - b.lo[2]
+	if zn <= 0 || b.hi[1] <= b.lo[1] || b.hi[0] <= b.lo[0] {
+		return
+	}
+	sc := cs.scratch[worker]
+	in, out := sc.aaRows(zn)
+	for ix := b.lo[0]; ix < b.hi[0]; ix++ {
+		for iy := b.lo[1]; iy < b.hi[1]; iy++ {
+			base := cs.d.Index(ix, iy, b.lo[2])
+			for v := 0; v < m.Q; v++ {
+				copy(in[v], cs.f.V(m.Opp[v])[base:base+zn])
+			}
+			cs.aaRelaxRows(sc, in, out, zn)
+			cs.aaSpongeRow(sc, out, ix, iy, b.lo[2], zn)
+			var msk []bool
+			if cs.mask != nil {
+				row := cs.mask[base : base+zn]
+				for _, s := range row {
+					if s {
+						msk = row
+						break
+					}
+				}
+			}
+			for v := 0; v < m.Q; v++ {
+				dst := cs.f.V(v)
+				if msk == nil {
+					copy(dst[base:base+zn], out[v])
+					continue
+				}
+				ov := out[v]
+				for z := 0; z < zn; z++ {
+					if msk[z] {
+						continue
+					}
+					dst[base+z] = ov[z]
+				}
+			}
+		}
+	}
+}
+
+// aaSpongeRow applies the sponge blend to a collided out-row before it is
+// scattered (transport) or written back (compact) — the same point in the
+// update as the two-grid post-collide spongeBox pass, via the same
+// applySpongeRow arithmetic, so the schemes stay bit-identical. Masked
+// cells are skipped inside applySpongeRow.
+func (cs *cartStepper) aaSpongeRow(sc *workerScratch, out [][]float64, ix, iy, zlo, zn int) {
+	if !cs.hasSponge {
+		return
+	}
+	sig := sc.rowFeq[:zn]
+	if !cs.spongeSig(sig, ix, iy, zlo, zn) {
+		return
+	}
+	var msk []bool
+	if cs.mask != nil {
+		base := cs.d.Index(ix, iy, zlo)
+		msk = cs.mask[base : base+zn]
+	}
+	applySpongeRow(cs.model, sc.fc, out, sig, msk, zn)
+}
+
+// aaRelaxRows collides one gathered row (in → out), dispatching to the
+// arithmetic of the two-grid kernel the configuration would use, so
+// cross-scheme runs stay bit-identical per cell (and therefore within
+// the standard 1e-12 reassociation envelope overall).
+func (cs *cartStepper) aaRelaxRows(sc *workerScratch, in, out [][]float64, zn int) {
+	switch {
+	case cs.op != nil:
+		if rr, ok := sc.op.(collision.RowRelaxer); ok {
+			cs.aaRelaxOpRows(rr, sc, in, out, zn)
+			return
+		}
+		cs.aaRelaxOpCell(sc, in, out, zn)
+	case cs.cfg.Opt <= OptGC:
+		cs.aaRelaxNaive(sc, in, out, zn)
+	case cs.cfg.Opt == OptDH:
+		cs.aaRelaxGeneric(sc, in, out, zn)
+	default:
+		cs.aaRelaxPaired(sc, in, out, zn)
+	}
+}
+
+// aaRelaxNaive mirrors collideBoxNaive per cell: gather, Moments,
+// equilibria by method call, divisions.
+func (cs *cartStepper) aaRelaxNaive(sc *workerScratch, in, out [][]float64, zn int) {
+	m := cs.model
+	fc := sc.fc
+	for z := 0; z < zn; z++ {
+		for v := 0; v < m.Q; v++ {
+			fc[v] = in[v][z]
+		}
+		rho, jx, jy, jz := m.Moments(fc)
+		ux := jx/rho + cs.shiftX
+		uy := jy/rho + cs.shiftY
+		uz := jz/rho + cs.shiftZ
+		for v := 0; v < m.Q; v++ {
+			feq := m.EquilibriumAt(v, rho, ux, uy, uz)
+			out[v][z] = fc[v] - (fc[v]-feq)/cs.cfg.Tau
+		}
+	}
+}
+
+// aaRelaxGeneric mirrors collideBoxGeneric: per-velocity row moment
+// accumulation, reciprocals, inlined equilibria.
+func (cs *cartStepper) aaRelaxGeneric(sc *workerScratch, in, out [][]float64, zn int) {
+	m := cs.model
+	omega := 1 / cs.cfg.Tau
+	c := cs.coef
+	rb := sc.rb
+	for z := 0; z < zn; z++ {
+		rb.rho[z], rb.jx[z], rb.jy[z], rb.jz[z] = 0, 0, 0, 0
+	}
+	for v := 0; v < m.Q; v++ {
+		sv := in[v]
+		cx, cy, cz := c.cx[v], c.cy[v], c.cz[v]
+		for z, val := range sv {
+			rb.rho[z] += val
+			rb.jx[z] += cx * val
+			rb.jy[z] += cy * val
+			rb.jz[z] += cz * val
+		}
+	}
+	for z := 0; z < zn; z++ {
+		inv := 1 / rb.rho[z]
+		rb.ux[z] = rb.jx[z]*inv + cs.shiftX
+		rb.uy[z] = rb.jy[z]*inv + cs.shiftY
+		rb.uz[z] = rb.jz[z]*inv + cs.shiftZ
+		rb.u2[z] = rb.ux[z]*rb.ux[z] + rb.uy[z]*rb.uy[z] + rb.uz[z]*rb.uz[z]
+	}
+	for v := 0; v < m.Q; v++ {
+		sv, dv := in[v], out[v]
+		cx, cy, cz, w := c.cx[v], c.cy[v], c.cz[v], c.w[v]
+		for z := 0; z < zn; z++ {
+			cu := cx*rb.ux[z] + cy*rb.uy[z] + cz*rb.uz[z]
+			e := 1 + cu*c.invCs2 + cu*cu*c.invCs4h - rb.u2[z]*c.invCs2h
+			if c.third {
+				e += cu*cu*cu*c.thA - cu*rb.u2[z]*c.thB
+			}
+			feq := w * rb.rho[z] * e
+			dv[z] = sv[z] - omega*(sv[z]-feq)
+		}
+	}
+}
+
+// aaRelaxPaired mirrors collideBoxPaired: opposite-pair symmetric
+// equilibria with precomputed coefficients — the CF-and-above fast path.
+func (cs *cartStepper) aaRelaxPaired(sc *workerScratch, in, out [][]float64, zn int) {
+	omega := 1 / cs.cfg.Tau
+	c := cs.coef
+	rb := sc.rb
+	for z := 0; z < zn; z++ {
+		rb.rho[z], rb.jx[z], rb.jy[z], rb.jz[z] = 0, 0, 0, 0
+	}
+	for _, p := range cs.pairs {
+		if p.i == p.j {
+			for z, val := range in[p.i] {
+				rb.rho[z] += val
+			}
+			continue
+		}
+		si, sj := in[p.i], in[p.j]
+		cx, cy, cz := c.cx[p.i], c.cy[p.i], c.cz[p.i]
+		for z := 0; z < zn; z++ {
+			vi, vj := si[z], sj[z]
+			sum, diff := vi+vj, vi-vj
+			rb.rho[z] += sum
+			rb.jx[z] += cx * diff
+			rb.jy[z] += cy * diff
+			rb.jz[z] += cz * diff
+		}
+	}
+	for z := 0; z < zn; z++ {
+		inv := 1 / rb.rho[z]
+		rb.ux[z] = rb.jx[z]*inv + cs.shiftX
+		rb.uy[z] = rb.jy[z]*inv + cs.shiftY
+		rb.uz[z] = rb.jz[z]*inv + cs.shiftZ
+		rb.u2[z] = rb.ux[z]*rb.ux[z] + rb.uy[z]*rb.uy[z] + rb.uz[z]*rb.uz[z]
+	}
+	for _, p := range cs.pairs {
+		if p.i == p.j {
+			sv, dv := in[p.i], out[p.i]
+			w := c.w[p.i]
+			for z := 0; z < zn; z++ {
+				feq := w * rb.rho[z] * (1 - rb.u2[z]*c.invCs2h)
+				dv[z] = sv[z] - omega*(sv[z]-feq)
+			}
+			continue
+		}
+		si, sj := in[p.i], in[p.j]
+		di, dj := out[p.i], out[p.j]
+		cx, cy, cz, w := c.cx[p.i], c.cy[p.i], c.cz[p.i], c.w[p.i]
+		for z := 0; z < zn; z++ {
+			cu := cx*rb.ux[z] + cy*rb.uy[z] + cz*rb.uz[z]
+			cu2 := cu * cu
+			even := 1 + cu2*c.invCs4h - rb.u2[z]*c.invCs2h
+			odd := cu * c.invCs2
+			if c.third {
+				odd += cu2*cu*c.thA - cu*rb.u2[z]*c.thB
+			}
+			wr := w * rb.rho[z]
+			di[z] = si[z] - omega*(si[z]-wr*(even+odd))
+			dj[z] = sj[z] - omega*(sj[z]-wr*(even-odd))
+		}
+	}
+}
+
+// aaRelaxOpRows mirrors collideOpRows: pair-accumulated moments and
+// pair-symmetric inlined equilibria into the worker's feq rows, then one
+// RelaxRows call.
+func (cs *cartStepper) aaRelaxOpRows(rr collision.RowRelaxer, sc *workerScratch, in, out [][]float64, zn int) {
+	c := cs.coef
+	rb := sc.rb
+	feq := sc.rows(zn)
+	for z := 0; z < zn; z++ {
+		rb.rho[z], rb.jx[z], rb.jy[z], rb.jz[z] = 0, 0, 0, 0
+	}
+	for _, p := range cs.pairs {
+		if p.i == p.j {
+			for z, val := range in[p.i] {
+				rb.rho[z] += val
+			}
+			continue
+		}
+		si, sj := in[p.i], in[p.j]
+		cx, cy, cz := c.cx[p.i], c.cy[p.i], c.cz[p.i]
+		for z := 0; z < zn; z++ {
+			vi, vj := si[z], sj[z]
+			sum, diff := vi+vj, vi-vj
+			rb.rho[z] += sum
+			rb.jx[z] += cx * diff
+			rb.jy[z] += cy * diff
+			rb.jz[z] += cz * diff
+		}
+	}
+	for z := 0; z < zn; z++ {
+		inv := 1 / rb.rho[z]
+		rb.ux[z] = rb.jx[z]*inv + cs.shiftX
+		rb.uy[z] = rb.jy[z]*inv + cs.shiftY
+		rb.uz[z] = rb.jz[z]*inv + cs.shiftZ
+		rb.u2[z] = rb.ux[z]*rb.ux[z] + rb.uy[z]*rb.uy[z] + rb.uz[z]*rb.uz[z]
+	}
+	for _, p := range cs.pairs {
+		if p.i == p.j {
+			fv := feq[p.i]
+			w := c.w[p.i]
+			for z := 0; z < zn; z++ {
+				fv[z] = w * rb.rho[z] * (1 - rb.u2[z]*c.invCs2h)
+			}
+			continue
+		}
+		fi, fj := feq[p.i], feq[p.j]
+		cx, cy, cz, w := c.cx[p.i], c.cy[p.i], c.cz[p.i], c.w[p.i]
+		for z := 0; z < zn; z++ {
+			cu := cx*rb.ux[z] + cy*rb.uy[z] + cz*rb.uz[z]
+			cu2 := cu * cu
+			even := 1 + cu2*c.invCs4h - rb.u2[z]*c.invCs2h
+			odd := cu * c.invCs2
+			if c.third {
+				odd += cu2*cu*c.thA - cu*rb.u2[z]*c.thB
+			}
+			wr := w * rb.rho[z]
+			fi[z] = wr * (even + odd)
+			fj[z] = wr * (even - odd)
+		}
+	}
+	rr.RelaxRows(out, in, feq, zn)
+}
+
+// aaRelaxOpCell mirrors collideOpBox per cell for operators without a row
+// form.
+func (cs *cartStepper) aaRelaxOpCell(sc *workerScratch, in, out [][]float64, zn int) {
+	m := cs.model
+	fc := sc.fc
+	for z := 0; z < zn; z++ {
+		for v := 0; v < m.Q; v++ {
+			fc[v] = in[v][z]
+		}
+		rho, jx, jy, jz := m.Moments(fc)
+		sc.op.Relax(fc, rho, jx/rho+cs.shiftX, jy/rho+cs.shiftY, jz/rho+cs.shiftZ)
+		for v := 0; v < m.Q; v++ {
+			out[v][z] = fc[v]
+		}
+	}
+}
+
+// aaForcePre accumulates the even sub-step's momentum-exchange forces
+// before transport, from the pair-start normal-arranged state — exactly
+// the pre-stream values the two-grid applyBoxForce reads, in one global
+// CSR order (serial, hence thread- and chunk-invariant).
+func (cs *cartStepper) aaForcePre() {
+	if cs.fix.empty() {
+		return
+	}
+	fi := cs.fix
+	cells := cs.d.Cells()
+	fd := cs.f.Data
+	for _, fx := range fi.links {
+		if fx.flags&fixOwned == 0 {
+			continue
+		}
+		fo := fd[int(fx.opp)*cells+int(fx.cell)]
+		body := bodyFaces
+		if fx.flags&fixObstacle != 0 {
+			body = bodyObstacle
+		}
+		p := 2*fo + fx.delta
+		cs.stepForce[body][0] += fi.cxo[fx.v] * p
+		cs.stepForce[body][1] += fi.cyo[fx.v] * p
+		cs.stepForce[body][2] += fi.czo[fx.v] * p
+	}
+}
+
+// aaForcePost accumulates the odd sub-step's forces before compact. The
+// pushed slot holds r_opp + δ, so the two-grid quantity 2·r_opp + δ is
+// recovered as 2·(slot − δ) + δ (equal up to one rounding when δ ≠ 0 —
+// force series cross-scheme checks use tolerances, not bit equality).
+func (cs *cartStepper) aaForcePost() {
+	if cs.fix.empty() {
+		return
+	}
+	fi := cs.fix
+	cells := cs.d.Cells()
+	fd := cs.f.Data
+	for _, fx := range fi.links {
+		if fx.flags&fixOwned == 0 {
+			continue
+		}
+		s := fd[int(fx.opp)*cells+int(fx.cell)]
+		body := bodyFaces
+		if fx.flags&fixObstacle != 0 {
+			body = bodyObstacle
+		}
+		p := 2*(s-fx.delta) + fx.delta
+		cs.stepForce[body][0] += fi.cxo[fx.v] * p
+		cs.stepForce[body][1] += fi.cyo[fx.v] * p
+		cs.stepForce[body][2] += fi.czo[fx.v] * p
+	}
+}
+
+// aaFixOpenFaces emulates the odd step's open-face ghost refill: for
+// every cell y of the upcoming compact box bc whose upwind source
+// g = y − c_v lies beyond an open face plane, the pushed slot
+// (opp(v), y) is overwritten with the fill value the two-grid path would
+// have refilled into g and streamed — the zero-gradient copy (outflow) or
+// the unit-density non-equilibrium extrapolation (pressure outlet) of the
+// outermost owned layer's post-transport state, a function of the
+// source's transverse column only. Serial and alias-free: every written
+// slot's star owner is a ghost cell, so neither compact consumers beyond
+// bc nor the odd-final recovery (which reads owned stars only) see it.
+func (cs *cartStepper) aaFixOpenFaces(bc box) {
+	if cs.spec == nil {
+		return
+	}
+	for axis := 0; axis < 3; axis++ {
+		for side := 0; side < 2; side++ {
+			if cs.ex.Neighbors[axis][side] == halo.NoNeighbor && openFace(cs.spec.Faces[axis][side].Kind) {
+				cs.aaFixOpenFace(axis, side, bc)
+			}
+		}
+	}
+}
+
+func (cs *cartStepper) aaFixOpenFace(axis, side int, bc box) {
+	m := cs.model
+	face := &cs.spec.Faces[axis][side]
+	src := cs.w[axis] // outermost owned layer
+	if side == 1 {
+		src = cs.w[axis] + cs.own[axis] - 1
+	}
+	// Consumers with a crossing source sit within k of the face plane, on
+	// the domain side (deeper open-axis ghosts are refilled before anything
+	// reads them).
+	cb := bc
+	if side == 0 {
+		if cb.lo[axis] < cs.w[axis] {
+			cb.lo[axis] = cs.w[axis]
+		}
+		if cb.hi[axis] > cs.w[axis]+cs.k {
+			cb.hi[axis] = cs.w[axis] + cs.k
+		}
+	} else {
+		edge := cs.w[axis] + cs.own[axis]
+		if cb.hi[axis] > edge {
+			cb.hi[axis] = edge
+		}
+		if cb.lo[axis] < edge-cs.k {
+			cb.lo[axis] = edge - cs.k
+		}
+	}
+	if cb.cells() == 0 {
+		return
+	}
+	pressure := face.Kind == BCPressureOutlet
+	t1, t2 := transverseAxes(axis)
+	dims := [3]int{cs.d.NX, cs.d.NY, cs.d.NZ}
+	if pressure {
+		cs.aaFillColumns(axis, src, t1, t2, cb)
+	}
+	cv := [3][]int{m.Cx, m.Cy, m.Cz}
+	for i0 := cb.lo[0]; i0 < cb.hi[0]; i0++ {
+		for i1 := cb.lo[1]; i1 < cb.hi[1]; i1++ {
+			for i2 := cb.lo[2]; i2 < cb.hi[2]; i2++ {
+				y := [3]int{i0, i1, i2}
+				yIdx := cs.d.Index(i0, i1, i2)
+				if cs.mask != nil && cs.mask[yIdx] {
+					continue
+				}
+				for v := 0; v < m.Q; v++ {
+					ga := y[axis] - cv[axis][v]
+					if side == 0 {
+						if ga >= cs.w[axis] {
+							continue
+						}
+					} else if ga < cs.w[axis]+cs.own[axis] {
+						continue
+					}
+					g := [3]int{y[0] - m.Cx[v], y[1] - m.Cy[v], y[2] - m.Cz[v]}
+					if cs.mask != nil && cs.mask[cs.d.Index(g[0], g[1], g[2])] {
+						continue // bounce-back link; the push already handled it
+					}
+					var val float64
+					if pressure {
+						val = cs.aaFill[(g[t1]*dims[t2]+g[t2])*m.Q+v]
+					} else {
+						// Zero-gradient: fill_v(g) = r_v(o), read from the
+						// star slot of the source column's owned-edge cell.
+						o := g
+						o[axis] = src
+						val = cs.f.V(m.Opp[v])[cs.d.Index(o[0]+m.Cx[v], o[1]+m.Cy[v], o[2]+m.Cz[v])]
+					}
+					cs.f.V(m.Opp[v])[yIdx] = val
+				}
+			}
+		}
+	}
+}
+
+// aaFillColumns computes the pressure-outlet fill values of every
+// transverse column a consumer in cb can reference, mirroring
+// fillPressureLayer's arithmetic on the star-arranged post-transport
+// state: gather r(o) from the owned-edge cell's star, re-anchor its
+// equilibrium at unit density.
+func (cs *cartStepper) aaFillColumns(axis, src, t1, t2 int, cb box) {
+	m := cs.model
+	dims := [3]int{cs.d.NX, cs.d.NY, cs.d.NZ}
+	if cs.aaFill == nil {
+		cs.aaFill = make([]float64, dims[t1]*dims[t2]*m.Q)
+		cs.aaFc = make([]float64, m.Q)
+		cs.aaFeqR = make([]float64, m.Q)
+		cs.aaFeq1 = make([]float64, m.Q)
+	}
+	fc, feqR, feq1 := cs.aaFc, cs.aaFeqR, cs.aaFeq1
+	lo1, hi1 := cb.lo[t1]-cs.k, cb.hi[t1]+cs.k
+	lo2, hi2 := cb.lo[t2]-cs.k, cb.hi[t2]+cs.k
+	for i1 := lo1; i1 < hi1; i1++ {
+		for i2 := lo2; i2 < hi2; i2++ {
+			var o [3]int
+			o[axis], o[t1], o[t2] = src, i1, i2
+			for v := 0; v < m.Q; v++ {
+				fc[v] = cs.f.V(m.Opp[v])[cs.d.Index(o[0]+m.Cx[v], o[1]+m.Cy[v], o[2]+m.Cz[v])]
+			}
+			rho, jx, jy, jz := m.Moments(fc)
+			ux, uy, uz := jx/rho, jy/rho, jz/rho
+			m.Equilibrium(rho, ux, uy, uz, feqR)
+			m.Equilibrium(1, ux, uy, uz, feq1)
+			base := (i1*dims[t2] + i2) * m.Q
+			for v := 0; v < m.Q; v++ {
+				cs.aaFill[base+v] = fc[v] + feq1[v] - feqR[v]
+			}
+		}
+	}
+}
+
+// transverseAxes returns the two non-axis axes in increasing order.
+func transverseAxes(axis int) (int, int) {
+	switch axis {
+	case 0:
+		return 1, 2
+	case 1:
+		return 0, 2
+	default:
+		return 0, 1
+	}
+}
+
+// AABytesPerCell is the per-step f-traffic of the AA scheme: one read and
+// one write of the single field per sub-step — half the two-grid figure
+// (see FusedBytesPerCell, which AA matches by construction).
+func AABytesPerCell(q int) int { return 2 * 8 * q }

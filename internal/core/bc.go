@@ -99,6 +99,16 @@ type Face struct {
 	// The returned velocity must point into the domain. Must be nil for
 	// every other kind.
 	Profile func(gx, gy, gz int) [3]float64
+	// SpongeWidth and SpongeStrength, on a BCPressureOutlet face, enable an
+	// absorbing layer over the SpongeWidth global lattice columns adjacent
+	// to the face: each post-collision state is blended toward its local
+	// equilibrium by σ(g) = SpongeStrength·ξ², with ξ ramping quadratically
+	// from 0 at the layer's inner edge to 1 at the outlet. The layer damps
+	// vortices before they reach the outlet's zero-gradient copy, removing
+	// the pressure-wave reflection that otherwise ripples the measured drag.
+	// Strength must lie in (0, 1]; set both fields or neither.
+	SpongeWidth    int
+	SpongeStrength float64
 }
 
 // velocityAt resolves the face's prescribed velocity at a global lattice
@@ -208,6 +218,17 @@ func (b *BoundarySpec) validate() error {
 			}
 			if f.Kind != BCInlet && f.Profile != nil {
 				return fmt.Errorf("core: axis %d side %d %s face carries a velocity profile (inlet-only)", a, s, f.Kind)
+			}
+			if f.SpongeWidth != 0 || f.SpongeStrength != 0 {
+				if f.Kind != BCPressureOutlet {
+					return fmt.Errorf("core: axis %d side %d %s face carries a sponge layer (pressure-outlet-only)", a, s, f.Kind)
+				}
+				if f.SpongeWidth <= 0 || f.SpongeStrength <= 0 {
+					return fmt.Errorf("core: axis %d side %d sponge needs both a positive width and a positive strength (got width %d, strength %g)", a, s, f.SpongeWidth, f.SpongeStrength)
+				}
+				if f.SpongeStrength > 1 {
+					return fmt.Errorf("core: axis %d side %d sponge strength %g out of range (0, 1]", a, s, f.SpongeStrength)
+				}
 			}
 		}
 	}

@@ -68,8 +68,9 @@ type cartStepper struct {
 	w     [3]int // ghost width per side per axis (depth[a]·k)
 
 	d       grid.Dims
-	f, fadv *grid.Field
+	f, fadv *grid.Field // fadv is nil under AA streaming (single-field)
 	ex      *halo.CartExchanger
+	aa      bool // AA-pattern in-place streaming (aa.go)
 
 	br           boxRunner
 	scratch      []*workerScratch
@@ -85,18 +86,32 @@ type cartStepper struct {
 	forceSer               []float64
 	shiftX, shiftY, shiftZ float64
 
-	spec  *BoundarySpec  // global-face boundary conditions (nil = periodic)
-	rest  []float64      // rest-state equilibrium, the wall ghost filler
-	class [3][]axisClass // per-axis local-index classification (set when spec or mask present)
+	spec      *BoundarySpec  // global-face boundary conditions (nil = periodic)
+	rest      []float64      // rest-state equilibrium, the wall ghost filler
+	class     [3][]axisClass // per-axis local-index classification (set when spec or mask present)
+	sponge    [3][]float64   // per-axis, per-local-index sponge blend factor (nil = no sponge on axis)
+	hasSponge bool
+
+	// AA-pattern state (aa.go): aaStar records that the run ended after a
+	// transport sub-step (odd Steps), leaving the field in star
+	// arrangement; aaFill and the aaFc/aaFeqR/aaFeq1 buffers serve the
+	// serial open-face fix pass.
+	aaStar               bool
+	aaFill               []float64
+	aaFc, aaFeqR, aaFeq1 []float64
 }
 
 func newCartStepper(cfg *Config, dec decomp.Cartesian, r *comm.Rank) (*cartStepper, error) {
 	cs := &cartStepper{
 		cfg: cfg, model: cfg.Model, r: r, dec: dec,
 		k: cfg.Model.MaxSpeed, depth: cfg.ghostDepths(),
+		aa:    cfg.Stream == StreamAA,
 		coef:  newEqCoefs(cfg.Model),
 		pairs: velocityPairs(cfg.Model),
 		spec:  cfg.Boundary,
+	}
+	if cs.aa {
+		cs.depth = aaDepths(cs.depth)
 	}
 	for a := 0; a < 3; a++ {
 		cs.w[a] = cs.depth[a] * cs.k
@@ -111,9 +126,13 @@ func newCartStepper(cfg *Config, dec decomp.Cartesian, r *comm.Rank) (*cartStepp
 	}
 	cs.d = grid.Dims{NX: cs.own[0] + 2*cs.w[0], NY: cs.own[1] + 2*cs.w[1], NZ: cs.own[2] + 2*cs.w[2]}
 	cs.br = boxRunner{pool: parallel.NewPool(cfg.Threads)}
-	cs.scratch = newScratches(cs.br.threads(), cfg.Model.Q, cs.d.NZ, cs.op)
+	cs.scratch = newScratches(cs.br.threads(), cfg.Model.Q, cs.d.NZ, cs.op, cs.aa)
 	cs.f = grid.NewField(cfg.Model.Q, cs.d, cfg.Layout)
-	cs.fadv = grid.NewField(cfg.Model.Q, cs.d, cfg.Layout)
+	if !cs.aa {
+		// AA streams in place: the second field never exists, which is the
+		// scheme's whole point — footprint and f-traffic are halved.
+		cs.fadv = grid.NewField(cfg.Model.Q, cs.d, cfg.Layout)
+	}
 	cs.rest = make([]float64, cfg.Model.Q)
 	cfg.Model.Equilibrium(1, 0, 0, 0, cs.rest)
 	// Neighbor ranks come from the fabric-level Cartesian topology (the
@@ -145,12 +164,16 @@ func newCartStepper(cfg *Config, dec decomp.Cartesian, r *comm.Rank) (*cartStepp
 	cs.shiftY = shiftTau * cfg.Accel[1]
 	cs.shiftZ = shiftTau * cfg.Accel[2]
 	cs.buildMask()
+	cs.buildSponge()
 	return cs, nil
 }
 
 // initField writes the equilibrium of the configured initial condition
 // into the owned box; ghosts are populated by the first exchange.
 func (cs *cartStepper) initField() {
+	if testPoisonGhosts {
+		poisonField(cs.f)
+	}
 	feq := make([]float64, cs.model.Q)
 	rest := make([]float64, cs.model.Q)
 	cs.model.Equilibrium(1, 0, 0, 0, rest)
@@ -175,6 +198,10 @@ func (cs *cartStepper) initField() {
 // its valid extent shrinks by k per step in between, so the computed
 // destination box is the intersection of the per-axis validity intervals.
 func (cs *cartStepper) run() {
+	if cs.aa {
+		cs.runAA()
+		return
+	}
 	var since [3]int // steps since each axis's refresh; due when == depth[a]
 	for a := range since {
 		since[a] = cs.depth[a] // every axis due at step 0
@@ -229,6 +256,7 @@ func (cs *cartStepper) step(b box, stale [3]bool) {
 	if cs.cfg.Fused {
 		cs.swap()
 	}
+	cs.spongeBox(b)
 	cs.endForceStep()
 }
 
@@ -966,6 +994,153 @@ func (cs *cartStepper) buildMask() {
 	cs.fix.finish()
 }
 
+// buildSponge precomputes the per-axis sponge blend factors of any
+// pressure-outlet face that enables the absorbing layer (Face.SpongeWidth
+// / SpongeStrength). The factor is a function of the *global* coordinate
+// only — a quadratic ramp σ(g) = S·ξ², ξ rising from 0 at the inner edge
+// to 1 at the outlet face — so every rank, every decomposition and every
+// ghost copy agrees on it, and the layer stays invariant to 1e-12 across
+// shapes and thread counts like the rest of the stepper. Factors of
+// multiple sponge faces combine as 1 − Π(1 − σ_a).
+func (cs *cartStepper) buildSponge() {
+	if cs.spec == nil {
+		return
+	}
+	gdim := [3]int{cs.cfg.N.NX, cs.cfg.N.NY, cs.cfg.N.NZ}
+	ns := [3]int{cs.d.NX, cs.d.NY, cs.d.NZ}
+	for a := 0; a < 3; a++ {
+		for side := 0; side < 2; side++ {
+			f := &cs.spec.Faces[a][side]
+			if f.SpongeWidth <= 0 || f.SpongeStrength <= 0 {
+				continue
+			}
+			if cs.sponge[a] == nil {
+				cs.sponge[a] = make([]float64, ns[a])
+			}
+			cs.hasSponge = true
+			for i := 0; i < ns[a]; i++ {
+				g := cs.start[a] + i - cs.w[a]
+				if g < 0 {
+					g = 0
+				}
+				if g >= gdim[a] {
+					g = gdim[a] - 1
+				}
+				dist := g
+				if side == 1 {
+					dist = gdim[a] - 1 - g
+				}
+				if dist >= f.SpongeWidth {
+					continue
+				}
+				xi := 1 - float64(dist)/float64(f.SpongeWidth)
+				s := f.SpongeStrength * xi * xi
+				cs.sponge[a][i] = 1 - (1-cs.sponge[a][i])*(1-s)
+			}
+		}
+	}
+}
+
+// spongeSig fills sig[:zn] with the combined sponge factor of row
+// (ix, iy) over z ∈ [zlo, zlo+zn); returns false when the whole row lies
+// outside every sponge layer.
+func (cs *cartStepper) spongeSig(sig []float64, ix, iy, zlo, zn int) bool {
+	prod := 1.0
+	if sx := cs.sponge[0]; sx != nil {
+		prod *= 1 - sx[ix]
+	}
+	if sy := cs.sponge[1]; sy != nil {
+		prod *= 1 - sy[iy]
+	}
+	sz := cs.sponge[2]
+	if sz == nil {
+		s := 1 - prod
+		if s == 0 {
+			return false
+		}
+		for z := 0; z < zn; z++ {
+			sig[z] = s
+		}
+		return true
+	}
+	any := false
+	for z := 0; z < zn; z++ {
+		sig[z] = 1 - prod*(1-sz[zlo+z])
+		if sig[z] != 0 {
+			any = true
+		}
+	}
+	return any
+}
+
+// applySpongeRow blends one row's post-collision populations toward the
+// unit-density equilibrium at the local velocity, f ← f + σ·(f_eq(1, u) −
+// f), per cell. This is the absorbing layer that stops pressure waves
+// from reflecting off the outlet's zero-gradient copy (the source of the
+// Re=100 Cd-envelope ripple): the density perturbation — the acoustic
+// carrier — is damped by (1 − σ) per step toward the ρ₀ = 1 the
+// BCPressureOutlet anchors (sponges are restricted to those faces, so the
+// target is consistent), while the non-equilibrium part shrinks by the
+// same factor, a smooth effective-viscosity ramp over the sponge columns.
+// The local velocity is kept, so vortical outflow passes through and is
+// only flattened, not blocked. Deliberately non-conservative: the
+// absorbed acoustic mass leaves through the open face. Shared verbatim by
+// the two-grid post-collide pass and the AA kernels (operating on their
+// out-row buffers), so the two schemes stay bit-identical here. Each cell
+// is independent — the §8 row contract holds.
+func applySpongeRow(m *lattice.Model, fc []float64, rows [][]float64, sig []float64, msk []bool, zn int) {
+	for z := 0; z < zn; z++ {
+		s := sig[z]
+		if s == 0 || (msk != nil && msk[z]) {
+			continue
+		}
+		for v := 0; v < m.Q; v++ {
+			fc[v] = rows[v][z]
+		}
+		rho, jx, jy, jz := m.Moments(fc)
+		ux, uy, uz := jx/rho, jy/rho, jz/rho
+		for v := 0; v < m.Q; v++ {
+			feq := m.EquilibriumAt(v, 1, ux, uy, uz)
+			rows[v][z] = fc[v] + s*(feq-fc[v])
+		}
+	}
+}
+
+// spongeBox applies the sponge blend to the sponge-layer cells of box b,
+// after the step's collisions. Ghost copies inside b are sponged too
+// (σ is global-coordinate-based), which is what keeps deep-halo and
+// multi-rank runs equivalent to the single-rank one.
+func (cs *cartStepper) spongeBox(b box) {
+	if !cs.hasSponge {
+		return
+	}
+	cs.br.run(func(worker int, sub box) {
+		sc := cs.scratch[worker]
+		zn := sub.hi[2] - sub.lo[2]
+		if zn <= 0 {
+			return
+		}
+		sig := sc.rowFeq[:zn]
+		sv := sc.sv
+		for ix := sub.lo[0]; ix < sub.hi[0]; ix++ {
+			for iy := sub.lo[1]; iy < sub.hi[1]; iy++ {
+				if !cs.spongeSig(sig, ix, iy, sub.lo[2], zn) {
+					continue
+				}
+				base := cs.d.Index(ix, iy, sub.lo[2])
+				for v := 0; v < cs.model.Q; v++ {
+					sv[v] = cs.f.V(v)[base : base+zn]
+				}
+				var msk []bool
+				if cs.mask != nil {
+					msk = cs.mask[base : base+zn]
+				}
+				applySpongeRow(cs.model, sc.fc, sv, sig, msk, zn)
+			}
+		}
+	}, b)
+}
+
 // applyBounceBackBox applies the fixup links of destination box b through
 // the per-box index (or the legacy lenient whole-plane scan under
 // Config.FixupScan), accumulating momentum-exchange forces when the run
@@ -1025,8 +1200,12 @@ func (cs *cartStepper) endForceStep() {
 }
 
 // ownedSums returns mass and momentum summed over the owned fluid cells.
+// After an odd number of AA steps the field is in star arrangement:
+// population v of cell y lives in slot (opp(v), y + c_v) — the slot its
+// own transport pushed, which is valid for every owned fluid cell.
 func (cs *cartStepper) ownedSums() (mass, mx, my, mz float64) {
-	fc := make([]float64, cs.model.Q)
+	m := cs.model
+	fc := make([]float64, m.Q)
 	w := cs.w
 	for ix := 0; ix < cs.own[0]; ix++ {
 		for iy := 0; iy < cs.own[1]; iy++ {
@@ -1034,8 +1213,14 @@ func (cs *cartStepper) ownedSums() (mass, mx, my, mz float64) {
 				if cs.mask != nil && cs.mask[cs.d.Index(w[0]+ix, w[1]+iy, w[2]+iz)] {
 					continue
 				}
-				cs.f.Cell(w[0]+ix, w[1]+iy, w[2]+iz, fc)
-				rho, jx, jy, jz := cs.model.Moments(fc)
+				if cs.aaStar {
+					for v := 0; v < m.Q; v++ {
+						fc[v] = cs.f.V(m.Opp[v])[cs.d.Index(w[0]+ix+m.Cx[v], w[1]+iy+m.Cy[v], w[2]+iz+m.Cz[v])]
+					}
+				} else {
+					cs.f.Cell(w[0]+ix, w[1]+iy, w[2]+iz, fc)
+				}
+				rho, jx, jy, jz := m.Moments(fc)
 				mass += rho
 				mx += jx
 				my += jy
@@ -1048,17 +1233,26 @@ func (cs *cartStepper) ownedSums() (mass, mx, my, mz float64) {
 
 // ownedBlock packs the owned box of the final state velocity-major (for
 // every velocity, x-major y then z runs), the wire format assembleCart
-// expects.
+// expects. Under AA star arrangement each velocity's block is read from
+// the opposite slot shifted by +c_v (see ownedSums); solid cells carry
+// whatever their untouched slots hold, so masked comparisons must filter
+// them (they hold scheme-specific garbage in both schemes).
 func (cs *cartStepper) ownedBlock() []float64 {
 	n := cs.own[0] * cs.own[1] * cs.own[2]
 	out := make([]float64, cs.model.Q*n)
+	m := cs.model
 	w, zn := cs.w, cs.own[2]
 	pos := 0
-	for v := 0; v < cs.model.Q; v++ {
+	for v := 0; v < m.Q; v++ {
 		blk := cs.f.V(v)
+		var ox, oy, oz int
+		if cs.aaStar {
+			blk = cs.f.V(m.Opp[v])
+			ox, oy, oz = m.Cx[v], m.Cy[v], m.Cz[v]
+		}
 		for ix := 0; ix < cs.own[0]; ix++ {
 			for iy := 0; iy < cs.own[1]; iy++ {
-				off := cs.d.Index(w[0]+ix, w[1]+iy, w[2])
+				off := cs.d.Index(w[0]+ix+ox, w[1]+iy+oy, w[2]+oz)
 				pos += copy(out[pos:pos+zn], blk[off:off+zn])
 			}
 		}

@@ -135,6 +135,22 @@ type workerScratch struct {
 	feqR   []float64          // Q-length equilibrium buffers (face fills)
 	feqW   []float64
 	rowFeq []float64 // Q×NZ feq store for profiled inlet faces
+
+	// AA-pattern kernels gather a row's pulled populations into aaIn,
+	// collide into aaOut, and scatter from there (aa.go); allocated only
+	// under StreamAA.
+	aaIn, aaOut     [][]float64
+	aaInSt, aaOutSt []float64
+}
+
+// aaRows re-slices the worker's AA in/out row buffers to z-runs of length
+// zn (zn ≤ nzCap).
+func (sc *workerScratch) aaRows(zn int) (in, out [][]float64) {
+	for v := range sc.aaIn {
+		sc.aaIn[v] = sc.aaInSt[v*sc.nzCap : v*sc.nzCap+zn]
+		sc.aaOut[v] = sc.aaOutSt[v*sc.nzCap : v*sc.nzCap+zn]
+	}
+	return sc.aaIn, sc.aaOut
 }
 
 // rows returns the worker's Q row buffers re-sliced to a z-run of length
@@ -148,8 +164,9 @@ func (sc *workerScratch) rows(zn int) [][]float64 {
 
 // newScratches allocates one scratch slot per pool worker. op, when
 // non-nil, is cloned per worker (operators share read-only tables but
-// carry private relaxation scratch).
-func newScratches(threads, q, nz int, op collision.Operator) []*workerScratch {
+// carry private relaxation scratch); aa additionally allocates the
+// AA-pattern gather/collide row stores.
+func newScratches(threads, q, nz int, op collision.Operator, aa bool) []*workerScratch {
 	out := make([]*workerScratch, threads)
 	for w := range out {
 		sc := &workerScratch{
@@ -166,6 +183,12 @@ func newScratches(threads, q, nz int, op collision.Operator) []*workerScratch {
 		}
 		if op != nil {
 			sc.op = op.Clone()
+		}
+		if aa {
+			sc.aaIn = make([][]float64, q)
+			sc.aaOut = make([][]float64, q)
+			sc.aaInSt = make([]float64, q*nz)
+			sc.aaOutSt = make([]float64, q*nz)
 		}
 		out[w] = sc
 	}

@@ -284,7 +284,7 @@ func TestOperatorRowKernelMatchesPerCell(t *testing.T) {
 			b := box{hi: [3]int{n.NX, n.NY, n.NZ}}
 			perCell := grid.NewField(m.Q, n, grid.SoA)
 			rows := grid.NewField(m.Q, n, grid.SoA)
-			sc := newScratches(1, m.Q, n.NZ, nil)[0]
+			sc := newScratches(1, m.Q, n.NZ, nil, false)[0]
 			collideOpBox(op.Clone(), m, src, perCell, b, 1e-4, 0, 0, sc)
 			collideOpRows(rr, velocityPairs(m), newEqCoefs(m), m.Q, src, rows, b, 1e-4, 0, 0, sc)
 			if d := grid.MaxAbsDiff(perCell, rows); d > 1e-13 {

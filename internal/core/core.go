@@ -102,7 +102,9 @@ func ParseOptLevel(s string) (OptLevel, error) {
 // ParseGhostDepth parses a CLI ghost-depth argument: a single integer
 // ("2") is the uniform deep-halo depth; a comma-separated triple
 // ("2,1,1") sets per-axis depths (returned in axes, zero for the uniform
-// form), which run on the multi-axis box stepper.
+// form), which run on the multi-axis box stepper. Anything else — two
+// values, four values, a trailing comma — is a spelled-out error rather
+// than a silent fallthrough.
 func ParseGhostDepth(s string) (uniform int, axes [3]int, err error) {
 	parts := strings.Split(s, ",")
 	switch len(parts) {
@@ -129,7 +131,56 @@ func ParseGhostDepth(s string) (uniform int, axes [3]int, err error) {
 		// (the slab stepper normalizes a uniform triple back to it).
 		return axes[0], axes, nil
 	}
-	return 0, axes, fmt.Errorf("core: bad ghost depth %q (want d or dx,dy,dz)", s)
+	if strings.TrimSpace(parts[len(parts)-1]) == "" {
+		return 0, axes, fmt.Errorf("core: bad ghost depth %q: trailing comma (want d or dx,dy,dz)", s)
+	}
+	return 0, axes, fmt.Errorf("core: bad ghost depth %q: %d values (want 1 uniform depth or 3 per-axis depths dx,dy,dz)", s, len(parts))
+}
+
+// StreamScheme selects the streaming storage scheme.
+type StreamScheme int
+
+const (
+	// StreamTwoGrid is the classic two-field scheme: streaming copies every
+	// population from f into fNew, collisions write back into f. Simple and
+	// schedule-friendly, but each step moves 2·Q·8 bytes per cell and the
+	// second field doubles the resident footprint.
+	StreamTwoGrid StreamScheme = iota
+	// StreamAA is the AA-pattern in-place scheme (Bailey et al. 2009): one
+	// field, with streaming folded into the collision's reads and writes.
+	// Time steps run in pairs. The first (transport) sub-step pulls each
+	// cell's populations from the neighbor slots, collides, and pushes the
+	// results into the *reversed* slots of the opposite neighbors: cell y's
+	// read set {(v, y−c_v)} and write set {(opp(v), y+c_v)} are the same
+	// exclusive slot star, so no other cell ever touches them and the
+	// worker pool stays bit-exact (DESIGN.md §8/§9). The second (compact)
+	// sub-step reads each cell's own slots reversed, collides, and writes
+	// them back in normal arrangement — after which the array is
+	// indistinguishable from the two-grid f. Halves memory traffic and
+	// footprint; requires SoA, a ghost-cell level, and the split kernels.
+	StreamAA
+)
+
+var streamNames = map[StreamScheme]string{
+	StreamTwoGrid: "twogrid", StreamAA: "aa",
+}
+
+func (s StreamScheme) String() string {
+	if n, ok := streamNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("StreamScheme(%d)", int(s))
+}
+
+// ParseStreamScheme resolves a CLI -stream argument.
+func ParseStreamScheme(s string) (StreamScheme, error) {
+	norm := strings.ToLower(strings.TrimSpace(s))
+	for sc, name := range streamNames {
+		if name == norm {
+			return sc, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown stream scheme %q (want aa or twogrid)", s)
 }
 
 // InitFunc returns the initial macroscopic state at a global lattice point.
@@ -180,6 +231,17 @@ type Config struct {
 	Decomp [3]int
 	// Threads is the number of worker threads per rank ("OpenMP threads").
 	Threads int
+	// Stream selects the streaming storage scheme. The zero value is the
+	// classic two-grid layout; StreamAA keeps a single field and streams in
+	// place via the AA pattern, halving f-memory traffic and footprint.
+	// StreamAA always runs on the multi-axis box stepper (slab shapes
+	// included), requires the SoA layout, a ghost-cell level, the split
+	// kernels (no Fused — AA is inherently fused) and the per-box fixup
+	// index (no FixupScan). Per-axis ghost depths are rounded up to the
+	// next even value: exchanges happen only at step-pair boundaries, when
+	// the field is in normal arrangement, so the existing pack/unpack maps
+	// apply unchanged.
+	Stream StreamScheme
 	// Layout selects the field memory layout. The copy-based streaming
 	// kernels (OptDH and above) require SoA; AoS is supported through OptGC
 	// for the layout ablation.
@@ -307,6 +369,37 @@ func (c *Config) init() error {
 	if c.MeasureForces && c.FixupScan {
 		return fmt.Errorf("core: force measurement requires the per-box fixup index (disable FixupScan)")
 	}
+	if c.Stream == StreamAA {
+		if c.Opt == OptOrig {
+			return fmt.Errorf("core: AA streaming requires ghost cells (OptGC or above)")
+		}
+		if c.Layout != grid.SoA {
+			return fmt.Errorf("core: AA streaming requires the SoA layout")
+		}
+		if c.Fused {
+			return fmt.Errorf("core: AA streaming is inherently fused (one field pass per sub-step); disable Fused")
+		}
+		if c.FixupScan {
+			return fmt.Errorf("core: AA streaming applies bounce-back inside its kernels via the per-box fixup index; disable FixupScan")
+		}
+		if c.Boundary != nil {
+			// Two open-bounded axes make corner ghost fills fills-of-fills
+			// in the two-grid reference; the AA slot algebra cannot
+			// reproduce that mid-pair (DESIGN.md §9).
+			openAxes := 0
+			for a := 0; a < 3; a++ {
+				for s := 0; s < 2; s++ {
+					if openFace(c.Boundary.Faces[a][s].Kind) {
+						openAxes++
+						break
+					}
+				}
+			}
+			if openAxes > 1 {
+				return fmt.Errorf("core: AA streaming supports open faces (outflow/pressure outlet) on at most one axis, got %d", openAxes)
+			}
+		}
+	}
 	if c.MeasureForces && c.Layout != grid.SoA {
 		return fmt.Errorf("core: force measurement requires the SoA layout")
 	}
@@ -350,6 +443,11 @@ func (c *Config) init() error {
 			return fmt.Errorf("core: bounce-back boundaries need the split stream/collide path; disable Fused")
 		}
 		depths := c.ghostDepths()
+		if c.Stream == StreamAA {
+			// AA exchanges only at pair boundaries: effective depths round
+			// up to even, and the halo must cover them.
+			depths = aaDepths(depths)
+		}
 		for a := 0; a < 3; a++ {
 			w := depths[a] * k
 			if mo := dec.MinOwn(a); mo < w {
@@ -373,10 +471,22 @@ func (c *Config) ghostDepths() [3]int {
 }
 
 // slabPath reports whether the run uses the specialized periodic slab
-// stepper: a 1-D shape with a fully periodic domain and one uniform ghost
-// depth. Everything else is the box stepper.
+// stepper: a 1-D shape with a fully periodic domain, one uniform ghost
+// depth and two-grid streaming. Everything else is the box stepper.
 func (c *Config) slabPath(dec decomp.Cartesian) bool {
-	return dec.IsSlab() && c.Boundary == nil && c.GhostDepthAxes == ([3]int{})
+	return dec.IsSlab() && c.Boundary == nil && c.GhostDepthAxes == ([3]int{}) && c.Stream != StreamAA
+}
+
+// aaDepths rounds per-axis deep-halo depths up to the next even value:
+// the AA pattern consumes 2k cells of ghost validity per step pair and
+// exchanges only at pair boundaries, so its refresh cadence must be even.
+func aaDepths(d [3]int) [3]int {
+	for a := range d {
+		if d[a]%2 != 0 {
+			d[a]++
+		}
+	}
+	return d
 }
 
 // RankStats reports per-rank communication behaviour.

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseGhostDepth pins down the accepted forms and — just as
+// important — the error text for the malformed ones. A truncated
+// "-depth 2,3" or a trailing comma used to fall through to a generic
+// Atoi failure; the message must now name what the flag wants.
+func TestParseGhostDepth(t *testing.T) {
+	cases := []struct {
+		in      string
+		uniform int
+		axes    [3]int
+		wantErr string // substring of the error, "" for success
+	}{
+		{in: "2", uniform: 2},
+		{in: " 3 ", uniform: 3},
+		{in: "1,2,3", uniform: 1, axes: [3]int{1, 2, 3}},
+		{in: "2, 2, 2", uniform: 2, axes: [3]int{2, 2, 2}},
+
+		{in: "0", wantErr: "depth 0 < 1"},
+		{in: "-1", wantErr: "depth -1 < 1"},
+		{in: "two", wantErr: `bad ghost depth "two"`},
+		{in: "", wantErr: `bad ghost depth ""`},
+		{in: "1,0,1", wantErr: "axis 1 depth 0 < 1"},
+		{in: "1,,3", wantErr: `bad ghost depth "1,,3"`},
+
+		// The cases this test exists for: wrong arity must say so.
+		{in: "2,3", wantErr: "2 values (want 1 uniform depth or 3 per-axis depths dx,dy,dz)"},
+		{in: "1,2,3,4", wantErr: "4 values (want 1 uniform depth or 3 per-axis depths dx,dy,dz)"},
+		{in: "2,", wantErr: `trailing comma (want d or dx,dy,dz)`},
+		{in: "1,2,3,", wantErr: `trailing comma (want d or dx,dy,dz)`},
+	}
+	for _, tc := range cases {
+		uniform, axes, err := ParseGhostDepth(tc.in)
+		if tc.wantErr != "" {
+			if err == nil {
+				t.Errorf("ParseGhostDepth(%q): got (%d, %v), want error containing %q", tc.in, uniform, axes, tc.wantErr)
+			} else if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("ParseGhostDepth(%q): error %q does not contain %q", tc.in, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseGhostDepth(%q): unexpected error %v", tc.in, err)
+			continue
+		}
+		if uniform != tc.uniform || axes != tc.axes {
+			t.Errorf("ParseGhostDepth(%q) = (%d, %v), want (%d, %v)", tc.in, uniform, axes, tc.uniform, tc.axes)
+		}
+	}
+}
+
+// TestResolveThreads: explicit counts pass through, negatives fail
+// loudly, and the auto value (0) always lands at >= 1 even when ranks
+// exceed the core count.
+func TestResolveThreads(t *testing.T) {
+	if n, err := ResolveThreads(7, 1); err != nil || n != 7 {
+		t.Errorf("ResolveThreads(7, 1) = (%d, %v), want (7, nil)", n, err)
+	}
+	if _, err := ResolveThreads(-1, 1); err == nil {
+		t.Error("ResolveThreads(-1, 1): want error, got nil")
+	}
+	for _, ranks := range []int{0, 1, 1 << 20} {
+		n, err := ResolveThreads(0, ranks)
+		if err != nil || n < 1 {
+			t.Errorf("ResolveThreads(0, %d) = (%d, %v), want >= 1 thread and no error", ranks, n, err)
+		}
+	}
+}

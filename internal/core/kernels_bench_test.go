@@ -297,7 +297,7 @@ func BenchmarkBoxCollideOperator(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			sc := newScratches(1, m.Q, cs.d.NZ, nil)[0]
+			sc := newScratches(1, m.Q, cs.d.NZ, nil, false)[0]
 			b.Run(m.Name+"/"+spec.String()+"/percell", func(b *testing.B) {
 				opc := op.Clone()
 				b.ResetTimer()
@@ -424,5 +424,42 @@ func BenchmarkCollideOperator(b *testing.B) {
 				reportCellRate(b, cells)
 			})
 		}
+	}
+}
+
+// Storage schemes end-to-end: the same 64-cubed periodic box stepped
+// through the two-grid and AA in-place paths. AA touches one f array
+// instead of two, so on a bandwidth-bound box it should post the
+// higher Mcell/s and (with -benchmem) roughly half the steady-state
+// field allocation. Even ghost depth on both keeps the exchange
+// cadence identical (AA rounds odd depths up anyway).
+func BenchmarkStreamScheme(b *testing.B) {
+	m := lattice.D3Q19()
+	n := grid.Dims{NX: 64, NY: 64, NZ: 64}
+	const steps = 4
+	for _, c := range []struct {
+		name    string
+		stream  StreamScheme
+		threads int
+	}{
+		{"twogrid/1t", StreamTwoGrid, 1},
+		{"aa/1t", StreamAA, 1},
+		{"twogrid/4t", StreamTwoGrid, 4},
+		{"aa/4t", StreamAA, 4},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			cfg := Config{
+				Model: m, N: n, Tau: 0.7, Steps: steps,
+				Opt: OptSIMD, Ranks: 1, Threads: c.threads, GhostDepth: 2,
+				Stream: c.stream, Init: waveInit(n),
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportCellRate(b, steps*n.Cells())
+		})
 	}
 }

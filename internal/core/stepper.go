@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"time"
 
 	"repro/internal/collision"
@@ -86,7 +87,7 @@ func newStepper(cfg *Config, dec decomp.Cartesian, r *comm.Rank) (*stepper, erro
 	s.op = op
 	s.d = grid.Dims{NX: own + 2*w, NY: cfg.N.NY, NZ: cfg.N.NZ}
 	s.br = boxRunner{pool: parallel.NewPool(cfg.Threads)}
-	s.scratch = newScratches(s.br.threads(), cfg.Model.Q, s.d.NZ, s.op)
+	s.scratch = newScratches(s.br.threads(), cfg.Model.Q, s.d.NZ, s.op, false)
 	s.f = grid.NewField(cfg.Model.Q, s.d, cfg.Layout)
 	s.fadv = grid.NewField(cfg.Model.Q, s.d, cfg.Layout)
 	if cfg.Opt == OptOrig {
@@ -135,9 +136,27 @@ func (s *stepper) buildSrcYTables() {
 	}
 }
 
+// testPoisonGhosts, set by tests, floods every cell with NaN before the
+// owned region is initialized. Every ghost copy is then poison until the
+// exchange or face fill that defines it runs, so a kernel that consumes a
+// ghost value one step too early — an off-by-one in the shrinking-box
+// schedule, a missed axis in a refresh, a fill pass that skips a layer —
+// drags NaN into the owned region and fails the bit-exact comparison
+// against the clean run. NaN is the one poison that survives arithmetic.
+var testPoisonGhosts bool
+
+func poisonField(f *grid.Field) {
+	for i := range f.Data {
+		f.Data[i] = math.NaN()
+	}
+}
+
 // initField writes the equilibrium of the configured initial condition into
 // the owned region. Ghost planes are populated by the first exchange.
 func (s *stepper) initField() {
+	if testPoisonGhosts {
+		poisonField(s.f)
+	}
 	feq := make([]float64, s.model.Q)
 	rest := make([]float64, s.model.Q)
 	s.model.Equilibrium(1, 0, 0, 0, rest)

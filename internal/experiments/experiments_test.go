@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/collision"
+	"repro/internal/core"
 )
 
 func TestTable1Shapes(t *testing.T) {
@@ -256,7 +257,7 @@ func TestRealFig8SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-kernel experiment in -short mode")
 	}
-	tb, err := RealFig8("D3Q19", 2, 2, 3, "1d", "2,1,1", collision.Spec{})
+	tb, err := RealFig8("D3Q19", 2, 2, 3, "1d", "2,1,1", collision.Spec{}, core.StreamTwoGrid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +270,7 @@ func TestRealFig11SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-kernel experiment in -short mode")
 	}
-	tb, err := RealFig11("D3Q19", 3, "1d", "1", collision.Spec{})
+	tb, err := RealFig11("D3Q19", 3, "1d", "1", collision.Spec{}, core.StreamTwoGrid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +283,22 @@ func TestRealFig9SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-kernel experiment in -short mode")
 	}
-	tb, err := RealFig9("D3Q19", 2, 1, 4, "1d", "1", collision.Spec{})
+	tb, err := RealFig9("D3Q19", 2, 1, 4, "1d", "1", collision.Spec{}, core.StreamTwoGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Errorf("%d rows, want 3", len(tb.Rows))
+	}
+}
+
+// The -stream flag threads through the real-kernel tables; one AA rung
+// keeps that wiring exercised (depth 1 rounds up to 2 inside the run).
+func TestRealFig9AASmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-kernel experiment in -short mode")
+	}
+	tb, err := RealFig9("D3Q19", 2, 1, 4, "1d", "1", collision.Spec{}, core.StreamAA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +311,7 @@ func TestRealFig10SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-kernel experiment in -short mode")
 	}
-	tb, err := RealFig10("D3Q19", 2, 2, 4, "2d", collision.Spec{})
+	tb, err := RealFig10("D3Q19", 2, 2, 4, "2d", collision.Spec{}, core.StreamTwoGrid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,10 +371,10 @@ func TestThreadCounts(t *testing.T) {
 }
 
 func TestRealExperimentsRejectBadModel(t *testing.T) {
-	if _, err := RealFig8("D2Q9", 1, 1, 1, "1d", "1", collision.Spec{}); err == nil {
+	if _, err := RealFig8("D2Q9", 1, 1, 1, "1d", "1", collision.Spec{}, core.StreamTwoGrid); err == nil {
 		t.Error("unknown model accepted")
 	}
-	if _, err := RealFig10("D2Q9", 1, 1, 1, "1d", collision.Spec{}); err == nil {
+	if _, err := RealFig10("D2Q9", 1, 1, 1, "1d", collision.Spec{}, core.StreamTwoGrid); err == nil {
 		t.Error("unknown model accepted")
 	}
 }

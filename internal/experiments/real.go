@@ -50,7 +50,7 @@ func realDepth(spec string) (int, [3]int, error) {
 // requested decomposition shape. colSpec selects the collision operator
 // (TRT/MRT show the ladder with the generic operator kernel in place of
 // the specialized BGK collide).
-func RealFig8(modelName string, ranks, threads, steps int, decompSpec, depthSpec string, colSpec collision.Spec) (*Table, error) {
+func RealFig8(modelName string, ranks, threads, steps int, decompSpec, depthSpec string, colSpec collision.Spec, stream core.StreamScheme) (*Table, error) {
 	m, err := lattice.ByName(modelName)
 	if err != nil {
 		return nil, err
@@ -65,7 +65,7 @@ func RealFig8(modelName string, ranks, threads, steps int, decompSpec, depthSpec
 		return nil, err
 	}
 	t := &Table{
-		Title:  fmt.Sprintf("Fig. 8 (real kernels) — %s, %s, %d ranks (%dx%dx%d), %s, local machine (MFlup/s)", m.Name, n, ranks, shape[0], shape[1], shape[2], colSpec),
+		Title:  fmt.Sprintf("Fig. 8 (real kernels) — %s, %s, %d ranks (%dx%dx%d), %s, %s streaming, local machine (MFlup/s)", m.Name, n, ranks, shape[0], shape[1], shape[2], colSpec, stream),
 		Header: []string{"level", "MFlup/s", "speedup vs Orig"},
 	}
 	var first float64
@@ -73,15 +73,17 @@ func RealFig8(modelName string, ranks, threads, steps int, decompSpec, depthSpec
 		sh := shape
 		da := depthAxes
 		d := depth
+		st := stream
 		if opt == core.OptOrig {
-			// The no-ghost protocol is slab-only and depth-1-only.
-			sh, d, da = [3]int{ranks, 1, 1}, 1, [3]int{}
+			// The no-ghost protocol is slab-only, depth-1-only, and has no
+			// ghost layer for AA streaming to exchange into.
+			sh, d, da, st = [3]int{ranks, 1, 1}, 1, [3]int{}, core.StreamTwoGrid
 		}
 		res, err := core.Run(core.Config{
 			Model: m, N: n, Tau: 0.8, Steps: steps,
 			Opt: opt, Ranks: ranks, Decomp: sh, Threads: threads,
 			GhostDepth: d, GhostDepthAxes: da,
-			Collision: colSpec,
+			Collision: colSpec, Stream: st,
 		})
 		if err != nil {
 			return nil, err
@@ -100,7 +102,7 @@ func RealFig8(modelName string, ranks, threads, steps int, decompSpec, depthSpec
 
 // RealFig9 measures the per-rank communication-time balance with injected
 // per-step jitter (the local analog of Fig. 9).
-func RealFig9(modelName string, ranks, threads, steps int, decompSpec, depthSpec string, colSpec collision.Spec) (*Table, error) {
+func RealFig9(modelName string, ranks, threads, steps int, decompSpec, depthSpec string, colSpec collision.Spec, stream core.StreamScheme) (*Table, error) {
 	m, err := lattice.ByName(modelName)
 	if err != nil {
 		return nil, err
@@ -130,14 +132,16 @@ func RealFig9(modelName string, ranks, threads, steps int, decompSpec, depthSpec
 		sh := shape
 		da := depthAxes
 		d := depth
+		st := stream
 		if c.opt == core.OptOrig {
-			sh, d, da = [3]int{ranks, 1, 1}, 1, [3]int{}
+			sh, d, da, st = [3]int{ranks, 1, 1}, 1, [3]int{}, core.StreamTwoGrid
 		}
 		res, err := core.Run(core.Config{
 			Model: m, N: n, Tau: 0.8, Steps: steps,
 			Opt: c.opt, Ranks: ranks, Decomp: sh, Threads: threads,
 			GhostDepth: d, GhostDepthAxes: da,
 			Collision:  colSpec,
+			Stream:     st,
 			StepJitter: 2 * time.Millisecond,
 		})
 		if err != nil {
@@ -157,7 +161,7 @@ func RealFig9(modelName string, ranks, threads, steps int, decompSpec, depthSpec
 
 // RealFig10 sweeps ghost depth × domain size with the real kernels (the
 // local analog of Fig. 10), reporting runtimes normalized to depth 1.
-func RealFig10(modelName string, ranks, threads, steps int, decompSpec string, colSpec collision.Spec) (*Table, error) {
+func RealFig10(modelName string, ranks, threads, steps int, decompSpec string, colSpec collision.Spec, stream core.StreamScheme) (*Table, error) {
 	m, err := lattice.ByName(modelName)
 	if err != nil {
 		return nil, err
@@ -188,6 +192,7 @@ func RealFig10(modelName string, ranks, threads, steps int, decompSpec string, c
 				Tau: 0.8, Steps: steps,
 				Opt: core.OptSIMD, Ranks: ranks, Decomp: sh, Threads: threads, GhostDepth: depth,
 				Collision:  colSpec,
+				Stream:     stream,
 				StepJitter: time.Millisecond,
 			})
 			if err != nil {
@@ -206,7 +211,7 @@ func RealFig10(modelName string, ranks, threads, steps int, decompSpec string, c
 
 // RealFig11 sweeps ranks×threads at a fixed total worker count (the local
 // analog of Fig. 11).
-func RealFig11(modelName string, steps int, decompSpec, depthSpec string, colSpec collision.Spec) (*Table, error) {
+func RealFig11(modelName string, steps int, decompSpec, depthSpec string, colSpec collision.Spec, stream core.StreamScheme) (*Table, error) {
 	m, err := lattice.ByName(modelName)
 	if err != nil {
 		return nil, err
@@ -229,7 +234,7 @@ func RealFig11(modelName string, steps int, decompSpec, depthSpec string, colSpe
 			Model: m, N: n, Tau: 0.8, Steps: steps,
 			Opt: core.OptSIMD, Ranks: c[0], Decomp: sh, Threads: c[1],
 			GhostDepth: depth, GhostDepthAxes: depthAxes,
-			Collision: colSpec,
+			Collision: colSpec, Stream: stream,
 		})
 		if err != nil {
 			return nil, err

@@ -63,6 +63,13 @@ type Job struct {
 	Steps   int
 	Depth   int // ghost-cell depth (1 for OptOrig)
 	Opt     core.OptLevel
+	// Stream selects the storage scheme modeled. The two-grid layout keeps
+	// two resident fields and streams three field accesses per cell per
+	// step (read f, write fadv, re-read for the collide); the AA in-place
+	// scheme keeps one field touched twice per sub-step, so the resident
+	// footprint halves and the streamed traffic drops by a third. AA
+	// exchanges only at pair boundaries, so Depth rounds up to even.
+	Stream core.StreamScheme
 
 	// Imbalance is the peak fractional per-step compute jitter (uniform in
 	// [0, Imbalance], redrawn every step); PersistentImbalance is a
@@ -222,6 +229,18 @@ func Run(j Job) (*Result, error) {
 	if j.CrossPlaneVels == nil {
 		j.CrossPlaneVels = DefaultCross(j.Spec.Q)
 	}
+	fields := 2.0
+	if j.Stream == core.StreamAA {
+		if j.Opt == core.OptOrig {
+			return nil, fmt.Errorf("perfsim: AA streaming requires ghost cells (OptOrig is two-grid-only)")
+		}
+		if j.Depth%2 == 1 {
+			j.Depth++
+		}
+		fields = 1
+		// 456 B/cell for D3Q19 is exactly 3 accesses × 8 B × 19; AA makes 2.
+		j.Spec.BytesPerCell *= 2.0 / 3.0
+	}
 	ranks := j.Nodes * j.TasksPerNode
 	dec, err := decomp.NewCartesianBounded([3]int{j.NX, j.NY, j.NZ}, j.Decomp, j.Bounded)
 	if err != nil {
@@ -232,9 +251,9 @@ func Run(j Job) (*Result, error) {
 	plane := float64(j.NY * j.NZ)
 	q := float64(j.Spec.Q)
 
-	// Per-task memory: two fields over the owned block plus margins —
-	// 2W per decomposed-path axis (slab: x only; multi-axis: all three),
-	// 2k for OptOrig.
+	// Per-task memory: the scheme's resident fields (two for two-grid, one
+	// for AA) over the owned block plus margins — 2W per decomposed-path
+	// axis (slab: x only; multi-axis: all three), 2k for OptOrig.
 	var bytesPerTask float64
 	if dec.IsSlab() {
 		maxOwn := float64(dec.MaxOwn(0))
@@ -242,13 +261,13 @@ func Run(j Job) (*Result, error) {
 		if j.Opt == core.OptOrig {
 			margins = float64(2 * j.K)
 		}
-		bytesPerTask = 2 * 8 * q * (maxOwn + margins) * plane
+		bytesPerTask = fields * 8 * q * (maxOwn + margins) * plane
 	} else {
 		cells := 1.0
 		for a := 0; a < 3; a++ {
 			cells *= float64(dec.MaxOwn(a) + 2*w)
 		}
-		bytesPerTask = 2 * 8 * q * cells
+		bytesPerTask = fields * 8 * q * cells
 	}
 	oom := bytesPerTask > j.Machine.MemPerNodeBytes/float64(j.TasksPerNode)
 

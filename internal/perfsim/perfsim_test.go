@@ -532,3 +532,37 @@ func TestBoundedAxesReduceCommunication(t *testing.T) {
 		t.Error("bounded Orig accepted")
 	}
 }
+
+// TestAAStreamModel: the AA in-place scheme must halve the resident field
+// footprint (one field instead of two) and run at least as fast as the
+// two-grid layout at the same configuration (a third less streamed
+// traffic on a bandwidth-bound kernel), with odd ghost depths rounded up
+// to the even pair cadence rather than rejected.
+func TestAAStreamModel(t *testing.T) {
+	tg := fig8Job(machine.BGP(), machine.SpecD3Q19(), 1, core.OptSIMD)
+	tg.Depth = 2 // even: AA's pair-cadence rounding leaves the halo margins equal
+	aa := tg
+	aa.Stream = core.StreamAA
+	rtg := mustRun(t, tg)
+	raa := mustRun(t, aa)
+	if got, want := raa.BytesPerTask, rtg.BytesPerTask/2; got != want {
+		t.Errorf("AA BytesPerTask = %g, want half of two-grid (%g)", got, want)
+	}
+	if raa.MFlups < rtg.MFlups {
+		t.Errorf("AA MFlups %.0f < two-grid %.0f: less traffic must not be slower", raa.MFlups, rtg.MFlups)
+	}
+	odd := aa
+	odd.Depth = 3
+	even := aa
+	even.Depth = 4
+	ro, re := mustRun(t, odd), mustRun(t, even)
+	if ro.Seconds != re.Seconds {
+		t.Errorf("AA depth 3 (rounds to 4) simulated %.3fs, depth 4 %.3fs; want equal", ro.Seconds, re.Seconds)
+	}
+	orig := tg
+	orig.Opt = core.OptOrig
+	orig.Stream = core.StreamAA
+	if _, err := Run(orig); err == nil {
+		t.Error("AA + OptOrig accepted; the no-ghost protocol has nowhere to exchange pairs")
+	}
+}
