@@ -12,13 +12,18 @@
 //	lbmbench -exp fig8 -real -model d3q39
 //	lbmbench -exp fig8 -real -collision trt
 //	lbmbench -exp collision
+//	lbmbench -exp predict -steps 10
 //	lbmbench -exp all
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/collision"
 	"repro/internal/core"
@@ -30,7 +35,7 @@ func main() {
 	log.SetPrefix("lbmbench: ")
 
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, table2, fig8, fig9, fig10, table3, table4, fig11, decomp, collision, fixup, threads, or all")
+		exp      = flag.String("exp", "all", "experiment: table1, table2, fig8, fig9, fig10, table3, table4, fig11, decomp, collision, fixup, threads, predict, or all")
 		machine  = flag.String("machine", "bgp", "machine for fig8/fig9/fig11/decomp: bgp or bgq")
 		real     = flag.Bool("real", false, "run the real kernels locally instead of the paper-scale simulator (fixup and threads are real-only)")
 		model    = flag.String("model", "D3Q19", "model for -real and collision experiments")
@@ -43,8 +48,36 @@ func main() {
 		magic    = flag.Float64("magic", 0, "TRT magic parameter Lambda for -real experiments (0 = 1/4)")
 		mrtRates = flag.String("mrt-rates", "", "MRT ghost rates by order for -real experiments (comma-separated from order 3)")
 		stream   = flag.String("stream", "twogrid", "streaming storage for -real fig8/fig9/fig10/fig11: twogrid (separate advected field) or aa (in-place AA pattern, half the f-memory)")
+		reportF  = flag.String("report", "", "for -exp predict: also write the structured bridge report (JSON) to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (post-run) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+		}()
+	}
 
 	kind, err := collision.ParseKind(*collide)
 	if err != nil {
@@ -77,6 +110,34 @@ func main() {
 	}
 	if !*real && scheme != core.StreamTwoGrid {
 		log.Fatalf("-stream applies to -real experiments only (got -exp %s without -real)", *exp)
+	}
+	if *reportF != "" && *exp != "predict" {
+		log.Fatalf("-report applies to -exp predict only (got -exp %s)", *exp)
+	}
+	if *exp == "predict" {
+		// The observe→predict bridge runs the real solver itself; no -real.
+		if *real {
+			log.Fatal("-exp predict already runs the real kernels; drop -real")
+		}
+		rep, err := experiments.Predict(*model, *steps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(rep.Table().Render())
+		if *reportF != "" {
+			f, err := os.Create(*reportF)
+			if err != nil {
+				log.Fatal(err)
+			}
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			fmt.Printf("report written to %s\n", *reportF)
+		}
+		return
 	}
 	if *real {
 		nthreads, err := core.ResolveThreads(*threads, *ranks)

@@ -19,6 +19,8 @@ import (
 	"log"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/collision"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/lattice"
 	"repro/internal/macro"
+	"repro/internal/obs"
 	"repro/internal/output"
 	"repro/internal/scenario"
 )
@@ -61,6 +64,11 @@ func main() {
 		magic     = flag.Float64("magic", 0, "TRT magic parameter Lambda (0 = the default 1/4)")
 		mrtRates  = flag.String("mrt-rates", "", "MRT ghost-moment rates by order, comma-separated from order 3 (empty = magic-paired defaults)")
 		out       = flag.String("out", "", "write the final macroscopic fields to this file (.vtk or .csv)")
+		observe   = flag.Bool("observe", false, "record the per-phase breakdown (step timers in every stepper path) and print it")
+		reportF   = flag.String("report", "", "write a structured run report (JSON) to this file; implies -observe")
+		traceF    = flag.String("trace", "", "write a Chrome trace-event timeline (JSON, open in chrome://tracing or Perfetto) to this file; implies -observe")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile (post-run) to this file")
 	)
 	flag.Parse()
 
@@ -140,13 +148,39 @@ func main() {
 		GhostDepth: depthUniform, GhostDepthAxes: depthAxes,
 		Layout: lay, Fused: *fused, Collision: colSpec, Stream: scheme,
 		KeepField: *out != "",
+		Observe:   *observe || *reportF != "" || *traceF != "",
+		Trace:     *traceF != "",
 	}
 	if err := sc.Configure(&params, &cfg); err != nil {
 		log.Fatal(err)
 	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
 	res, err := core.Run(cfg)
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
 	}
 
 	n = cfg.N // scenarios with intrinsic geometry override the domain
@@ -166,9 +200,24 @@ func main() {
 	fmt.Printf("ghost work   %d extra cell updates (%.2f%% of interior)\n",
 		res.GhostUpdates, 100*float64(res.GhostUpdates)/float64(res.InteriorUpdates))
 	s := res.CommSummary()
-	fmt.Printf("comm (s)     min %.4f  median %.4f  max %.4f\n", s.Min, s.Median, s.Max)
+	fmt.Printf("comm (s)     min %.4f  median %.4f  max %.4f  mean %.4f\n", s.Min, s.Median, s.Max, s.Mean)
 	fmt.Printf("mass         %.10f (per cell %.10f)\n", res.Mass, res.Mass/float64(fluid))
 	fmt.Printf("momentum     (%.3e, %.3e, %.3e)\n", res.MomX, res.MomY, res.MomZ)
+
+	var rep *obs.Report
+	if cfg.Observe {
+		rep = core.NewReport(&cfg, res)
+		rep.Config.Scenario = sc.Name
+		fmt.Println("phases (s/rank, spread across ranks)")
+		for _, ps := range rep.Phases {
+			name := ps.Phase
+			if ps.Axis != obs.NoAxis {
+				name = fmt.Sprintf("%s[%c]", ps.Phase, "xyz"[ps.Axis])
+			}
+			fmt.Printf("  %-11s min %.4f  median %.4f  max %.4f  mean %.4f  (%d spans)\n",
+				name, ps.Seconds.Min, ps.Seconds.Median, ps.Seconds.Max, ps.Seconds.Mean, ps.Count)
+		}
+	}
 
 	if math.IsNaN(res.Mass) {
 		log.Println("simulation diverged (NaN mass): reduce amplitude or increase tau")
@@ -179,6 +228,29 @@ func main() {
 		for _, line := range sc.Report(&params, &cfg, res) {
 			fmt.Println(line)
 		}
+	}
+
+	if *reportF != "" {
+		f, err := os.Create(*reportF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.WriteReport(f, rep); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("report       written to %s\n", *reportF)
+	}
+	if *traceF != "" {
+		f, err := os.Create(*traceF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.WriteTrace(f, res.Observations); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("trace        written to %s\n", *traceF)
 	}
 
 	if *out != "" {

@@ -18,6 +18,8 @@ import (
 	"log"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/collision"
 	"repro/internal/core"
@@ -354,12 +356,23 @@ func main() {
 	log.SetPrefix("lbmvalidate: ")
 	quick := flag.Bool("quick", false, "smaller domains and fewer steps")
 	list := flag.Bool("list", false, "print the check list without running")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
+	memProf := flag.String("memprofile", "", "write a heap profile (post-run) to this file")
 	flag.Parse()
 
 	cs := suite(*quick)
 	if *list {
 		writeList(os.Stdout, cs)
 		return
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	failures := 0
@@ -377,6 +390,23 @@ func main() {
 			status = fmt.Sprintf("ok   (err %.2f%%)", 100*measure)
 		}
 		fmt.Printf("%-62s %s\n", c.name, status)
+	}
+
+	// Flush the profiles before the failure exit: os.Exit skips defers, and
+	// a failing suite is exactly when the profile is wanted.
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
 	}
 
 	fmt.Printf("\nKnudsen regimes: Kn=0.01 -> %s (%s), Kn=0.5 -> %s (%s)\n",

@@ -157,6 +157,12 @@ type Rank struct {
 // CommTime returns the communication time accumulated by this rank so far.
 func (r *Rank) CommTime() time.Duration { return r.commTime }
 
+// BytesSent returns the payload bytes this rank has sent so far.
+func (r *Rank) BytesSent() int64 { return r.bytesSent }
+
+// MessagesSent returns the number of messages this rank has sent so far.
+func (r *Rank) MessagesSent() int64 { return r.msgsSent }
+
 // Send delivers data to rank dst with the given tag. The payload is copied,
 // so the caller may reuse data immediately (MPI buffered-send semantics).
 func (r *Rank) Send(dst, tag int, data []float64) {

@@ -50,6 +50,7 @@ package core
 import (
 	"repro/internal/collision"
 	"repro/internal/halo"
+	"repro/internal/obs"
 )
 
 // runAA advances the configured number of steps with AA streaming. The
@@ -108,12 +109,16 @@ func (cs *cartStepper) runAA() {
 
 // aaTransportBox runs the transport sub-step on destination box b.
 func (cs *cartStepper) aaTransportBox(b box) {
+	t0 := cs.rec.Begin()
 	cs.br.run(cs.aaTransportRange, b)
+	cs.rec.End(obs.Interior, t0)
 }
 
 // aaCompactBox runs the compact sub-step on destination box b.
 func (cs *cartStepper) aaCompactBox(b box) {
+	t0 := cs.rec.Begin()
 	cs.br.run(cs.aaCompactRange, b)
+	cs.rec.End(obs.Interior, t0)
 }
 
 // aaTransportRange is the transport kernel over one chunk: per (x, y)
@@ -502,6 +507,8 @@ func (cs *cartStepper) aaForcePre() {
 	if cs.fix.empty() {
 		return
 	}
+	t0 := cs.rec.Begin()
+	defer cs.rec.End(obs.Force, t0)
 	fi := cs.fix
 	cells := cs.d.Cells()
 	fd := cs.f.Data
@@ -529,6 +536,8 @@ func (cs *cartStepper) aaForcePost() {
 	if cs.fix.empty() {
 		return
 	}
+	t0 := cs.rec.Begin()
+	defer cs.rec.End(obs.Force, t0)
 	fi := cs.fix
 	cells := cs.d.Cells()
 	fd := cs.f.Data
@@ -565,7 +574,9 @@ func (cs *cartStepper) aaFixOpenFaces(bc box) {
 	for axis := 0; axis < 3; axis++ {
 		for side := 0; side < 2; side++ {
 			if cs.ex.Neighbors[axis][side] == halo.NoNeighbor && openFace(cs.spec.Faces[axis][side].Kind) {
+				t0 := cs.rec.Begin()
 				cs.aaFixOpenFace(axis, side, bc)
+				cs.rec.EndAxis(obs.Face, axis, t0)
 			}
 		}
 	}

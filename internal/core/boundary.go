@@ -27,6 +27,7 @@ package core
 import (
 	"repro/internal/geom"
 	"repro/internal/grid"
+	"repro/internal/obs"
 )
 
 // buildMask evaluates the global voxel mask over the local field
@@ -87,6 +88,8 @@ func (s *stepper) applyBounceBack(lo, hi int) {
 	if s.fix.empty() || hi <= lo {
 		return
 	}
+	t0 := s.rec.Begin()
+	defer s.rec.End(obs.Fixup, t0)
 	b := s.slabBox(lo, hi)
 	switch {
 	case s.cfg.MeasureForces:
@@ -115,7 +118,9 @@ func (s *stepper) endForceStep() {
 	if !s.cfg.MeasureForces {
 		return
 	}
+	t0 := s.rec.Begin()
 	s.forceSer = appendForceStep(s.forceSer, &s.stepForce)
+	s.rec.End(obs.Force, t0)
 }
 
 // FluidCells counts the non-solid cells of a global domain under a voxel

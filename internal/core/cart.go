@@ -32,6 +32,7 @@ import (
 	"repro/internal/halo"
 	"repro/internal/lattice"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -79,6 +80,7 @@ type cartStepper struct {
 	pairs        []velPair
 	op           collision.Operator // non-nil routes collisions through the generic operator kernel
 	jit          *metrics.RNG
+	rec          *obs.Recorder // nil unless Config.Observe; every call site is nil-safe
 
 	mask                   []bool
 	fix                    *fixIndex
@@ -392,13 +394,19 @@ func (cs *cartStepper) computeInterior(p stepPlan) {
 func (cs *cartStepper) computeRims(p stepPlan, axis int) {
 	ph := p.phases[axis]
 	if cs.cfg.Fused {
+		t0 := cs.rec.Begin()
 		cs.fusedBoxPair(ph.streamRims[0], ph.streamRims[1])
+		cs.rec.EndAxis(obs.Rim, axis, t0)
 		return
 	}
+	t0 := cs.rec.Begin()
 	cs.streamBoxPair(ph.streamRims[0], ph.streamRims[1])
+	cs.rec.EndAxis(obs.Rim, axis, t0)
 	cs.applyBounceBackBoxIn(ph.streamRims[0])
 	cs.applyBounceBackBoxIn(ph.streamRims[1])
+	t0 = cs.rec.Begin()
 	cs.collideBoxPair(ph.collideRims[0], ph.collideRims[1])
+	cs.rec.EndAxis(obs.Rim, axis, t0)
 }
 
 // faceBox returns the ghost box of one global boundary face: the full
@@ -425,6 +433,8 @@ func (cs *cartStepper) faceBox(axis, side int) box {
 // Outflow faces are zero-gradient: every ghost layer copies the
 // outermost owned layer.
 func (cs *cartStepper) fillFace(axis, side int) {
+	t0 := cs.rec.Begin()
+	defer cs.rec.EndAxis(obs.Face, axis, t0)
 	switch face := &cs.spec.Faces[axis][side]; face.Kind {
 	case BCInlet:
 		cs.fillInletFace(face, cs.faceBox(axis, side))
@@ -633,7 +643,9 @@ func (cs *cartStepper) countUpdates(b box) {
 // which every optimization level shares on this path — streaming only
 // moves values, so the level's arithmetic is untouched).
 func (cs *cartStepper) streamBox(b box) {
+	t0 := cs.rec.Begin()
 	cs.br.run(cs.streamBoxRange, b)
+	cs.rec.End(obs.Interior, t0)
 }
 
 // streamBoxPair streams two disjoint boxes as one chunk batch, so a thin
@@ -679,7 +691,9 @@ func (cs *cartStepper) collideKernel() func(worker int, b box) {
 
 // collideBox applies the configured collision to box b.
 func (cs *cartStepper) collideBox(b box) {
+	t0 := cs.rec.Begin()
 	cs.br.run(cs.collideKernel(), b)
+	cs.rec.End(obs.Interior, t0)
 }
 
 // collideBoxPair collides two disjoint boxes as one chunk batch.
@@ -1114,6 +1128,8 @@ func (cs *cartStepper) spongeBox(b box) {
 	if !cs.hasSponge {
 		return
 	}
+	t0 := cs.rec.Begin()
+	defer cs.rec.End(obs.Sponge, t0)
 	cs.br.run(func(worker int, sub box) {
 		sc := cs.scratch[worker]
 		zn := sub.hi[2] - sub.lo[2]
@@ -1151,6 +1167,8 @@ func (cs *cartStepper) applyBounceBackBox(b box) {
 	if cs.fix.empty() {
 		return
 	}
+	t0 := cs.rec.Begin()
+	defer cs.rec.End(obs.Fixup, t0)
 	switch {
 	case cs.cfg.MeasureForces:
 		// Serial: the momentum-exchange sums must keep one accumulation
@@ -1181,6 +1199,8 @@ func (cs *cartStepper) applyBounceBackBoxIn(b box) {
 	if cs.fix.empty() {
 		return
 	}
+	t0 := cs.rec.Begin()
+	defer cs.rec.End(obs.Fixup, t0)
 	switch {
 	case cs.cfg.MeasureForces:
 		cs.fix.applyBoxForce(cs.f, cs.fadv, b, &cs.stepForce)
@@ -1196,7 +1216,9 @@ func (cs *cartStepper) endForceStep() {
 	if !cs.cfg.MeasureForces {
 		return
 	}
+	t0 := cs.rec.Begin()
 	cs.forceSer = appendForceStep(cs.forceSer, &cs.stepForce)
+	cs.rec.End(obs.Force, t0)
 }
 
 // ownedSums returns mass and momentum summed over the owned fluid cells.
@@ -1263,6 +1285,21 @@ func (cs *cartStepper) ownedBlock() []float64 {
 // ghosts, gather, axisBytes and forceSeries adapt the cart stepper to the
 // shared Run harness. axisBytes comes from the exchanger that does the
 // sending, so it stays truthful to the actual pack shapes.
+// setRecorder attaches the phase recorder to the stepper and its
+// exchanger; observation snapshots it after the run (see stepper.go).
+func (cs *cartStepper) setRecorder(rec *obs.Recorder) {
+	cs.rec = rec
+	cs.ex.Rec = rec
+}
+
+func (cs *cartStepper) observation() obs.RankObservation {
+	o := cs.rec.Observation()
+	if cs.br.pool.Threads() > 1 {
+		o.WorkerChunks = cs.br.pool.ChunkCounts()
+	}
+	return o
+}
+
 func (cs *cartStepper) ghosts() int64          { return cs.ghostUpdates }
 func (cs *cartStepper) close()                 { cs.br.close() }
 func (cs *cartStepper) gather() []float64      { return cs.ownedBlock() }

@@ -77,10 +77,9 @@ func (br *boxRunner) run(kernel func(worker int, b box), boxes ...box) {
 	if len(chunks) == 0 {
 		return
 	}
-	if len(chunks) == 1 {
-		kernel(0, chunks[0])
-		return
-	}
+	// Single-chunk batches also go through the pool: Run's n==1 fast path
+	// executes inline on the caller while keeping the per-worker drained-
+	// chunk counters accurate.
 	br.pool.Run(len(chunks), func(worker, i int) { kernel(worker, chunks[i]) })
 }
 

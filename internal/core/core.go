@@ -24,6 +24,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/lattice"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // OptLevel identifies a rung on the paper's optimization ladder (the x-axis
@@ -294,6 +295,17 @@ type Config struct {
 	// up to StepJitter per step, reproducing the load imbalance whose
 	// communication-time signature the paper plots in Fig. 9.
 	StepJitter time.Duration
+	// Observe enables the per-phase instrumentation recorder: each rank's
+	// schedule is timed span by span (interior compute, per-axis rims,
+	// pack, wire wait, unpack, fixup, face fill, sponge, forcing) into
+	// Result.Observations. Purely observational — instrumented runs are
+	// bit-identical to uninstrumented ones, and the disabled path costs a
+	// nil check per span (fenced by BenchmarkRecorderOverhead).
+	Observe bool
+	// Trace additionally retains every recorded span for the Chrome
+	// trace-event timeline (obs.WriteTrace); implies Observe. Memory
+	// grows with steps × spans, so keep traced runs short.
+	Trace bool
 	// Fabric optionally supplies a pre-built fabric (e.g. with a message
 	// delay model); it must have exactly Ranks ranks.
 	Fabric *comm.Fabric
@@ -327,6 +339,9 @@ func (c *Config) init() error {
 	}
 	if c.Init == nil {
 		c.Init = UniformInit
+	}
+	if c.Trace {
+		c.Observe = true
 	}
 	if c.Steps < 0 {
 		return fmt.Errorf("core: negative Steps %d", c.Steps)
@@ -529,6 +544,10 @@ type Result struct {
 	FaceForce [][3]float64
 	// PerRank holds communication statistics per rank.
 	PerRank []RankStats
+	// Observations holds each rank's per-phase timing breakdown when
+	// Config.Observe was set, else nil (obs.WriteTrace and core.NewReport
+	// consume it).
+	Observations []obs.RankObservation
 	// Field is the gathered global distribution (layout SoA) when
 	// Config.KeepField was set, else nil.
 	Field *grid.Field
@@ -568,6 +587,14 @@ func Run(cfg Config) (*Result, error) {
 	axisB := make([][3]int64, cfg.Ranks)
 	slab := cfg.slabPath(dec)
 	var forceTotals []float64
+	var obsns []obs.RankObservation
+	var epoch time.Time
+	if cfg.Observe {
+		obsns = make([]obs.RankObservation, cfg.Ranks)
+		// One epoch shared by every rank's recorder, so trace timestamps
+		// align on a single timeline.
+		epoch = time.Now()
+	}
 
 	runErr := fab.Run(func(r *comm.Rank) error {
 		var st interface {
@@ -579,6 +606,8 @@ func Run(cfg Config) (*Result, error) {
 			gather() []float64
 			axisBytes() [3]int64
 			forceSeries() []float64
+			setRecorder(*obs.Recorder)
+			observation() obs.RankObservation
 		}
 		var err error
 		if slab {
@@ -590,6 +619,9 @@ func Run(cfg Config) (*Result, error) {
 			return err
 		}
 		defer st.close()
+		if cfg.Observe {
+			st.setRecorder(obs.New(r.ID, epoch, cfg.Trace))
+		}
 		st.initField()
 		r.Barrier()
 		t0 := time.Now()
@@ -600,6 +632,14 @@ func Run(cfg Config) (*Result, error) {
 		mass, mx, my, mz := st.ownedSums()
 		sums[r.ID] = [5]float64{mass, mx, my, mz, float64(st.ghosts())}
 		axisB[r.ID] = st.axisBytes()
+		if cfg.Observe {
+			o := st.observation()
+			o.Rank = r.ID
+			o.CommSeconds = r.CommTime().Seconds()
+			o.BytesSent = r.BytesSent()
+			o.Messages = r.MessagesSent()
+			obsns[r.ID] = o
+		}
 		if cfg.MeasureForces {
 			// Each rank holds the partial force of its owned links; the
 			// fabric reduction makes every step's total
@@ -619,7 +659,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, runErr
 	}
 
-	res := &Result{PerRank: make([]RankStats, cfg.Ranks), Decomp: cfg.Decomp}
+	res := &Result{PerRank: make([]RankStats, cfg.Ranks), Decomp: cfg.Decomp, Observations: obsns}
 	for r := 0; r < cfg.Ranks; r++ {
 		if walls[r] > res.WallTime {
 			res.WallTime = walls[r]

@@ -18,7 +18,10 @@ package core
 // staggering in the overlapped (GC-C) schedule: any plane range may be
 // computed as soon as its inputs are valid.
 
-import "repro/internal/halo"
+import (
+	"repro/internal/halo"
+	"repro/internal/obs"
+)
 
 // FusedBytesPerCell returns the per-cell main-memory traffic of the fused
 // kernel: 2·Q·8 bytes (one read, one write), versus the split path's
@@ -34,7 +37,9 @@ func (s *stepper) fusedRegion(lo, hi int) {
 	if hi <= lo {
 		return
 	}
+	t0 := s.rec.Begin()
 	s.br.run(s.fusedRows, s.slabBox(lo, hi))
+	s.rec.End(obs.Interior, t0)
 }
 
 // fusedRegionPair computes a fused step over two disjoint plane ranges,
@@ -173,7 +178,9 @@ func (s *stepper) fusedOverlappedFirstStep(ext int) {
 	s.ex.SendBorders(s.r, s.f)
 	s.fusedRegion(isLo, isHi)
 	s.ex.WaitUnpack(s.r, s.f)
+	t0 := s.rec.Begin()
 	s.fusedRegionPair(lo, isLo, isHi, hi)
+	s.rec.EndAxis(obs.Rim, 0, t0)
 	s.swap()
 	s.countUpdates(lo, hi)
 }
@@ -190,7 +197,9 @@ func (cs *cartStepper) swap() { cs.f, cs.fadv = cs.fadv, cs.f }
 // fusedBox computes one fused step for destination box b, reading cs.f
 // and writing cs.fadv. The caller swaps after the step completes.
 func (cs *cartStepper) fusedBox(b box) {
+	t0 := cs.rec.Begin()
 	cs.br.run(cs.fusedBoxRows, b)
+	cs.rec.End(obs.Interior, t0)
 }
 
 // fusedBoxPair computes a fused step over two disjoint boxes (rim slabs),

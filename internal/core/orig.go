@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/grid"
 	"repro/internal/halo"
+	"repro/internal/obs"
 )
 
 // origProto implements the naive distributed protocol of the paper's Fig. 2:
@@ -65,7 +66,9 @@ func newOrigProto(s *stepper, left, right int) *origProto {
 // step advances one time step under the naive protocol.
 func (p *origProto) step() {
 	s := p.s
+	t0 := s.rec.Begin()
 	s.br.run(s.streamPushScalar, s.slabBox(s.w, s.w+s.own))
+	s.rec.End(obs.Interior, t0)
 	p.exchange()
 	s.applyBounceBack(s.w, s.w+s.own)
 	s.collideRegion(s.w, s.w+s.own)
@@ -81,34 +84,51 @@ func (p *origProto) exchange() {
 	k, own := s.k, s.own
 	plane := s.d.PlaneCells()
 	if s.r.N == 1 {
-		// Periodic wrap: the margins fold back onto the owned region.
+		// Periodic wrap: the margins fold back onto the owned region
+		// (attributed to Unpack — a merge into owned planes, no packing).
+		t0 := s.rec.Begin()
 		for j := 0; j < k; j++ {
 			copyPlaneVels(s.fadv, j, own+j, p.crossL[k-j-1])
 			copyPlaneVels(s.fadv, own+k+j, k+j, p.crossR[j])
 		}
+		s.rec.End(obs.Unpack, t0)
 		return
 	}
+	t0 := s.rec.Begin()
+	var bytes, msgs int64
 	for j := 0; j < k; j++ {
 		vels := p.crossL[k-j-1]
 		n := halo.PackPlanesVel(s.fadv, j, j+1, vels, p.bufL[j])
 		s.r.Send(p.left, tagOrigL+j, p.bufL[j][:n])
+		bytes, msgs = bytes+int64(8*n), msgs+1
 	}
 	for j := 0; j < k; j++ {
 		vels := p.crossR[j]
 		n := halo.PackPlanesVel(s.fadv, own+k+j, own+k+j+1, vels, p.bufR[j])
 		s.r.Send(p.right, tagOrigR+j, p.bufR[j][:n])
+		bytes, msgs = bytes+int64(8*n), msgs+1
 	}
+	s.rec.End(obs.Pack, t0)
+	s.rec.AddComm(0, bytes, msgs)
 	for j := 0; j < k; j++ {
 		vels := p.crossL[k-j-1]
 		n := len(vels) * plane
+		t0 = s.rec.Begin()
 		s.r.Recv(p.right, tagOrigL+j, p.recv[:n])
+		s.rec.End(obs.Wire, t0)
+		t0 = s.rec.Begin()
 		halo.UnpackPlanesVel(s.fadv, own+j, own+j+1, vels, p.recv[:n])
+		s.rec.End(obs.Unpack, t0)
 	}
 	for j := 0; j < k; j++ {
 		vels := p.crossR[j]
 		n := len(vels) * plane
+		t0 = s.rec.Begin()
 		s.r.Recv(p.left, tagOrigR+j, p.recv[:n])
+		s.rec.End(obs.Wire, t0)
+		t0 = s.rec.Begin()
 		halo.UnpackPlanesVel(s.fadv, k+j, k+j+1, vels, p.recv[:n])
+		s.rec.End(obs.Unpack, t0)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/halo"
 	"repro/internal/lattice"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -58,6 +59,7 @@ type stepper struct {
 	srcY         [][]int32          // per velocity: pull-stream source row per dst row (LoBr+)
 	op           collision.Operator // non-nil routes collisions through the generic operator kernel
 	jit          *metrics.RNG
+	rec          *obs.Recorder // nil unless Config.Observe; every call site is nil-safe
 
 	// Obstacles and forcing (see boundary.go, fixindex.go).
 	mask                   []bool
@@ -278,10 +280,14 @@ func (s *stepper) overlappedFirstStep(ext int) {
 	s.applyBounceBack(isLo, isHi)
 	s.collideRegion(icLo, icHi)
 	s.ex.WaitUnpack(s.r, s.f)
+	t0 := s.rec.Begin()
 	s.streamRegionPair(lo, isLo, isHi, hi)
+	s.rec.EndAxis(obs.Rim, 0, t0)
 	s.applyBounceBack(lo, isLo)
 	s.applyBounceBack(isHi, hi)
+	t0 = s.rec.Begin()
 	s.collideRegionPair(lo, icLo, icHi, hi)
+	s.rec.EndAxis(obs.Rim, 0, t0)
 	s.countUpdates(lo, hi)
 	s.endForceStep()
 }
@@ -317,7 +323,9 @@ func (s *stepper) streamRegion(lo, hi int) {
 	if hi <= lo {
 		return
 	}
+	t0 := s.rec.Begin()
 	s.br.run(s.streamKernel(), s.slabBox(lo, hi))
+	s.rec.End(obs.Interior, t0)
 }
 
 // streamRegionPair streams two disjoint plane ranges (the separated
@@ -349,7 +357,9 @@ func (s *stepper) collideRegion(lo, hi int) {
 	if hi <= lo {
 		return
 	}
+	t0 := s.rec.Begin()
 	s.br.run(s.collideKernelSlab(), s.slabBox(lo, hi))
+	s.rec.End(obs.Interior, t0)
 }
 
 // collideRegionPair collides two disjoint plane ranges.
@@ -405,6 +415,25 @@ func (s *stepper) ghosts() int64          { return s.ghostUpdates }
 func (s *stepper) close()                 { s.br.close() }
 func (s *stepper) gather() []float64      { return s.ownedSlab() }
 func (s *stepper) forceSeries() []float64 { return s.forceSer }
+
+// setRecorder attaches the per-phase recorder to the stepper and its
+// exchanger (called by Run before initField when Config.Observe is set).
+func (s *stepper) setRecorder(rec *obs.Recorder) {
+	s.rec = rec
+	if s.ex != nil {
+		s.ex.Rec = rec
+	}
+}
+
+// observation snapshots the recorder plus the pool's per-worker chunk
+// counts.
+func (s *stepper) observation() obs.RankObservation {
+	o := s.rec.Observation()
+	if s.br.pool.Threads() > 1 {
+		o.WorkerChunks = s.br.pool.ChunkCounts()
+	}
+	return o
+}
 
 // axisBytes reports this rank's halo payload per full exchange: the
 // exchanger's own accounting (x only — the slab has no y/z halo). Zero

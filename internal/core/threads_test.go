@@ -17,6 +17,29 @@ import (
 // bounded and masked domains, with the thin GC-C rim slabs drained from
 // the shared chunk queue.
 func TestThreadCountInvariance(t *testing.T) {
+	for _, tc := range stepperPathCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := tc.cfg
+			ref.Threads = 1
+			thr := tc.cfg
+			thr.Threads = 8
+			a := runField(t, ref)
+			b := runField(t, thr)
+			if d := grid.MaxAbsDiff(a, b); d != 0 {
+				t.Errorf("threads=8 differs from threads=1: max |Δf| = %g, want bit-exact", d)
+			}
+		})
+	}
+}
+
+// stepperPathCases is the nine-path matrix exercising every stepper
+// implementation: slab and box, split and fused, BGK and the operator
+// kernels, periodic, bounded and masked domains, plus the Fig. 2 naive
+// protocol. Shared by the thread-invariance and observe-identity tests.
+func stepperPathCases() []struct {
+	name string
+	cfg  Config
+} {
 	n := grid.Dims{NX: 24, NY: 16, NZ: 16}
 	profile := func(gx, gy, gz int) [3]float64 {
 		return [3]float64{0.02 * float64(gy%5) / 4, 0, 0}
@@ -25,7 +48,7 @@ func TestThreadCountInvariance(t *testing.T) {
 		dx, dy := float64(ix)-9, float64(iy)-8.3
 		return dx*dx+dy*dy < 6.5
 	}
-	cases := []struct {
+	return []struct {
 		name string
 		cfg  Config
 	}{
@@ -71,19 +94,6 @@ func TestThreadCountInvariance(t *testing.T) {
 			Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 5,
 			Opt: OptOrig, Ranks: 2, GhostDepth: 1,
 		}},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			ref := tc.cfg
-			ref.Threads = 1
-			thr := tc.cfg
-			thr.Threads = 8
-			a := runField(t, ref)
-			b := runField(t, thr)
-			if d := grid.MaxAbsDiff(a, b); d != 0 {
-				t.Errorf("threads=8 differs from threads=1: max |Δf| = %g, want bit-exact", d)
-			}
-		})
 	}
 }
 

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPredictBridgeSmallRun: the observe→predict bridge on a tiny step
+// count must pair every sweep job with a prediction and produce finite
+// agreement scores — the contract `lbmbench -exp predict` and CI rely on.
+func TestPredictBridgeSmallRun(t *testing.T) {
+	rep, err := Predict("D3Q19", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != PredictSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, PredictSchema)
+	}
+	if len(rep.Jobs) < 3 {
+		t.Fatalf("sweep has %d jobs, want >= 3", len(rep.Jobs))
+	}
+	if rep.MemBWAnchor <= 0 {
+		t.Errorf("memory-bandwidth anchor = %g, want > 0", rep.MemBWAnchor)
+	}
+	for _, jb := range rep.Jobs {
+		if jb.ObservedTotal <= 0 || jb.PredictedTotal <= 0 {
+			t.Errorf("%s: totals obs %g / pred %g, want > 0", jb.Label, jb.ObservedTotal, jb.PredictedTotal)
+		}
+		if jb.Observed["interior"] <= 0 || jb.Predicted["interior"] <= 0 {
+			t.Errorf("%s: interior obs %g / pred %g, want > 0", jb.Label, jb.Observed["interior"], jb.Predicted["interior"])
+		}
+	}
+	// The anchor fits the first job's interior phase exactly.
+	first := rep.Jobs[0]
+	if o, p := first.Observed["interior"], first.Predicted["interior"]; math.Abs(p-o) > 1e-9*o {
+		t.Errorf("anchored interior: obs %g, pred %g, want equal", o, p)
+	}
+	if len(rep.PhaseMAPE) == 0 {
+		t.Error("no per-phase MAPE entries")
+	}
+	for name, v := range rep.PhaseMAPE {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Errorf("MAPE[%s] = %g, want finite and non-negative", name, v)
+		}
+	}
+	if math.IsNaN(rep.TotalMAPE) || rep.TotalMAPE < 0 {
+		t.Errorf("total MAPE = %g", rep.TotalMAPE)
+	}
+
+	// The report round-trips as JSON and the table renders every job twice
+	// (observed and predicted rows).
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema", "machine", "mem_bw_anchor", "jobs", "phase_mape", "total_mape", "pearson_r"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("predict report missing key %q", key)
+		}
+	}
+	text := rep.Table().Render()
+	if got := strings.Count(text, "pred"); got < len(rep.Jobs) {
+		t.Errorf("rendered table has %d pred rows, want %d", got, len(rep.Jobs))
+	}
+	if !strings.Contains(text, "per-phase MAPE") {
+		t.Error("rendered table lacks the per-phase MAPE note")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/grid"
+	"repro/internal/obs"
 )
 
 // Cartesian halo exchange: the multi-axis generalization of the 1-D
@@ -114,6 +115,10 @@ type CartExchanger struct {
 	// made — its ghost cells are left for the caller to fill from boundary
 	// conditions.
 	Neighbors [3][2]int
+
+	// Rec, when non-nil, receives per-axis pack/wire/unpack spans and
+	// traffic counts.
+	Rec *obs.Recorder
 
 	send, recv [3][2][]float64
 	reqs       [3][2]*comm.Request
@@ -242,23 +247,37 @@ func (e *CartExchanger) ExchangeAxis(r *comm.Rank, f *grid.Field, axis int, nonb
 		return
 	}
 	// Eager buffered sends cannot deadlock; order recvs after both sends.
+	t0 := e.Rec.Begin()
+	var msgs int64
 	if loN != NoNeighbor {
 		n := e.packFace(f, axis, 1, e.send[axis][0])
 		r.Send(loN, cartTag(axis, 0), e.send[axis][0][:n])
 		e.axisBytes[axis] += int64(8 * n)
+		msgs++
 	}
 	if hiN != NoNeighbor {
 		n := e.packFace(f, axis, 2, e.send[axis][1])
 		r.Send(hiN, cartTag(axis, 1), e.send[axis][1][:n])
 		e.axisBytes[axis] += int64(8 * n)
+		msgs++
 	}
+	e.Rec.EndAxis(obs.Pack, axis, t0)
+	e.Rec.AddComm(axis, e.BytesPerExchange(axis), msgs)
 	if hiN != NoNeighbor {
+		t0 = e.Rec.Begin()
 		r.Recv(hiN, cartTag(axis, 0), e.recv[axis][1])
+		e.Rec.EndAxis(obs.Wire, axis, t0)
+		t0 = e.Rec.Begin()
 		e.unpackFace(f, axis, 3, e.recv[axis][1])
+		e.Rec.EndAxis(obs.Unpack, axis, t0)
 	}
 	if loN != NoNeighbor {
+		t0 = e.Rec.Begin()
 		r.Recv(loN, cartTag(axis, 1), e.recv[axis][0])
+		e.Rec.EndAxis(obs.Wire, axis, t0)
+		t0 = e.Rec.Begin()
 		e.unpackFace(f, axis, 0, e.recv[axis][0])
+		e.Rec.EndAxis(obs.Unpack, axis, t0)
 	}
 }
 
@@ -276,16 +295,22 @@ func (e *CartExchanger) PostRecvsAxis(r *comm.Rank, axis int) {
 // SendBordersAxis packs and sends the border faces of one axis (boundary
 // sides excluded).
 func (e *CartExchanger) SendBordersAxis(r *comm.Rank, f *grid.Field, axis int) {
+	t0 := e.Rec.Begin()
+	var msgs int64
 	if n := e.Neighbors[axis][0]; n != NoNeighbor {
 		nLo := e.packFace(f, axis, 1, e.send[axis][0])
 		r.Isend(n, cartTag(axis, 0), e.send[axis][0][:nLo])
 		e.axisBytes[axis] += int64(8 * nLo)
+		msgs++
 	}
 	if n := e.Neighbors[axis][1]; n != NoNeighbor {
 		nHi := e.packFace(f, axis, 2, e.send[axis][1])
 		r.Isend(n, cartTag(axis, 1), e.send[axis][1][:nHi])
 		e.axisBytes[axis] += int64(8 * nHi)
+		msgs++
 	}
+	e.Rec.EndAxis(obs.Pack, axis, t0)
+	e.Rec.AddComm(axis, e.BytesPerExchange(axis), msgs)
 }
 
 // WaitUnpackAxis completes one axis's posted receives and fills the
@@ -296,6 +321,7 @@ func (e *CartExchanger) WaitUnpackAxis(r *comm.Rank, f *grid.Field, axis int) {
 			panic("halo: WaitUnpackAxis without PostRecvsAxis")
 		}
 	}
+	t0 := e.Rec.Begin()
 	if e.reqs[axis][0] != nil && e.reqs[axis][1] != nil {
 		r.Wait(e.reqs[axis][0], e.reqs[axis][1])
 	} else if e.reqs[axis][0] != nil {
@@ -303,22 +329,31 @@ func (e *CartExchanger) WaitUnpackAxis(r *comm.Rank, f *grid.Field, axis int) {
 	} else if e.reqs[axis][1] != nil {
 		r.Wait(e.reqs[axis][1])
 	}
+	e.Rec.EndAxis(obs.Wire, axis, t0)
+	t0 = e.Rec.Begin()
 	if e.reqs[axis][0] != nil {
 		e.unpackFace(f, axis, 0, e.recv[axis][0])
 	}
 	if e.reqs[axis][1] != nil {
 		e.unpackFace(f, axis, 3, e.recv[axis][1])
 	}
+	e.Rec.EndAxis(obs.Unpack, axis, t0)
 	e.reqs[axis][0], e.reqs[axis][1] = nil, nil
 }
 
 // exchangeLocalAxis wraps one undecomposed axis periodically in place:
 // low ghost <- high border, high ghost <- low border.
 func (e *CartExchanger) exchangeLocalAxis(f *grid.Field, axis int) {
-	n := e.packFace(f, axis, 2, e.send[axis][1])
-	e.unpackFace(f, axis, 0, e.send[axis][1][:n])
-	n = e.packFace(f, axis, 1, e.send[axis][0])
-	e.unpackFace(f, axis, 3, e.send[axis][0][:n])
+	// Staging reads only border (owned) cells and ghost writes only ghost
+	// cells, so both packs may run before both unpacks.
+	t0 := e.Rec.Begin()
+	nHi := e.packFace(f, axis, 2, e.send[axis][1])
+	nLo := e.packFace(f, axis, 1, e.send[axis][0])
+	e.Rec.EndAxis(obs.Pack, axis, t0)
+	t0 = e.Rec.Begin()
+	e.unpackFace(f, axis, 0, e.send[axis][1][:nHi])
+	e.unpackFace(f, axis, 3, e.send[axis][0][:nLo])
+	e.Rec.EndAxis(obs.Unpack, axis, t0)
 }
 
 func (e *CartExchanger) packFace(f *grid.Field, axis, region int, buf []float64) int {

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/grid"
+	"repro/internal/obs"
 )
 
 // Tags for the two message directions. "ToRight" data flows rightward: a
@@ -125,6 +126,10 @@ type Exchanger struct {
 	Left  int       // left neighbor rank
 	Right int       // right neighbor rank
 
+	// Rec, when non-nil, receives pack/wire/unpack spans and per-exchange
+	// traffic counts. The slab exchange is attributed to axis 0 (x).
+	Rec *obs.Recorder
+
 	sendL, sendR []float64
 	recvL, recvR []float64
 	reqL, reqR   *comm.Request
@@ -162,13 +167,20 @@ func (e *Exchanger) BytesPerExchange() int64 {
 // sends/receives (the pre-NB-C protocol, §V.E "naive implementation used
 // blocking communication").
 func (e *Exchanger) ExchangeBlocking(r *comm.Rank, f *grid.Field) {
+	t0 := e.Rec.Begin()
 	e.packBorders(f)
 	// Eager buffered sends cannot deadlock; order recvs after both sends.
 	r.Send(e.Left, TagToLeft, e.sendL)
 	r.Send(e.Right, TagToRight, e.sendR)
+	e.Rec.EndAxis(obs.Pack, 0, t0)
+	e.Rec.AddComm(0, e.BytesPerExchange(), 2)
+	t0 = e.Rec.Begin()
 	r.Recv(e.Right, TagToLeft, e.recvR)
 	r.Recv(e.Left, TagToRight, e.recvL)
+	e.Rec.EndAxis(obs.Wire, 0, t0)
+	t0 = e.Rec.Begin()
 	e.unpackGhosts(f)
+	e.Rec.EndAxis(obs.Unpack, 0, t0)
 }
 
 // PostRecvs posts the two ghost receives early (MPI_Irecv before local
@@ -180,9 +192,12 @@ func (e *Exchanger) PostRecvs(r *comm.Rank) {
 
 // SendBorders packs the border planes of f and sends them non-blocking.
 func (e *Exchanger) SendBorders(r *comm.Rank, f *grid.Field) {
+	t0 := e.Rec.Begin()
 	e.packBorders(f)
 	r.Isend(e.Left, TagToLeft, e.sendL)
 	r.Isend(e.Right, TagToRight, e.sendR)
+	e.Rec.EndAxis(obs.Pack, 0, t0)
+	e.Rec.AddComm(0, e.BytesPerExchange(), 2)
 }
 
 // WaitUnpack completes the posted receives and fills the ghost planes of f.
@@ -191,9 +206,13 @@ func (e *Exchanger) WaitUnpack(r *comm.Rank, f *grid.Field) {
 	if e.reqL == nil || e.reqR == nil {
 		panic("halo: WaitUnpack without PostRecvs")
 	}
+	t0 := e.Rec.Begin()
 	r.Wait(e.reqL, e.reqR)
+	e.Rec.EndAxis(obs.Wire, 0, t0)
 	e.reqL, e.reqR = nil, nil
+	t0 = e.Rec.Begin()
 	e.unpackGhosts(f)
+	e.Rec.EndAxis(obs.Unpack, 0, t0)
 }
 
 // ExchangeNonBlocking is the NB-C protocol as one call: post receives, send
@@ -209,12 +228,18 @@ func (e *Exchanger) ExchangeNonBlocking(r *comm.Rank, f *grid.Field) {
 // used when both neighbors are the rank itself.
 func (e *Exchanger) ExchangeLocal(f *grid.Field) {
 	w, own := e.Width, e.Own
-	// Left ghost [0,w) <- right border [own, own+w) (periodic wrap).
-	n := PackPlanes(f, own, own+w, e.sendR)
-	UnpackPlanes(f, 0, w, e.sendR[:n])
-	// Right ghost [w+own, w+own+w) <- left border [w, 2w).
-	n = PackPlanes(f, w, 2*w, e.sendL)
-	UnpackPlanes(f, w+own, w+own+w, e.sendL[:n])
+	// Left ghost [0,w) <- right border [own, own+w), right ghost
+	// [w+own, w+own+w) <- left border [w, 2w) (periodic wraps). Staging
+	// reads only owned planes and ghost writes only ghost planes, so both
+	// packs may run before both unpacks.
+	t0 := e.Rec.Begin()
+	nR := PackPlanes(f, own, own+w, e.sendR)
+	nL := PackPlanes(f, w, 2*w, e.sendL)
+	e.Rec.EndAxis(obs.Pack, 0, t0)
+	t0 = e.Rec.Begin()
+	UnpackPlanes(f, 0, w, e.sendR[:nR])
+	UnpackPlanes(f, w+own, w+own+w, e.sendL[:nL])
+	e.Rec.EndAxis(obs.Unpack, 0, t0)
 }
 
 func (e *Exchanger) packBorders(f *grid.Field) {

@@ -101,6 +101,60 @@ func (r *RNG) Norm() float64 {
 	return s - 6
 }
 
+// MAPE returns the mean absolute percentage error of predictions pred
+// against observations obs, as a fraction (0.12 = 12%). Pairs whose
+// observation is zero are skipped (percentage error is undefined there);
+// if every pair is skipped, or the slices are empty or mismatched, MAPE
+// returns NaN. This is the fitness measure of the observe-predict bridge
+// (calibration error of perfsim against the real solver).
+func MAPE(obs, pred []float64) float64 {
+	if len(obs) == 0 || len(obs) != len(pred) {
+		return math.NaN()
+	}
+	var sum float64
+	n := 0
+	for i, o := range obs {
+		if o == 0 {
+			continue
+		}
+		sum += math.Abs(pred[i]-o) / math.Abs(o)
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// Pearson returns the Pearson correlation coefficient of a and b, or NaN
+// for mismatched/short samples or zero variance. Paired with MAPE it
+// reports whether predictions track the observed trend even when their
+// absolute scale is off.
+func Pearson(a, b []float64) float64 {
+	if len(a) < 2 || len(a) != len(b) {
+		return math.NaN()
+	}
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
 // GeoMean returns the geometric mean of xs (all values must be positive).
 func GeoMean(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -119,6 +119,42 @@ func TestRNGNormMoments(t *testing.T) {
 	}
 }
 
+func TestMAPE(t *testing.T) {
+	// (|1.1-1|/1 + |1.8-2|/2) / 2 = (0.1 + 0.1) / 2
+	if got := MAPE([]float64{1, 2}, []float64{1.1, 1.8}); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("MAPE = %g, want 0.1", got)
+	}
+	// Zero-observation pairs are skipped, not division-by-zero poison.
+	if got := MAPE([]float64{0, 2}, []float64{5, 3}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MAPE with zero obs = %g, want 0.5", got)
+	}
+	if !math.IsNaN(MAPE(nil, nil)) {
+		t.Error("MAPE(nil) must be NaN")
+	}
+	if !math.IsNaN(MAPE([]float64{0}, []float64{1})) {
+		t.Error("MAPE with only zero observations must be NaN")
+	}
+	if !math.IsNaN(MAPE([]float64{1}, []float64{1, 2})) {
+		t.Error("MAPE with mismatched lengths must be NaN")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	up := []float64{1, 2, 3, 4}
+	if got := Pearson(up, []float64{2, 4, 6, 8}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Pearson on a perfect line = %g, want 1", got)
+	}
+	if got := Pearson(up, []float64{8, 6, 4, 2}); math.Abs(got+1) > 1e-12 {
+		t.Errorf("Pearson on a descending line = %g, want -1", got)
+	}
+	if !math.IsNaN(Pearson(up, []float64{3, 3, 3, 3})) {
+		t.Error("Pearson with zero variance must be NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1}, []float64{2})) {
+		t.Error("Pearson on a single point must be NaN")
+	}
+}
+
 func TestGeoMean(t *testing.T) {
 	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
 		t.Errorf("GeoMean = %g, want 2", got)

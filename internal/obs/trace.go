@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceSchema names the trace format: the Chrome trace-event ("catapult")
+// JSON object form, loadable in chrome://tracing or https://ui.perfetto.dev.
+const TraceSchema = "chrome-trace-events"
+
+// traceEvent is one complete ("X") event: ts and dur are microseconds,
+// pid is the rank, so each rank renders as its own process row and the
+// overlapped schedule (interior compute concurrent with wire waits on
+// other ranks) is visible as a timeline.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+var axisNames = [3]string{"x", "y", "z"}
+
+// WriteTrace renders the retained spans of every rank as Chrome
+// trace-event JSON. Observations recorded without tracing contribute no
+// events; an all-empty input still produces a valid (empty) trace.
+func WriteTrace(w io.Writer, ranks []RankObservation) error {
+	tf := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	for _, o := range ranks {
+		for _, e := range o.Events {
+			ev := traceEvent{
+				Name: e.Phase.String(),
+				Cat:  "lbm",
+				Ph:   "X",
+				Ts:   float64(e.Start.Nanoseconds()) / 1e3,
+				Dur:  float64(e.Dur.Nanoseconds()) / 1e3,
+				Pid:  o.Rank,
+				Tid:  0,
+			}
+			if e.Axis >= 0 && int(e.Axis) < len(axisNames) {
+				ev.Name = fmt.Sprintf("%s[%s]", e.Phase, axisNames[e.Axis])
+				ev.Args = map[string]string{"axis": axisNames[e.Axis]}
+			}
+			tf.TraceEvents = append(tf.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&tf)
+}

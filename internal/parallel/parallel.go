@@ -22,6 +22,11 @@ import (
 // ownership.
 type Pool struct {
 	threads int
+	// counts[w] is the number of chunks worker w has drained over the
+	// pool's lifetime — the load-imbalance view of thin batches (a rim
+	// batch with fewer chunks than workers leaves part of the team idle,
+	// which shows up here as skew).
+	counts []chunkCount
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -31,13 +36,21 @@ type Pool struct {
 	wg     sync.WaitGroup
 }
 
+// chunkCount is one worker's drained-chunk counter, padded out to its own
+// cache line so the workers' increments don't false-share.
+type chunkCount struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
 // batch is one Run invocation: n chunks drained from an atomic cursor.
 type batch struct {
-	body func(worker, chunk int)
-	n    int64
-	next atomic.Int64 // next chunk index to claim
-	left atomic.Int64 // chunks not yet finished; 0 closes done
-	done chan struct{}
+	body   func(worker, chunk int)
+	counts []chunkCount
+	n      int64
+	next   atomic.Int64 // next chunk index to claim
+	left   atomic.Int64 // chunks not yet finished; 0 closes done
+	done   chan struct{}
 
 	aborted  atomic.Bool // a chunk panicked: claim the rest without running
 	panicMu  sync.Mutex
@@ -50,7 +63,7 @@ func NewPool(threads int) *Pool {
 	if threads < 1 {
 		threads = 1
 	}
-	p := &Pool{threads: threads}
+	p := &Pool{threads: threads, counts: make([]chunkCount, threads)}
 	p.cond = sync.NewCond(&p.mu)
 	for w := 1; w < threads; w++ {
 		p.wg.Add(1)
@@ -83,9 +96,12 @@ func (p *Pool) Run(n int, body func(worker, chunk int)) {
 		for i := 0; i < n; i++ {
 			body(0, i)
 		}
+		if p != nil {
+			p.counts[0].n.Add(int64(n))
+		}
 		return
 	}
-	b := &batch{body: body, n: int64(n), done: make(chan struct{})}
+	b := &batch{body: body, counts: p.counts, n: int64(n), done: make(chan struct{})}
 	b.left.Store(int64(n))
 	p.mu.Lock()
 	p.cur = b
@@ -100,6 +116,21 @@ func (p *Pool) Run(n int, body func(worker, chunk int)) {
 	if b.panicVal != nil {
 		panic(b.panicVal)
 	}
+}
+
+// ChunkCounts returns the number of chunks each team member has drained
+// since the pool was created, indexed by worker ID. Nil for a nil pool.
+// Chunks executed on the caller's inline fast path (1-thread pools,
+// single-chunk batches) are credited to worker 0.
+func (p *Pool) ChunkCounts() []int64 {
+	if p == nil {
+		return nil
+	}
+	out := make([]int64, len(p.counts))
+	for i := range p.counts {
+		out[i] = p.counts[i].n.Load()
+	}
+	return out
 }
 
 // Close shuts the background workers down. Idempotent and nil-safe; the
@@ -152,6 +183,7 @@ func (b *batch) drain(worker int) {
 		}
 		if !b.aborted.Load() {
 			b.runChunk(worker, int(i))
+			b.counts[worker].n.Add(1)
 		}
 		if b.left.Add(-1) == 0 {
 			close(b.done)

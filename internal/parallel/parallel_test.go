@@ -156,3 +156,30 @@ func TestWorkerScratchDisjoint(t *testing.T) {
 		busy[worker].Store(false)
 	})
 }
+
+func TestChunkCounts(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	p.Run(40, func(worker, chunk int) {})
+	p.Run(1, func(worker, chunk int) {}) // single-chunk inline path: worker 0
+	c := p.ChunkCounts()
+	if len(c) != 3 {
+		t.Fatalf("got %d counters, want 3", len(c))
+	}
+	var total int64
+	for _, n := range c {
+		total += n
+	}
+	if total != 41 {
+		t.Errorf("drained %d chunks in total, want 41", total)
+	}
+	if c[0] < 1 {
+		t.Errorf("worker 0 drained %d chunks; the inline path must credit it", c[0])
+	}
+	if (*Pool)(nil).ChunkCounts() != nil {
+		t.Error("nil pool must report nil counts")
+	}
+	if one := NewPool(1); one.ChunkCounts()[0] != 0 {
+		t.Error("fresh pool must start at zero")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Job describes one simulated run.
@@ -120,6 +121,12 @@ type Result struct {
 	// communication surface of the decomposition shape. Zero on
 	// undecomposed axes and for the no-ghost Orig protocol.
 	AxisBytes [3]float64
+	// RankPhases decomposes each rank's clock into the observability
+	// layer's phase taxonomy (interior, rim, pack, wire, unpack, face):
+	// the predicted counterpart of a real run's per-phase breakdown, the
+	// observe-predict bridge of the calibration loop. The terms sum to
+	// PerRankSeconds exactly by construction.
+	RankPhases []obs.PhaseSeconds
 }
 
 // SurfaceBytes returns the total per-rank halo payload per exchange.
@@ -276,6 +283,7 @@ func Run(j Job) (*Result, error) {
 		w: w, plane: plane, q: q,
 		clock: make([]float64, ranks),
 		comm:  make([]float64, ranks),
+		phase: make([]obs.PhaseSeconds, ranks),
 		rng:   make([]*metrics.RNG, ranks),
 		slow:  make([]float64, ranks),
 	}
@@ -291,6 +299,7 @@ func Run(j Job) (*Result, error) {
 		BytesPerTask:   bytesPerTask,
 		OOM:            oom,
 		AxisBytes:      st.axisBytes(),
+		RankPhases:     st.phase,
 	}
 	for _, c := range st.clock {
 		if c > res.Seconds {
@@ -314,6 +323,7 @@ type simState struct {
 	q     float64
 	clock []float64
 	comm  []float64
+	phase []obs.PhaseSeconds // per-rank clock decomposition (Result.RankPhases)
 	rng   []*metrics.RNG
 	slow  []float64 // per-rank persistent slowdown factor
 }
@@ -416,6 +426,13 @@ func (st *simState) run() float64 {
 					recvReady = t
 				}
 			}
+			// Phase decomposition (Result.RankPhases): each branch's terms
+			// are exactly the clock-delta terms, so phases sum to the clock
+			// by construction. The posting software cost joins Pack (it is
+			// send-side work); a blocked send's wire joins Wire.
+			ph := &st.phase[r]
+			ph[obs.Pack] += packT + nmsg*sw
+			ph[obs.Unpack] += unpackT
 			switch {
 			case j.Opt >= core.OptGCC:
 				// Overlap: interior of the first step hides the wait; the
@@ -433,8 +450,13 @@ func (st *simState) run() float64 {
 				}
 				st.comm[r] += nmsg*sw + wait + unpackT
 				st.clock[r] = rimStart + wait + unpackT + (1-interior)*t0
+				ph[obs.Interior] += interior * t0
+				ph[obs.Rim] += (1 - interior) * t0
+				ph[obs.Wire] += wait
 				for s := 1; s < runLen; s++ {
-					st.clock[r] += st.stepTime(r, s)
+					dt := st.stepTime(r, s)
+					st.clock[r] += dt
+					ph[obs.Interior] += dt
 				}
 			case j.Opt >= core.OptNBC:
 				// Non-blocking: sends are DMA'd; the rank pays the posting
@@ -445,8 +467,11 @@ func (st *simState) run() float64 {
 				}
 				st.comm[r] += (ready - sendAt[r]) + unpackT
 				st.clock[r] = ready + unpackT
+				ph[obs.Wire] += ready - sendAt[r] - nmsg*sw
 				for s := 0; s < runLen; s++ {
-					st.clock[r] += st.stepTime(r, s)
+					dt := st.stepTime(r, s)
+					st.clock[r] += dt
+					ph[obs.Interior] += dt
 				}
 			default:
 				// Blocking sends return only after delivery: the software
@@ -461,8 +486,11 @@ func (st *simState) run() float64 {
 				}
 				st.comm[r] += (ready - st.clock[r] - packT) + unpackT
 				st.clock[r] = ready + unpackT
+				ph[obs.Wire] += ready - sendAt[r] - nmsg*sw
 				for s := 0; s < runLen; s++ {
-					st.clock[r] += st.stepTime(r, s)
+					dt := st.stepTime(r, s)
+					st.clock[r] += dt
+					ph[obs.Interior] += dt
 				}
 			}
 			ghost += st.ghostExtraCells(runLen)
@@ -517,6 +545,13 @@ func (st *simState) runOrig() float64 {
 			}
 			st.comm[r] += (ready - sendAt[r]) + packT
 			st.clock[r] = ready + packT + 0.5*stepT[r]
+			// Phases: stream + collide halves → Interior; egress pack →
+			// Pack; send/recv exposure → Wire; the merge copy → Unpack.
+			ph := &st.phase[r]
+			ph[obs.Interior] += stepT[r]
+			ph[obs.Pack] += packT
+			ph[obs.Wire] += ready - sendAt[r]
+			ph[obs.Unpack] += packT
 		}
 	}
 	return 0
@@ -694,6 +729,16 @@ func (st *simState) runMulti() float64 {
 	t0 := make([]float64, st.ranks)
 	used := make([]float64, st.ranks)
 	wins := make([][3]float64, st.ranks)
+	// The first decomposed axis's messages fly over the interior box; each
+	// later axis's fly over the previous axis's rims (overlapWindows) —
+	// which phase the hidden compute belongs to in the decomposition.
+	firstMsg := -1
+	for a := 0; a < 3; a++ {
+		if p[a] > 1 {
+			firstMsg = a
+			break
+		}
+	}
 	for done := 0; done < j.Steps; {
 		runLen := j.Depth
 		if rest := j.Steps - done; rest < runLen {
@@ -713,13 +758,18 @@ func (st *simState) runMulti() float64 {
 					// boundary-filled in place — one write per face, no
 					// border pack and no message.
 					for r := 0; r < st.ranks; r++ {
-						st.clock[r] += 2 * st.axisHaloBytes(r, axis) / st.rt.taskBWRaw
+						dt := 2 * st.axisHaloBytes(r, axis) / st.rt.taskBWRaw
+						st.clock[r] += dt
+						st.phase[r][obs.Face] += dt
 					}
 					continue
 				}
 				// Local periodic wrap: pack+unpack copies on both sides.
 				for r := 0; r < st.ranks; r++ {
-					st.clock[r] += 4 * st.axisHaloBytes(r, axis) / st.rt.taskBWRaw
+					dt := 4 * st.axisHaloBytes(r, axis) / st.rt.taskBWRaw
+					st.clock[r] += dt
+					st.phase[r][obs.Pack] += dt / 2
+					st.phase[r][obs.Unpack] += dt / 2
 				}
 				continue
 			}
@@ -728,7 +778,9 @@ func (st *simState) runMulti() float64 {
 				// borders packed toward neighbors, boundary ghost faces
 				// written from boundary data (edge ranks swap one for the
 				// other).
-				sendAt[r] = st.clock[r] + 2*st.axisHaloBytes(r, axis)/st.rt.taskBWRaw
+				packT := 2 * st.axisHaloBytes(r, axis) / st.rt.taskBWRaw
+				sendAt[r] = st.clock[r] + packT
+				st.phase[r][obs.Pack] += packT
 			}
 			for r := 0; r < st.ranks; r++ {
 				bytes := st.axisHaloBytes(r, axis)
@@ -751,6 +803,9 @@ func (st *simState) runMulti() float64 {
 					}
 				}
 				unpackT := 2 * bytes / st.rt.taskBWRaw
+				ph := &st.phase[r]
+				ph[obs.Pack] += nmsg * sw
+				ph[obs.Unpack] += unpackT
 				if overlap {
 					// The axis's wire time is (partially) hidden behind the
 					// schedule's compute window; only the remainder — and the
@@ -764,6 +819,12 @@ func (st *simState) runMulti() float64 {
 					st.comm[r] += nmsg*sw + wait + unpackT
 					st.clock[r] = hidden + wait + unpackT
 					used[r] += hide
+					if axis == firstMsg {
+						ph[obs.Interior] += hide
+					} else {
+						ph[obs.Rim] += hide
+					}
+					ph[obs.Wire] += wait
 				} else if nonblocking {
 					ready := sendAt[r] + nmsg*sw
 					if recvReady > ready {
@@ -771,6 +832,7 @@ func (st *simState) runMulti() float64 {
 					}
 					st.comm[r] += (ready - sendAt[r]) + unpackT
 					st.clock[r] = ready + unpackT
+					ph[obs.Wire] += ready - sendAt[r] - nmsg*sw
 				} else {
 					sendDone := sendAt[r] + nmsg*sw
 					if nmsg > 0 {
@@ -784,22 +846,35 @@ func (st *simState) runMulti() float64 {
 					// as the slab path.
 					st.comm[r] += (ready - sendAt[r]) + unpackT
 					st.clock[r] = ready + unpackT
+					ph[obs.Wire] += ready - sendAt[r] - nmsg*sw
 				}
 			}
 		}
 		for r := 0; r < st.ranks; r++ {
+			ph := &st.phase[r]
 			if overlap {
 				// The first step's compute already ran inside the overlap
-				// windows; add only what remains of it.
+				// windows; add only what remains of it — the trailing rims
+				// after the last axis's unpack (interior when nothing
+				// messaged).
 				if rest := t0[r] - used[r]; rest > 0 {
 					st.clock[r] += rest
+					if firstMsg >= 0 {
+						ph[obs.Rim] += rest
+					} else {
+						ph[obs.Interior] += rest
+					}
 				}
 				for s := 1; s < runLen; s++ {
-					st.clock[r] += st.stepTimeMulti(r, s)
+					dt := st.stepTimeMulti(r, s)
+					st.clock[r] += dt
+					ph[obs.Interior] += dt
 				}
 			} else {
 				for s := 0; s < runLen; s++ {
-					st.clock[r] += st.stepTimeMulti(r, s)
+					dt := st.stepTimeMulti(r, s)
+					st.clock[r] += dt
+					ph[obs.Interior] += dt
 				}
 			}
 			ghost += st.ghostExtraMulti(r, runLen)

@@ -566,3 +566,38 @@ func TestAAStreamModel(t *testing.T) {
 		t.Error("AA + OptOrig accepted; the no-ghost protocol has nowhere to exchange pairs")
 	}
 }
+
+// TestRankPhasesSumToClock: the phase decomposition must be exact — every
+// term added to a rank's phase vector is a clock-delta term of the same
+// schedule branch, so the vector sums to the rank's total to float
+// round-off, on every protocol and decomposition.
+func TestRankPhasesSumToClock(t *testing.T) {
+	m := machine.BGP()
+	spec := machine.SpecD3Q19()
+	jobs := []Job{
+		{Machine: m, Spec: spec, K: 1, Nodes: 4, TasksPerNode: 1, ThreadsPerTask: 1,
+			NX: 64, NY: 32, NZ: 32, Steps: 6, Depth: 1, Opt: core.OptOrig, Seed: 3},
+		{Machine: m, Spec: spec, K: 1, Nodes: 4, TasksPerNode: 1, ThreadsPerTask: 1,
+			NX: 64, NY: 32, NZ: 32, Steps: 6, Depth: 1, Opt: core.OptGC, Seed: 3},
+		{Machine: m, Spec: spec, K: 1, Nodes: 4, TasksPerNode: 1, ThreadsPerTask: 1,
+			NX: 64, NY: 32, NZ: 32, Steps: 6, Depth: 2, Opt: core.OptNBC, Seed: 3},
+		{Machine: m, Spec: spec, K: 1, Nodes: 4, TasksPerNode: 1, ThreadsPerTask: 1,
+			NX: 64, NY: 32, NZ: 32, Steps: 6, Depth: 2, Opt: core.OptGCC, Imbalance: 0.05, Seed: 3},
+		{Machine: m, Spec: spec, K: 1, Nodes: 8, TasksPerNode: 1, ThreadsPerTask: 1,
+			NX: 64, NY: 64, NZ: 32, Decomp: [3]int{2, 2, 2}, Steps: 6, Depth: 1, Opt: core.OptGCC, Seed: 3},
+		{Machine: m, Spec: spec, K: 1, Nodes: 8, TasksPerNode: 1, ThreadsPerTask: 1,
+			NX: 64, NY: 64, NZ: 32, Decomp: [3]int{2, 4, 1}, Steps: 6, Depth: 1, Opt: core.OptSIMD, Seed: 3},
+	}
+	for _, j := range jobs {
+		res := mustRun(t, j)
+		if len(res.RankPhases) != len(res.PerRankSeconds) {
+			t.Fatalf("%v decomp %v: %d phase vectors for %d ranks", j.Opt, j.Decomp, len(res.RankPhases), len(res.PerRankSeconds))
+		}
+		for r, ph := range res.RankPhases {
+			want := res.PerRankSeconds[r]
+			if got := ph.Total(); want == 0 || got < want*(1-1e-9) || got > want*(1+1e-9) {
+				t.Errorf("%v decomp %v rank %d: phases sum to %.9f, clock %.9f", j.Opt, j.Decomp, r, got, want)
+			}
+		}
+	}
+}
