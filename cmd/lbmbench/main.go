@@ -35,9 +35,9 @@ func main() {
 	log.SetPrefix("lbmbench: ")
 
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, table2, fig8, fig9, fig10, table3, table4, fig11, decomp, collision, fixup, threads, predict, or all")
+		exp      = flag.String("exp", "all", "experiment: table1, table2, fig8, fig9, fig10, table3, table4, fig11, decomp, collision, fixup, threads, balance, predict, or all")
 		machine  = flag.String("machine", "bgp", "machine for fig8/fig9/fig11/decomp: bgp or bgq")
-		real     = flag.Bool("real", false, "run the real kernels locally instead of the paper-scale simulator (fixup and threads are real-only)")
+		real     = flag.Bool("real", false, "run the real kernels locally instead of the paper-scale simulator (fixup, threads and balance are real-only)")
 		model    = flag.String("model", "D3Q19", "model for -real and collision experiments")
 		ranks    = flag.Int("ranks", 4, "ranks for -real experiments")
 		threads  = flag.Int("threads", 1, "worker threads per rank for -real experiments; for -exp threads the top of the sweep (0 = runtime.NumCPU()/ranks, floor 1)")
@@ -204,6 +204,11 @@ func realExperiment(exp, model string, ranks, threads, steps int, decomp, depth 
 			return nil, fmt.Errorf("threads sweeps the two-grid kernels; drop -stream")
 		}
 		return experiments.RealThreads(model, threads, steps, colSpec)
+	case "balance":
+		if stream != core.StreamTwoGrid {
+			return nil, fmt.Errorf("balance sweeps cut policy and traversal on the two-grid kernels; drop -stream")
+		}
+		return experiments.RealBalance(model, ranks, threads, steps)
 	}
-	return nil, fmt.Errorf("-real supports fig8, fig9, fig10, fig11, collision, fixup, threads (got %q)", exp)
+	return nil, fmt.Errorf("-real supports fig8, fig9, fig10, fig11, collision, fixup, threads, balance (got %q)", exp)
 }

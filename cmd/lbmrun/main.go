@@ -60,6 +60,8 @@ func main() {
 		uMean     = flag.Float64("umean", 0.08, "channel scenario: mean inflow speed in lattice units")
 		diam      = flag.Int("d", 16, "channel scenario: cylinder diameter in cells (sets the domain 22Dx4.1D; the Re=100 wake needs >= 16)")
 		geomPath  = flag.String("geom", "", "voxel mask file (.csv or .raw): obstacles for wave, replaces the cylinder for channel")
+		balanceF  = flag.String("balance", "volume", "cut-plane placement: volume (equal extents) or fluid (equal fluid cells per rank, needs a mask)")
+		sparse    = flag.Bool("sparse", false, "sparse row-run traversal: kernels visit fluid z-runs only (needs a mask; wins on mostly-solid domains)")
 		collide   = flag.String("collision", "bgk", "collision operator: bgk (the paper's kernels), trt or mrt (stable toward tau=0.5 / high Re)")
 		magic     = flag.Float64("magic", 0, "TRT magic parameter Lambda (0 = the default 1/4)")
 		mrtRates  = flag.String("mrt-rates", "", "MRT ghost-moment rates by order, comma-separated from order 3 (empty = magic-paired defaults)")
@@ -123,6 +125,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	balance, err := core.ParseBalance(*balanceF)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	sc, err := scenario.Get(*scen)
 	if err != nil {
@@ -147,6 +153,7 @@ func main() {
 		Opt: opt, Ranks: *ranks, Decomp: dec.P, Threads: nthreads,
 		GhostDepth: depthUniform, GhostDepthAxes: depthAxes,
 		Layout: lay, Fused: *fused, Collision: colSpec, Stream: scheme,
+		Balance: balance, Sparse: *sparse,
 		KeepField: *out != "",
 		Observe:   *observe || *reportF != "" || *traceF != "",
 		Trace:     *traceF != "",
@@ -188,8 +195,8 @@ func main() {
 	fmt.Printf("model        %s (Q=%d, c_s^2=%.4f, k=%d)\n", model.Name, model.Q, model.CsSq, model.MaxSpeed)
 	fmt.Printf("scenario     %s\n", sc.Name)
 	fmt.Printf("domain       %s  (%d fluid cells)\n", n, fluid)
-	fmt.Printf("config       opt=%s ranks=%d decomp=%dx%dx%d threads=%d depth=%s layout=%s fused=%v stream=%s collision=%s tau=%.4f\n",
-		cfg.Opt, cfg.Ranks, cfg.Decomp[0], cfg.Decomp[1], cfg.Decomp[2], cfg.Threads, *depth, lay, cfg.Fused, cfg.Stream, cfg.Collision, cfg.Tau)
+	fmt.Printf("config       opt=%s ranks=%d decomp=%dx%dx%d balance=%s sparse=%v threads=%d depth=%s layout=%s fused=%v stream=%s collision=%s tau=%.4f\n",
+		cfg.Opt, cfg.Ranks, cfg.Decomp[0], cfg.Decomp[1], cfg.Decomp[2], cfg.Balance, cfg.Sparse, cfg.Threads, *depth, lay, cfg.Fused, cfg.Stream, cfg.Collision, cfg.Tau)
 	fmt.Printf("steps        %d\n", cfg.Steps)
 	if hb := res.HaloAxisBytes; hb != [3]int64{} {
 		fmt.Printf("halo surface %.1f KB/rank/exchange (x %.1f, y %.1f, z %.1f)\n",
@@ -208,6 +215,18 @@ func main() {
 	if cfg.Observe {
 		rep = core.NewReport(&cfg, res)
 		rep.Config.Scenario = sc.Name
+		if fs := rep.FluidCells; fs != nil {
+			imb := 1.0
+			if fs.Min > 0 {
+				imb = fs.Max / fs.Min
+			}
+			fmt.Printf("fluid/rank   min %.0f  median %.0f  max %.0f  (imbalance %.2fx)\n",
+				fs.Min, fs.Median, fs.Max, imb)
+		}
+		if ws := rep.WorkerWeights; ws != nil {
+			fmt.Printf("chunk weight min %.0f  median %.0f  max %.0f per worker (%d workers)\n",
+				ws.Min, ws.Median, ws.Max, ws.N)
+		}
 		fmt.Println("phases (s/rank, spread across ranks)")
 		for _, ps := range rep.Phases {
 			name := ps.Phase

@@ -1,0 +1,59 @@
+// Bifurcation: the sparse-geometry subsystem end to end. The demo builds
+// the Y-shaped vessel mask (geom.Bifurcation — a parent tube splitting
+// into two daughter branches, ~95% of the bounding box solid), then
+// integrates the same flow twice on an 8-rank slab: once with the classic
+// equal-extent decomposition and dense traversal, once with fluid-
+// balanced cut placement and sparse row-run traversal. The fluid-cell
+// spread across ranks and the fluid-normalized Mflup/s show why arterial
+// geometries need both layers — equal volumes are not equal work, and
+// visiting solid cells is not work at all. The same mask feeds
+// `lbmbench -exp balance -real` and BenchmarkSparseStep.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/lattice"
+	"repro/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	n := grid.Dims{NX: 96, NY: 48, NZ: 48}
+	mask := geom.Bifurcation(n, 0.1*float64(n.NY))
+	fmt.Printf("Bifurcation mask: %v box, %d fluid cells (%.1f%% solid)\n\n",
+		n, mask.Fluids(), 100*float64(mask.Solids())/float64(n.Cells()))
+
+	for _, c := range []struct {
+		label   string
+		balance core.Balance
+		sparse  bool
+	}{
+		{"volume cuts, dense traversal", core.BalanceVolume, false},
+		{"fluid cuts,  sparse traversal", core.BalanceFluid, true},
+	} {
+		res, err := core.Run(core.Config{
+			Model: lattice.D3Q19(), N: n, Tau: 0.8, Steps: 50,
+			Opt: core.OptSIMD, Ranks: 8, Decomp: [3]int{8, 1, 1}, Threads: 2,
+			GhostDepth: 1, Solid: mask,
+			Balance: c.balance, Sparse: c.sparse, Observe: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		perRank := make([]float64, len(res.Observations))
+		for i, o := range res.Observations {
+			perRank[i] = float64(o.FluidCells)
+		}
+		s := metrics.Summarize(perRank)
+		fmt.Printf("%s\n", c.label)
+		fmt.Printf("  fluid/rank min %.0f  median %.0f  max %.0f  (imbalance %.2fx)\n",
+			s.Min, s.Median, s.Max, s.Max/s.Min)
+		fmt.Printf("  %.2f MFlup/s, wall %v\n\n", res.MFlups, res.WallTime)
+	}
+}

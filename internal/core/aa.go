@@ -127,16 +127,21 @@ func (cs *cartStepper) aaCompactBox(b box) {
 // the reversed downwind slots (skipping solid source cells), and push the
 // bounce-back slots.
 func (cs *cartStepper) aaTransportRange(worker int, b box) {
-	m := cs.model
-	zn := b.hi[2] - b.lo[2]
-	if zn <= 0 || b.hi[1] <= b.lo[1] || b.hi[0] <= b.lo[0] {
+	if b.hi[2] <= b.lo[2] || b.hi[1] <= b.lo[1] || b.hi[0] <= b.lo[0] {
 		return
 	}
 	sc := cs.scratch[worker]
-	in, out := sc.aaRows(zn)
-	nz := cs.d.NZ
-	fullZ := b.lo[2] == 0 && b.hi[2] == nz
-	haveFix := !cs.fix.empty()
+	if cs.runStart != nil {
+		// Sparse: every run is all-fluid, so the masked-row slow paths of
+		// the row body never engage; the per-run fixup segment is the
+		// z-sliced view of the row's links, exactly the links the dense
+		// full-row pass applies within the run's interval.
+		cs.forRuns(b, func(ix, iy, zlo, zhi int) {
+			cs.aaTransportRow(sc, ix, iy, zlo, zhi, nil)
+		})
+		return
+	}
+	zn := b.hi[2] - b.lo[2]
 	for ix := b.lo[0]; ix < b.hi[0]; ix++ {
 		for iy := b.lo[1]; iy < b.hi[1]; iy++ {
 			var msk []bool
@@ -150,60 +155,71 @@ func (cs *cartStepper) aaTransportRange(worker int, b box) {
 					}
 				}
 			}
-			// Masked z positions are skipped in the gather, not just the
-			// scatter: a solid cell's star slots are concurrently written by
-			// its fluid neighbours' push-bounce, and its own pulled values
-			// are discarded anyway.
-			for v := 0; v < m.Q; v++ {
-				off := cs.d.Index(ix-m.Cx[v], iy-m.Cy[v], b.lo[2]-m.Cz[v])
-				src := cs.f.V(v)
-				if msk == nil {
-					copy(in[v], src[off:off+zn])
-					continue
-				}
-				iv := in[v]
-				for z := 0; z < zn; z++ {
-					if msk[z] {
-						iv[z] = 0
-						continue
-					}
-					iv[z] = src[off+z]
-				}
-			}
-			var seg []fixup
-			if haveFix {
-				row := ix*cs.d.NY + iy
-				seg = cs.fix.links[cs.fix.rows[row]:cs.fix.rows[row+1]]
-				if !fullZ && len(seg) > 0 {
-					seg = zSlice(seg, nz, b.lo[2], b.hi[2])
-				}
-				for _, fx := range seg {
-					z := int(fx.cell)%nz - b.lo[2]
-					in[fx.v][z] = cs.f.V(int(fx.opp))[fx.cell] + fx.delta
-				}
-			}
-			cs.aaRelaxRows(sc, in, out, zn)
-			cs.aaSpongeRow(sc, out, ix, iy, b.lo[2], zn)
-			for v := 0; v < m.Q; v++ {
-				dst := cs.f.V(m.Opp[v])
-				off := cs.d.Index(ix+m.Cx[v], iy+m.Cy[v], b.lo[2]+m.Cz[v])
-				if msk == nil {
-					copy(dst[off:off+zn], out[v])
-					continue
-				}
-				ov := out[v]
-				for z := 0; z < zn; z++ {
-					if msk[z] {
-						continue
-					}
-					dst[off+z] = ov[z]
-				}
-			}
-			for _, fx := range seg {
-				z := int(fx.cell)%nz - b.lo[2]
-				cs.f.V(int(fx.opp))[fx.cell] = out[fx.opp][z] + fx.delta
-			}
+			cs.aaTransportRow(sc, ix, iy, b.lo[2], b.hi[2], msk)
 		}
+	}
+}
+
+// aaTransportRow is the transport body for one row's z-interval
+// [zlo, zhi). msk, when non-nil, flags the interval's solid cells
+// (msk[z-zlo]); sparse runs pass nil — they carry no solid cells.
+func (cs *cartStepper) aaTransportRow(sc *workerScratch, ix, iy, zlo, zhi int, msk []bool) {
+	m := cs.model
+	zn := zhi - zlo
+	in, out := sc.aaRows(zn)
+	nz := cs.d.NZ
+	// Masked z positions are skipped in the gather, not just the
+	// scatter: a solid cell's star slots are concurrently written by
+	// its fluid neighbours' push-bounce, and its own pulled values
+	// are discarded anyway.
+	for v := 0; v < m.Q; v++ {
+		off := cs.d.Index(ix-m.Cx[v], iy-m.Cy[v], zlo-m.Cz[v])
+		src := cs.f.V(v)
+		if msk == nil {
+			copy(in[v], src[off:off+zn])
+			continue
+		}
+		iv := in[v]
+		for z := 0; z < zn; z++ {
+			if msk[z] {
+				iv[z] = 0
+				continue
+			}
+			iv[z] = src[off+z]
+		}
+	}
+	var seg []fixup
+	if !cs.fix.empty() {
+		row := ix*cs.d.NY + iy
+		seg = cs.fix.links[cs.fix.rows[row]:cs.fix.rows[row+1]]
+		if (zlo != 0 || zhi != nz) && len(seg) > 0 {
+			seg = zSlice(seg, nz, zlo, zhi)
+		}
+		for _, fx := range seg {
+			z := int(fx.cell)%nz - zlo
+			in[fx.v][z] = cs.f.V(int(fx.opp))[fx.cell] + fx.delta
+		}
+	}
+	cs.aaRelaxRows(sc, in, out, zn)
+	cs.aaSpongeRow(sc, out, ix, iy, zlo, zn)
+	for v := 0; v < m.Q; v++ {
+		dst := cs.f.V(m.Opp[v])
+		off := cs.d.Index(ix+m.Cx[v], iy+m.Cy[v], zlo+m.Cz[v])
+		if msk == nil {
+			copy(dst[off:off+zn], out[v])
+			continue
+		}
+		ov := out[v]
+		for z := 0; z < zn; z++ {
+			if msk[z] {
+				continue
+			}
+			dst[off+z] = ov[z]
+		}
+	}
+	for _, fx := range seg {
+		z := int(fx.cell)%nz - zlo
+		cs.f.V(int(fx.opp))[fx.cell] = out[fx.opp][z] + fx.delta
 	}
 }
 
@@ -211,23 +227,22 @@ func (cs *cartStepper) aaTransportRange(worker int, b box) {
 // read the cell's own slots reversed, collide, write back in normal
 // arrangement (skipping solid cells). Entirely cell-local.
 func (cs *cartStepper) aaCompactRange(worker int, b box) {
-	m := cs.model
-	zn := b.hi[2] - b.lo[2]
-	if zn <= 0 || b.hi[1] <= b.lo[1] || b.hi[0] <= b.lo[0] {
+	if b.hi[2] <= b.lo[2] || b.hi[1] <= b.lo[1] || b.hi[0] <= b.lo[0] {
 		return
 	}
 	sc := cs.scratch[worker]
-	in, out := sc.aaRows(zn)
+	if cs.runStart != nil {
+		cs.forRuns(b, func(ix, iy, zlo, zhi int) {
+			cs.aaCompactRow(sc, ix, iy, zlo, zhi, nil)
+		})
+		return
+	}
+	zn := b.hi[2] - b.lo[2]
 	for ix := b.lo[0]; ix < b.hi[0]; ix++ {
 		for iy := b.lo[1]; iy < b.hi[1]; iy++ {
-			base := cs.d.Index(ix, iy, b.lo[2])
-			for v := 0; v < m.Q; v++ {
-				copy(in[v], cs.f.V(m.Opp[v])[base:base+zn])
-			}
-			cs.aaRelaxRows(sc, in, out, zn)
-			cs.aaSpongeRow(sc, out, ix, iy, b.lo[2], zn)
 			var msk []bool
 			if cs.mask != nil {
+				base := cs.d.Index(ix, iy, b.lo[2])
 				row := cs.mask[base : base+zn]
 				for _, s := range row {
 					if s {
@@ -236,20 +251,35 @@ func (cs *cartStepper) aaCompactRange(worker int, b box) {
 					}
 				}
 			}
-			for v := 0; v < m.Q; v++ {
-				dst := cs.f.V(v)
-				if msk == nil {
-					copy(dst[base:base+zn], out[v])
-					continue
-				}
-				ov := out[v]
-				for z := 0; z < zn; z++ {
-					if msk[z] {
-						continue
-					}
-					dst[base+z] = ov[z]
-				}
+			cs.aaCompactRow(sc, ix, iy, b.lo[2], b.hi[2], msk)
+		}
+	}
+}
+
+// aaCompactRow is the compact body for one row's z-interval [zlo, zhi);
+// msk as in aaTransportRow.
+func (cs *cartStepper) aaCompactRow(sc *workerScratch, ix, iy, zlo, zhi int, msk []bool) {
+	m := cs.model
+	zn := zhi - zlo
+	in, out := sc.aaRows(zn)
+	base := cs.d.Index(ix, iy, zlo)
+	for v := 0; v < m.Q; v++ {
+		copy(in[v], cs.f.V(m.Opp[v])[base:base+zn])
+	}
+	cs.aaRelaxRows(sc, in, out, zn)
+	cs.aaSpongeRow(sc, out, ix, iy, zlo, zn)
+	for v := 0; v < m.Q; v++ {
+		dst := cs.f.V(v)
+		if msk == nil {
+			copy(dst[base:base+zn], out[v])
+			continue
+		}
+		ov := out[v]
+		for z := 0; z < zn; z++ {
+			if msk[z] {
+				continue
 			}
+			dst[base+z] = ov[z]
 		}
 	}
 }

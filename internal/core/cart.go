@@ -33,7 +33,6 @@ import (
 	"repro/internal/lattice"
 	"repro/internal/metrics"
 	"repro/internal/obs"
-	"repro/internal/parallel"
 )
 
 // box is an axis-aligned local cell region: [lo[a], hi[a]) per axis.
@@ -82,7 +81,13 @@ type cartStepper struct {
 	jit          *metrics.RNG
 	rec          *obs.Recorder // nil unless Config.Observe; every call site is nil-safe
 
-	mask                   []bool
+	mask []bool
+	// Sparse row-run traversal (sparse.go): per-row CSR of fluid
+	// z-intervals, built when Config.Sparse and a mask are present. Nil
+	// runStart keeps every kernel on its dense branch.
+	runs                   []zrun
+	runStart               []int32
+	rowWeight              []int32
 	fix                    *fixIndex
 	stepForce              [numBodies][3]float64
 	forceSer               []float64
@@ -127,7 +132,7 @@ func newCartStepper(cfg *Config, dec decomp.Cartesian, r *comm.Rank) (*cartStepp
 		cs.start[a], cs.own[a] = dec.Own(r.ID, a)
 	}
 	cs.d = grid.Dims{NX: cs.own[0] + 2*cs.w[0], NY: cs.own[1] + 2*cs.w[1], NZ: cs.own[2] + 2*cs.w[2]}
-	cs.br = boxRunner{pool: parallel.NewPool(cfg.Threads)}
+	cs.br = newBoxRunner(cfg.Threads)
 	cs.scratch = newScratches(cs.br.threads(), cfg.Model.Q, cs.d.NZ, cs.op, cs.aa)
 	cs.f = grid.NewField(cfg.Model.Q, cs.d, cfg.Layout)
 	if !cs.aa {
@@ -660,6 +665,21 @@ func (cs *cartStepper) streamBoxRange(worker int, b box) {
 	if zn <= 0 || b.hi[1] <= b.lo[1] {
 		return
 	}
+	if cs.runStart != nil {
+		// Sparse: copy only the fluid runs of each row. Streaming moves
+		// values without arithmetic, so the restriction is trivially exact
+		// on fluid cells; solid destinations keep their stale fadv, which
+		// the fixups and the mask-skipping collides below never read.
+		cs.forRuns(b, func(ix, iy, zlo, zhi int) {
+			n := zhi - zlo
+			for v := 0; v < m.Q; v++ {
+				sOff := cs.d.Index(ix-m.Cx[v], iy-m.Cy[v], zlo-m.Cz[v])
+				dOff := cs.d.Index(ix, iy, zlo)
+				copy(cs.fadv.V(v)[dOff:dOff+n], cs.f.V(v)[sOff:sOff+n])
+			}
+		})
+		return
+	}
 	for v := 0; v < m.Q; v++ {
 		src := cs.f.V(v)
 		dst := cs.fadv.V(v)
@@ -703,81 +723,77 @@ func (cs *cartStepper) collideBoxPair(b1, b2 box) {
 
 // collideBoxNaive mirrors collideNaive over a box: per-cell gather,
 // divisions, equilibria by method call. The gather buffer comes from the
-// worker's scratch slot; the arithmetic is untouched.
+// worker's scratch slot; the arithmetic is untouched. Rows come from
+// forRuns: the full box dense, fluid z-runs under sparse traversal —
+// every cell is independent here, so the two traversals agree per cell.
 func (cs *cartStepper) collideBoxNaive(worker int, b box) {
 	m := cs.model
 	fc := cs.scratch[worker].fc
-	for ix := b.lo[0]; ix < b.hi[0]; ix++ {
-		for iy := b.lo[1]; iy < b.hi[1]; iy++ {
-			for iz := b.lo[2]; iz < b.hi[2]; iz++ {
-				cell := cs.d.Index(ix, iy, iz)
-				for v := 0; v < m.Q; v++ {
-					fc[v] = cs.fadv.Data[cs.fadv.Idx(v, cell)]
-				}
-				rho, jx, jy, jz := m.Moments(fc)
-				ux := jx/rho + cs.shiftX
-				uy := jy/rho + cs.shiftY
-				uz := jz/rho + cs.shiftZ
-				for v := 0; v < m.Q; v++ {
-					feq := m.EquilibriumAt(v, rho, ux, uy, uz)
-					cs.f.Data[cs.f.Idx(v, cell)] = fc[v] - (fc[v]-feq)/cs.cfg.Tau
-				}
+	cs.forRuns(b, func(ix, iy, zlo, zhi int) {
+		for iz := zlo; iz < zhi; iz++ {
+			cell := cs.d.Index(ix, iy, iz)
+			for v := 0; v < m.Q; v++ {
+				fc[v] = cs.fadv.Data[cs.fadv.Idx(v, cell)]
+			}
+			rho, jx, jy, jz := m.Moments(fc)
+			ux := jx/rho + cs.shiftX
+			uy := jy/rho + cs.shiftY
+			uz := jz/rho + cs.shiftZ
+			for v := 0; v < m.Q; v++ {
+				feq := m.EquilibriumAt(v, rho, ux, uy, uz)
+				cs.f.Data[cs.f.Idx(v, cell)] = fc[v] - (fc[v]-feq)/cs.cfg.Tau
 			}
 		}
-	}
+	})
 }
 
 // collideBoxGeneric mirrors collideRowGeneric over a box: moments
 // accumulated one velocity block at a time over z-runs, reciprocals,
-// inlined equilibria.
+// inlined equilibria. Every moment and equilibrium is per-z, so the
+// run-restricted traversal reproduces the dense values exactly.
 func (cs *cartStepper) collideBoxGeneric(worker int, b box) {
 	m := cs.model
-	zn := b.hi[2] - b.lo[2]
-	if zn <= 0 || b.hi[1] <= b.lo[1] {
-		return
-	}
 	omega := 1 / cs.cfg.Tau
 	c := cs.coef
 	rb := cs.scratch[worker].rb
-	for ix := b.lo[0]; ix < b.hi[0]; ix++ {
-		for iy := b.lo[1]; iy < b.hi[1]; iy++ {
-			base := cs.d.Index(ix, iy, b.lo[2])
-			for z := 0; z < zn; z++ {
-				rb.rho[z], rb.jx[z], rb.jy[z], rb.jz[z] = 0, 0, 0, 0
-			}
-			for v := 0; v < m.Q; v++ {
-				sv := cs.fadv.V(v)[base : base+zn]
-				cx, cy, cz := c.cx[v], c.cy[v], c.cz[v]
-				for z, val := range sv {
-					rb.rho[z] += val
-					rb.jx[z] += cx * val
-					rb.jy[z] += cy * val
-					rb.jz[z] += cz * val
-				}
-			}
-			for z := 0; z < zn; z++ {
-				inv := 1 / rb.rho[z]
-				rb.ux[z] = rb.jx[z]*inv + cs.shiftX
-				rb.uy[z] = rb.jy[z]*inv + cs.shiftY
-				rb.uz[z] = rb.jz[z]*inv + cs.shiftZ
-				rb.u2[z] = rb.ux[z]*rb.ux[z] + rb.uy[z]*rb.uy[z] + rb.uz[z]*rb.uz[z]
-			}
-			for v := 0; v < m.Q; v++ {
-				sv := cs.fadv.V(v)[base : base+zn]
-				dv := cs.f.V(v)[base : base+zn]
-				cx, cy, cz, w := c.cx[v], c.cy[v], c.cz[v], c.w[v]
-				for z := 0; z < zn; z++ {
-					cu := cx*rb.ux[z] + cy*rb.uy[z] + cz*rb.uz[z]
-					e := 1 + cu*c.invCs2 + cu*cu*c.invCs4h - rb.u2[z]*c.invCs2h
-					if c.third {
-						e += cu*cu*cu*c.thA - cu*rb.u2[z]*c.thB
-					}
-					feq := w * rb.rho[z] * e
-					dv[z] = sv[z] - omega*(sv[z]-feq)
-				}
+	cs.forRuns(b, func(ix, iy, zlo, zhi int) {
+		zn := zhi - zlo
+		base := cs.d.Index(ix, iy, zlo)
+		for z := 0; z < zn; z++ {
+			rb.rho[z], rb.jx[z], rb.jy[z], rb.jz[z] = 0, 0, 0, 0
+		}
+		for v := 0; v < m.Q; v++ {
+			sv := cs.fadv.V(v)[base : base+zn]
+			cx, cy, cz := c.cx[v], c.cy[v], c.cz[v]
+			for z, val := range sv {
+				rb.rho[z] += val
+				rb.jx[z] += cx * val
+				rb.jy[z] += cy * val
+				rb.jz[z] += cz * val
 			}
 		}
-	}
+		for z := 0; z < zn; z++ {
+			inv := 1 / rb.rho[z]
+			rb.ux[z] = rb.jx[z]*inv + cs.shiftX
+			rb.uy[z] = rb.jy[z]*inv + cs.shiftY
+			rb.uz[z] = rb.jz[z]*inv + cs.shiftZ
+			rb.u2[z] = rb.ux[z]*rb.ux[z] + rb.uy[z]*rb.uy[z] + rb.uz[z]*rb.uz[z]
+		}
+		for v := 0; v < m.Q; v++ {
+			sv := cs.fadv.V(v)[base : base+zn]
+			dv := cs.f.V(v)[base : base+zn]
+			cx, cy, cz, w := c.cx[v], c.cy[v], c.cz[v], c.w[v]
+			for z := 0; z < zn; z++ {
+				cu := cx*rb.ux[z] + cy*rb.uy[z] + cz*rb.uz[z]
+				e := 1 + cu*c.invCs2 + cu*cu*c.invCs4h - rb.u2[z]*c.invCs2h
+				if c.third {
+					e += cu*cu*cu*c.thA - cu*rb.u2[z]*c.thB
+				}
+				feq := w * rb.rho[z] * e
+				dv[z] = sv[z] - omega*(sv[z]-feq)
+			}
+		}
+	})
 }
 
 // collideBoxPaired mirrors collidePaired over a box: opposite-pair
@@ -786,77 +802,72 @@ func (cs *cartStepper) collideBoxGeneric(worker int, b box) {
 // which is what keeps cross-decomposition runs within reassociation
 // tolerance of each other.
 func (cs *cartStepper) collideBoxPaired(worker int, b box) {
-	zn := b.hi[2] - b.lo[2]
-	if zn <= 0 || b.hi[1] <= b.lo[1] {
-		return
-	}
 	omega := 1 / cs.cfg.Tau
 	c := cs.coef
 	rb := cs.scratch[worker].rb
-	for ix := b.lo[0]; ix < b.hi[0]; ix++ {
-		for iy := b.lo[1]; iy < b.hi[1]; iy++ {
-			base := cs.d.Index(ix, iy, b.lo[2])
+	cs.forRuns(b, func(ix, iy, zlo, zhi int) {
+		zn := zhi - zlo
+		base := cs.d.Index(ix, iy, zlo)
+		for z := 0; z < zn; z++ {
+			rb.rho[z], rb.jx[z], rb.jy[z], rb.jz[z] = 0, 0, 0, 0
+		}
+		for _, p := range cs.pairs {
+			if p.i == p.j {
+				sv := cs.fadv.V(p.i)[base : base+zn]
+				for z, val := range sv {
+					rb.rho[z] += val
+				}
+				continue
+			}
+			si := cs.fadv.V(p.i)[base : base+zn]
+			sj := cs.fadv.V(p.j)[base : base+zn]
+			cx, cy, cz := c.cx[p.i], c.cy[p.i], c.cz[p.i]
 			for z := 0; z < zn; z++ {
-				rb.rho[z], rb.jx[z], rb.jy[z], rb.jz[z] = 0, 0, 0, 0
-			}
-			for _, p := range cs.pairs {
-				if p.i == p.j {
-					sv := cs.fadv.V(p.i)[base : base+zn]
-					for z, val := range sv {
-						rb.rho[z] += val
-					}
-					continue
-				}
-				si := cs.fadv.V(p.i)[base : base+zn]
-				sj := cs.fadv.V(p.j)[base : base+zn]
-				cx, cy, cz := c.cx[p.i], c.cy[p.i], c.cz[p.i]
-				for z := 0; z < zn; z++ {
-					vi, vj := si[z], sj[z]
-					sum, diff := vi+vj, vi-vj
-					rb.rho[z] += sum
-					rb.jx[z] += cx * diff
-					rb.jy[z] += cy * diff
-					rb.jz[z] += cz * diff
-				}
-			}
-			for z := 0; z < zn; z++ {
-				inv := 1 / rb.rho[z]
-				rb.ux[z] = rb.jx[z]*inv + cs.shiftX
-				rb.uy[z] = rb.jy[z]*inv + cs.shiftY
-				rb.uz[z] = rb.jz[z]*inv + cs.shiftZ
-				rb.u2[z] = rb.ux[z]*rb.ux[z] + rb.uy[z]*rb.uy[z] + rb.uz[z]*rb.uz[z]
-			}
-			for _, p := range cs.pairs {
-				if p.i == p.j {
-					sv := cs.fadv.V(p.i)[base : base+zn]
-					dv := cs.f.V(p.i)[base : base+zn]
-					w := c.w[p.i]
-					for z := 0; z < zn; z++ {
-						feq := w * rb.rho[z] * (1 - rb.u2[z]*c.invCs2h)
-						dv[z] = sv[z] - omega*(sv[z]-feq)
-					}
-					continue
-				}
-				si := cs.fadv.V(p.i)[base : base+zn]
-				sj := cs.fadv.V(p.j)[base : base+zn]
-				di := cs.f.V(p.i)[base : base+zn]
-				dj := cs.f.V(p.j)[base : base+zn]
-				cx, cy, cz, w := c.cx[p.i], c.cy[p.i], c.cz[p.i], c.w[p.i]
-				for z := 0; z < zn; z++ {
-					cu := cx*rb.ux[z] + cy*rb.uy[z] + cz*rb.uz[z]
-					cu2 := cu * cu
-					even := 1 + cu2*c.invCs4h - rb.u2[z]*c.invCs2h
-					odd := cu * c.invCs2
-					if c.third {
-						odd += cu2*cu*c.thA - cu*rb.u2[z]*c.thB
-					}
-					wr := w * rb.rho[z]
-					di[z] = si[z] - omega*(si[z]-wr*(even+odd))
-					dj[z] = sj[z] - omega*(sj[z]-wr*(even-odd))
-				}
+				vi, vj := si[z], sj[z]
+				sum, diff := vi+vj, vi-vj
+				rb.rho[z] += sum
+				rb.jx[z] += cx * diff
+				rb.jy[z] += cy * diff
+				rb.jz[z] += cz * diff
 			}
 		}
-	}
+		for z := 0; z < zn; z++ {
+			inv := 1 / rb.rho[z]
+			rb.ux[z] = rb.jx[z]*inv + cs.shiftX
+			rb.uy[z] = rb.jy[z]*inv + cs.shiftY
+			rb.uz[z] = rb.jz[z]*inv + cs.shiftZ
+			rb.u2[z] = rb.ux[z]*rb.ux[z] + rb.uy[z]*rb.uy[z] + rb.uz[z]*rb.uz[z]
+		}
+		for _, p := range cs.pairs {
+			if p.i == p.j {
+				sv := cs.fadv.V(p.i)[base : base+zn]
+				dv := cs.f.V(p.i)[base : base+zn]
+				w := c.w[p.i]
+				for z := 0; z < zn; z++ {
+					feq := w * rb.rho[z] * (1 - rb.u2[z]*c.invCs2h)
+					dv[z] = sv[z] - omega*(sv[z]-feq)
+				}
+				continue
+			}
+			si := cs.fadv.V(p.i)[base : base+zn]
+			sj := cs.fadv.V(p.j)[base : base+zn]
+			di := cs.f.V(p.i)[base : base+zn]
+			dj := cs.f.V(p.j)[base : base+zn]
+			cx, cy, cz, w := c.cx[p.i], c.cy[p.i], c.cz[p.i], c.w[p.i]
+			for z := 0; z < zn; z++ {
+				cu := cx*rb.ux[z] + cy*rb.uy[z] + cz*rb.uz[z]
+				cu2 := cu * cu
+				even := 1 + cu2*c.invCs4h - rb.u2[z]*c.invCs2h
+				odd := cu * c.invCs2
+				if c.third {
+					odd += cu2*cu*c.thA - cu*rb.u2[z]*c.thB
+				}
+				wr := w * rb.rho[z]
+				di[z] = si[z] - omega*(si[z]-wr*(even+odd))
+				dj[z] = sj[z] - omega*(sj[z]-wr*(even-odd))
+			}
+		}
+	})
 }
 
 // axisClass classifies one local index on one axis: the in-domain global
@@ -1006,6 +1017,9 @@ func (cs *cartStepper) buildMask() {
 		}
 	}
 	cs.fix.finish()
+	if cs.cfg.Sparse {
+		cs.buildRuns()
+	}
 }
 
 // buildSponge precomputes the per-axis sponge blend factors of any
@@ -1132,28 +1146,25 @@ func (cs *cartStepper) spongeBox(b box) {
 	defer cs.rec.End(obs.Sponge, t0)
 	cs.br.run(func(worker int, sub box) {
 		sc := cs.scratch[worker]
-		zn := sub.hi[2] - sub.lo[2]
-		if zn <= 0 {
-			return
-		}
-		sig := sc.rowFeq[:zn]
 		sv := sc.sv
-		for ix := sub.lo[0]; ix < sub.hi[0]; ix++ {
-			for iy := sub.lo[1]; iy < sub.hi[1]; iy++ {
-				if !cs.spongeSig(sig, ix, iy, sub.lo[2], zn) {
-					continue
-				}
-				base := cs.d.Index(ix, iy, sub.lo[2])
-				for v := 0; v < cs.model.Q; v++ {
-					sv[v] = cs.f.V(v)[base : base+zn]
-				}
-				var msk []bool
-				if cs.mask != nil {
-					msk = cs.mask[base : base+zn]
-				}
-				applySpongeRow(cs.model, sc.fc, sv, sig, msk, zn)
+		cs.forRuns(sub, func(ix, iy, zlo, zhi int) {
+			zn := zhi - zlo
+			sig := sc.rowFeq[:zn]
+			if !cs.spongeSig(sig, ix, iy, zlo, zn) {
+				return
 			}
-		}
+			base := cs.d.Index(ix, iy, zlo)
+			for v := 0; v < cs.model.Q; v++ {
+				sv[v] = cs.f.V(v)[base : base+zn]
+			}
+			var msk []bool
+			if cs.runStart == nil && cs.mask != nil {
+				// Dense rows still carry solid cells; sparse runs are
+				// all-fluid by construction.
+				msk = cs.mask[base : base+zn]
+			}
+			applySpongeRow(cs.model, sc.fc, sv, sig, msk, zn)
+		})
 	}, b)
 }
 
@@ -1296,6 +1307,7 @@ func (cs *cartStepper) observation() obs.RankObservation {
 	o := cs.rec.Observation()
 	if cs.br.pool.Threads() > 1 {
 		o.WorkerChunks = cs.br.pool.ChunkCounts()
+		o.WorkerWeights = cs.br.weightTotals()
 	}
 	return o
 }

@@ -33,10 +33,36 @@ const minChunkCells = 4096
 
 // boxRunner executes box kernels on a worker pool, chunking each box
 // along its longest splittable axis. It is owned and driven by a single
-// stepper goroutine; the chunk buffer is reused across batches.
+// stepper goroutine; the chunk and weight buffers are reused across
+// batches.
+//
+// When rowWeight is installed (sparse traversal, sparse.go) chunk
+// boundaries are placed by fluid weight instead of cell count: a chunk
+// of a nearly-empty region widens until it carries as much fluid as a
+// bulk chunk, and spans with no fluid at all are dropped from the batch
+// — the team's queue then balances useful work, not box volume.
 type boxRunner struct {
 	pool   *parallel.Pool
 	chunks []box
+	chunkW []int64 // per-chunk weight (fluid cells weighted, cells dense)
+	// rowWeight[ix·ny + iy] is the (x, y) row's fluid-cell count over the
+	// full local z extent — a safe overestimate for sub-z boxes (chunking
+	// never splits z, and a zero full-row weight is zero on any interval).
+	rowWeight []int32
+	ny        int
+	weights   []weightTally // per-worker drained chunk weight
+}
+
+// weightTally is a per-worker weight accumulator, padded to a cache
+// line like parallel.Pool's chunk counters so workers don't false-share.
+type weightTally struct {
+	n int64
+	_ [56]byte
+}
+
+func newBoxRunner(threads int) boxRunner {
+	pool := parallel.NewPool(threads)
+	return boxRunner{pool: pool, weights: make([]weightTally, pool.Threads())}
 }
 
 // threads returns the team size.
@@ -45,7 +71,17 @@ func (br *boxRunner) threads() int { return br.pool.Threads() }
 // close releases the pool's workers.
 func (br *boxRunner) close() { br.pool.Close() }
 
-// run executes kernel over every cell of the given boxes exactly once.
+// weightTotals returns the cumulative chunk weight drained per worker.
+func (br *boxRunner) weightTotals() []int64 {
+	out := make([]int64, len(br.weights))
+	for i := range br.weights {
+		out[i] = br.weights[i].n
+	}
+	return out
+}
+
+// run executes kernel over every cell of the given boxes exactly once
+// (under sparse weighting: every cell of every fluid-carrying span).
 // All boxes of a call form one batch: their chunks share the pool's queue,
 // so disjoint regions of one schedule phase (the two rim slabs of an axis)
 // balance across the whole team.
@@ -58,29 +94,123 @@ func (br *boxRunner) run(kernel func(worker int, b box), boxes ...box) {
 		}
 		return
 	}
-	total := 0
-	for _, b := range boxes {
-		total += b.cells()
-	}
-	if total == 0 {
-		return
-	}
-	chunkCells := total / (br.pool.Threads() * chunksPerWorker)
-	if chunkCells < minChunkCells {
-		chunkCells = minChunkCells
-	}
 	br.chunks = br.chunks[:0]
-	for _, b := range boxes {
-		br.chunks = appendBoxChunks(br.chunks, b, chunkCells)
+	br.chunkW = br.chunkW[:0]
+	if br.rowWeight == nil {
+		total := 0
+		for _, b := range boxes {
+			total += b.cells()
+		}
+		if total == 0 {
+			return
+		}
+		chunkCells := total / (br.pool.Threads() * chunksPerWorker)
+		if chunkCells < minChunkCells {
+			chunkCells = minChunkCells
+		}
+		for _, b := range boxes {
+			br.chunks = appendBoxChunks(br.chunks, b, chunkCells)
+		}
+		for _, c := range br.chunks {
+			br.chunkW = append(br.chunkW, int64(c.cells()))
+		}
+	} else {
+		var total int64
+		for _, b := range boxes {
+			total += br.boxWeight(b)
+		}
+		if total == 0 {
+			return
+		}
+		target := total / int64(br.pool.Threads()*chunksPerWorker)
+		if target < minChunkCells {
+			target = minChunkCells
+		}
+		for _, b := range boxes {
+			br.appendWeightedChunks(b, target)
+		}
 	}
-	chunks := br.chunks
+	chunks, chunkW, weights := br.chunks, br.chunkW, br.weights
 	if len(chunks) == 0 {
 		return
 	}
 	// Single-chunk batches also go through the pool: Run's n==1 fast path
 	// executes inline on the caller while keeping the per-worker drained-
 	// chunk counters accurate.
-	br.pool.Run(len(chunks), func(worker, i int) { kernel(worker, chunks[i]) })
+	br.pool.Run(len(chunks), func(worker, i int) {
+		kernel(worker, chunks[i])
+		weights[worker].n += chunkW[i]
+	})
+}
+
+// boxWeight sums the row weights over the box's (x, y) cross-section.
+func (br *boxRunner) boxWeight(b box) int64 {
+	if b.cells() == 0 {
+		return 0
+	}
+	var s int64
+	for ix := b.lo[0]; ix < b.hi[0]; ix++ {
+		row := ix * br.ny
+		for iy := b.lo[1]; iy < b.hi[1]; iy++ {
+			s += int64(br.rowWeight[row+iy])
+		}
+	}
+	return s
+}
+
+// sliceWeight sums the row weights of one cross-slice of b at position i
+// on the split axis.
+func (br *boxRunner) sliceWeight(b box, axis, i int) int64 {
+	var s int64
+	if axis == 0 {
+		row := i * br.ny
+		for iy := b.lo[1]; iy < b.hi[1]; iy++ {
+			s += int64(br.rowWeight[row+iy])
+		}
+		return s
+	}
+	for ix := b.lo[0]; ix < b.hi[0]; ix++ {
+		s += int64(br.rowWeight[ix*br.ny+i])
+	}
+	return s
+}
+
+// appendWeightedChunks splits b along the longer of its x and y extents
+// into contiguous chunks of roughly target fluid weight each. Leading
+// all-solid slices and zero-weight tails never enter a chunk: the rows
+// they would carry have no fluid runs, so dropping them changes nothing
+// the kernels would compute.
+func (br *boxRunner) appendWeightedChunks(b box, target int64) {
+	if b.cells() == 0 {
+		return
+	}
+	axis := 0
+	if b.hi[1]-b.lo[1] > b.hi[0]-b.lo[0] {
+		axis = 1
+	}
+	start := b.lo[axis]
+	var acc int64
+	for i := b.lo[axis]; i < b.hi[axis]; i++ {
+		w := br.sliceWeight(b, axis, i)
+		if acc == 0 && w == 0 {
+			start = i + 1 // all-solid slice ahead of any fluid: drop it
+			continue
+		}
+		acc += w
+		if acc >= target {
+			c := b
+			c.lo[axis], c.hi[axis] = start, i+1
+			br.chunks = append(br.chunks, c)
+			br.chunkW = append(br.chunkW, acc)
+			start, acc = i+1, 0
+		}
+	}
+	if acc > 0 {
+		c := b
+		c.lo[axis], c.hi[axis] = start, b.hi[axis]
+		br.chunks = append(br.chunks, c)
+		br.chunkW = append(br.chunkW, acc)
+	}
 }
 
 // appendBoxChunks splits b along the longer of its x and y extents into

@@ -171,10 +171,28 @@ func (s *stepper) collideOperator(worker int, b box) {
 }
 
 // collideBoxOperator is the cart stepper's operator kernel over box b.
+// Under sparse traversal the per-(x,y)-row fluid runs are fed to the
+// same kernels as single-row boxes: both kernels are strictly per-cell
+// (RowRelaxer implementations relax each z independently), so the
+// restriction reproduces the dense values exactly.
 func (cs *cartStepper) collideBoxOperator(worker int, b box) {
 	sc := cs.scratch[worker]
 	if rr, ok := sc.op.(collision.RowRelaxer); ok && cs.f.Layout == grid.SoA {
-		collideOpRows(rr, cs.pairs, cs.coef, cs.model.Q, cs.fadv, cs.f, b, cs.shiftX, cs.shiftY, cs.shiftZ, sc)
+		if cs.runStart == nil {
+			collideOpRows(rr, cs.pairs, cs.coef, cs.model.Q, cs.fadv, cs.f, b, cs.shiftX, cs.shiftY, cs.shiftZ, sc)
+			return
+		}
+		cs.forRuns(b, func(ix, iy, zlo, zhi int) {
+			rb := box{lo: [3]int{ix, iy, zlo}, hi: [3]int{ix + 1, iy + 1, zhi}}
+			collideOpRows(rr, cs.pairs, cs.coef, cs.model.Q, cs.fadv, cs.f, rb, cs.shiftX, cs.shiftY, cs.shiftZ, sc)
+		})
+		return
+	}
+	if cs.runStart != nil {
+		cs.forRuns(b, func(ix, iy, zlo, zhi int) {
+			rb := box{lo: [3]int{ix, iy, zlo}, hi: [3]int{ix + 1, iy + 1, zhi}}
+			collideOpBox(sc.op, cs.model, cs.fadv, cs.f, rb, cs.shiftX, cs.shiftY, cs.shiftZ, sc)
+		})
 		return
 	}
 	collideOpBox(sc.op, cs.model, cs.fadv, cs.f, b, cs.shiftX, cs.shiftY, cs.shiftZ, sc)

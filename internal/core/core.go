@@ -184,6 +184,48 @@ func ParseStreamScheme(s string) (StreamScheme, error) {
 	return 0, fmt.Errorf("core: unknown stream scheme %q (want aa or twogrid)", s)
 }
 
+// Balance selects the decomposition's cut-plane placement policy.
+type Balance int
+
+const (
+	// BalanceVolume is the classic equal-extent split: every rank column
+	// on an axis owns the same number of planes (±1).
+	BalanceVolume Balance = iota
+	// BalanceFluid places each decomposed axis's cut planes by recursive
+	// bisection over the solid mask's per-plane fluid-cell histogram
+	// (geom.Mask.PlaneFluids), balancing fluid sites — the paper's N_fl,
+	// the quantity its performance model actually counts — instead of box
+	// volume. The rank grid and neighbor topology are unchanged; only the
+	// per-rank extents move, so the halo exchanger and steppers run
+	// verbatim. Without a Solid mask it degrades to the volume split.
+	BalanceFluid
+)
+
+var balanceNames = map[Balance]string{
+	BalanceVolume: "volume", BalanceFluid: "fluid",
+}
+
+func (b Balance) String() string {
+	if n, ok := balanceNames[b]; ok {
+		return n
+	}
+	return fmt.Sprintf("Balance(%d)", int(b))
+}
+
+// ParseBalance resolves a CLI -balance argument.
+func ParseBalance(s string) (Balance, error) {
+	norm := strings.ToLower(strings.TrimSpace(s))
+	if norm == "" {
+		return BalanceVolume, nil
+	}
+	for b, name := range balanceNames {
+		if name == norm {
+			return b, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown balance policy %q (want volume or fluid)", s)
+}
+
 // InitFunc returns the initial macroscopic state at a global lattice point.
 type InitFunc func(ix, iy, iz int) (rho, ux, uy, uz float64)
 
@@ -272,6 +314,22 @@ type Config struct {
 	// Applies to every optimization level except the fused kernel. Nil
 	// means fully periodic fluid.
 	Solid *geom.Mask
+	// Balance selects the cut-plane placement policy of the domain
+	// decomposition (see Balance). The zero value is the equal-extent
+	// volume split; BalanceFluid balances fluid cells per rank over the
+	// Solid mask's per-plane histograms.
+	Balance Balance
+	// Sparse enables sparse row-run traversal: each rank precomputes a
+	// per-(x,y)-row RLE of fluid z-runs from its local slice of the Solid
+	// mask and drives the row-blocked kernels over fluid runs only —
+	// all-solid rows drop out of the worker pool's chunk batches, and
+	// chunk weights switch from cell count to fluid-cell count so the
+	// atomic queue load-balances inside the rank too. Equivalent to the
+	// dense sweep to 1e-12 and bit-exact across thread counts; always
+	// runs on the multi-axis box stepper (slab shapes included) with the
+	// per-box fixup index (no FixupScan). Without a Solid mask every row
+	// is one full-z run.
+	Sparse bool
 	// MeasureForces records the momentum-exchange force on the solid
 	// geometry at every step: Result.ObstacleForce holds the per-step
 	// force the fluid exerts on the voxel mask (drag/lift), FaceForce the
@@ -384,6 +442,9 @@ func (c *Config) init() error {
 	if c.MeasureForces && c.FixupScan {
 		return fmt.Errorf("core: force measurement requires the per-box fixup index (disable FixupScan)")
 	}
+	if c.Sparse && c.FixupScan {
+		return fmt.Errorf("core: sparse traversal drives the per-box fixup index over fluid runs; disable FixupScan")
+	}
 	if c.Stream == StreamAA {
 		if c.Opt == OptOrig {
 			return fmt.Errorf("core: AA streaming requires ghost cells (OptGC or above)")
@@ -436,7 +497,7 @@ func (c *Config) init() error {
 		return fmt.Errorf("core: decomposition %dx%dx%d covers %d ranks, config has %d",
 			c.Decomp[0], c.Decomp[1], c.Decomp[2], got, c.Ranks)
 	}
-	dec, err := decomp.NewCartesianBounded([3]int{c.N.NX, c.N.NY, c.N.NZ}, c.Decomp, c.Boundary.BoundedAxes())
+	dec, err := c.decomposition()
 	if err != nil {
 		return err
 	}
@@ -476,6 +537,25 @@ func (c *Config) init() error {
 	return nil
 }
 
+// decomposition builds the run's domain decomposition: equal-extent
+// blocks under BalanceVolume, fluid-cell-balanced cuts (per-axis
+// recursive bisection over the mask's plane histograms) under
+// BalanceFluid with a solid mask. Single-column axes never need cuts.
+func (c *Config) decomposition() (decomp.Cartesian, error) {
+	global := [3]int{c.N.NX, c.N.NY, c.N.NZ}
+	bounded := c.Boundary.BoundedAxes()
+	if c.Balance == BalanceFluid && c.Solid != nil {
+		var weights [3][]int
+		for a := 0; a < 3; a++ {
+			if c.Decomp[a] > 1 {
+				weights[a] = c.Solid.PlaneFluids(a)
+			}
+		}
+		return decomp.NewCartesianWeighted(global, c.Decomp, bounded, weights)
+	}
+	return decomp.NewCartesianBounded(global, c.Decomp, bounded)
+}
+
 // ghostDepths resolves the per-axis deep-halo depths (after init's
 // normalization a non-zero GhostDepthAxes is non-uniform).
 func (c *Config) ghostDepths() [3]int {
@@ -489,7 +569,8 @@ func (c *Config) ghostDepths() [3]int {
 // stepper: a 1-D shape with a fully periodic domain, one uniform ghost
 // depth and two-grid streaming. Everything else is the box stepper.
 func (c *Config) slabPath(dec decomp.Cartesian) bool {
-	return dec.IsSlab() && c.Boundary == nil && c.GhostDepthAxes == ([3]int{}) && c.Stream != StreamAA
+	return dec.IsSlab() && c.Boundary == nil && c.GhostDepthAxes == ([3]int{}) &&
+		c.Stream != StreamAA && !c.Sparse
 }
 
 // aaDepths rounds per-axis deep-halo depths up to the next even value:
@@ -572,7 +653,7 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.init(); err != nil {
 		return nil, err
 	}
-	dec, err := decomp.NewCartesianBounded([3]int{cfg.N.NX, cfg.N.NY, cfg.N.NZ}, cfg.Decomp, cfg.Boundary.BoundedAxes())
+	dec, err := cfg.decomposition()
 	if err != nil {
 		return nil, err
 	}
@@ -638,6 +719,7 @@ func Run(cfg Config) (*Result, error) {
 			o.CommSeconds = r.CommTime().Seconds()
 			o.BytesSent = r.BytesSent()
 			o.Messages = r.MessagesSent()
+			o.FluidCells = rankFluids(&cfg, dec, r.ID)
 			obsns[r.ID] = o
 		}
 		if cfg.MeasureForces {
@@ -706,6 +788,23 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// rankFluids returns the number of fluid cells in rank's owned box — the
+// load-balance view of a decomposition on a masked domain (the whole box
+// volume when there is no mask).
+func rankFluids(cfg *Config, dec decomp.Cartesian, rank int) int64 {
+	var lo, hi [3]int
+	vol := int64(1)
+	for a := 0; a < 3; a++ {
+		s, n := dec.Own(rank, a)
+		lo[a], hi[a] = s, s+n
+		vol *= int64(n)
+	}
+	if cfg.Solid == nil {
+		return vol
+	}
+	return int64(cfg.Solid.FluidsInBox(lo, hi))
 }
 
 // assembleField glues the per-rank owned slabs into one global SoA field.

@@ -12,7 +12,7 @@ func ReportConfig(cfg *Config) obs.RunConfig {
 	if cfg.Layout == grid.AoS {
 		layout = "aos"
 	}
-	return obs.RunConfig{
+	rc := obs.RunConfig{
 		Model:     cfg.Model.Name,
 		NX:        cfg.N.NX,
 		NY:        cfg.N.NY,
@@ -27,7 +27,12 @@ func ReportConfig(cfg *Config) obs.RunConfig {
 		Decomp:    cfg.Decomp,
 		Threads:   cfg.Threads,
 		Depth:     cfg.ghostDepths(),
+		Sparse:    cfg.Sparse,
 	}
+	if cfg.Balance != BalanceVolume {
+		rc.Balance = cfg.Balance.String()
+	}
+	return rc
 }
 
 // NewReport builds the structured run report of a completed run: machine

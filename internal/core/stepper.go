@@ -12,7 +12,6 @@ import (
 	"repro/internal/lattice"
 	"repro/internal/metrics"
 	"repro/internal/obs"
-	"repro/internal/parallel"
 )
 
 // testForceOperatorPath, when set by a test in this package, routes BGK
@@ -88,7 +87,7 @@ func newStepper(cfg *Config, dec decomp.Cartesian, r *comm.Rank) (*stepper, erro
 	}
 	s.op = op
 	s.d = grid.Dims{NX: own + 2*w, NY: cfg.N.NY, NZ: cfg.N.NZ}
-	s.br = boxRunner{pool: parallel.NewPool(cfg.Threads)}
+	s.br = newBoxRunner(cfg.Threads)
 	s.scratch = newScratches(s.br.threads(), cfg.Model.Q, s.d.NZ, s.op, false)
 	s.f = grid.NewField(cfg.Model.Q, s.d, cfg.Layout)
 	s.fadv = grid.NewField(cfg.Model.Q, s.d, cfg.Layout)
@@ -431,6 +430,7 @@ func (s *stepper) observation() obs.RankObservation {
 	o := s.rec.Observation()
 	if s.br.pool.Threads() > 1 {
 		o.WorkerChunks = s.br.pool.ChunkCounts()
+		o.WorkerWeights = s.br.weightTotals()
 	}
 	return o
 }

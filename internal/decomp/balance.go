@@ -1,0 +1,106 @@
+package decomp
+
+import "fmt"
+
+// Weighted (fluid-cell-balanced) cut placement. The paper's performance
+// model counts fluid sites, not box volume; on a sparse mask (an arterial
+// geometry is ~95% solid inside its bounding box) equal-extent cuts leave
+// most ranks nearly idle. BisectWeights places an axis's cut planes by
+// recursive bisection over a per-plane weight histogram (geom.PlaneFluids
+// in the solver), and NewCartesianWeighted wires the resulting Cuts into
+// a Cartesian whose rank grid, numbering and neighbor topology are
+// identical to the volume-cut one — only the plane positions move.
+
+// BisectWeights partitions n = len(weights) planes into parts contiguous
+// segments of near-equal total weight and returns the parts+1 cut
+// positions (cuts[0] = 0, cuts[parts] = n, strictly increasing — every
+// segment owns at least one plane even where the weights are zero).
+//
+// The split is recursive bisection: each level places one cut so the left
+// side holds as close as possible to pl/parts of the segment's weight
+// (pl = parts/2), tie-broken toward the proportional-extent position, then
+// recurses into both halves. Each placed cut is optimal to the plane — no
+// single-plane shift of it improves that level's split — which keeps every
+// segment within one plane's weight of the bisection target.
+func BisectWeights(weights []int, parts int) ([]int, error) {
+	n := len(weights)
+	if parts < 1 {
+		return nil, fmt.Errorf("decomp: bisect into %d parts, want >= 1", parts)
+	}
+	if n < parts {
+		return nil, fmt.Errorf("decomp: bisect %d planes into %d parts (every part needs at least one plane)", n, parts)
+	}
+	prefix := make([]int64, n+1)
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("decomp: negative weight %d at plane %d", w, i)
+		}
+		prefix[i+1] = prefix[i] + int64(w)
+	}
+	cuts := make([]int, 0, parts+1)
+	cuts = append(cuts, 0)
+	var bisect func(lo, hi, parts int)
+	bisect = func(lo, hi, parts int) {
+		if parts == 1 {
+			return
+		}
+		pl := parts / 2
+		pr := parts - pl
+		// Left target: pl/parts of this segment's weight. Admissible cuts
+		// leave at least one plane per part on both sides.
+		target := (prefix[hi] - prefix[lo]) * int64(pl) / int64(parts)
+		prop := lo + (hi-lo)*pl/parts
+		best := -1
+		var bestDiff int64
+		for c := lo + pl; c <= hi-pr; c++ {
+			diff := prefix[c] - prefix[lo] - target
+			if diff < 0 {
+				diff = -diff
+			}
+			if best < 0 || diff < bestDiff ||
+				(diff == bestDiff && absInt(c-prop) < absInt(best-prop)) {
+				best, bestDiff = c, diff
+			}
+		}
+		bisect(lo, best, pl)
+		cuts = append(cuts, best)
+		bisect(best, hi, pr)
+	}
+	bisect(0, n, parts)
+	cuts = append(cuts, n)
+	return cuts, nil
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// NewCartesianWeighted is NewCartesianBounded with per-axis weighted cut
+// placement: for each axis with weights[a] non-nil and more than one rank
+// column, cut planes are placed by BisectWeights over weights[a] (which
+// must have Global[a] entries — one weight per plane, e.g. that plane's
+// fluid-cell count). Axes with nil weights, and single-column axes, keep
+// the legacy equal-extent blocks.
+func NewCartesianWeighted(global, p [3]int, bounded [3]bool, weights [3][]int) (Cartesian, error) {
+	c, err := NewCartesianBounded(global, p, bounded)
+	if err != nil {
+		return Cartesian{}, err
+	}
+	for a := 0; a < 3; a++ {
+		if weights[a] == nil || p[a] == 1 {
+			continue
+		}
+		if len(weights[a]) != global[a] {
+			return Cartesian{}, fmt.Errorf("decomp: axis %d has %d plane weights, want %d", a, len(weights[a]), global[a])
+		}
+		cuts, err := BisectWeights(weights[a], p[a])
+		if err != nil {
+			return Cartesian{}, fmt.Errorf("decomp: axis %d: %v", a, err)
+		}
+		c.Cuts[a] = cuts
+	}
+	return c, nil
+}

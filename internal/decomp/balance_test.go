@@ -1,0 +1,208 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func checkCuts(t *testing.T, cuts []int, n, parts int) {
+	t.Helper()
+	if len(cuts) != parts+1 {
+		t.Fatalf("len(cuts) = %d, want %d", len(cuts), parts+1)
+	}
+	if cuts[0] != 0 || cuts[parts] != n {
+		t.Fatalf("cuts endpoints %d..%d, want 0..%d", cuts[0], cuts[parts], n)
+	}
+	for i := 0; i < parts; i++ {
+		if cuts[i+1] <= cuts[i] {
+			t.Fatalf("cut %d: segment [%d,%d) empty or non-monotone", i, cuts[i], cuts[i+1])
+		}
+	}
+}
+
+// Each recursive bisection level must place its cut optimally: no
+// single-plane shift of the level's cut improves how close the left side
+// gets to its pl/parts weight share.
+func checkBisectOptimal(t *testing.T, weights []int, cuts []int, lo, hi, parts int) {
+	t.Helper()
+	if parts == 1 {
+		return
+	}
+	pl := parts / 2
+	pr := parts - pl
+	// The level's cut is the one separating the first pl segments from
+	// the rest within [lo, hi).
+	idx := 0
+	for cuts[idx] != lo {
+		idx++
+	}
+	c := cuts[idx+pl]
+	sum := func(a, b int) int64 {
+		var s int64
+		for i := a; i < b; i++ {
+			s += int64(weights[i])
+		}
+		return s
+	}
+	target := sum(lo, hi) * int64(pl) / int64(parts)
+	got := sum(lo, c) - target
+	if got < 0 {
+		got = -got
+	}
+	for alt := lo + pl; alt <= hi-pr; alt++ {
+		d := sum(lo, alt) - target
+		if d < 0 {
+			d = -d
+		}
+		if d < got {
+			t.Fatalf("cut at %d misses target by %d; plane %d would miss by only %d", c, got, alt, d)
+		}
+	}
+	checkBisectOptimal(t, weights, cuts, lo, c, pl)
+	checkBisectOptimal(t, weights, cuts, c, hi, pr)
+}
+
+func TestBisectWeightsProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		parts := 1 + rng.Intn(8)
+		n := parts + rng.Intn(60)
+		weights := make([]int, n)
+		for i := range weights {
+			// Mix of zero-weight (all-solid) and loaded planes.
+			if rng.Float64() < 0.3 {
+				weights[i] = 0
+			} else {
+				weights[i] = rng.Intn(1000)
+			}
+		}
+		cuts, err := BisectWeights(weights, parts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkCuts(t, cuts, n, parts)
+		checkBisectOptimal(t, weights, cuts, 0, n, parts)
+	}
+}
+
+// Uniform weights must reproduce near-equal extents (within one plane of
+// each other), the volume-cut behavior.
+func TestBisectWeightsUniform(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{{64, 8}, {63, 8}, {10, 3}, {7, 7}} {
+		weights := make([]int, tc.n)
+		for i := range weights {
+			weights[i] = 5
+		}
+		cuts, err := BisectWeights(weights, tc.parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkCuts(t, cuts, tc.n, tc.parts)
+		min, max := tc.n, 0
+		for i := 0; i < tc.parts; i++ {
+			s := cuts[i+1] - cuts[i]
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("n=%d parts=%d: extents range %d..%d, want spread <= 1", tc.n, tc.parts, min, max)
+		}
+	}
+}
+
+func TestBisectWeightsErrors(t *testing.T) {
+	if _, err := BisectWeights([]int{1, 2}, 3); err == nil {
+		t.Error("fewer planes than parts: want error")
+	}
+	if _, err := BisectWeights([]int{1, -2, 3}, 2); err == nil {
+		t.Error("negative weight: want error")
+	}
+	if _, err := BisectWeights([]int{1, 2, 3}, 0); err == nil {
+		t.Error("zero parts: want error")
+	}
+}
+
+// A weighted Cartesian must keep the Decomposition contract: Own tiles
+// the global box, RankOf inverts Own, Min/MaxOwn match the extents.
+func TestCartesianWeightedContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	global := [3]int{24, 18, 12}
+	weights := [3][]int{}
+	for a := 0; a < 3; a++ {
+		weights[a] = make([]int, global[a])
+		for i := range weights[a] {
+			weights[a][i] = rng.Intn(500)
+		}
+	}
+	for _, p := range [][3]int{{4, 1, 1}, {2, 3, 1}, {2, 2, 2}, {1, 1, 4}} {
+		c, err := NewCartesianWeighted(global, p, [3]bool{true, false, true}, weights)
+		if err != nil {
+			t.Fatalf("shape %v: %v", p, err)
+		}
+		for a := 0; a < 3; a++ {
+			// Per-axis columns tile [0, Global[a]) in order.
+			next := 0
+			min, max := global[a], 0
+			for i := 0; i < p[a]; i++ {
+				co := [3]int{}
+				co[a] = i
+				start, size := c.Own(c.RankAt(co), a)
+				if start != next || size < 1 {
+					t.Fatalf("shape %v axis %d col %d: own (%d,%d), want start %d size >= 1", p, a, i, start, size, next)
+				}
+				next = start + size
+				if size < min {
+					min = size
+				}
+				if size > max {
+					max = size
+				}
+			}
+			if next != global[a] {
+				t.Fatalf("shape %v axis %d: columns end at %d, want %d", p, a, next, global[a])
+			}
+			if c.MinOwn(a) != min || c.MaxOwn(a) != max {
+				t.Errorf("shape %v axis %d: Min/MaxOwn (%d,%d), want (%d,%d)", p, a, c.MinOwn(a), c.MaxOwn(a), min, max)
+			}
+		}
+		// RankOf inverts Own on a sample of cells.
+		for trial := 0; trial < 200; trial++ {
+			ix, iy, iz := rng.Intn(global[0]), rng.Intn(global[1]), rng.Intn(global[2])
+			r := c.RankOf(ix, iy, iz)
+			pt := [3]int{ix, iy, iz}
+			for a := 0; a < 3; a++ {
+				start, size := c.Own(r, a)
+				if pt[a] < start || pt[a] >= start+size {
+					t.Fatalf("RankOf(%d,%d,%d) = %d does not own axis %d", ix, iy, iz, r, a)
+				}
+			}
+		}
+	}
+}
+
+// Nil weights on every axis must reproduce the legacy equal-extent
+// decomposition exactly.
+func TestCartesianWeightedNilIsLegacy(t *testing.T) {
+	global, p := [3]int{20, 10, 10}, [3]int{3, 2, 1}
+	w, err := NewCartesianWeighted(global, p, [3]bool{}, [3][]int{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := NewCartesianBounded(global, p, [3]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < w.Ranks(); r++ {
+		for a := 0; a < 3; a++ {
+			ws, wn := w.Own(r, a)
+			ls, ln := legacy.Own(r, a)
+			if ws != ls || wn != ln {
+				t.Fatalf("rank %d axis %d: weighted (%d,%d) != legacy (%d,%d)", r, a, ws, wn, ls, ln)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package decomp
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -92,6 +93,14 @@ type Cartesian struct {
 	Global  [3]int  // global cell extents (NX, NY, NZ)
 	P       [3]int  // rank-grid extents
 	Bounded [3]bool // true = non-periodic axis with global boundary faces
+	// Cuts, when non-nil on an axis, override the equal-extent block
+	// partition with explicit cut-plane positions: Cuts[a] has P[a]+1
+	// strictly increasing entries from 0 to Global[a], and rank column i
+	// owns [Cuts[a][i], Cuts[a][i+1]). A nil axis keeps the legacy
+	// balanced blocks. The rank grid, numbering and neighbor topology are
+	// unchanged — only where the planes fall moves, which is why the halo
+	// exchanger and steppers work on weighted decompositions verbatim.
+	Cuts [3][]int
 }
 
 var _ Decomposition = Cartesian{}
@@ -138,7 +147,11 @@ func (c Cartesian) RankAt(co [3]int) int {
 
 // Own returns the global start index and count owned by rank on axis.
 func (c Cartesian) Own(rank, axis int) (start, size int) {
-	return blockOwn(c.Global[axis], c.P[axis], c.Coords(rank)[axis])
+	i := c.Coords(rank)[axis]
+	if cu := c.Cuts[axis]; cu != nil {
+		return cu[i], cu[i+1] - cu[i]
+	}
+	return blockOwn(c.Global[axis], c.P[axis], i)
 }
 
 // Neighbor returns the neighbor of rank along axis (dir ±1): the periodic
@@ -159,20 +172,49 @@ func (c Cartesian) Neighbor(rank, axis, dir int) int {
 
 // MaxOwn returns the largest owned extent over all ranks on axis.
 func (c Cartesian) MaxOwn(axis int) int {
+	if cu := c.Cuts[axis]; cu != nil {
+		m := 0
+		for i := 0; i < len(cu)-1; i++ {
+			if s := cu[i+1] - cu[i]; s > m {
+				m = s
+			}
+		}
+		return m
+	}
 	return blockMax(c.Global[axis], c.P[axis])
 }
 
 // MinOwn returns the smallest owned extent over all ranks on axis.
 func (c Cartesian) MinOwn(axis int) int {
+	if cu := c.Cuts[axis]; cu != nil {
+		m := c.Global[axis]
+		for i := 0; i < len(cu)-1; i++ {
+			if s := cu[i+1] - cu[i]; s < m {
+				m = s
+			}
+		}
+		return m
+	}
 	return c.Global[axis] / c.P[axis]
+}
+
+// axisRankOf returns the rank-grid column owning plane gi on axis.
+func (c Cartesian) axisRankOf(axis, gi int) int {
+	cu := c.Cuts[axis]
+	if cu == nil {
+		return blockRankOf(c.Global[axis], c.P[axis], gi)
+	}
+	// sort.SearchInts(cu, gi+1) finds the first cut > gi; the owning
+	// column is one before it.
+	return sort.SearchInts(cu, gi+1) - 1
 }
 
 // RankOf returns the rank owning the global cell (ix, iy, iz).
 func (c Cartesian) RankOf(ix, iy, iz int) int {
 	return c.RankAt([3]int{
-		blockRankOf(c.Global[0], c.P[0], ix),
-		blockRankOf(c.Global[1], c.P[1], iy),
-		blockRankOf(c.Global[2], c.P[2], iz),
+		c.axisRankOf(0, ix),
+		c.axisRankOf(1, iy),
+		c.axisRankOf(2, iz),
 	})
 }
 

@@ -1,0 +1,119 @@
+// Fluid-count queries over a Mask: per-plane fluid histograms and box
+// fluid counts. These are the geometry half of fluid-cell-balanced
+// decomposition — the paper's performance model counts fluid sites
+// (N_fl), so cut planes should balance Fluids per rank, not box volume.
+// decomp.BisectWeights consumes PlaneFluids; perfsim and the run report
+// consume FluidsInBox over each rank's owned box.
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+)
+
+// PlaneFluids returns the number of fluid lattice points in each plane
+// perpendicular to the given axis (0 = x, 1 = y, 2 = z): out[i] is the
+// fluid count of the slice at coordinate i along that axis. The slice
+// sums to Fluids().
+func (m *Mask) PlaneFluids(axis int) []int {
+	n := [3]int{m.D.NX, m.D.NY, m.D.NZ}
+	if axis < 0 || axis > 2 {
+		panic(fmt.Sprintf("geom: PlaneFluids axis %d", axis))
+	}
+	out := make([]int, n[axis])
+	for ix := 0; ix < m.D.NX; ix++ {
+		for iy := 0; iy < m.D.NY; iy++ {
+			for iz := 0; iz < m.D.NZ; iz++ {
+				if !m.At(ix, iy, iz) {
+					out[[3]int{ix, iy, iz}[axis]]++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FluidsInBox returns the number of fluid lattice points in the half-open
+// box [lo, hi) (global coordinates, clipped to the mask's extent). An
+// empty or fully-clipped box counts zero.
+func (m *Mask) FluidsInBox(lo, hi [3]int) int {
+	n := [3]int{m.D.NX, m.D.NY, m.D.NZ}
+	for a := 0; a < 3; a++ {
+		if lo[a] < 0 {
+			lo[a] = 0
+		}
+		if hi[a] > n[a] {
+			hi[a] = n[a]
+		}
+		if lo[a] >= hi[a] {
+			return 0
+		}
+	}
+	fluids := 0
+	for ix := lo[0]; ix < hi[0]; ix++ {
+		for iy := lo[1]; iy < hi[1]; iy++ {
+			for iz := lo[2]; iz < hi[2]; iz++ {
+				if !m.At(ix, iy, iz) {
+					fluids++
+				}
+			}
+		}
+	}
+	return fluids
+}
+
+// Bifurcation builds the demo vasculature mask: a Y-shaped vessel in the
+// x-y midplane — a parent tube entering at x=0 on the y/z centerline,
+// splitting at mid-length into two daughter branches that exit at x=NX-1
+// near the top and bottom walls. Points within radius r of any of the
+// three centerline segments are fluid; everything else is solid. With
+// r ≈ 0.1·NY the mask is ≥90% solid inside its bounding box — the
+// arterial sparsity regime the fluid-balanced decomposition targets.
+func Bifurcation(d grid.Dims, r float64) *Mask {
+	cy, cz := float64(d.NY-1)/2, float64(d.NZ-1)/2
+	xs := float64(d.NX-1) * 0.5
+	xe := float64(d.NX - 1)
+	// Daughter endpoints leave an r-sized margin to the y walls so the
+	// vessel lumen stays inside the box.
+	yTop := float64(d.NY-1) - r - 1
+	yBot := r + 1
+	segs := [3][2][3]float64{
+		{{0, cy, cz}, {xs, cy, cz}},
+		{{xs, cy, cz}, {xe, yTop, cz}},
+		{{xs, cy, cz}, {xe, yBot, cz}},
+	}
+	r2 := r * r
+	return FromFunc(d, func(ix, iy, iz int) bool {
+		p := [3]float64{float64(ix), float64(iy), float64(iz)}
+		for _, s := range segs {
+			if distSq(p, s[0], s[1]) <= r2 {
+				return false // fluid
+			}
+		}
+		return true // solid
+	})
+}
+
+// distSq is the squared distance from point p to segment ab.
+func distSq(p, a, b [3]float64) float64 {
+	var ab, ap [3]float64
+	var dot, len2 float64
+	for i := 0; i < 3; i++ {
+		ab[i] = b[i] - a[i]
+		ap[i] = p[i] - a[i]
+		dot += ab[i] * ap[i]
+		len2 += ab[i] * ab[i]
+	}
+	t := 0.0
+	if len2 > 0 {
+		t = math.Min(1, math.Max(0, dot/len2))
+	}
+	var d2 float64
+	for i := 0; i < 3; i++ {
+		d := ap[i] - t*ab[i]
+		d2 += d * d
+	}
+	return d2
+}

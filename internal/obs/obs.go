@@ -190,10 +190,20 @@ type RankObservation struct {
 	// the fabric (payload copies, all tags).
 	BytesSent int64 `json:"bytes_sent"`
 	Messages  int64 `json:"messages"`
+	// FluidCells is the number of fluid lattice sites in the rank's owned
+	// box (the paper's per-rank N_fl; the whole box volume on unmasked
+	// domains) — the decomposition's load-balance view on sparse
+	// geometries, where box volume and useful work diverge.
+	FluidCells int64 `json:"fluid_cells,omitempty"`
 	// WorkerChunks is the number of schedule chunks each worker thread
 	// drained from the rank's pool — the load-imbalance view of thin-rim
 	// phases (nil when the rank runs single-threaded).
 	WorkerChunks []int64 `json:"worker_chunks,omitempty"`
+	// WorkerWeights is the total chunk weight (fluid cells under sparse
+	// traversal, cells otherwise) each worker thread drained — WorkerChunks
+	// weighted by how much work each chunk actually carried (nil when the
+	// rank runs single-threaded).
+	WorkerWeights []int64 `json:"worker_weights,omitempty"`
 	// Events are the raw trace spans; populated only when tracing.
 	Events []Event `json:"-"`
 }

@@ -47,6 +47,8 @@ type RunConfig struct {
 	Decomp    [3]int `json:"decomp"`
 	Threads   int    `json:"threads"`
 	Depth     [3]int `json:"depth"`
+	Balance   string `json:"balance,omitempty"`
+	Sparse    bool   `json:"sparse,omitempty"`
 	Scenario  string `json:"scenario,omitempty"`
 }
 
@@ -99,16 +101,24 @@ type RunStats struct {
 // Report is the structured run report: everything a later reader (CI
 // trajectory, calibration fit) needs to interpret one run.
 type Report struct {
-	Schema          string            `json:"schema"`
-	Machine         MachineInfo       `json:"machine"`
-	Config          RunConfig         `json:"config"`
-	WallSeconds     float64           `json:"wall_seconds"`
-	MFlups          float64           `json:"mflups"`
-	InteriorUpdates int64             `json:"interior_updates"`
-	GhostUpdates    int64             `json:"ghost_updates"`
-	Comm            CommReport        `json:"comm"`
-	Phases          []PhaseSummary    `json:"phases"`
-	Ranks           []RankObservation `json:"ranks,omitempty"`
+	Schema          string      `json:"schema"`
+	Machine         MachineInfo `json:"machine"`
+	Config          RunConfig   `json:"config"`
+	WallSeconds     float64     `json:"wall_seconds"`
+	MFlups          float64     `json:"mflups"`
+	InteriorUpdates int64       `json:"interior_updates"`
+	GhostUpdates    int64       `json:"ghost_updates"`
+	Comm            CommReport  `json:"comm"`
+	// FluidCells is the spread of per-rank fluid-cell counts — the load
+	// the -balance fluid cut policy equalizes. Present on masked observed
+	// runs; absent (nil) when no rank reported a count.
+	FluidCells *Spread `json:"fluid_cells,omitempty"`
+	// WorkerWeights is the spread of drained chunk weight across every
+	// worker of every rank's team — fluid cells under sparse traversal,
+	// plain cells otherwise. Present on threaded observed runs.
+	WorkerWeights *Spread           `json:"worker_weights,omitempty"`
+	Phases        []PhaseSummary    `json:"phases"`
+	Ranks         []RankObservation `json:"ranks,omitempty"`
 }
 
 // BuildReport aggregates per-rank observations into a Report: each
@@ -127,9 +137,24 @@ func BuildReport(cfg RunConfig, st RunStats, ranks []RankObservation) *Report {
 	}
 	rep.Comm.Seconds = spreadOf(metrics.Summarize(st.CommSeconds))
 	rep.Comm.AxisBytes = st.AxisBytes
+	var fluids, weights []float64
 	for _, o := range ranks {
 		rep.Comm.BytesSent += o.BytesSent
 		rep.Comm.Messages += o.Messages
+		if o.FluidCells > 0 {
+			fluids = append(fluids, float64(o.FluidCells))
+		}
+		for _, w := range o.WorkerWeights {
+			weights = append(weights, float64(w))
+		}
+	}
+	if fluids != nil {
+		s := spreadOf(metrics.Summarize(fluids))
+		rep.FluidCells = &s
+	}
+	if weights != nil {
+		s := spreadOf(metrics.Summarize(weights))
+		rep.WorkerWeights = &s
 	}
 	for p := Phase(0); p < NumPhases; p++ {
 		for _, axis := range [axisSlots]int{0, 1, 2, NoAxis} {

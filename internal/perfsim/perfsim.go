@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/decomp"
+	"repro/internal/geom"
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -72,6 +73,22 @@ type Job struct {
 	// exchanges only at pair boundaries, so Depth rounds up to even.
 	Stream core.StreamScheme
 
+	// Weights, when non-nil on a decomposed axis, places that axis's cut
+	// planes by weighted recursive bisection (decomp.NewCartesianWeighted
+	// over the axis's per-plane fluid histogram, geom.PlaneFluids) instead
+	// of equal extents — the solver's -balance fluid policy. The rank grid
+	// and schedule are unchanged; only the per-rank extents move.
+	Weights [3][]int
+	// RankFluids, when non-nil, gives each rank's fluid-cell count (length
+	// Nodes × TasksPerNode, e.g. from FluidCounts): compute windows scale
+	// by each rank's fluid fraction — the sparse-traversal cost model on a
+	// masked domain — and MFlups normalizes by total fluid cells, the
+	// paper's Mflup/s. The geometry then IS the load imbalance, so the
+	// synthetic Imbalance knob is rejected alongside it (Persistent-
+	// Imbalance, which models machine asymmetry rather than work
+	// asymmetry, still composes).
+	RankFluids []int
+
 	// Imbalance is the peak fractional per-step compute jitter (uniform in
 	// [0, Imbalance], redrawn every step); PersistentImbalance is a
 	// per-rank slowdown drawn once per run (uniform in [0, Persistent-
@@ -82,6 +99,22 @@ type Job struct {
 	Imbalance           float64
 	PersistentImbalance float64
 	Seed                uint64
+}
+
+// FluidCounts returns each rank's fluid-cell count under dec: the
+// per-rank work profile a masked job hands to Job.RankFluids, and the
+// objective a candidate cut placement is priced on.
+func FluidCounts(dec decomp.Cartesian, mask *geom.Mask) []int {
+	out := make([]int, dec.Ranks())
+	for r := range out {
+		var lo, hi [3]int
+		for a := 0; a < 3; a++ {
+			s, n := dec.Own(r, a)
+			lo[a], hi[a] = s, s+n
+		}
+		out[r] = mask.FluidsInBox(lo, hi)
+	}
+	return out
 }
 
 // DefaultCross returns the crossing-velocity counts for the two lattices of
@@ -177,6 +210,24 @@ func (j *Job) validate() error {
 	if j.Steps < 1 {
 		return fmt.Errorf("perfsim: steps %d < 1", j.Steps)
 	}
+	if j.RankFluids != nil {
+		if len(j.RankFluids) != ranks {
+			return fmt.Errorf("perfsim: %d rank fluid counts, job has %d ranks", len(j.RankFluids), ranks)
+		}
+		var sum int64
+		for r, n := range j.RankFluids {
+			if n < 0 {
+				return fmt.Errorf("perfsim: negative fluid count %d at rank %d", n, r)
+			}
+			sum += int64(n)
+		}
+		if sum == 0 {
+			return fmt.Errorf("perfsim: rank fluid counts sum to zero")
+		}
+		if j.Imbalance > 0 {
+			return fmt.Errorf("perfsim: RankFluids and the synthetic Imbalance knob are exclusive (the mask is the imbalance)")
+		}
+	}
 	return nil
 }
 
@@ -249,7 +300,7 @@ func Run(j Job) (*Result, error) {
 		j.Spec.BytesPerCell *= 2.0 / 3.0
 	}
 	ranks := j.Nodes * j.TasksPerNode
-	dec, err := decomp.NewCartesianBounded([3]int{j.NX, j.NY, j.NZ}, j.Decomp, j.Bounded)
+	dec, err := decomp.NewCartesianWeighted([3]int{j.NX, j.NY, j.NZ}, j.Decomp, j.Bounded, j.Weights)
 	if err != nil {
 		return nil, err
 	}
@@ -291,6 +342,20 @@ func Run(j Job) (*Result, error) {
 		st.rng[r] = metrics.NewRNG(j.Seed*0x9e3779b97f4a7c15 + uint64(r) + 1)
 		st.slow[r] = 1 + j.PersistentImbalance*st.rng[r].Float64()
 	}
+	if j.RankFluids != nil {
+		// Sparse-traversal cost model: each rank's compute window scales by
+		// its fluid fraction — the cut placement, not a random draw, decides
+		// who the straggler is.
+		st.ffrac = make([]float64, ranks)
+		for r := 0; r < ranks; r++ {
+			var vol float64 = 1
+			for a := 0; a < 3; a++ {
+				_, n := dec.Own(r, a)
+				vol *= float64(n)
+			}
+			st.ffrac[r] = float64(j.RankFluids[r]) / vol
+		}
+	}
 	ghost := st.run()
 
 	res := &Result{
@@ -307,7 +372,16 @@ func Run(j Job) (*Result, error) {
 		}
 	}
 	interior := float64(j.Steps) * float64(j.NX) * plane
-	res.MFlups = metrics.MFlupsFromSeconds(j.Steps, j.NX*j.NY*j.NZ, res.Seconds)
+	cells := j.NX * j.NY * j.NZ
+	if j.RankFluids != nil {
+		// Mflup/s counts fluid-cell updates, the paper's normalization for
+		// sparse geometries (and the solver's own MFlups on masked runs).
+		cells = 0
+		for _, n := range j.RankFluids {
+			cells += n
+		}
+	}
+	res.MFlups = metrics.MFlupsFromSeconds(j.Steps, cells, res.Seconds)
 	res.GhostUpdateFraction = ghost / interior
 	return res, nil
 }
@@ -326,6 +400,16 @@ type simState struct {
 	phase []obs.PhaseSeconds // per-rank clock decomposition (Result.RankPhases)
 	rng   []*metrics.RNG
 	slow  []float64 // per-rank persistent slowdown factor
+	ffrac []float64 // per-rank fluid fraction (nil = dense, fraction 1)
+}
+
+// fluidScale returns rank r's compute-window scale: its fluid fraction
+// under the sparse cost model, 1 on dense jobs.
+func (st *simState) fluidScale(r int) float64 {
+	if st.ffrac == nil {
+		return 1
+	}
+	return st.ffrac[r]
 }
 
 // sameNode reports whether two ranks are tasks of one node (consecutive
@@ -347,7 +431,7 @@ func (st *simState) stepTime(r, s int) float64 {
 	if st.j.Opt != core.OptOrig {
 		extra += float64(st.j.K)
 	}
-	cells := (float64(own) + extra) * st.plane
+	cells := (float64(own) + extra) * st.plane * st.fluidScale(r)
 	tb := cells * st.j.Spec.BytesPerCell / st.rt.taskBW
 	tf := cells * st.j.Spec.FlopsPerCell / st.rt.taskFlops
 	t := tb
@@ -645,6 +729,7 @@ func (st *simState) stepTimeMulti(r, s int) float64 {
 		}
 		cells += float64(st.j.K) * cross
 	}
+	cells *= st.fluidScale(r)
 	tb := cells * st.j.Spec.BytesPerCell / st.rt.taskBW
 	tf := cells * st.j.Spec.FlopsPerCell / st.rt.taskFlops
 	t := tb

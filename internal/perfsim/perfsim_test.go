@@ -5,6 +5,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/decomp"
+	"repro/internal/geom"
+	"repro/internal/grid"
 	"repro/internal/machine"
 )
 
@@ -564,6 +566,93 @@ func TestAAStreamModel(t *testing.T) {
 	orig.Stream = core.StreamAA
 	if _, err := Run(orig); err == nil {
 		t.Error("AA + OptOrig accepted; the no-ghost protocol has nowhere to exchange pairs")
+	}
+}
+
+// maskedJob is an 8-rank slab over a domain whose fluid lives entirely in
+// the first quarter of the x axis — the concentrated-work profile where
+// equal-extent cuts leave six of eight ranks idle.
+func maskedJob(fluids []int, weights [3][]int) Job {
+	return Job{
+		Machine: machine.BGQ(), Spec: machine.SpecD3Q19(), K: 1,
+		Nodes: 8, TasksPerNode: 1, ThreadsPerTask: 1,
+		NX: 128, NY: 32, NZ: 32,
+		Steps: 10, Depth: 1, Opt: core.OptNBC, Seed: 1,
+		Weights: weights, RankFluids: fluids,
+	}
+}
+
+// TestRankFluidsBalancedCuts: with the sparse cost model (per-rank compute
+// windows scale by fluid fraction), fluid-balanced cut placement must
+// predict a strictly faster run than equal-extent volume cuts over the
+// same mask — the observe-predict counterpart of `lbmbench -exp balance`.
+func TestRankFluidsBalancedCuts(t *testing.T) {
+	d := grid.Dims{NX: 128, NY: 32, NZ: 32}
+	mask := geom.FromFunc(d, func(ix, iy, iz int) bool {
+		return ix >= d.NX/4 // fluid quarter at low x, solid elsewhere
+	})
+	global := [3]int{d.NX, d.NY, d.NZ}
+	p := [3]int{8, 1, 1}
+
+	volDec, err := decomp.NewCartesian(global, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	volume := mustRun(t, maskedJob(FluidCounts(volDec, mask), [3][]int{}))
+
+	wx := mask.PlaneFluids(0)
+	balDec, err := decomp.NewCartesianWeighted(global, p, [3]bool{}, [3][]int{wx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced := mustRun(t, maskedJob(FluidCounts(balDec, mask), [3][]int{wx}))
+
+	// Volume cuts concentrate all fluid on two of eight ranks; balanced
+	// cuts spread it across the team, so the critical path must shrink by
+	// well over the 1.5× acceptance floor of the end-to-end experiment.
+	if balanced.Seconds >= volume.Seconds/1.5 {
+		t.Errorf("balanced cuts %.4gs not 1.5x under volume cuts %.4gs", balanced.Seconds, volume.Seconds)
+	}
+	if balanced.MFlups <= volume.MFlups {
+		t.Errorf("balanced MFlups %.0f not above volume %.0f", balanced.MFlups, volume.MFlups)
+	}
+	// Both normalize Mflup/s by fluid cells, not box volume: an all-dense
+	// job of the same box at the same wall time would report 4x the rate.
+	if fl, box := mask.Fluids(), d.Cells(); fl*4 != box {
+		t.Fatalf("mask fluid fraction drifted: %d fluid of %d cells", fl, box)
+	}
+}
+
+// TestRankFluidsValidation: the sparse cost model's inputs are checked —
+// length, sign, emptiness, and exclusivity with the synthetic Imbalance
+// knob (the mask is the imbalance).
+func TestRankFluidsValidation(t *testing.T) {
+	d := grid.Dims{NX: 128, NY: 32, NZ: 32}
+	mask := geom.FromFunc(d, func(ix, iy, iz int) bool { return ix >= d.NX/4 })
+	dec, err := decomp.NewCartesian([3]int{d.NX, d.NY, d.NZ}, [3]int{8, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fluids := FluidCounts(dec, mask)
+
+	bad := maskedJob(fluids, [3][]int{})
+	bad.Imbalance = 0.05
+	if _, err := Run(bad); err == nil {
+		t.Error("RankFluids with synthetic Imbalance accepted")
+	}
+	bad = maskedJob(fluids[:4], [3][]int{})
+	if _, err := Run(bad); err == nil {
+		t.Error("short RankFluids accepted")
+	}
+	neg := append([]int(nil), fluids...)
+	neg[0] = -1
+	bad = maskedJob(neg, [3][]int{})
+	if _, err := Run(bad); err == nil {
+		t.Error("negative fluid count accepted")
+	}
+	bad = maskedJob(make([]int, 8), [3][]int{})
+	if _, err := Run(bad); err == nil {
+		t.Error("all-zero fluid counts accepted")
 	}
 }
 

@@ -204,6 +204,10 @@ func init() {
 			built.Fabric = cfg.Fabric
 			built.KeepField = cfg.KeepField
 			built.StepJitter = cfg.StepJitter
+			built.Balance = cfg.Balance
+			built.Sparse = cfg.Sparse
+			built.Observe = cfg.Observe
+			built.Trace = cfg.Trace
 			if p.GeomPath != "" {
 				m, err := loadGeom(p.GeomPath, built.N)
 				if err != nil {
