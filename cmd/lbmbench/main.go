@@ -13,6 +13,10 @@
 //	lbmbench -exp fig8 -real -collision trt
 //	lbmbench -exp collision
 //	lbmbench -exp predict -steps 10
+//	lbmbench -exp fit -steps 10 -json fit.json
+//	lbmbench -exp predict -fit fit.json
+//	lbmbench -exp tune -fit fit.json -scenario cavity64 -json tuned.json
+//	lbmbench -exp bench -fit fit.json -json BENCH_10.json
 //	lbmbench -exp all
 package main
 
@@ -28,6 +32,8 @@ import (
 	"repro/internal/collision"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/perfsim"
+	"repro/internal/tune"
 )
 
 func main() {
@@ -35,7 +41,7 @@ func main() {
 	log.SetPrefix("lbmbench: ")
 
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, table2, fig8, fig9, fig10, table3, table4, fig11, decomp, collision, fixup, threads, balance, predict, or all")
+		exp      = flag.String("exp", "all", "experiment: table1, table2, fig8, fig9, fig10, table3, table4, fig11, decomp, collision, fixup, threads, balance, predict, fit, tune, bench, or all")
 		machine  = flag.String("machine", "bgp", "machine for fig8/fig9/fig11/decomp: bgp or bgq")
 		real     = flag.Bool("real", false, "run the real kernels locally instead of the paper-scale simulator (fixup, threads and balance are real-only)")
 		model    = flag.String("model", "D3Q19", "model for -real and collision experiments")
@@ -49,6 +55,13 @@ func main() {
 		mrtRates = flag.String("mrt-rates", "", "MRT ghost rates by order for -real experiments (comma-separated from order 3)")
 		stream   = flag.String("stream", "twogrid", "streaming storage for -real fig8/fig9/fig10/fig11: twogrid (separate advected field) or aa (in-place AA pattern, half the f-memory)")
 		reportF  = flag.String("report", "", "for -exp predict: also write the structured bridge report (JSON) to this file")
+		fitF     = flag.String("fit", "", "fitted coefficients file (lbm-fit/v1, from -exp fit): prices predict/tune/bench with the closed-loop calibration instead of the one-point anchor")
+		jsonF    = flag.String("json", "", "for -exp fit/tune/bench: write the structured result (JSON) to this file")
+		scenF    = flag.String("scenario", "", "for -exp tune: tuning scenario (default: all of them; required with -json)")
+		workers  = flag.Int("workers", 0, "for -exp tune/bench: worker budget ranks*threads (0 = runtime.NumCPU())")
+		topK     = flag.Int("topk", 3, "for -exp tune/bench: predicted-best candidates confirmed with real runs")
+		gateMAPE = flag.Float64("gate-mape", 0, "for -exp fit: exit non-zero if the fitted objective MAPE exceeds this fraction (also requires fitted < anchored)")
+		gateR    = flag.Float64("gate-pearson", 0, "for -exp fit: exit non-zero if the whole-sweep Pearson r on wall times falls below this")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (post-run) to this file")
 	)
@@ -114,12 +127,96 @@ func main() {
 	if *reportF != "" && *exp != "predict" {
 		log.Fatalf("-report applies to -exp predict only (got -exp %s)", *exp)
 	}
-	if *exp == "predict" {
-		// The observe→predict bridge runs the real solver itself; no -real.
-		if *real {
-			log.Fatal("-exp predict already runs the real kernels; drop -real")
+	tuningExp := *exp == "predict" || *exp == "fit" || *exp == "tune" || *exp == "bench"
+	if *fitF != "" && !tuningExp {
+		log.Fatalf("-fit applies to -exp predict/fit/tune/bench (got -exp %s)", *exp)
+	}
+	if *jsonF != "" && !(*exp == "fit" || *exp == "tune" || *exp == "bench") {
+		log.Fatalf("-json applies to -exp fit/tune/bench (got -exp %s)", *exp)
+	}
+	if tuningExp && *real {
+		log.Fatalf("-exp %s already runs the real kernels; drop -real", *exp)
+	}
+	// The calibration loop: -fit loads fitted coefficients (lbm-fit/v1)
+	// and predict/tune/bench price with them instead of the anchored
+	// fallback.
+	var coeffs *perfsim.Coeffs
+	if *fitF != "" && *exp != "fit" {
+		fr, err := tune.LoadFit(*fitF)
+		if err != nil {
+			log.Fatal(err)
 		}
-		rep, err := experiments.Predict(*model, *steps)
+		coeffs = &fr.Coeffs
+	}
+	switch *exp {
+	case "fit":
+		res, err := experiments.RunFit(*model, *steps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.FitTable(res).Render())
+		if *jsonF != "" {
+			if err := tune.SaveFit(*jsonF, res); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("fit written to %s\n", *jsonF)
+		}
+		if *gateMAPE > 0 {
+			if res.FittedMAPE > *gateMAPE {
+				log.Fatalf("calibration gate: fitted MAPE %.1f%% exceeds the %.1f%% gate",
+					100*res.FittedMAPE, 100**gateMAPE)
+			}
+			if res.FittedMAPE >= res.AnchoredMAPE {
+				log.Fatalf("calibration gate: fitted MAPE %.2f%% does not beat the anchored fallback's %.2f%%",
+					100*res.FittedMAPE, 100*res.AnchoredMAPE)
+			}
+		}
+		if *gateR > 0 && res.PearsonR < *gateR {
+			log.Fatalf("calibration gate: Pearson r %.3f below the %.3f gate", res.PearsonR, *gateR)
+		}
+		return
+	case "tune":
+		names := experiments.TuneScenarioNames()
+		if *scenF != "" {
+			names = []string{*scenF}
+		} else if *jsonF != "" {
+			log.Fatal("-json with -exp tune needs -scenario (one tuned config per file)")
+		}
+		for _, name := range names {
+			tn, err := experiments.RunTune(name, coeffs, *workers, *topK, *steps)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(experiments.TuneTable(tn).Render())
+			if *jsonF != "" {
+				if err := tune.SaveTuned(*jsonF, tn); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("tuned config written to %s\n", *jsonF)
+			}
+		}
+		return
+	case "bench":
+		rep, err := experiments.RunBench(coeffs, *workers, *topK, *steps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.BenchTable(rep).Render())
+		if *jsonF != "" {
+			f, err := os.Create(*jsonF)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := experiments.WriteBench(f, rep); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			fmt.Printf("benchmark record written to %s\n", *jsonF)
+		}
+		return
+	}
+	if *exp == "predict" {
+		rep, err := experiments.Predict(*model, *steps, coeffs)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -31,7 +31,9 @@ import (
 	"repro/internal/macro"
 	"repro/internal/obs"
 	"repro/internal/output"
+	"repro/internal/perfsim"
 	"repro/internal/scenario"
+	"repro/internal/tune"
 )
 
 func main() {
@@ -65,6 +67,9 @@ func main() {
 		collide   = flag.String("collision", "bgk", "collision operator: bgk (the paper's kernels), trt or mrt (stable toward tau=0.5 / high Re)")
 		magic     = flag.Float64("magic", 0, "TRT magic parameter Lambda (0 = the default 1/4)")
 		mrtRates  = flag.String("mrt-rates", "", "MRT ghost-moment rates by order, comma-separated from order 3 (empty = magic-paired defaults)")
+		auto      = flag.Bool("auto", false, "auto-tune the execution config: load a cached tuned config for this scenario/geometry/machine, or search the config space (pricing with -fit coefficients when given), then run with the winner — overrides -opt/-ranks/-decomp/-threads/-depth/-stream/-fused/-balance/-sparse")
+		tunedF    = flag.String("tuned", "", "tuned-config cache file for -auto (default lbm-tuned-<key>.json; stale keys force a re-tune)")
+		fitFlag   = flag.String("fit", "", "fitted coefficients file (lbm-fit/v1, from lbmbench -exp fit) for -auto candidate pricing")
 		out       = flag.String("out", "", "write the final macroscopic fields to this file (.vtk or .csv)")
 		observe   = flag.Bool("observe", false, "record the per-phase breakdown (step timers in every stepper path) and print it")
 		reportF   = flag.String("report", "", "write a structured run report (JSON) to this file; implies -observe")
@@ -160,6 +165,13 @@ func main() {
 	}
 	if err := sc.Configure(&params, &cfg); err != nil {
 		log.Fatal(err)
+	}
+	if *auto {
+		if err := autoTune(&cfg, sc.Name, *tunedF, *fitFlag); err != nil {
+			log.Fatal(err)
+		}
+	} else if *tunedF != "" || *fitFlag != "" {
+		log.Fatal("-tuned/-fit apply to -auto runs only")
 	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -278,6 +290,50 @@ func main() {
 		}
 		fmt.Printf("fields       written to %s\n", *out)
 	}
+}
+
+// autoTune replaces the config's execution knobs with the auto-tuner's
+// choice for this scenario: a cached tuned config if its key matches
+// (same scenario, geometry, size, machine and worker budget), otherwise a
+// fresh search — priced with fitted coefficients when a fit file is given
+// — whose winner is cached for the next run.
+func autoTune(cfg *core.Config, scenName, tunedPath, fitPath string) error {
+	s := &tune.Scenario{
+		Name: scenName, Model: cfg.Model, N: cfg.N, Tau: cfg.Tau,
+		Boundary: cfg.Boundary, Solid: cfg.Solid,
+		Accel: cfg.Accel, Init: cfg.Init,
+	}
+	workers := runtime.NumCPU()
+	key := tune.CacheKey(s, workers)
+	if tunedPath == "" {
+		tunedPath = fmt.Sprintf("lbm-tuned-%s.json", key)
+	}
+	tn, err := tune.LoadCached(tunedPath, key)
+	if err != nil {
+		return err
+	}
+	if tn == nil {
+		var coeffs *perfsim.Coeffs
+		if fitPath != "" {
+			fr, err := tune.LoadFit(fitPath)
+			if err != nil {
+				return err
+			}
+			coeffs = &fr.Coeffs
+		}
+		fmt.Printf("auto-tune    searching (no cached config at %s)...\n", tunedPath)
+		tn, err = tune.Tune(s, coeffs, tune.Options{MaxWorkers: workers})
+		if err != nil {
+			return err
+		}
+		if err := tune.SaveTuned(tunedPath, tn); err != nil {
+			return err
+		}
+		fmt.Printf("auto-tune    %d candidates priced, winner cached to %s\n", tn.Candidates, tunedPath)
+	} else {
+		fmt.Printf("auto-tune    cached config %s (key %s)\n", tunedPath, key)
+	}
+	return tn.Choice.Apply(cfg)
 }
 
 // writeFields exports the final macroscopic state in the format implied by

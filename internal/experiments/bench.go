@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+	"repro/internal/perfsim"
+	"repro/internal/tune"
+)
+
+// BenchSchema identifies the benchmark record's JSON shape.
+const BenchSchema = "lbm-bench/v1"
+
+// BenchEntry is one scenario's default-vs-tuned measurement.
+type BenchEntry struct {
+	Scenario      string         `json:"scenario"`
+	Model         string         `json:"model"`
+	N             [3]int         `json:"n"`
+	Steps         int            `json:"steps"`
+	DefaultMFlups float64        `json:"default_mflups"`
+	TunedMFlups   float64        `json:"tuned_mflups"`
+	Speedup       float64        `json:"speedup"`
+	Choice        tune.Candidate `json:"choice"`
+	Candidates    int            `json:"candidates"`
+}
+
+// BenchReport is the fixed-scenario benchmark record (BENCH_10.json): the
+// tuned config's MFlup/s against the stock default on every scenario, the
+// number CI tracks across PRs.
+type BenchReport struct {
+	Schema  string          `json:"schema"`
+	Machine obs.MachineInfo `json:"machine"`
+	Workers int             `json:"workers"`
+	Fitted  bool            `json:"fitted"`
+	Entries []BenchEntry    `json:"entries"`
+}
+
+// RunBench tunes and measures the fixed scenario set.
+func RunBench(coeffs *perfsim.Coeffs, workers, topK, steps int) (*BenchReport, error) {
+	rep := &BenchReport{
+		Schema:  BenchSchema,
+		Machine: obs.HostInfo(),
+		Workers: workers,
+		Fitted:  coeffs != nil,
+	}
+	for _, name := range TuneScenarioNames() {
+		tn, err := RunTune(name, coeffs, workers, topK, steps)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", name, err)
+		}
+		speedup := 0.0
+		if tn.BaselineMFlups > 0 {
+			speedup = tn.MeasuredMFlups / tn.BaselineMFlups
+		}
+		rep.Entries = append(rep.Entries, BenchEntry{
+			Scenario:      tn.Scenario,
+			Model:         tn.Model,
+			N:             tn.N,
+			Steps:         steps,
+			DefaultMFlups: tn.BaselineMFlups,
+			TunedMFlups:   tn.MeasuredMFlups,
+			Speedup:       speedup,
+			Choice:        tn.Choice,
+			Candidates:    tn.Candidates,
+		})
+		rep.Workers = tn.MaxWorkers
+	}
+	return rep, nil
+}
+
+// WriteBench serializes a benchmark record as indented JSON.
+func WriteBench(w io.Writer, r *BenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// BenchTable renders the benchmark record for the terminal.
+func BenchTable(r *BenchReport) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Benchmark — tuned vs default MFlup/s (%d workers)", r.Workers),
+		Header: []string{"scenario", "default", "tuned", "speedup", "choice"},
+	}
+	for _, e := range r.Entries {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%s (%s %dx%dx%d)", e.Scenario, e.Model, e.N[0], e.N[1], e.N[2]),
+			fmt.Sprintf("%.2f", e.DefaultMFlups),
+			fmt.Sprintf("%.2f", e.TunedMFlups),
+			fmt.Sprintf("%.2fx", e.Speedup),
+			candLabel(e.Choice),
+		})
+	}
+	if r.Fitted {
+		t.Notes = append(t.Notes, "candidates priced with fitted coefficients (lbm-fit/v1)")
+	} else {
+		t.Notes = append(t.Notes, "candidates priced with the uncalibrated envelope (no fit file); pass -fit for the closed loop")
+	}
+	return t
+}

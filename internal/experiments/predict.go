@@ -12,22 +12,25 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/perfsim"
+	"repro/internal/tune"
 )
 
 // The observe→predict bridge: run the real instrumented solver across a
 // small protocol sweep, run perfsim on a "local" machine model over the
 // same jobs, and score the per-phase agreement. This is the observation
-// half of ROADMAP direction 3's calibration loop — the closed-loop fit
-// (adjusting the efficiency factors until the phases match) builds on the
-// PredictReport emitted here.
+// half of ROADMAP direction 3's calibration loop; the closed-loop fit
+// (internal/tune) searches the coefficient space until the phases match,
+// and a fitted coefficient set replaces the bridge's one-point bandwidth
+// anchor when the caller passes one.
 //
 // Both worlds share one wire model: the real runs install a fabric
-// DelayFunc of latency + bytes/linkBW with the constants below, and the
-// simulated machine carries the same numbers, so the comparison isolates
-// the schedule and roofline models rather than the interconnect guess.
+// DelayFunc of latency + bytes/linkBW with the tune package's constants,
+// and the simulated machine carries the same numbers, so the comparison
+// isolates the schedule and roofline models rather than the interconnect
+// guess.
 const (
-	predictLatency = 200e-6 // s per message
-	predictLinkBW  = 100e6  // bytes/s per link
+	predictLatency = tune.WireLatency
+	predictLinkBW  = tune.WireLinkBW
 )
 
 // predictPhases are the phases scored by the bridge — the ones perfsim's
@@ -69,12 +72,17 @@ type PredictReport struct {
 	Model   string          `json:"model"`
 	Steps   int             `json:"steps"`
 	// MemBWAnchor is the calibrated memory bandwidth (bytes/s): the one
-	// free parameter, fit to the first job's interior phase.
-	MemBWAnchor float64            `json:"mem_bw_anchor"`
-	Jobs        []PredictRow       `json:"jobs"`
-	PhaseMAPE   map[string]float64 `json:"phase_mape"`
-	TotalMAPE   float64            `json:"total_mape"`
-	PearsonR    float64            `json:"pearson_r"`
+	// free parameter of the anchored fallback, fit to the first job's
+	// interior phase. Zero when the prediction ran with fitted
+	// coefficients instead.
+	MemBWAnchor float64 `json:"mem_bw_anchor,omitempty"`
+	// Fitted is true when the prediction used a fitted coefficient set
+	// (lbm-fit/v1) instead of the one-point anchor.
+	Fitted    bool               `json:"fitted,omitempty"`
+	Jobs      []PredictRow       `json:"jobs"`
+	PhaseMAPE map[string]float64 `json:"phase_mape"`
+	TotalMAPE float64            `json:"total_mape"`
+	PearsonR  float64            `json:"pearson_r"`
 }
 
 // PredictSchema identifies the report's JSON shape.
@@ -98,8 +106,11 @@ func predictJobs() []predictJob {
 	}
 }
 
-// Predict runs the observe→predict bridge and scores the agreement.
-func Predict(modelName string, steps int) (*PredictReport, error) {
+// Predict runs the observe→predict bridge and scores the agreement. A
+// non-nil coeffs prices the sweep with the fitted coefficient model; nil
+// falls back to the one-point memory-bandwidth anchor (the pre-fit
+// behavior, kept reachable for comparison and for hosts without a fit).
+func Predict(modelName string, steps int, coeffs *perfsim.Coeffs) (*PredictReport, error) {
 	m, err := lattice.ByName(modelName)
 	if err != nil {
 		return nil, err
@@ -129,23 +140,33 @@ func Predict(modelName string, steps int) (*PredictReport, error) {
 		obsTotals[i] = res.WallTime.Seconds()
 	}
 
-	// Predict pass: perfsim over the same jobs. The memory bandwidth is
-	// the one anchored parameter — fit so the first job's predicted
-	// interior matches its observed interior (prediction scales as 1/B_m
-	// with the flop roofline out of play), then held fixed for the sweep.
+	// Predict pass: perfsim over the same jobs. With fitted coefficients
+	// the model is fully specified; otherwise the memory bandwidth is the
+	// one anchored parameter — fit so the first job's predicted interior
+	// matches its observed interior (prediction scales as 1/B_m with the
+	// flop roofline out of play), then held fixed for the sweep.
 	const memBW0 = 8e9
-	p0, err := predictOne(m, jobs[0], steps, memBW0)
-	if err != nil {
-		return nil, err
+	memBW := 0.0
+	if coeffs == nil {
+		p0, err := predictOne(m, jobs[0], steps, memBW0, nil)
+		if err != nil {
+			return nil, err
+		}
+		memBW = memBW0
+		if o := observed[0][obs.Interior]; o > 0 && p0.phases[obs.Interior] > 0 {
+			memBW = memBW0 * p0.phases[obs.Interior] / o
+		}
 	}
-	memBW := memBW0
-	if o := observed[0][obs.Interior]; o > 0 && p0.phases[obs.Interior] > 0 {
-		memBW = memBW0 * p0.phases[obs.Interior] / o
+	// The fitted path still needs a valid machine envelope (flop roofline,
+	// validation bounds); its bandwidth fields are inert under Coeffs.
+	envBW := memBW
+	if coeffs != nil {
+		envBW = memBW0
 	}
 	predicted := make([]obs.PhaseSeconds, len(jobs))
 	predTotals := make([]float64, len(jobs))
 	for i, jb := range jobs {
-		p, err := predictOne(m, jb, steps, memBW)
+		p, err := predictOne(m, jb, steps, envBW, coeffs)
 		if err != nil {
 			return nil, err
 		}
@@ -159,6 +180,7 @@ func Predict(modelName string, steps int) (*PredictReport, error) {
 		Model:       m.Name,
 		Steps:       steps,
 		MemBWAnchor: memBW,
+		Fitted:      coeffs != nil,
 		PhaseMAPE:   map[string]float64{},
 		TotalMAPE:   metrics.MAPE(obsTotals, predTotals),
 		PearsonR:    metrics.Pearson(obsTotals, predTotals),
@@ -195,7 +217,7 @@ type predictSim struct {
 	total  float64
 }
 
-func predictOne(m *lattice.Model, jb predictJob, steps int, memBW float64) (predictSim, error) {
+func predictOne(m *lattice.Model, jb predictJob, steps int, memBW float64, coeffs *perfsim.Coeffs) (predictSim, error) {
 	dims := realDims(m)
 	res, err := perfsim.Run(perfsim.Job{
 		Machine: predictMachine(memBW),
@@ -208,6 +230,7 @@ func predictOne(m *lattice.Model, jb predictJob, steps int, memBW float64) (pred
 		Depth:  jb.depth,
 		Opt:    jb.opt,
 		Seed:   1,
+		Coeffs: coeffs,
 	})
 	if err != nil {
 		return predictSim{}, fmt.Errorf("predict: %s: %w", jb.label, err)
@@ -267,10 +290,14 @@ func (r *PredictReport) Table() *Table {
 			mape += fmt.Sprintf("  %s %.0f%%", p, 100*v)
 		}
 	}
+	calib := fmt.Sprintf("memory bandwidth anchored on the first job's interior phase (B_m = %.2f GB/s); pass a fitted coefficient set (-fit, from `lbmbench -exp fit`) for the closed-loop calibration", r.MemBWAnchor/1e9)
+	if r.Fitted {
+		calib = "priced with fitted coefficients (lbm-fit/v1) — the closed-loop calibration of ROADMAP direction 3"
+	}
 	t.Notes = append(t.Notes,
 		mape,
 		fmt.Sprintf("total MAPE %.0f%%, Pearson r = %.3f on job totals", 100*r.TotalMAPE, r.PearsonR),
-		fmt.Sprintf("memory bandwidth anchored on the first job's interior phase (B_m = %.2f GB/s); the closed-loop fit of the efficiency factors is ROADMAP direction 3", r.MemBWAnchor/1e9),
+		calib,
 		fmt.Sprintf("shared wire model: %.0f µs latency + bytes / %.0f MB/s, injected into the real fabric and the simulated machine alike", 1e6*predictLatency, predictLinkBW/1e6),
 	)
 	return t

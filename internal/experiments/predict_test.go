@@ -11,7 +11,7 @@ import (
 // count must pair every sweep job with a prediction and produce finite
 // agreement scores — the contract `lbmbench -exp predict` and CI rely on.
 func TestPredictBridgeSmallRun(t *testing.T) {
-	rep, err := Predict("D3Q19", 2)
+	rep, err := Predict("D3Q19", 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,25 @@
+package geom
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Hash returns a short content hash of the mask — dims plus every solid
+// bit — for cache keys (a tuned config is valid only for the exact
+// geometry it was tuned on). Stable across processes and platforms.
+func (m *Mask) Hash() string {
+	h := sha256.New()
+	var dims [24]byte
+	binary.LittleEndian.PutUint64(dims[0:], uint64(m.D.NX))
+	binary.LittleEndian.PutUint64(dims[8:], uint64(m.D.NY))
+	binary.LittleEndian.PutUint64(dims[16:], uint64(m.D.NZ))
+	h.Write(dims[:])
+	var word [8]byte
+	for _, w := range m.bits {
+		binary.LittleEndian.PutUint64(word[:], w)
+		h.Write(word[:])
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}

@@ -107,6 +107,18 @@ var bgqCalibration = calibration{
 	msgSWOverhead:     150e-6,
 }
 
+// DefaultThreadSerialFrac is genericCalibration's Amdahl coefficient for
+// unfitted hosts. The Blue Gene calibrations keep their paper-anchored
+// 0.001; the generic machine has no paper to anchor to, so the shipped
+// default doubles that to cover the chunk-claim and batch-barrier
+// overheads the closed-loop fit (tune.Fit) observes on local worker
+// pools. A host with a real calibration supersedes it through the
+// lbm-fit coefficient file; tune's TestDefaultThreadSerialFracRoundTrip
+// pins that the fit recovers exactly this value from a sweep generated
+// at it, so the constant can only ever be replaced by a fit-reproducible
+// number.
+const DefaultThreadSerialFrac = 0.002
+
 // genericCalibration covers non-Blue-Gene machines with neutral factors.
 var genericCalibration = calibration{
 	memEff: map[core.OptLevel]float64{
@@ -118,7 +130,7 @@ var genericCalibration = calibration{
 	flopEffSIMD:       0.4,
 	smtYield:          0.3,
 	bwSaturationUnits: 8,
-	threadSerialFrac:  0.001,
+	threadSerialFrac:  DefaultThreadSerialFrac,
 	msgSWOverhead:     100e-6,
 }
 

@@ -65,6 +65,12 @@ type Job struct {
 	Steps   int
 	Depth   int // ghost-cell depth (1 for OptOrig)
 	Opt     core.OptLevel
+	// Fused models the fused stream-collide kernel: one read and one
+	// write of the field per step instead of the split path's three
+	// accesses, so the streamed bytes per cell drop to 2/3 (the same
+	// traffic argument as the AA scheme, which it is incompatible with).
+	// Requires a ghost-cell level.
+	Fused bool
 	// Stream selects the storage scheme modeled. The two-grid layout keeps
 	// two resident fields and streams three field accesses per cell per
 	// step (read f, write fadv, re-read for the collide); the AA in-place
@@ -99,6 +105,17 @@ type Job struct {
 	Imbalance           float64
 	PersistentImbalance float64
 	Seed                uint64
+
+	// Coeffs, when non-nil, replaces the named-machine calibration with a
+	// fitted coefficient set (see coeffs.go): the closed-loop calibration
+	// path of internal/tune. The Machine then only supplies the hardware
+	// envelope (core counts for validation, the flop roofline, node
+	// memory for the OOM check); every rate comes from the coefficients.
+	Coeffs *Coeffs
+	// CellCost scales the per-cell kernel cost (bytes and flops): the
+	// fitted cost of a non-BGK collision kernel or a storage-scheme
+	// correction, usually Coeffs.CellCost(...). Zero means 1.
+	CellCost float64
 }
 
 // FluidCounts returns each rank's fluid-cell count under dec: the
@@ -210,6 +227,22 @@ func (j *Job) validate() error {
 	if j.Steps < 1 {
 		return fmt.Errorf("perfsim: steps %d < 1", j.Steps)
 	}
+	if j.Fused {
+		if j.Opt == core.OptOrig {
+			return fmt.Errorf("perfsim: the fused kernel requires ghost cells (OptOrig is split-only)")
+		}
+		if j.Stream == core.StreamAA {
+			return fmt.Errorf("perfsim: AA streaming is inherently fused; drop Fused")
+		}
+	}
+	if j.CellCost < 0 {
+		return fmt.Errorf("perfsim: negative cell-cost multiplier %g", j.CellCost)
+	}
+	if j.Coeffs != nil {
+		if err := j.Coeffs.Validate(); err != nil {
+			return err
+		}
+	}
 	if j.RankFluids != nil {
 		if len(j.RankFluids) != ranks {
 			return fmt.Errorf("perfsim: %d rank fluid counts, job has %d ranks", len(j.RankFluids), ranks)
@@ -239,11 +272,34 @@ type rates struct {
 	taskFlops float64 // flop/s for one task
 	linkBW    float64
 	latency   float64
+	intraBW   float64 // bytes/s for halo hops between tasks of one node
 	msgSW     float64 // per-message software cost on the critical path
 }
 
 func (j *Job) deriveRates() rates {
 	m := j.Machine
+	if c := j.Coeffs; c != nil {
+		// Fitted-coefficient path: one effective kernel bandwidth with a
+		// worker-count saturation ramp and the Amdahl thread penalty; the
+		// machine model contributes only the flop roofline (the kernels
+		// are bandwidth-bound everywhere the fit applies).
+		totalHW := float64(j.TasksPerNode * j.ThreadsPerTask)
+		bwFrac := totalHW / c.BWSaturation
+		if bwFrac > 1 {
+			bwFrac = 1
+		}
+		eff := c.parallelEff(j.ThreadsPerTask)
+		tpn := float64(j.TasksPerNode)
+		return rates{
+			taskBW:    c.MemBW * bwFrac / tpn * eff,
+			taskBWRaw: c.CopyBW * bwFrac / tpn * eff,
+			taskFlops: m.PeakFlops / tpn,
+			linkBW:    c.LinkBW,
+			latency:   c.Latency,
+			intraBW:   c.CopyBW,
+			msgSW:     c.MsgSW,
+		}
+	}
 	cal := calibrationFor(m.Name)
 	memEff := cal.memEff[j.Opt]
 	flopEff := cal.flopEff(j.Opt)
@@ -275,6 +331,7 @@ func (j *Job) deriveRates() rates {
 		taskFlops: m.PeakFlops * flopEff * flopFrac / tpn * eff,
 		linkBW:    m.TorusLinkBytes,
 		latency:   m.LinkLatency,
+		intraBW:   m.MemBWBytes / 2,
 		msgSW:     cal.msgSWOverhead,
 	}
 }
@@ -298,6 +355,15 @@ func Run(j Job) (*Result, error) {
 		fields = 1
 		// 456 B/cell for D3Q19 is exactly 3 accesses × 8 B × 19; AA makes 2.
 		j.Spec.BytesPerCell *= 2.0 / 3.0
+	}
+	if j.Fused {
+		// One read + one write per cell instead of three accesses; the
+		// resident footprint stays two fields.
+		j.Spec.BytesPerCell *= 2.0 / 3.0
+	}
+	if j.CellCost > 0 {
+		j.Spec.BytesPerCell *= j.CellCost
+		j.Spec.FlopsPerCell *= j.CellCost
 	}
 	ranks := j.Nodes * j.TasksPerNode
 	dec, err := decomp.NewCartesianWeighted([3]int{j.NX, j.NY, j.NZ}, j.Decomp, j.Bounded, j.Weights)
@@ -461,10 +527,10 @@ func (st *simState) run() float64 {
 	}
 	var ghost float64
 	haloBytes := st.q * float64(st.w) * st.plane * 8 // per direction
-	wire := j.Machine.LinkLatency + haloBytes/st.rt.linkBW
+	wire := st.rt.latency + haloBytes/st.rt.linkBW
 	// Halo traffic between tasks of one node moves through shared memory,
 	// not the torus.
-	wireIntra := haloBytes / (j.Machine.MemBWBytes / 2)
+	wireIntra := haloBytes / st.rt.intraBW
 	faceT := haloBytes / st.rt.taskBWRaw
 	// Each cycle touches two border faces (packed toward neighbors, or
 	// written in place from boundary data on a bounded edge — same copy
@@ -593,8 +659,8 @@ func (st *simState) runOrig() float64 {
 		crossVals += float64(c)
 	}
 	msgBytes := crossVals * st.plane * 8
-	wire := j.Machine.LinkLatency + msgBytes/st.rt.linkBW
-	wireIntra := msgBytes / (j.Machine.MemBWBytes / 2)
+	wire := st.rt.latency + msgBytes/st.rt.linkBW
+	wireIntra := msgBytes / st.rt.intraBW
 	packT := 2 * msgBytes / st.rt.taskBWRaw
 	// The naive code sends one message per crossed plane per direction
 	// (before the message-aggregation tuning), each paying the software
@@ -869,8 +935,8 @@ func (st *simState) runMulti() float64 {
 			}
 			for r := 0; r < st.ranks; r++ {
 				bytes := st.axisHaloBytes(r, axis)
-				wire := j.Machine.LinkLatency + bytes/st.rt.linkBW
-				wireIntra := bytes / (j.Machine.MemBWBytes / 2)
+				wire := st.rt.latency + bytes/st.rt.linkBW
+				wireIntra := bytes / st.rt.intraBW
 				nmsg := 0.0
 				recvReady := math.Inf(-1)
 				for _, dir := range [2]int{-1, +1} {

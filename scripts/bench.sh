@@ -1,0 +1,16 @@
+#!/bin/sh
+# bench.sh — the closed-loop benchmark: fit perfsim's coefficients to an
+# observed sweep, auto-tune the fixed scenario set with the fitted model,
+# and record default-vs-tuned MFlup/s to BENCH_10.json. CI runs this and
+# keeps the outputs as artifacts; run it locally to refresh the committed
+# record after a performance-relevant change.
+#
+# Usage: scripts/bench.sh [outdir]   (default: repo root)
+set -e
+
+cd "$(dirname "$0")/.."
+out="${1:-.}"
+mkdir -p "$out"
+
+go run ./cmd/lbmbench -exp fit -steps 10 -json "$out/fit.json"
+go run ./cmd/lbmbench -exp bench -fit "$out/fit.json" -steps 20 -json "$out/BENCH_10.json"
